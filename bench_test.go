@@ -1,0 +1,171 @@
+// Benchmarks: one per table and figure of the paper (regenerating the
+// experiment at reduced scale and reporting the modelled headline
+// number as a custom metric), plus micro-benchmarks of the hot
+// kernels that dominate a real run on the host machine.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package hybriddem
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"hybriddem/internal/bench"
+	"hybriddem/internal/cell"
+	"hybriddem/internal/core"
+	"hybriddem/internal/force"
+	"hybriddem/internal/geom"
+	"hybriddem/internal/machine"
+	"hybriddem/internal/particle"
+	"hybriddem/internal/shm"
+)
+
+// benchOpts keeps the experiment regenerations short enough for the
+// benchmark harness while preserving every structural property.
+func benchOpts() bench.Options {
+	return bench.Options{N: 40_000, Iters: 1, Warmup: 1, Seed: 1}
+}
+
+// runExperiment benchmarks one table/figure generator and reports the
+// modelled seconds of its first data cell as a metric.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := bench.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := benchOpts()
+	var rep *bench.Report
+	for i := 0; i < b.N; i++ {
+		rep = e.Run(o)
+	}
+	if len(rep.Rows) == 0 {
+		b.Fatalf("%s produced no rows", id)
+	}
+	if v, err := strconv.ParseFloat(rep.Rows[0][len(rep.Rows[0])-1], 64); err == nil {
+		b.ReportMetric(v, "model")
+	}
+}
+
+func BenchmarkTable1BaseTimes(b *testing.B)          { runExperiment(b, "T1") }
+func BenchmarkTable2Reordered(b *testing.B)          { runExperiment(b, "T2") }
+func BenchmarkFigure1MPIScaling(b *testing.B)        { runExperiment(b, "F1") }
+func BenchmarkFigure2MPIScalingReorder(b *testing.B) { runExperiment(b, "F2") }
+func BenchmarkFigure3Granularity(b *testing.B)       { runExperiment(b, "F3") }
+func BenchmarkFigure4OpenMPSun(b *testing.B)         { runExperiment(b, "F4") }
+func BenchmarkFigure5OpenMPCompaq(b *testing.B)      { runExperiment(b, "F5") }
+func BenchmarkFigure6Crossover(b *testing.B)         { runExperiment(b, "F6") }
+func BenchmarkFigure7HybridD2(b *testing.B)          { runExperiment(b, "F7") }
+func BenchmarkFigure8HybridD3(b *testing.B)          { runExperiment(b, "F8") }
+func BenchmarkOMPSyncOverhead(b *testing.B)          { runExperiment(b, "X1") }
+func BenchmarkLockFraction(b *testing.B)             { runExperiment(b, "X2") }
+func BenchmarkNoLockAblation(b *testing.B)           { runExperiment(b, "X3") }
+func BenchmarkFusedRegions(b *testing.B)             { runExperiment(b, "X4") }
+
+// --- kernel micro-benchmarks -------------------------------------
+
+// benchSystem builds a cell-ordered store with a valid link list at
+// the paper's density.
+func benchSystem(b *testing.B, d, n int, rcFactor float64) (*particle.Store, *cell.List, geom.Box, force.Spring) {
+	b.Helper()
+	cfg := core.Default(d, n)
+	box := cfg.Box()
+	ps := particle.New(d, n)
+	rng := rand.New(rand.NewSource(1))
+	particle.FillUniform(ps, n, box, 0, rng)
+	rc := rcFactor * cfg.Spring.Diameter
+	g := cell.NewGrid(d, geom.Vec{}, box.Len, rc, true)
+	g.Bin(ps.Pos, n, nil)
+	ps.Permute(g.Order())
+	g.Bin(ps.Pos, n, nil)
+	list := g.BuildLinks(ps.Pos, n, n, rc*rc, box, nil)
+	return ps, list, box, cfg.Spring
+}
+
+func BenchmarkForceSerial2D(b *testing.B) {
+	ps, list, box, sp := benchSystem(b, 2, 50_000, 1.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps.ZeroForces()
+		sp.Accumulate(ps, list.Links, ps.Len(), box, 1, nil)
+	}
+	b.ReportMetric(float64(len(list.Links)), "links")
+}
+
+func BenchmarkForceSerial3D(b *testing.B) {
+	ps, list, box, sp := benchSystem(b, 3, 50_000, 1.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps.ZeroForces()
+		sp.Accumulate(ps, list.Links, ps.Len(), box, 1, nil)
+	}
+	b.ReportMetric(float64(len(list.Links)), "links")
+}
+
+func benchUpdater(b *testing.B, method shm.Method, threads int) {
+	ps, list, box, sp := benchSystem(b, 3, 50_000, 1.5)
+	tm := shm.NewTeam(threads, shm.Costs{})
+	u := shm.NewUpdater(method)
+	u.Prepare(list.Links, ps.Len(), ps.Len(), threads)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps.ZeroForces()
+		u.Accumulate(tm, sp, ps, list.Links, len(list.Links), ps.Len(), box)
+	}
+}
+
+func BenchmarkUpdaterAtomicT4(b *testing.B)         { benchUpdater(b, shm.Atomic, 4) }
+func BenchmarkUpdaterSelectedAtomicT4(b *testing.B) { benchUpdater(b, shm.SelectedAtomic, 4) }
+func BenchmarkUpdaterStripeT4(b *testing.B)         { benchUpdater(b, shm.Stripe, 4) }
+func BenchmarkUpdaterTransposeT4(b *testing.B)      { benchUpdater(b, shm.Transpose, 4) }
+
+func BenchmarkLinkListBuild3D(b *testing.B) {
+	cfg := core.Default(3, 50_000)
+	box := cfg.Box()
+	ps := particle.New(3, cfg.N)
+	rng := rand.New(rand.NewSource(1))
+	particle.FillUniform(ps, cfg.N, box, 0, rng)
+	rc := cfg.RC()
+	g := cell.NewGrid(3, geom.Vec{}, box.Len, rc, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Bin(ps.Pos, cfg.N, nil)
+		g.BuildLinks(ps.Pos, cfg.N, cfg.N, rc*rc, box, nil)
+	}
+}
+
+func BenchmarkIntegrate3D(b *testing.B) {
+	ps, _, box, _ := benchSystem(b, 3, 50_000, 1.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		force.Integrate(ps, ps.Len(), 1e-6, box, force.WrapGlobal, nil)
+	}
+}
+
+func BenchmarkConflictTableBuild(b *testing.B) {
+	ps, list, _, _ := benchSystem(b, 3, 50_000, 1.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shm.BuildConflictTable(list.Links, ps.Len(), ps.Len(), 4)
+	}
+}
+
+func BenchmarkHybridIteration(b *testing.B) {
+	// One full hybrid step cycle at bench scale, wall-clock.
+	cfg := core.Default(3, 20_000)
+	cfg.Mode = core.Hybrid
+	cfg.P, cfg.T = 2, 2
+	cfg.BlocksPerProc = 2
+	cfg.Method = shm.SelectedAtomic
+	cfg.Platform = machine.CompaqES40()
+	cfg.Warmup = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(cfg, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

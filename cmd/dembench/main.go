@@ -1,0 +1,63 @@
+// Command dembench regenerates the paper's tables and figures on the
+// virtual platforms.
+//
+// Usage:
+//
+//	dembench                 # run every experiment at the default scale
+//	dembench -exp T1,F6      # run selected experiments
+//	dembench -list           # list experiment IDs
+//	dembench -full           # paper scale: 10^6 particles, 40/20 iterations
+//	dembench -n 100000       # custom particle count
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hybriddem/internal/bench"
+)
+
+func main() {
+	var (
+		expList = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		full    = flag.Bool("full", false, "paper scale: 10^6 particles, 40/20 iterations")
+		n       = flag.Int("n", 0, "particle count (default 40000)")
+		iters   = flag.Int("iters", 0, "measured iterations per run (default 8/4 for D=2/3)")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All {
+			fmt.Printf("%-4s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	opts := bench.Options{N: *n, Iters: *iters, Seed: *seed, Full: *full}
+
+	var exps []bench.Experiment
+	if *expList == "" {
+		exps = bench.All
+	} else {
+		for _, id := range strings.Split(*expList, ",") {
+			e, err := bench.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	for _, e := range exps {
+		start := time.Now()
+		rep := e.Run(opts)
+		fmt.Println(rep.String())
+		fmt.Printf("(%s generated in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,155 @@
+// Command demrun executes one DEM simulation with explicit parameters
+// and reports its modelled and wall timings, energies and counters.
+//
+// Examples:
+//
+//	demrun -d 3 -n 50000 -mode hybrid -p 4 -t 4 -bpp 2 -platform CPQ
+//	demrun -d 2 -n 100000 -mode mpi -p 16 -rc 2.0 -noreorder
+//	demrun -d 2 -n 30000 -mode serial -fill 0.25 -gravity -30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hybriddem"
+)
+
+func main() {
+	var (
+		d        = flag.Int("d", 3, "spatial dimensions (1-3)")
+		n        = flag.Int("n", 20000, "particle count")
+		mode     = flag.String("mode", "serial", "serial | openmp | mpi | hybrid")
+		p        = flag.Int("p", 1, "MPI ranks")
+		t        = flag.Int("t", 1, "threads per rank")
+		bpp      = flag.Int("bpp", 1, "blocks per process (granularity B/P)")
+		rc       = flag.Float64("rc", 1.5, "cutoff factor rc/rmax")
+		method   = flag.String("method", "selected-atomic", "atomic | selected-atomic | critical-reduction | stripe | transpose")
+		fused    = flag.Bool("fused", false, "fuse the hybrid force loop into one region (Section 11)")
+		platform = flag.String("platform", "CPQ", "virtual platform: Sun | T3E | CPQ | none")
+		iters    = flag.Int("iters", 10, "measured iterations")
+		warmup   = flag.Int("warmup", 2, "warm-up iterations")
+		seed     = flag.Int64("seed", 1, "random seed")
+		noreord  = flag.Bool("noreorder", false, "disable cache particle reordering")
+		walls    = flag.Bool("walls", false, "reflecting walls instead of periodic boundaries")
+		gravity  = flag.Float64("gravity", 0, "gravity along the last dimension")
+		fill     = flag.Float64("fill", 0, "cluster particles into the bottom fraction of the box (0 = uniform)")
+		damp     = flag.Float64("damp", 0, "dissipative spring damping")
+		hertz    = flag.Bool("hertz", false, "Hertzian contact law instead of the linear spring")
+		initVel  = flag.Float64("vel", 0, "initial velocity scale")
+		modelN   = flag.Int("modeln", 0, "model the cache behaviour of this many particles (0 = actual N)")
+		save     = flag.String("save", "", "write a checkpoint of the final state to this file")
+		load     = flag.String("load", "", "resume from a checkpoint file")
+		export   = flag.String("export", "", "write the final state for visualisation (.vtk, .xyz or .csv)")
+	)
+	flag.Parse()
+
+	cfg := hybriddem.Default(*d, *n)
+	cfg.RCFactor = *rc
+	cfg.Seed = *seed
+	cfg.Reorder = !*noreord
+	cfg.P, cfg.T = *p, *t
+	cfg.BlocksPerProc = *bpp
+	cfg.Fused = *fused
+	cfg.Warmup = *warmup
+	cfg.Gravity = *gravity
+	cfg.FillHeight = *fill
+	cfg.Spring.Damp = *damp
+	cfg.Spring.Hertz = *hertz
+	cfg.InitVel = *initVel
+	cfg.ModelN = *modelN
+	if *walls {
+		cfg.BC = hybriddem.Reflecting
+	}
+
+	switch strings.ToLower(*mode) {
+	case "serial":
+		cfg.Mode = hybriddem.Serial
+	case "openmp":
+		cfg.Mode = hybriddem.OpenMP
+	case "mpi":
+		cfg.Mode = hybriddem.MPI
+	case "hybrid":
+		cfg.Mode = hybriddem.Hybrid
+	default:
+		fmt.Fprintf(os.Stderr, "demrun: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	switch strings.ToLower(*method) {
+	case "atomic":
+		cfg.Method = hybriddem.Atomic
+	case "selected-atomic":
+		cfg.Method = hybriddem.SelectedAtomic
+	case "critical-reduction":
+		cfg.Method = hybriddem.CriticalReduction
+	case "stripe":
+		cfg.Method = hybriddem.Stripe
+	case "transpose":
+		cfg.Method = hybriddem.Transpose
+	default:
+		fmt.Fprintf(os.Stderr, "demrun: unknown method %q\n", *method)
+		os.Exit(2)
+	}
+
+	if strings.ToLower(*platform) != "none" {
+		pf, err := hybriddem.PlatformByName(*platform)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "demrun:", err)
+			os.Exit(2)
+		}
+		cfg.Platform = pf
+	}
+
+	if *save != "" || *export != "" {
+		cfg.CollectState = true
+	}
+	if *load != "" {
+		if _, err := hybriddem.LoadCheckpoint(*load, &cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "demrun:", err)
+			os.Exit(1)
+		}
+	}
+
+	res, err := hybriddem.Run(cfg, *iters)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "demrun:", err)
+		os.Exit(1)
+	}
+
+	if *save != "" {
+		if err := hybriddem.SaveCheckpoint(*save, &cfg, res, *iters); err != nil {
+			fmt.Fprintln(os.Stderr, "demrun:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("checkpoint     %s\n", *save)
+	}
+	if *export != "" {
+		if err := hybriddem.ExportState(*export, &cfg, res); err != nil {
+			fmt.Fprintln(os.Stderr, "demrun:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("exported       %s\n", *export)
+	}
+
+	fmt.Printf("mode            %v (P=%d, T=%d, B/P=%d)\n", cfg.Mode, cfg.P, cfg.T, cfg.BlocksPerProc)
+	fmt.Printf("system          D=%d, N=%d, L=%.4g, rc=%.3g, %v\n", cfg.D, cfg.N, cfg.L, cfg.RC(), cfg.BC)
+	if cfg.Platform != nil {
+		fmt.Printf("platform        %s (%d nodes x %d CPUs)\n", cfg.Platform.Name, cfg.Platform.Nodes, cfg.Platform.CPUsPerNode)
+	}
+	fmt.Printf("iterations      %d measured after %d warm-up\n", res.Iters, cfg.Warmup)
+	fmt.Printf("model time/iter %.6f s  (force %.6f, update %.6f, comm %.6f)\n",
+		res.PerIter, res.ForceTime, res.UpdateTime, res.CommTime)
+	fmt.Printf("wall time/iter  %.6f s\n", res.Wall.Seconds()/float64(res.Iters))
+	fmt.Printf("energy          potential %.6g, kinetic %.6g\n", res.Epot, res.Ekin)
+	fmt.Printf("links           %d (mean index distance %.0f)\n", res.NLinks, res.MeanLinkDist)
+	fmt.Printf("rebuilds        %d during measurement\n", res.Rebuilds)
+	if res.AtomicFraction > 0 {
+		fmt.Printf("lock fraction   %.2f%% of force updates\n", 100*res.AtomicFraction)
+	}
+	tc := res.TC
+	fmt.Printf("counters        %d force evals, %d contacts, %d msgs (%d bytes), %d regions\n",
+		tc.ForceEvals, tc.Contacts, tc.MsgsSent, tc.BytesSent, tc.ParallelRegions)
+}

@@ -1,0 +1,125 @@
+// Grains: the physics behind the paper (Section 2). Instead of smooth
+// spheres with empirical friction laws, the Edinburgh DEM builds
+// "complex particles with simple forces": rough grains assembled from
+// basic spheres glued by permanent dissipative-spring bonds, so that
+// macroscopic friction emerges dynamically from microscopic
+// collisions.
+//
+// This example drops a mixture of grain shapes under gravity onto a
+// hard floor, lets the pile settle, and reports the bed profile, the
+// energy dissipated by the bonds, and the bond integrity — then
+// repeats the final state measurement with a hybrid run to show the
+// decomposition handles grains straddling block boundaries.
+package main
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"hybriddem"
+)
+
+func main() {
+	const (
+		dims    = 2
+		grains  = 120
+		shape   = hybriddem.Trimer
+		iters   = 9000
+		columns = 48
+	)
+
+	cfg := hybriddem.Default(dims, shape.Size()*grains)
+	cfg.L *= 3 // dilute so the grains can fall before they pile up
+	cfg.BC = hybriddem.Reflecting
+	cfg.Gravity = -8
+	cfg.Spring.K = 40000 // stiff enough that impacts do not interpenetrate
+	cfg.Spring.Damp = 25 // contact dissipation so impacts stick
+	cfg.CollectState = true
+	cfg.Seed = 42
+
+	state, bonds, err := hybriddem.BuildGrains(hybriddem.GrainConfig{
+		D: dims, Shape: shape, Grains: grains,
+		Diameter: cfg.Spring.Diameter,
+		Box:      cfg.Box(),
+		Height:   0.5, // start suspended above the eventual bed
+		BondK:    40000, BondDamp: 60,
+		Seed: 42,
+	})
+	if err != nil {
+		panic(err)
+	}
+	cfg.Init = state
+	cfg.Spring.Bonds = bonds
+
+	fmt.Printf("dropping %d %v grains (%d particles) onto the floor...\n\n",
+		grains, shape, cfg.N)
+
+	res, err := hybriddem.Run(cfg, iters)
+	if err != nil {
+		panic(err)
+	}
+
+	// Bed profile: mean and max height, plus an ASCII histogram of
+	// the column fill.
+	heights := make([]float64, columns)
+	maxH, sumH := 0.0, 0.0
+	for _, p := range res.Pos {
+		c := int(p[0] / cfg.L * columns)
+		if c >= columns {
+			c = columns - 1
+		}
+		if p[1] > heights[c] {
+			heights[c] = p[1]
+		}
+		if p[1] > maxH {
+			maxH = p[1]
+		}
+		sumH += p[1]
+	}
+	fmt.Printf("settled after %d steps: mean height %.3f, peak %.3f (box %.3f)\n",
+		iters, sumH/float64(len(res.Pos)), maxH, cfg.L)
+	fmt.Printf("kinetic energy %.4g (dissipated by the bonds), bond strain %.1f%%\n",
+		res.Ekin, 100*bonds.MaxBondStrain(res.Pos, cfg.Box()))
+
+	if obs, err := hybriddem.Measure(&cfg, res); err == nil {
+		fmt.Printf("pile observables: coordination %.2f neighbours/particle, pressure %.3g\n",
+			obs.Coordination, obs.Pressure)
+	}
+
+	const rows = 8
+	fmt.Println("\nbed profile:")
+	for r := rows; r >= 1; r-- {
+		line := make([]byte, columns)
+		for c := range line {
+			if heights[c]/maxH*rows >= float64(r) {
+				line[c] = '#'
+			} else {
+				line[c] = ' '
+			}
+		}
+		fmt.Printf("  |%s|\n", line)
+	}
+	fmt.Printf("  +%s+\n", strings.Repeat("-", columns))
+
+	// The same system through the hybrid driver: grains that straddle
+	// block boundaries feel their bonds through halo copies.
+	hcfg := cfg
+	hcfg.Mode = hybriddem.Hybrid
+	hcfg.P, hcfg.T = 2, 2
+	hcfg.BlocksPerProc = 2
+	hcfg.Method = hybriddem.SelectedAtomic
+	hres, err := hybriddem.Run(hcfg, iters)
+	if err != nil {
+		panic(err)
+	}
+	maxDev := 0.0
+	box := cfg.Box()
+	for i := range res.Pos {
+		if d := math.Sqrt(box.Dist2(res.Pos[i], hres.Pos[i])); d > maxDev {
+			maxDev = d
+		}
+	}
+	fmt.Printf("\nhybrid (P=2, T=2) rerun of the same fall: max trajectory deviation %.2g\n", maxDev)
+	fmt.Println("bonds crossing block boundaries are served by the halo exchange.")
+}

@@ -1,0 +1,3 @@
+module hybriddem
+
+go 1.22

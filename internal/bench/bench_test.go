@@ -1,0 +1,347 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tiny returns options small enough for unit tests; structural
+// properties of the reports are asserted, not absolute numbers. 40k
+// particles is comfortably above the smallest size whose D=3 blocks
+// stay wider than the rc=2.0 cutoff at the finest granularity swept.
+func tiny() Options {
+	return Options{N: 40000, Iters: 2, Warmup: 1, Seed: 1}
+}
+
+func cellFloat(t *testing.T, r *Report, row, col string) float64 {
+	t.Helper()
+	s, ok := r.Cell(row, col)
+	if !ok {
+		t.Fatalf("%s: missing cell (%q, %q)\nreport:\n%s", r.ID, row, col, r)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("%s: cell (%q,%q) = %q not numeric", r.ID, row, col, s)
+	}
+	return v
+}
+
+func TestReportStringAndCell(t *testing.T) {
+	r := &Report{
+		ID:     "TX",
+		Title:  "demo",
+		Header: []string{"k", "a", "b"},
+		Rows:   [][]string{{"r1", "1.5", "2.5"}},
+		Notes:  []string{"a note"},
+	}
+	s := r.String()
+	for _, want := range []string{"TX", "demo", "r1", "2.5", "a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, s)
+		}
+	}
+	if v, ok := r.Cell("r1", "b"); !ok || v != "2.5" {
+		t.Errorf("Cell = %q, %v", v, ok)
+	}
+	if _, ok := r.Cell("r1", "nope"); ok {
+		t.Error("unknown column found")
+	}
+	if _, ok := r.Cell("nope", "a"); ok {
+		t.Error("unknown row found")
+	}
+}
+
+func TestByIDAndAll(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		got, err := ByID(e.ID)
+		if err != nil || got.ID != e.ID {
+			t.Errorf("ByID(%s) = %v, %v", e.ID, got.ID, err)
+		}
+	}
+	for _, want := range []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "X1", "X2", "X3", "X4"} {
+		if !seen[want] {
+			t.Errorf("experiment %s not registered", want)
+		}
+	}
+	if _, err := ByID("Z9"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.N != 40000 || o.ModelN != 1_000_000 || o.Seed != 1 || o.Warmup != 1 {
+		t.Errorf("defaults: %+v", o)
+	}
+	if o.iters(2) != 8 || o.iters(3) != 4 {
+		t.Error("default iteration counts")
+	}
+	full := Options{Full: true}.withDefaults()
+	if full.N != 1_000_000 || full.iters(2) != 40 || full.iters(3) != 20 {
+		t.Errorf("full-scale options: %+v", full)
+	}
+	ls := Options{}.lockSensitive().withDefaults()
+	if ls.N != 200_000 {
+		t.Errorf("lock-sensitive default N = %d", ls.N)
+	}
+	explicit := Options{N: 123}.lockSensitive().withDefaults()
+	if explicit.N != 123 {
+		t.Error("lockSensitive overrode an explicit N")
+	}
+}
+
+// TestCalibrationWithinTolerance: the modelled serial base times must
+// stay within 25% of all 24 published Table 1/2 cells (they sit
+// within ~13% at the default scale; the margin absorbs the smaller
+// test size).
+func TestCalibrationWithinTolerance(t *testing.T) {
+	rep := Calibration(tiny())
+	if len(rep.Rows) != 12 {
+		t.Fatalf("%d calibration rows", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		for _, col := range []int{3, 6} {
+			var dev float64
+			if _, err := fmt.Sscanf(row[col], "%f%%", &dev); err != nil {
+				t.Fatalf("unparseable deviation %q", row[col])
+			}
+			if dev > 25 || dev < -25 {
+				t.Errorf("%s: deviation %s exceeds 25%%", row[0], row[col])
+			}
+		}
+	}
+}
+
+// TestTablesReorderingOrdering: every Table 2 entry must beat its
+// Table 1 counterpart, CPQ must be the fastest platform row-wise, and
+// rc=2.0 must cost more than rc=1.5.
+func TestTablesReorderingOrdering(t *testing.T) {
+	o := tiny()
+	t1 := Table1(o)
+	t2 := Table2(o)
+	if len(t1.Rows) != 12 || len(t2.Rows) != 12 {
+		t.Fatalf("table sizes %d, %d", len(t1.Rows), len(t2.Rows))
+	}
+	for i := range t1.Rows {
+		a, _ := strconv.ParseFloat(t1.Rows[i][3], 64)
+		b, _ := strconv.ParseFloat(t2.Rows[i][3], 64)
+		if b >= a {
+			t.Errorf("row %v: reordered %g !< unordered %g", t1.Rows[i][:3], b, a)
+		}
+	}
+	// Row layout: platform blocks of 4 rows in Sun, T3E, CPQ order;
+	// within a block rc rises then D rises.
+	for i := 0; i < 12; i += 2 {
+		lo, _ := strconv.ParseFloat(t1.Rows[i][3], 64)
+		hi, _ := strconv.ParseFloat(t1.Rows[i+1][3], 64)
+		if hi <= lo {
+			t.Errorf("rc=2.0 not slower at row %d: %g vs %g", i, hi, lo)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		sun, _ := strconv.ParseFloat(t1.Rows[i][3], 64)
+		cpq, _ := strconv.ParseFloat(t1.Rows[8+i][3], 64)
+		if cpq >= sun {
+			t.Errorf("CPQ row %d not faster than Sun: %g vs %g", i, cpq, sun)
+		}
+	}
+}
+
+// TestFigure1SpeedupMonotone: adding processors must increase speedup
+// on every platform and dimensionality.
+func TestFigure1SpeedupMonotone(t *testing.T) {
+	rep := Figure1(tiny())
+	prev := map[string]float64{}
+	for _, row := range rep.Rows {
+		key := row[0][:strings.LastIndex(row[0], "/")] // Platform/D
+		sp, _ := strconv.ParseFloat(row[3], 64)
+		if last, ok := prev[key]; ok && sp <= last {
+			t.Errorf("%s: speedup not monotone (%g after %g)", row[0], sp, last)
+		}
+		prev[key] = sp
+	}
+}
+
+// TestFigure3GranularityCostsD3: for D=3 the relative performance at
+// B/P=32 must fall below B/P=1 on every platform (the paper's
+// "significant overhead to load-balancing ... particularly for D=3").
+func TestFigure3GranularityCostsD3(t *testing.T) {
+	rep := Figure3(tiny())
+	for _, row := range rep.Rows {
+		if !strings.Contains(row[0], "D3") {
+			continue
+		}
+		end, _ := strconv.ParseFloat(row[len(row)-1], 64)
+		if end >= 1.0 {
+			t.Errorf("%s: no granularity overhead at B/P=32 (%g)", row[0], end)
+		}
+	}
+}
+
+// TestFigure4SunAtomicIsTerrible: the software-lock atomic strategy
+// must be roughly an order of magnitude slower than selected-atomic
+// on the Sun.
+func TestFigure4SunAtomicIsTerrible(t *testing.T) {
+	rep := Figure4(tiny())
+	at := cellFloat(t, rep, "rc=1.5/atomic", "T=4")
+	sel := cellFloat(t, rep, "rc=1.5/sel-atomic", "T=4")
+	if sel < 4*at {
+		t.Errorf("Sun: selected-atomic %g not far above atomic %g", sel, at)
+	}
+}
+
+// TestFigure5SelectedAtomicWins: on the Compaq the selected-atomic
+// strategy must be the best of the four at T=4 for rc=1.5.
+func TestFigure5SelectedAtomicWins(t *testing.T) {
+	rep := Figure5(tiny())
+	sel := cellFloat(t, rep, "rc=1.5/sel-atomic", "T=4")
+	for _, other := range []string{"rc=1.5/atomic", "rc=1.5/stripe", "rc=1.5/transpose"} {
+		v := cellFloat(t, rep, other, "T=4")
+		if v >= sel {
+			t.Errorf("CPQ: %s (%g) not below selected-atomic (%g)", other, v, sel)
+		}
+	}
+	if sel < 2.0 {
+		t.Errorf("CPQ selected-atomic speedup %g too low at T=4", sel)
+	}
+}
+
+// TestHybridNeverBeatsMPI: the paper's headline result — on the
+// cluster, pure MPI is always at least as efficient as the hybrid
+// scheme at equal granularity.
+func TestHybridNeverBeatsMPI(t *testing.T) {
+	for _, gen := range []func(Options) *Report{Figure7, Figure8} {
+		rep := gen(tiny())
+		for i := 0; i+1 < len(rep.Rows); i += 2 {
+			mpi := rep.Rows[i]
+			hyb := rep.Rows[i+1]
+			for c := 1; c < len(mpi); c++ {
+				m, _ := strconv.ParseFloat(mpi[c], 64)
+				h, _ := strconv.ParseFloat(hyb[c], 64)
+				if h > m+1e-9 {
+					t.Errorf("%s: hybrid (%g) beats MPI (%g) in column %d", rep.ID, h, m, c)
+				}
+			}
+		}
+	}
+}
+
+// TestLockFractionGrowsWithGranularity: X2's central trend, with
+// D=3 above D=2 at the finest granularity.
+func TestLockFractionGrowsWithGranularity(t *testing.T) {
+	rep := ExtraLockFraction(tiny())
+	for _, row := range rep.Rows {
+		first, _ := strconv.ParseFloat(row[1], 64)
+		last, _ := strconv.ParseFloat(row[len(row)-1], 64)
+		if last <= first {
+			t.Errorf("D=%s: lock fraction flat: %g -> %g", row[0], first, last)
+		}
+	}
+	d2, _ := strconv.ParseFloat(rep.Rows[0][len(rep.Rows[0])-1], 64)
+	d3, _ := strconv.ParseFloat(rep.Rows[1][len(rep.Rows[1])-1], 64)
+	if d3 <= d2 {
+		t.Errorf("finest-granularity lock fraction: D3 (%g) not above D2 (%g)", d3, d2)
+	}
+}
+
+// TestFreeLockAblationNarrowsGap: zeroing the lock cost must close
+// most of the hybrid deficit at B/P=1.
+func TestFreeLockAblationNarrowsGap(t *testing.T) {
+	o := tiny()
+	withLocks := Figure8(o)
+	noLocks := ExtraNoLockAblation(o)
+	gapBefore := cellFloat(t, withLocks, "rc=1.5/MPI-P16", "B/P=1") -
+		cellFloat(t, withLocks, "rc=1.5/hybrid-P4xT4", "B/P=1")
+	gapAfter := cellFloat(t, noLocks, "rc=1.5/MPI-P16", "B/P=1") -
+		cellFloat(t, noLocks, "rc=1.5/hybrid-freelock", "B/P=1")
+	if gapAfter >= gapBefore {
+		t.Errorf("free locks did not narrow the hybrid gap: %g -> %g", gapBefore, gapAfter)
+	}
+}
+
+// TestFusedBeatsPerBlock at fine granularity (X4).
+func TestFusedBeatsPerBlock(t *testing.T) {
+	rep := ExtraFusedRegions(tiny())
+	var perBlock, fused []string
+	for _, row := range rep.Rows {
+		switch row[0] {
+		case "hybrid-perblock":
+			perBlock = row
+		case "hybrid-fused":
+			fused = row
+		}
+	}
+	if perBlock == nil || fused == nil {
+		t.Fatal("missing series in X4")
+	}
+	pb, _ := strconv.ParseFloat(perBlock[len(perBlock)-1], 64)
+	fu, _ := strconv.ParseFloat(fused[len(fused)-1], 64)
+	if fu <= pb {
+		t.Errorf("fused efficiency %g not above per-block %g at finest granularity", fu, pb)
+	}
+}
+
+// TestHaloMachineryAblation: naive packing must cost more at finer
+// granularity.
+func TestHaloMachineryAblation(t *testing.T) {
+	rep := ExtraHaloMachinery(tiny())
+	var naive []string
+	for _, row := range rep.Rows {
+		if row[0] == "P16/naive-pack" {
+			naive = row
+		}
+	}
+	if naive == nil {
+		t.Fatal("missing naive-pack series")
+	}
+	var first, last float64
+	fmt.Sscanf(naive[1], "%f%%", &first)
+	fmt.Sscanf(naive[len(naive)-1], "%f%%", &last)
+	if first <= 0 || last <= first {
+		t.Errorf("naive packing penalty not growing: %g%% -> %g%%", first, last)
+	}
+}
+
+// TestClusteredWorkloadShape: on a genuinely clustered bed, the naive
+// MPI decomposition must be the slowest configuration and both finer
+// granularity and hybrid balance must help.
+func TestClusteredWorkloadShape(t *testing.T) {
+	rep := ExtraClusteredWorkload(tiny())
+	for _, row := range rep.Rows {
+		coarse, _ := strconv.ParseFloat(row[1], 64)
+		if row[0] == "MPI-P16" {
+			fine, _ := strconv.ParseFloat(row[len(row)-2], 64)
+			if fine <= coarse {
+				t.Errorf("granularity did not help the clustered bed: %g -> %g", coarse, fine)
+			}
+			continue
+		}
+		// Hybrid rows: automatic in-box balance must beat naive MPI
+		// already at B/P=1.
+		if coarse <= 1.2 {
+			t.Errorf("%s: no automatic balance benefit at B/P=1 (%g)", row[0], coarse)
+		}
+	}
+}
+
+// TestSyncOverheadReportShape: X1 must report positive per-block sync
+// costs that fall per block as granularity rises (amortised fused
+// regions) while total sync grows.
+func TestSyncOverheadReportShape(t *testing.T) {
+	rep := ExtraSyncOverhead(tiny())
+	if len(rep.Rows) < 2 {
+		t.Fatal("X1 empty")
+	}
+	firstTotal, _ := strconv.ParseFloat(rep.Rows[0][4], 64)
+	lastTotal, _ := strconv.ParseFloat(rep.Rows[len(rep.Rows)-1][4], 64)
+	if !(firstTotal > 0 && lastTotal > firstTotal) {
+		t.Errorf("total sync not growing with B/P: %g -> %g", firstTotal, lastTotal)
+	}
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"hybriddem/internal/machine"
+)
+
+// paperBase holds the published Tables 1 and 2 (seconds per
+// iteration, P0 x t(P0)) keyed by platform/D/rc, in the row order the
+// tables print.
+type paperBase struct {
+	platform string
+	d        int
+	rc       float64
+	t1, t2   float64 // Table 1 (no reorder), Table 2 (reordered)
+}
+
+var paperTables = []paperBase{
+	{"Sun", 2, 1.5, 3.28, 2.45},
+	{"Sun", 2, 2.0, 4.13, 3.31},
+	{"Sun", 3, 1.5, 5.68, 4.58},
+	{"Sun", 3, 2.0, 9.05, 7.56},
+	{"T3E", 2, 1.5, 3.84, 2.93},
+	{"T3E", 2, 2.0, 4.97, 3.90},
+	{"T3E", 3, 1.5, 7.60, 6.02},
+	{"T3E", 3, 2.0, 12.73, 10.60},
+	{"CPQ", 2, 1.5, 1.80, 1.19},
+	{"CPQ", 2, 2.0, 2.23, 1.57},
+	{"CPQ", 3, 1.5, 3.20, 2.19},
+	{"CPQ", 3, 2.0, 4.91, 3.74},
+}
+
+// Calibration regenerates Tables 1 and 2 and sets them against the
+// published values, reporting per-cell deviation and the worst case —
+// the automated form of EXPERIMENTS.md's calibration record.
+func Calibration(o Options) *Report {
+	o = o.withDefaults()
+	rep := &Report{
+		ID:     "X0",
+		Title:  "calibration: serial base times versus the published Tables 1 and 2",
+		Header: []string{"Platform/D/rc", "paper T1", "model T1", "dev", "paper T2", "model T2", "dev"},
+	}
+	worst := 0.0
+	for _, ref := range paperTables {
+		pf, err := machine.ByName(ref.platform)
+		if err != nil {
+			panic(err)
+		}
+		run := func(reorder bool) float64 {
+			cfg := o.config(ref.d, ref.rc, pf, reorder)
+			return mustRun(cfg, o.iters(ref.d)).PerIter
+		}
+		m1 := run(false)
+		m2 := run(true)
+		d1 := m1/ref.t1 - 1
+		d2 := m2/ref.t2 - 1
+		for _, dv := range []float64{d1, d2} {
+			if math.Abs(dv) > worst {
+				worst = math.Abs(dv)
+			}
+		}
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%s/D%d/rc=%.1f", ref.platform, ref.d, ref.rc),
+			f2(ref.t1), f2(m1), fmt.Sprintf("%+.0f%%", 100*d1),
+			f2(ref.t2), f2(m2), fmt.Sprintf("%+.0f%%", 100*d2),
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("worst deviation %.0f%% across all 24 published cells", 100*worst),
+		"deviations reflect both calibration error and the scaled-run substitution; -full removes the latter")
+	return rep
+}

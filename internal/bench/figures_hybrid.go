@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+
+	"hybriddem/internal/core"
+	"hybriddem/internal/machine"
+	"hybriddem/internal/shm"
+)
+
+// hybridFigure generates Figure 7 (D=2) or Figure 8 (D=3): on the
+// Compaq cluster, pure MPI with P=16 (four processes per box) against
+// the hybrid scheme with P=4 (one process per box) and T=4 (one
+// thread per CPU), swept over granularity B/P and normalised to the
+// MPI time at B/P=1.
+func hybridFigure(o Options, d int, id string, fused bool) *Report {
+	o = o.lockSensitive().withDefaults()
+	pf := machine.CompaqES40()
+	sweep := []int{1, 2, 4, 8, 16, 32}
+	title := fmt.Sprintf("Compaq cluster, D=%d: efficiency vs granularity B/P (MPI P=16 vs hybrid P=4 T=4)", d)
+	if fused {
+		title = fmt.Sprintf("Compaq cluster, D=%d: hybrid with fused single-region force loop", d)
+	}
+	rep := &Report{
+		ID:     id,
+		Title:  title,
+		Header: []string{"rc/series", "B/P=1", "2", "4", "8", "16", "32"},
+	}
+	for _, rc := range []float64{1.5, 2.0} {
+		var tRef float64
+		mpiRow := []string{fmt.Sprintf("rc=%.1f/MPI-P16", rc)}
+		for _, bpp := range sweep {
+			cfg := o.config(d, rc, pf, true)
+			cfg.Mode = core.MPI
+			cfg.P = 16
+			cfg.BlocksPerProc = bpp
+			t := o.scaleTo1M(mustRun(cfg, o.iters(d)).PerIter)
+			if bpp == 1 {
+				tRef = t
+			}
+			mpiRow = append(mpiRow, f3(tRef/t))
+		}
+		rep.Rows = append(rep.Rows, mpiRow)
+
+		hybRow := []string{fmt.Sprintf("rc=%.1f/hybrid-P4xT4", rc)}
+		if fused {
+			hybRow[0] = fmt.Sprintf("rc=%.1f/hybrid-fused", rc)
+		}
+		for _, bpp := range sweep {
+			cfg := o.config(d, rc, pf, true)
+			cfg.Mode = core.Hybrid
+			cfg.P = 4
+			cfg.T = 4
+			cfg.BlocksPerProc = bpp
+			cfg.Method = shm.SelectedAtomic
+			cfg.Fused = fused
+			t := o.scaleTo1M(mustRun(cfg, o.iters(d)).PerIter)
+			hybRow = append(hybRow, f3(tRef/t))
+		}
+		rep.Rows = append(rep.Rows, hybRow)
+	}
+	rep.Notes = append(rep.Notes,
+		"values are efficiency t(MPI, B/P=1)/t(model, B/P); the same granularity means the same load-balancing ability",
+		"paper: the pure MPI code is always more efficient for a given granularity; hybrid D=3 starts close at B/P=1 (especially rc=2.0) then degrades faster")
+	return rep
+}
+
+// Figure7 regenerates Figure 7: D=2, where the hybrid code is
+// significantly slower than MPI everywhere.
+func Figure7(o Options) *Report { return hybridFigure(o, 2, "F7", false) }
+
+// Figure8 regenerates Figure 8: D=3, where hybrid is competitive at
+// B/P=1 but its efficiency falls faster with granularity because the
+// lock fraction grows as blocks shrink.
+func Figure8(o Options) *Report { return hybridFigure(o, 3, "F8", false) }

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+
+	"hybriddem/internal/core"
+	"hybriddem/internal/machine"
+)
+
+// procSweep returns the process counts benchmarked per platform and
+// the reference count P0 (the T3E could not hold the problem on fewer
+// than 8 nodes).
+func procSweep(pf *machine.Platform) (ps []int, p0 int) {
+	switch pf.Name {
+	case "Sun":
+		return []int{1, 2, 4, 8}, 1
+	case "T3E":
+		return []int{8, 16, 32, 64, 128}, 8
+	default: // CPQ: one box up to P=4, then whole cluster
+		return []int{1, 2, 4, 8, 16, 20}, 1
+	}
+}
+
+// mpiScaling generates Figure 1 or 2: speedup of the MPI block
+// distribution (B/P = 1) against P/P0 for rc = 1.5 rmax.
+func mpiScaling(o Options, reorder bool, id, title string) *Report {
+	o = o.withDefaults()
+	rep := &Report{
+		ID:     id,
+		Title:  title,
+		Header: []string{"Platform/D/P", "P/P0", "t [s]", "speedup", "efficiency"},
+	}
+	for _, pf := range machine.Platforms() {
+		ps, p0 := procSweep(pf)
+		for _, d := range []int{2, 3} {
+			var tRef float64
+			for _, p := range ps {
+				cfg := o.config(d, 1.5, pf, reorder)
+				cfg.Mode = core.MPI
+				cfg.P = p
+				cfg.BlocksPerProc = 1
+				res := mustRun(cfg, o.iters(d))
+				t := o.scaleTo1M(res.PerIter)
+				if p == p0 {
+					tRef = t
+				}
+				speedup := float64(p0) * tRef / t
+				eff := speedup / float64(p)
+				rep.Rows = append(rep.Rows, []string{
+					fmt.Sprintf("%s/D%d/P%d", pf.Name, d, p),
+					f2(float64(p) / float64(p0)),
+					f3(t),
+					f2(speedup),
+					f2(eff),
+				})
+			}
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"rc = 1.5 rmax, simple block distribution (B/P = 1)",
+		"speedup = P0*t(P0)/t(P), normalised to P0 (T3E: P0 = 8)")
+	return rep
+}
+
+// Figure1 regenerates Figure 1: without reordering the aggregate
+// cache grows with P and efficiencies exceed one; on the Compaq,
+// performance jumps once the run spreads past a single box's memory
+// system.
+func Figure1(o Options) *Report {
+	return mpiScaling(o, false, "F1", "MPI scaling, simple block distribution, no reordering (rc=1.5)")
+}
+
+// Figure2 regenerates Figure 2: with particle reordering the serial
+// code is faster, so parallel efficiencies drop back towards (and
+// below) one, except CPQ D=2 which still gains past one box.
+func Figure2(o Options) *Report {
+	return mpiScaling(o, true, "F2", "MPI scaling with particle reordering (rc=1.5)")
+}
+
+// granularityP returns the fixed process count Figure 3 sweeps
+// granularity at.
+func granularityP(pf *machine.Platform) int {
+	switch pf.Name {
+	case "Sun":
+		return 8
+	case "T3E":
+		return 16
+	default:
+		return 16
+	}
+}
+
+// Figure3 regenerates Figure 3: performance against blocks per
+// process B/P at fixed P, normalised to the block distribution
+// (B/P = 1). Finer granularity means more halo area, more messages
+// and more per-block overhead, so performance decreases — this curve
+// is the price of load-balancing a clustered simulation with MPI.
+func Figure3(o Options) *Report {
+	o = o.withDefaults()
+	rep := &Report{
+		ID:     "F3",
+		Title:  "MPI performance vs granularity B/P, normalised to B/P=1 (rc=1.5)",
+		Header: []string{"Platform/D", "B/P=1", "2", "4", "8", "16", "32"},
+	}
+	sweep := []int{1, 2, 4, 8, 16, 32}
+	for _, pf := range machine.Platforms() {
+		p := granularityP(pf)
+		for _, d := range []int{2, 3} {
+			row := []string{fmt.Sprintf("%s/D%d/P%d", pf.Name, d, p)}
+			var tRef float64
+			for _, bpp := range sweep {
+				cfg := o.config(d, 1.5, pf, true)
+				cfg.Mode = core.MPI
+				cfg.P = p
+				cfg.BlocksPerProc = bpp
+				res := mustRun(cfg, o.iters(d))
+				t := o.scaleTo1M(res.PerIter)
+				if bpp == 1 {
+					tRef = t
+				}
+				row = append(row, f3(tRef/t))
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"values are relative performance t(B/P=1)/t(B/P); < 1 means granularity overhead",
+		"with rc=2.0 the results are very similar (paper, Section 6.4)")
+	return rep
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"fmt"
+
+	"hybriddem/internal/machine"
+)
+
+// baseTimes generates Table 1 or Table 2: the serial time per
+// iteration (scaled to the paper's 10^6 particles) for every platform,
+// dimensionality and cutoff, with or without particle reordering. On
+// the T3E the paper could not run 10^6 particles on one node and
+// reports P0 x t(P0) with P0 = 8; the modelled serial time is directly
+// the effective single-processor number.
+func baseTimes(o Options, reorder bool, id, title string) *Report {
+	o = o.withDefaults()
+	rep := &Report{
+		ID:     id,
+		Title:  title,
+		Header: []string{"Platform", "D", "rc/rmax", "P0*t(P0) [s]", "links", "meanDist"},
+	}
+	for _, pf := range machine.Platforms() {
+		for _, d := range []int{2, 3} {
+			for _, rc := range []float64{1.5, 2.0} {
+				cfg := o.config(d, rc, pf, reorder)
+				res := mustRun(cfg, o.iters(d))
+				rep.Rows = append(rep.Rows, []string{
+					pf.Name,
+					fmt.Sprintf("%d", d),
+					f2(rc),
+					f2(o.scaleTo1M(res.PerIter)),
+					fmt.Sprintf("%d", res.NLinks),
+					fmt.Sprintf("%.0f", res.MeanLinkDist),
+				})
+			}
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("serial runs of N=%d particles, modelled at N=%d; times scaled linearly to the modelled size", o.N, o.ModelN),
+		"paper's Table 1/2 order: Sun, T3E, CPQ x D in {2,3} x rc in {1.5, 2.0}")
+	return rep
+}
+
+// Table1 regenerates Table 1: base times without particle reordering.
+// Paper values (seconds): Sun 3.28/4.13/5.68/9.05, T3E
+// 3.84/4.97/7.60/12.73, CPQ 1.80/2.23/3.20/4.91.
+func Table1(o Options) *Report {
+	return baseTimes(o, false, "T1", "time per iteration (s), no particle reordering")
+}
+
+// Table2 regenerates Table 2: base times with particle reordering.
+// Paper values (seconds): Sun 2.45/3.31/4.58/7.56, T3E
+// 2.93/3.90/6.02/10.60, CPQ 1.19/1.57/2.19/3.74.
+func Table2(o Options) *Report {
+	return baseTimes(o, true, "T2", "time per iteration (s) with particle reordering")
+}

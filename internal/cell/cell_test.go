@@ -1,0 +1,239 @@
+package cell
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hybriddem/internal/geom"
+	"hybriddem/internal/trace"
+)
+
+// pairKey canonicalises a link for set comparison.
+func pairKey(i, j int32) string {
+	if i > j {
+		i, j = j, i
+	}
+	return fmt.Sprintf("%d-%d", i, j)
+}
+
+// bruteForcePairs returns the set of pairs within rc under box.
+func bruteForcePairs(pos []geom.Vec, n int, rc2 float64, box geom.Box) map[string]bool {
+	out := make(map[string]bool)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if box.Dist2(pos[i], pos[j]) < rc2 {
+				out[pairKey(int32(i), int32(j))] = true
+			}
+		}
+	}
+	return out
+}
+
+func linkSet(list *List) map[string]bool {
+	out := make(map[string]bool)
+	for _, l := range list.Links {
+		k := pairKey(l.I, l.J)
+		if out[k] {
+			panic("duplicate link " + k)
+		}
+		out[k] = true
+	}
+	return out
+}
+
+func randomPositions(n, d int, box geom.Box, seed int64) []geom.Vec {
+	rng := rand.New(rand.NewSource(seed))
+	pos := make([]geom.Vec, n)
+	for i := range pos {
+		for k := 0; k < d; k++ {
+			pos[i][k] = rng.Float64() * box.Len[k]
+		}
+	}
+	return pos
+}
+
+// TestLinksMatchBruteForce is the central correctness property: for
+// random configurations in any dimension, with either boundary
+// condition and several cutoffs, the cell-based link list contains
+// exactly the pairs closer than rc, each exactly once.
+func TestLinksMatchBruteForce(t *testing.T) {
+	for _, d := range []int{1, 2, 3} {
+		for _, bc := range []geom.Boundary{geom.Periodic, geom.Reflecting} {
+			for _, rc := range []float64{0.11, 0.26, 0.55} {
+				box := geom.NewBox(d, 1.0, bc)
+				pos := randomPositions(120, d, box, int64(d*100)+int64(rc*1000))
+				g := NewGrid(d, geom.Vec{}, box.Len, rc, bc == geom.Periodic)
+				var tc trace.Counters
+				g.Bin(pos, len(pos), &tc)
+				list := g.BuildLinks(pos, len(pos), len(pos), rc*rc, box, &tc)
+				got := linkSet(list)
+				want := bruteForcePairs(pos, len(pos), rc*rc, box)
+				if len(got) != len(want) {
+					t.Errorf("D=%d %v rc=%g: %d links, want %d", d, bc, rc, len(got), len(want))
+					continue
+				}
+				for k := range want {
+					if !got[k] {
+						t.Errorf("D=%d %v rc=%g: missing pair %s", d, bc, rc, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLinksQuickProperty re-runs the brute-force equivalence across
+// many random seeds and particle counts.
+func TestLinksQuickProperty(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		d := 2 + int(seed%2)
+		n := 20 + int(seed*13)%150
+		rc := 0.08 + float64(seed%7)*0.05
+		box := geom.NewBox(d, 1.0, geom.Periodic)
+		pos := randomPositions(n, d, box, seed)
+		g := NewGrid(d, geom.Vec{}, box.Len, rc, true)
+		g.Bin(pos, n, nil)
+		list := g.BuildLinks(pos, n, n, rc*rc, box, nil)
+		got := linkSet(list)
+		want := bruteForcePairs(pos, n, rc*rc, box)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d (d=%d n=%d rc=%g): %d links, want %d", seed, d, n, rc, len(got), len(want))
+		}
+	}
+}
+
+func TestDegenerateGridFallback(t *testing.T) {
+	// Periodic box so small that fewer than 3 cells fit per dimension:
+	// must fall back to the always-correct all-pairs path.
+	box := geom.NewBox(2, 1.0, geom.Periodic)
+	g := NewGrid(2, geom.Vec{}, box.Len, 0.4, true)
+	if !g.Degenerate() {
+		t.Fatal("expected degenerate grid for 2.5 cells per edge")
+	}
+	pos := randomPositions(60, 2, box, 3)
+	g.Bin(pos, len(pos), nil)
+	list := g.BuildLinks(pos, len(pos), len(pos), 0.16, box, nil)
+	want := bruteForcePairs(pos, len(pos), 0.16, box)
+	if len(linkSet(list)) != len(want) {
+		t.Errorf("degenerate path: %d links, want %d", len(list.Links), len(want))
+	}
+}
+
+func TestCellOrderIsPermutation(t *testing.T) {
+	box := geom.NewBox(3, 1.0, geom.Periodic)
+	pos := randomPositions(500, 3, box, 9)
+	g := NewGrid(3, geom.Vec{}, box.Len, 0.1, true)
+	g.Bin(pos, len(pos), nil)
+	order := g.Order()
+	if len(order) != len(pos) {
+		t.Fatalf("order length %d", len(order))
+	}
+	seen := make([]bool, len(pos))
+	for _, i := range order {
+		if seen[i] {
+			t.Fatalf("index %d appears twice", i)
+		}
+		seen[i] = true
+	}
+}
+
+func TestCellOrderGroupsByCell(t *testing.T) {
+	box := geom.NewBox(2, 1.0, geom.Periodic)
+	pos := randomPositions(300, 2, box, 5)
+	g := NewGrid(2, geom.Vec{}, box.Len, 0.13, true)
+	g.Bin(pos, len(pos), nil)
+	// Walking Order must visit cells in nondecreasing cell index.
+	last := int32(-1)
+	for _, i := range g.Order() {
+		c := g.cellIndex(pos[i])
+		if c < last {
+			t.Fatalf("order not grouped: cell %d after %d", c, last)
+		}
+		last = c
+	}
+}
+
+func TestCellParticlesSortedAscending(t *testing.T) {
+	box := geom.NewBox(2, 1.0, geom.Periodic)
+	pos := randomPositions(200, 2, box, 6)
+	g := NewGrid(2, geom.Vec{}, box.Len, 0.2, true)
+	g.Bin(pos, len(pos), nil)
+	for c := int32(0); c < int32(g.NumCells()); c++ {
+		ps := g.CellParticles(c)
+		if !sort.SliceIsSorted(ps, func(a, b int) bool { return ps[a] < ps[b] }) {
+			t.Fatalf("cell %d particles not ascending: %v", c, ps)
+		}
+	}
+}
+
+func TestHaloLinkSplit(t *testing.T) {
+	// Three particles: two core, one "halo" (index >= nCore). The
+	// core-core pair must precede the core-halo pair, and halo-halo
+	// pairs must be dropped.
+	pos := []geom.Vec{{0.10, 0.10}, {0.12, 0.10}, {0.14, 0.10}, {0.16, 0.10}}
+	box := geom.NewBox(2, 1.0, geom.Reflecting)
+	g := NewGrid(2, geom.Vec{}, box.Len, 0.05, false)
+	g.Bin(pos, 4, nil)
+	nCore := 2
+	list := g.BuildLinks(pos, 4, nCore, 0.0009, box, nil) // rc = 0.03
+	for _, l := range list.CoreLinks() {
+		if int(l.I) >= nCore || int(l.J) >= nCore {
+			t.Errorf("core link touches halo: %+v", l)
+		}
+	}
+	for _, l := range list.HaloLinks() {
+		if int(l.I) >= nCore {
+			t.Errorf("halo link not core-first: %+v", l)
+		}
+		if int(l.J) < nCore {
+			t.Errorf("halo link with both core: %+v", l)
+		}
+	}
+	// 0-1 core; 1-2 core-halo; 2-3 halo-halo (dropped); 0-2, 1-3, 0-3 out of range.
+	if len(list.CoreLinks()) != 1 || len(list.HaloLinks()) != 1 {
+		t.Errorf("core=%d halo=%d links, want 1 and 1", len(list.CoreLinks()), len(list.HaloLinks()))
+	}
+}
+
+func TestHalfStencilCount(t *testing.T) {
+	// Half of 3^D - 1 neighbours.
+	for d, want := range map[int]int{1: 1, 2: 4, 3: 13} {
+		if got := len(halfStencil(d)); got != want {
+			t.Errorf("halfStencil(%d) = %d offsets, want %d", d, got, want)
+		}
+	}
+}
+
+func TestGridCellCountAndSize(t *testing.T) {
+	g := NewGrid(2, geom.Vec{}, geom.Vec{1, 1, 0}, 0.3, false)
+	// floor(1/0.3) = 3 cells per edge, each 1/3 wide (>= 0.3).
+	if g.N[0] != 3 || g.N[1] != 3 || g.NumCells() != 9 {
+		t.Errorf("grid dims %v, cells %d", g.N, g.NumCells())
+	}
+	if g.CellLen[0] < 0.3 {
+		t.Errorf("cell edge %g below minimum", g.CellLen[0])
+	}
+}
+
+func TestBinClampsOutOfRange(t *testing.T) {
+	// Positions slightly outside the region (rounding during halo
+	// exchange) must clamp to edge cells, not panic.
+	g := NewGrid(1, geom.Vec{}, geom.Vec{1, 0, 0}, 0.1, false)
+	pos := []geom.Vec{{-0.001}, {1.0001}, {0.5}}
+	g.Bin(pos, 3, nil)
+	list := g.BuildLinks(pos, 3, 3, 0.01, geom.NewBox(1, 1, geom.Reflecting), nil)
+	_ = list // must simply not panic
+}
+
+func BenchmarkBinAndBuild2D(b *testing.B) {
+	box := geom.NewBox(2, 1.0, geom.Periodic)
+	pos := randomPositions(10000, 2, box, 1)
+	g := NewGrid(2, geom.Vec{}, box.Len, 0.02, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Bin(pos, len(pos), nil)
+		g.BuildLinks(pos, len(pos), len(pos), 0.0004, box, nil)
+	}
+}

@@ -1,0 +1,131 @@
+package cell
+
+import (
+	"hybriddem/internal/geom"
+	"hybriddem/internal/trace"
+)
+
+// Link joins two particles closer than the cutoff. I and J index the
+// particle store; the builder guarantees I < J for intra-cell links and
+// a deterministic orientation for inter-cell links, so each pair
+// appears exactly once ("the minimal number of force evaluations").
+type Link struct {
+	I, J int32
+}
+
+// List is the fundamental object of the algorithm: "a single list of
+// links", with "all the core links first" (Section 6). Links[0:NCore)
+// touch only core particles; Links[NCore:] have at least one halo
+// endpoint and their energy is halved by the caller to avoid double
+// counting across the replicating blocks.
+type List struct {
+	Links []Link
+	NCore int
+}
+
+// CoreLinks returns the links whose endpoints are both core particles.
+func (l *List) CoreLinks() []Link { return l.Links[:l.NCore] }
+
+// HaloLinks returns the links with at least one halo endpoint.
+func (l *List) HaloLinks() []Link { return l.Links[l.NCore:] }
+
+// BuildLinks constructs the pair list for the first n entries of pos
+// using the grid's binning (Bin must have been called with the same n).
+// Pairs are kept when their squared separation under box is below rc2.
+// Particles with index >= nCore are halo copies; pass nCore == n when
+// there is no halo. Counters may be nil.
+//
+// Halo-halo pairs are excluded: forces on halo particles are never used
+// (each block updates only its core), and every halo-halo pair is some
+// block's core-halo or core-core pair, so including them would double
+// work and double-count energy.
+func (g *Grid) BuildLinks(pos []geom.Vec, n, nCore int, rc2 float64, box geom.Box, tc *trace.Counters) *List {
+	var core, halo []Link
+	checks := int64(0)
+
+	add := func(i, j int32) {
+		if i >= int32(nCore) && j >= int32(nCore) {
+			return // halo-halo: some neighbouring block owns this pair
+		}
+		checks++
+		if box.Dist2(pos[i], pos[j]) >= rc2 {
+			return
+		}
+		if i >= int32(nCore) || j >= int32(nCore) {
+			// Orient halo links core-first so the force loop can
+			// update F[I] unconditionally.
+			if i >= int32(nCore) {
+				i, j = j, i
+			}
+			halo = append(halo, Link{i, j})
+		} else {
+			if i > j {
+				i, j = j, i
+			}
+			core = append(core, Link{i, j})
+		}
+	}
+
+	if g.degenerate {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				add(int32(i), int32(j))
+			}
+		}
+	} else {
+		stencil := halfStencil(g.D)
+		nc := g.NumCells()
+		for c := int32(0); c < int32(nc); c++ {
+			ps := g.CellParticles(c)
+			// Intra-cell pairs: "links internal to a cell originate
+			// from the lowest-numbered particle".
+			for a := 0; a < len(ps); a++ {
+				for b := a + 1; b < len(ps); b++ {
+					add(ps[a], ps[b])
+				}
+			}
+			// Inter-cell pairs over the half stencil: "those between
+			// cells [originate] from the lowest-numbered cell".
+			cc := g.coords(c)
+			for _, off := range stencil {
+				var nb [geom.MaxD]int
+				ok := true
+				for i := 0; i < g.D; i++ {
+					v := cc[i] + off[i]
+					if g.Wrap {
+						if v < 0 {
+							v += g.N[i]
+						} else if v >= g.N[i] {
+							v -= g.N[i]
+						}
+					} else if v < 0 || v >= g.N[i] {
+						ok = false
+						break
+					}
+					nb[i] = v
+				}
+				if !ok {
+					continue
+				}
+				c2 := g.flatten(nb)
+				if c2 == c {
+					continue // wrapped onto itself (cannot happen off the degenerate path, but cheap to guard)
+				}
+				qs := g.CellParticles(c2)
+				for _, i := range ps {
+					for _, j := range qs {
+						add(i, j)
+					}
+				}
+			}
+		}
+	}
+
+	if tc != nil {
+		tc.PairChecks += checks
+		tc.LinkBuilds++
+	}
+	out := &List{NCore: len(core)}
+	out.Links = append(core, halo...)
+	return out
+}

@@ -1,0 +1,206 @@
+package cell
+
+import (
+	"hybriddem/internal/geom"
+	"hybriddem/internal/trace"
+)
+
+// Pool abstracts a thread team for the parallel link-generation path
+// so this package stays independent of the shm runtime (which imports
+// it). shm provides the adapter.
+type Pool interface {
+	// Threads returns the team size T.
+	Threads() int
+	// ParallelFor runs body over static contiguous chunks of [0, n),
+	// one per thread, concurrently.
+	ParallelFor(n int, body func(thread, lo, hi int))
+}
+
+// BinParallel is the thread-parallel Bin: the paper's Section 7
+// parallelises link generation with "parallel loops over particles
+// (when binning into cells)", resolving the inter-thread dependency
+// on the cell counts "using simple array-reduction methods" — each
+// thread counts into a private array, the counts are merged, and a
+// second parallel pass scatters particles using per-thread per-cell
+// cursors. The result is bit-identical to the serial Bin.
+func (g *Grid) BinParallel(pos []geom.Vec, n int, pool Pool, tc *trace.Counters) {
+	T := pool.Threads()
+	if T <= 1 {
+		g.Bin(pos, n, tc)
+		return
+	}
+	nc := g.NumCells()
+	if cap(g.cellOf) < n {
+		g.cellOf = make([]int32, n)
+	}
+	g.cellOf = g.cellOf[:n]
+	if cap(g.count) < nc {
+		g.count = make([]int32, nc)
+		g.start = make([]int32, nc+1)
+	}
+	g.count = g.count[:nc]
+	g.start = g.start[:nc+1]
+	if cap(g.order) < n {
+		g.order = make([]int32, n)
+	}
+	g.order = g.order[:n]
+
+	// Pass 1: classify particles and count per thread (the private
+	// arrays of the array-reduction method).
+	perThread := make([][]int32, T)
+	pool.ParallelFor(n, func(t, lo, hi int) {
+		counts := make([]int32, nc)
+		for i := lo; i < hi; i++ {
+			c := g.cellIndex(pos[i])
+			g.cellOf[i] = c
+			counts[c]++
+		}
+		perThread[t] = counts
+	})
+
+	// Merge: global counts and prefix starts (serial over cells; the
+	// cell count is far below the particle count).
+	for c := 0; c < nc; c++ {
+		var sum int32
+		for t := 0; t < T; t++ {
+			sum += perThread[t][c]
+		}
+		g.count[c] = sum
+	}
+	g.start[0] = 0
+	for c := 0; c < nc; c++ {
+		g.start[c+1] = g.start[c] + g.count[c]
+	}
+
+	// Per-thread scatter cursors: thread t's slot in cell c begins
+	// after every earlier thread's contribution, which reproduces the
+	// serial counting sort's ascending-index order exactly.
+	cursors := make([][]int32, T)
+	for t := 0; t < T; t++ {
+		cur := make([]int32, nc)
+		for c := 0; c < nc; c++ {
+			off := g.start[c]
+			for u := 0; u < t; u++ {
+				off += perThread[u][c]
+			}
+			cur[c] = off
+		}
+		cursors[t] = cur
+	}
+
+	// Pass 2: scatter into the cell-ordered list.
+	pool.ParallelFor(n, func(t, lo, hi int) {
+		cur := cursors[t]
+		for i := lo; i < hi; i++ {
+			c := g.cellOf[i]
+			g.order[cur[c]] = int32(i)
+			cur[c]++
+		}
+	})
+
+	if tc != nil {
+		tc.CellBinOps += int64(n)
+	}
+}
+
+// BuildLinksParallel is the thread-parallel BuildLinks: "link
+// generation over cells". Each thread builds the links of a
+// contiguous cell range into private lists which are concatenated in
+// cell order, so the result matches the serial builder exactly
+// (including the core-links-first layout). The degenerate small-box
+// path stays serial.
+func (g *Grid) BuildLinksParallel(pos []geom.Vec, n, nCore int, rc2 float64, box geom.Box, pool Pool, tc *trace.Counters) *List {
+	T := pool.Threads()
+	if T <= 1 || g.degenerate {
+		return g.BuildLinks(pos, n, nCore, rc2, box, tc)
+	}
+	nc := g.NumCells()
+	stencil := halfStencil(g.D)
+	cores := make([][]Link, T)
+	halos := make([][]Link, T)
+	checks := make([]int64, T)
+
+	pool.ParallelFor(nc, func(t, clo, chi int) {
+		var core, halo []Link
+		var nchecks int64
+		add := func(i, j int32) {
+			if i >= int32(nCore) && j >= int32(nCore) {
+				return
+			}
+			nchecks++
+			if box.Dist2(pos[i], pos[j]) >= rc2 {
+				return
+			}
+			if i >= int32(nCore) || j >= int32(nCore) {
+				if i >= int32(nCore) {
+					i, j = j, i
+				}
+				halo = append(halo, Link{i, j})
+			} else {
+				if i > j {
+					i, j = j, i
+				}
+				core = append(core, Link{i, j})
+			}
+		}
+		for c := int32(clo); c < int32(chi); c++ {
+			ps := g.CellParticles(c)
+			for a := 0; a < len(ps); a++ {
+				for b := a + 1; b < len(ps); b++ {
+					add(ps[a], ps[b])
+				}
+			}
+			cc := g.coords(c)
+			for _, off := range stencil {
+				var nb [geom.MaxD]int
+				ok := true
+				for i := 0; i < g.D; i++ {
+					v := cc[i] + off[i]
+					if g.Wrap {
+						if v < 0 {
+							v += g.N[i]
+						} else if v >= g.N[i] {
+							v -= g.N[i]
+						}
+					} else if v < 0 || v >= g.N[i] {
+						ok = false
+						break
+					}
+					nb[i] = v
+				}
+				if !ok {
+					continue
+				}
+				c2 := g.flatten(nb)
+				if c2 == c {
+					continue
+				}
+				qs := g.CellParticles(c2)
+				for _, i := range ps {
+					for _, j := range qs {
+						add(i, j)
+					}
+				}
+			}
+		}
+		cores[t] = core
+		halos[t] = halo
+		checks[t] = nchecks
+	})
+
+	out := &List{}
+	for _, c := range cores {
+		out.Links = append(out.Links, c...)
+	}
+	out.NCore = len(out.Links)
+	for _, h := range halos {
+		out.Links = append(out.Links, h...)
+	}
+	if tc != nil {
+		for _, ch := range checks {
+			tc.PairChecks += ch
+		}
+		tc.LinkBuilds++
+	}
+	return out
+}

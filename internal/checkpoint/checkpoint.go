@@ -1,0 +1,105 @@
+// Package checkpoint saves and restores simulation state. A snapshot
+// captures the physical state (positions, velocities, identities) and
+// the geometry needed to validate a resume; restart runs rebuild the
+// link list from the restored positions, which reproduces the
+// original trajectory exactly because out-of-range pairs contribute
+// no force.
+package checkpoint
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"hybriddem/internal/core"
+	"hybriddem/internal/geom"
+)
+
+// Snapshot is one saved simulation state.
+type Snapshot struct {
+	// Geometry and model, for validation at restore time.
+	D        int
+	N        int
+	L        float64
+	BC       geom.Boundary
+	Diameter float64
+
+	// Progress bookkeeping.
+	Iters int // iterations completed when the snapshot was taken
+
+	// Physical state indexed by particle ID.
+	Pos []geom.Vec
+	Vel []geom.Vec
+}
+
+// FromResult builds a snapshot from a finished run; the run must have
+// been collected with Config.CollectState.
+func FromResult(cfg *core.Config, res *core.Result, itersDone int) (*Snapshot, error) {
+	if res.Pos == nil || res.Vel == nil {
+		return nil, fmt.Errorf("checkpoint: run did not collect state (set Config.CollectState)")
+	}
+	return &Snapshot{
+		D: cfg.D, N: cfg.N, L: cfg.L, BC: cfg.BC,
+		Diameter: cfg.Spring.Diameter,
+		Iters:    itersDone,
+		Pos:      res.Pos,
+		Vel:      res.Vel,
+	}, nil
+}
+
+// Apply validates the snapshot against the configuration and installs
+// it as the run's initial condition.
+func (s *Snapshot) Apply(cfg *core.Config) error {
+	if cfg.D != s.D || cfg.N != s.N {
+		return fmt.Errorf("checkpoint: snapshot is D=%d N=%d, config is D=%d N=%d", s.D, s.N, cfg.D, cfg.N)
+	}
+	if cfg.L != s.L || cfg.BC != s.BC {
+		return fmt.Errorf("checkpoint: snapshot box (L=%g, %v) does not match config (L=%g, %v)", s.L, s.BC, cfg.L, cfg.BC)
+	}
+	if cfg.Spring.Diameter != s.Diameter {
+		return fmt.Errorf("checkpoint: particle diameter %g does not match config %g", s.Diameter, cfg.Spring.Diameter)
+	}
+	if len(s.Pos) != s.N || len(s.Vel) != s.N {
+		return fmt.Errorf("checkpoint: snapshot holds %d positions and %d velocities for N=%d", len(s.Pos), len(s.Vel), s.N)
+	}
+	cfg.Init = &core.State{Pos: s.Pos, Vel: s.Vel}
+	return nil
+}
+
+// Save writes the snapshot in gob encoding.
+func Save(w io.Writer, s *Snapshot) error {
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// Load reads a snapshot written by Save.
+func Load(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return &s, nil
+}
+
+// SaveFile writes the snapshot to a file.
+func SaveFile(path string, s *Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Save(f, s); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadFile reads a snapshot from a file.
+func LoadFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,157 @@
+package checkpoint
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hybriddem/internal/core"
+	"hybriddem/internal/geom"
+)
+
+func runCfg(n int) core.Config {
+	cfg := core.Default(2, n)
+	cfg.Seed = 21
+	cfg.InitVel = 1.5
+	cfg.CollectState = true
+	return cfg
+}
+
+func TestRoundTripBytes(t *testing.T) {
+	cfg := runCfg(200)
+	res, err := core.Run(cfg, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := FromResult(&cfg, res, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, got) {
+		t.Error("snapshot round trip changed data")
+	}
+}
+
+func TestRoundTripFile(t *testing.T) {
+	cfg := runCfg(100)
+	res, err := core.Run(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := FromResult(&cfg, res, 5)
+	path := filepath.Join(t.TempDir(), "state.gob")
+	if err := SaveFile(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, got) {
+		t.Error("file round trip changed data")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.gob")); err == nil {
+		t.Error("missing file loaded")
+	}
+}
+
+// TestResumeReproducesTrajectory: 40 straight iterations must equal
+// 20 iterations + checkpoint + 20 resumed iterations. The resume
+// rebuilds the link list from the restored positions; out-of-range
+// pairs contribute zero force, so the physics is identical up to
+// summation-order noise.
+func TestResumeReproducesTrajectory(t *testing.T) {
+	full := runCfg(300)
+	fullRes, err := core.Run(full, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first := runCfg(300)
+	firstRes, err := core.Run(first, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := FromResult(&first, firstRes, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	second := runCfg(300)
+	if err := loaded.Apply(&second); err != nil {
+		t.Fatal(err)
+	}
+	secondRes, err := core.Run(second, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	box := geom.NewBox(2, full.L, full.BC)
+	maxd := 0.0
+	for i := range fullRes.Pos {
+		if d := math.Sqrt(box.Dist2(fullRes.Pos[i], secondRes.Pos[i])); d > maxd {
+			maxd = d
+		}
+	}
+	if maxd > 1e-8 {
+		t.Errorf("resumed trajectory deviates by %g", maxd)
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	cfg := runCfg(50)
+	res, err := core.Run(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := FromResult(&cfg, res, 2)
+
+	bad := runCfg(60)
+	if err := snap.Apply(&bad); err == nil {
+		t.Error("N mismatch accepted")
+	}
+	bad2 := runCfg(50)
+	bad2.L *= 2
+	if err := snap.Apply(&bad2); err == nil {
+		t.Error("box mismatch accepted")
+	}
+	bad3 := runCfg(50)
+	bad3.Spring.Diameter *= 2
+	if err := snap.Apply(&bad3); err == nil {
+		t.Error("diameter mismatch accepted")
+	}
+	good := runCfg(50)
+	if err := snap.Apply(&good); err != nil {
+		t.Errorf("valid apply rejected: %v", err)
+	}
+}
+
+func TestFromResultRequiresState(t *testing.T) {
+	cfg := core.Default(2, 50)
+	cfg.Seed = 1
+	res, err := core.Run(cfg, 2) // CollectState off
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromResult(&cfg, res, 2); err == nil {
+		t.Error("stateless result accepted")
+	}
+}

@@ -1,0 +1,322 @@
+// Package core contains the paper's contribution: one DEM simulation
+// driven through four execution modes — serial, shared-memory
+// (OpenMP-style thread team), message-passing (block-cyclic domain
+// decomposition over the mp runtime) and hybrid (both at once, threads
+// inside each rank). A single set of kernels backs all four, the Go
+// equivalent of the paper's "single set of source files ... compiled
+// to produce efficient serial, OpenMP, MPI and hybrid codes".
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hybriddem/internal/force"
+	"hybriddem/internal/geom"
+	"hybriddem/internal/machine"
+	"hybriddem/internal/shm"
+	"hybriddem/internal/trace"
+)
+
+// Mode selects the parallelisation model.
+type Mode int
+
+const (
+	Serial Mode = iota
+	OpenMP
+	MPI
+	Hybrid
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Serial:
+		return "serial"
+	case OpenMP:
+		return "openmp"
+	case MPI:
+		return "mpi"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config describes one simulation run. The zero value is unusable;
+// start from Default and override.
+type Config struct {
+	D    int           // spatial dimensions, 2 or 3 for the paper's benchmarks
+	N    int           // number of particles
+	L    float64       // box edge
+	BC   geom.Boundary // periodic or reflecting walls
+	Seed int64
+
+	Spring   force.Spring // inter-particle force; Diameter is rmax
+	RCFactor float64      // cutoff rc = RCFactor * rmax (paper: 1.5, 2.0)
+	Dt       float64      // time step
+
+	Gravity float64 // acceleration along the last dimension (sand piles)
+
+	// FillHeight, when in (0, 1), compresses the initial positions
+	// into the bottom fraction of the box along the last dimension —
+	// a settled bed of grains, the clustered workload that motivates
+	// the paper's load-balancing comparison. Zero or one fills the
+	// whole box uniformly.
+	FillHeight float64
+
+	// Init, when non-nil, supplies an explicit initial condition
+	// (positions and velocities indexed by particle ID, both of
+	// length N) and overrides the random fills. Composite-grain
+	// packings enter this way.
+	Init *State
+
+	// Timeline, when non-nil, records per-rank phase spans (comm,
+	// force, update, rebuild) in virtual time — the profiling the
+	// paper's Further Work performs with OMPItrace/Paraver. See
+	// cmd/demtrace.
+	Timeline *trace.Timeline
+
+	// NaivePack is the indexed-datatype ablation: halo data pays an
+	// extra user-side pack and unpack per particle per swap, as it
+	// would without the paper's cached MPI indexed datatypes.
+	NaivePack bool
+
+	// SelfMessage is the fast-path ablation: same-rank halo legs are
+	// charged as messages through the runtime instead of direct
+	// copies ("the communications routines are actually only called
+	// when P > 1").
+	SelfMessage bool
+
+	Reorder bool // cell-order particle reordering at every list rebuild
+
+	Mode          Mode
+	P             int        // MPI ranks (MPI/Hybrid)
+	T             int        // threads (OpenMP/Hybrid)
+	BlocksPerProc int        // B/P granularity (MPI/Hybrid)
+	Method        shm.Method // force-update protection (OpenMP/Hybrid)
+	Fused         bool       // single fused region over all blocks (Section 11 further work)
+
+	// Platform supplies the virtual cost model; nil runs with free
+	// (zero-cost) modelling, which correctness tests use.
+	Platform *machine.Platform
+
+	// ModelN, when nonzero, tells the cost model to scale the
+	// measured locality metric as though the run had ModelN particles
+	// instead of N. The experiment harness runs scaled-down systems
+	// while modelling the paper's 10^6-particle cache behaviour; the
+	// metric grows roughly linearly with particle count for both
+	// random and cell-ordered layouts, so the scaled window lands on
+	// the correct side of each platform's cache size.
+	ModelN int
+
+	// InitVel draws initial velocity components uniformly from
+	// [-InitVel, InitVel]; zero leaves particles at rest (with a
+	// uniform random overlap-rich packing the springs start the
+	// motion immediately).
+	InitVel float64
+
+	Warmup int // iterations run before measurement starts
+
+	// CollectState gathers final positions and velocities (indexed by
+	// particle ID) into the Result; used by equivalence tests and the
+	// examples, off for benchmarks.
+	CollectState bool
+}
+
+// Default returns the paper's benchmark configuration scaled to n
+// particles: identical elastic spheres of diameter 0.05 at the paper's
+// density (L chosen so n/L^D matches 10^6 particles in 50^2 or 5^3).
+func Default(d, n int) Config {
+	if d < 1 || d > geom.MaxD {
+		panic(fmt.Sprintf("core: dimension %d", d))
+	}
+	var refN float64 = 1e6
+	var refL float64
+	switch d {
+	case 2:
+		refL = 50
+	case 3:
+		refL = 5
+	default:
+		refL = 2500 // keep 1-D linear density consistent
+	}
+	// L so that n / L^d matches the paper's density.
+	l := refL
+	if n != int(refN) {
+		l = refL * math.Pow(float64(n)/refN, 1.0/float64(d))
+	}
+	return Config{
+		D:        d,
+		N:        n,
+		L:        l,
+		BC:       geom.Periodic,
+		Seed:     1,
+		Spring:   force.Spring{Diameter: 0.05, K: 500, Damp: 0},
+		RCFactor: 1.5,
+		Dt:       5e-5,
+		Reorder:  true,
+		Mode:     Serial,
+		P:        1,
+		T:        1,
+		Method:   shm.SelectedAtomic,
+
+		BlocksPerProc: 1,
+	}
+}
+
+// Validate reports configuration errors early.
+func (c *Config) Validate() error {
+	if c.D < 1 || c.D > geom.MaxD {
+		return fmt.Errorf("core: D=%d out of range", c.D)
+	}
+	if c.N < 1 {
+		return fmt.Errorf("core: N=%d", c.N)
+	}
+	if c.L <= 0 {
+		return fmt.Errorf("core: L=%g", c.L)
+	}
+	if c.Spring.Diameter <= 0 || c.Spring.K < 0 || c.Spring.Damp < 0 {
+		return fmt.Errorf("core: bad spring %+v", c.Spring)
+	}
+	if c.RCFactor <= 1 {
+		return fmt.Errorf("core: RCFactor=%g must exceed 1 so the list outlives a step", c.RCFactor)
+	}
+	if c.Dt <= 0 {
+		return fmt.Errorf("core: Dt=%g", c.Dt)
+	}
+	if c.P < 1 || c.T < 1 || c.BlocksPerProc < 1 {
+		return fmt.Errorf("core: P=%d T=%d BlocksPerProc=%d", c.P, c.T, c.BlocksPerProc)
+	}
+	if c.Init != nil && (len(c.Init.Pos) != c.N || len(c.Init.Vel) != c.N) {
+		return fmt.Errorf("core: Init has %d positions and %d velocities for N=%d",
+			len(c.Init.Pos), len(c.Init.Vel), c.N)
+	}
+	if bt := c.Spring.Bonds; bt != nil && bt.MaxRest() >= c.RC() {
+		return fmt.Errorf("core: longest bond rest length %g reaches the cutoff %g; bonded pairs would leave the link list",
+			bt.MaxRest(), c.RC())
+	}
+	switch c.Mode {
+	case Serial:
+		if c.P != 1 || c.T != 1 {
+			return fmt.Errorf("core: serial mode with P=%d T=%d", c.P, c.T)
+		}
+	case OpenMP:
+		if c.P != 1 {
+			return fmt.Errorf("core: openmp mode with P=%d", c.P)
+		}
+	case MPI:
+		if c.T != 1 {
+			return fmt.Errorf("core: mpi mode with T=%d", c.T)
+		}
+	}
+	return nil
+}
+
+// needsHaloVel reports whether halo traffic must carry velocities:
+// the force law reads relative velocities whenever any damping is
+// active.
+func (c *Config) needsHaloVel() bool {
+	if c.Spring.Damp > 0 {
+		return true
+	}
+	return c.Spring.Bonds != nil && c.Spring.Bonds.Damp > 0
+}
+
+// modelDist rescales a measured locality metric to the modelled
+// particle count.
+func (c *Config) modelDist(meanDist float64) float64 {
+	if c.ModelN <= 0 || c.ModelN == c.N {
+		return meanDist
+	}
+	return meanDist * float64(c.ModelN) / float64(c.N)
+}
+
+// workScale returns the factor by which per-work-item costs are
+// multiplied to model ModelN particles: work counts (links, updates,
+// positions) grow linearly with the particle number.
+func (c *Config) workScale() float64 {
+	if c.ModelN <= 0 || c.ModelN == c.N {
+		return 1
+	}
+	return float64(c.ModelN) / float64(c.N)
+}
+
+// surfScale returns the factor applied to exchange volumes (halo and
+// migration traffic), which grow with the block surfaces:
+// (ModelN/N)^((D-1)/D).
+func (c *Config) surfScale() float64 {
+	ws := c.workScale()
+	if ws == 1 {
+		return 1
+	}
+	return math.Pow(ws, float64(c.D-1)/float64(c.D))
+}
+
+// atomicScale returns the factor applied to protected-update costs:
+// full-atomic locking locks every update (bulk scaling) while the
+// selected-atomic conflict set lives on thread-chunk boundaries
+// (surface scaling).
+func (c *Config) atomicScale() float64 {
+	if c.Method == shm.SelectedAtomic {
+		return c.surfScale()
+	}
+	return c.workScale()
+}
+
+// RC returns the cutoff distance.
+func (c *Config) RC() float64 { return c.RCFactor * c.Spring.Diameter }
+
+// Skin returns the displacement bound after which the link list may
+// miss an interacting pair: half of (rc - rmax).
+func (c *Config) Skin() float64 { return (c.RC() - c.Spring.RMax()) / 2 }
+
+// Box returns the global simulation box.
+func (c *Config) Box() geom.Box { return geom.NewBox(c.D, c.L, c.BC) }
+
+// State is an explicit initial condition indexed by particle ID.
+type State struct {
+	Pos []geom.Vec
+	Vel []geom.Vec
+}
+
+// Result reports one run's measurements.
+type Result struct {
+	Mode  Mode
+	Iters int
+
+	// PerIter is the modelled time per measured iteration on the
+	// virtual platform: the maximum over ranks of per-iteration
+	// virtual time for the force + update (+ halo swap + energy)
+	// phases, excluding link generation, exactly as the paper times.
+	PerIter float64
+
+	// Wall is the real host time for the measured iterations.
+	Wall time.Duration
+
+	// Phase breakdown of PerIter (rank-0 attribution).
+	ForceTime, UpdateTime, CommTime float64
+
+	Epot, Ekin float64 // final energies
+	NLinks     int64   // links at last rebuild (global)
+	Rebuilds   int     // list reconstructions during measurement
+
+	MeanLinkDist   float64 // locality metric of the final list
+	AtomicFraction float64 // protected fraction under selected-atomic
+
+	TC trace.Counters // aggregated counters (all ranks and threads)
+
+	// Final state indexed by particle ID; nil unless CollectState.
+	Pos, Vel []geom.Vec
+}
+
+// Efficiency returns the parallel efficiency of this result against a
+// reference: (ref.PerIter / PerIter) / scale. Callers choose scale =
+// P/P0 for speedup-style plots or 1 for granularity plots.
+func (r *Result) Efficiency(ref *Result, scale float64) float64 {
+	if r.PerIter == 0 || scale == 0 {
+		return 0
+	}
+	return ref.PerIter / r.PerIter / scale
+}

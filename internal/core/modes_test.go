@@ -1,0 +1,335 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hybriddem/internal/geom"
+	"hybriddem/internal/machine"
+	"hybriddem/internal/shm"
+)
+
+// TestDampedHybridMatchesSerial exercises the velocity-carrying halo
+// path: with dissipative springs the force law reads relative
+// velocities, so halo traffic must include them. A mismatch would
+// silently diverge the trajectories.
+func TestDampedHybridMatchesSerial(t *testing.T) {
+	const iters = 100
+	for _, d := range []int{2, 3} {
+		cfg := testConfig(d, 250)
+		cfg.Spring.Damp = 1.5
+		serial, err := RunShared(cfg, iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []Mode{MPI, Hybrid} {
+			cfg := testConfig(d, 250)
+			cfg.Spring.Damp = 1.5
+			cfg.Mode = mode
+			cfg.P = 2
+			if mode == Hybrid {
+				cfg.T = 2
+			}
+			cfg.BlocksPerProc = 2
+			res, err := RunDistributed(cfg, iters)
+			if err != nil {
+				t.Fatalf("D=%d %v: %v", d, mode, err)
+			}
+			if e := maxPosErr(t, cfg.Box(), serial, res); e > 1e-7 {
+				t.Errorf("D=%d %v damped: max position deviation %g", d, mode, e)
+			}
+		}
+	}
+}
+
+// TestHertzContactAcrossModes: the Hertzian contact variant must run
+// identically in every execution mode.
+func TestHertzContactAcrossModes(t *testing.T) {
+	const iters = 80
+	cfg := testConfig(2, 250)
+	cfg.Spring.Hertz = true
+	serial, err := RunShared(cfg, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{OpenMP, MPI, Hybrid} {
+		cfg := testConfig(2, 250)
+		cfg.Spring.Hertz = true
+		cfg.Mode = mode
+		switch mode {
+		case OpenMP:
+			cfg.T = 3
+		case MPI:
+			cfg.P = 4
+		case Hybrid:
+			cfg.P, cfg.T = 2, 2
+		}
+		cfg.BlocksPerProc = 2
+		if mode == OpenMP {
+			cfg.BlocksPerProc = 1
+		}
+		res, err := Run(cfg, iters)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if e := maxPosErr(t, cfg.Box(), serial, res); e > 1e-7 {
+			t.Errorf("%v hertz: max position deviation %g", mode, e)
+		}
+	}
+}
+
+// TestDampedEnergyDecays: with dissipation and no driving, the total
+// energy must fall monotonically over a run (checked at endpoints).
+func TestDampedEnergyDecays(t *testing.T) {
+	cfg := testConfig(2, 300)
+	cfg.Spring.Damp = 3
+	short, err := RunShared(cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := testConfig(2, 300)
+	cfg2.Spring.Damp = 3
+	long, err := RunShared(cfg2, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := short.Epot + short.Ekin
+	e1 := long.Epot + long.Ekin
+	if e1 >= e0 {
+		t.Errorf("damped energy grew: %g -> %g", e0, e1)
+	}
+}
+
+// TestClusteredFillMatchesAcrossModes: the FillHeight clustered
+// initial condition must produce identical systems in shared and
+// decomposed runs, including blocks that start empty.
+func TestClusteredFillMatchesAcrossModes(t *testing.T) {
+	const iters = 60
+	cfg := testConfig(2, 300)
+	cfg.FillHeight = 0.3
+	cfg.BC = geom.Reflecting
+	cfg.Gravity = -20
+	serial, err := RunShared(cfg, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 4} {
+		cfg := testConfig(2, 300)
+		cfg.FillHeight = 0.3
+		cfg.BC = geom.Reflecting
+		cfg.Gravity = -20
+		cfg.Mode = MPI
+		cfg.P = p
+		cfg.BlocksPerProc = 2
+		res, err := RunDistributed(cfg, iters)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if e := maxPosErr(t, cfg.Box(), serial, res); e > 1e-7 {
+			t.Errorf("P=%d clustered: max position deviation %g", p, e)
+		}
+	}
+}
+
+// TestClusteredLoadImbalanceVisible: on a virtual platform, a
+// clustered system at B/P=1 must be measurably slower per iteration
+// than a finer-grained run of the same system — the modelled clocks
+// must expose load imbalance, since that is the entire premise of the
+// paper's comparison.
+func TestClusteredLoadImbalanceVisible(t *testing.T) {
+	run := func(bpp int) float64 {
+		cfg := Default(2, 20000)
+		cfg.FillHeight = 0.25
+		cfg.BC = geom.Reflecting
+		cfg.Seed = 5
+		cfg.Platform = machine.CompaqES40()
+		cfg.Mode = MPI
+		cfg.P = 16
+		cfg.BlocksPerProc = bpp
+		cfg.Warmup = 1
+		res, err := RunDistributed(cfg, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PerIter
+	}
+	coarse := run(1)
+	fine := run(16)
+	if fine >= coarse {
+		t.Errorf("granularity did not help the clustered system: B/P=1 %gs vs B/P=16 %gs", coarse, fine)
+	}
+	if coarse < 1.5*fine {
+		t.Errorf("imbalance too mild to be the paper's scenario: %g vs %g", coarse, fine)
+	}
+}
+
+// TestFusedReducesLocksAndTime: the Section 11 fused loop must lower
+// both the conflict fraction and the modelled time at fine
+// granularity.
+func TestFusedReducesLocksAndTime(t *testing.T) {
+	run := func(fused bool) *Result {
+		cfg := Default(3, 30000)
+		cfg.Seed = 7
+		cfg.Platform = machine.CompaqES40()
+		cfg.Mode = Hybrid
+		cfg.P = 4
+		cfg.T = 4
+		cfg.BlocksPerProc = 8
+		cfg.Method = shm.SelectedAtomic
+		cfg.Fused = fused
+		cfg.Warmup = 1
+		res, err := RunDistributed(cfg, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	perBlock := run(false)
+	fusedRes := run(true)
+	if fusedRes.AtomicFraction >= perBlock.AtomicFraction {
+		t.Errorf("fused lock fraction %g not below per-block %g",
+			fusedRes.AtomicFraction, perBlock.AtomicFraction)
+	}
+	if fusedRes.PerIter >= perBlock.PerIter {
+		t.Errorf("fused time %g not below per-block %g", fusedRes.PerIter, perBlock.PerIter)
+	}
+	if fusedRes.TC.ParallelRegions >= perBlock.TC.ParallelRegions {
+		t.Errorf("fused regions %d not below per-block %d",
+			fusedRes.TC.ParallelRegions, perBlock.TC.ParallelRegions)
+	}
+}
+
+// TestReorderingImprovesModelledTime reproduces the Table 1 vs 2
+// relationship on every platform.
+func TestReorderingImprovesModelledTime(t *testing.T) {
+	for _, pf := range machine.Platforms() {
+		run := func(reorder bool) float64 {
+			cfg := Default(2, 20000)
+			cfg.Seed = 3
+			cfg.Platform = pf
+			cfg.ModelN = 1_000_000
+			cfg.Reorder = reorder
+			cfg.Warmup = 1
+			res, err := RunShared(cfg, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.PerIter
+		}
+		slow := run(false)
+		fast := run(true)
+		if fast >= slow {
+			t.Errorf("%s: reordering did not help: %g vs %g", pf.Name, fast, slow)
+		}
+		gain := slow / fast
+		if gain < 1.1 || gain > 2.2 {
+			t.Errorf("%s: reordering gain %.2fx outside the paper's 1.2-1.6x band (with margin)", pf.Name, gain)
+		}
+	}
+}
+
+// TestVirtualTimeDeterminism: modelled times must be bitwise
+// reproducible across runs regardless of goroutine scheduling.
+func TestVirtualTimeDeterminism(t *testing.T) {
+	run := func() float64 {
+		cfg := Default(3, 5000)
+		cfg.Seed = 11
+		cfg.Platform = machine.CompaqES40()
+		cfg.Mode = Hybrid
+		cfg.P = 2
+		cfg.T = 3
+		cfg.BlocksPerProc = 2
+		cfg.Method = shm.SelectedAtomic
+		res, err := RunDistributed(cfg, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PerIter
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if got := run(); got != first {
+			t.Fatalf("modelled time not deterministic: %v vs %v", got, first)
+		}
+	}
+}
+
+// TestValidationErrors exercises the config error paths.
+func TestValidationErrors(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.D = 0 },
+		func(c *Config) { c.N = 0 },
+		func(c *Config) { c.L = -1 },
+		func(c *Config) { c.RCFactor = 1.0 },
+		func(c *Config) { c.Dt = 0 },
+		func(c *Config) { c.Spring.Diameter = 0 },
+		func(c *Config) { c.P = 0 },
+		func(c *Config) { c.Mode = OpenMP; c.P = 2 },
+		func(c *Config) { c.Mode = MPI; c.T = 2; c.P = 2 },
+		func(c *Config) { c.Mode = Serial; c.T = 4 },
+	}
+	for i, mutate := range bad {
+		cfg := Default(2, 100)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	good := Default(3, 10)
+	if err := good.Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+// TestRunDispatch covers the top-level mode dispatch including the
+// error path.
+func TestRunDispatch(t *testing.T) {
+	cfg := testConfig(2, 120)
+	if _, err := Run(cfg, 5); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Mode = Mode(99)
+	if _, err := Run(cfg, 5); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if _, err := RunShared(Config{}, 1); err == nil {
+		t.Error("zero config accepted")
+	}
+	mpiCfg := testConfig(2, 120)
+	mpiCfg.Mode = MPI
+	mpiCfg.P = 50 // forces block edges below rc
+	mpiCfg.BlocksPerProc = 64
+	if _, err := RunDistributed(mpiCfg, 2); err == nil {
+		t.Error("too-fine layout accepted")
+	}
+}
+
+// TestSkinAndRC checks the derived geometry quantities.
+func TestSkinAndRC(t *testing.T) {
+	cfg := Default(2, 100)
+	cfg.Spring.Diameter = 0.1
+	cfg.RCFactor = 1.5
+	if math.Abs(cfg.RC()-0.15) > 1e-12 {
+		t.Errorf("RC = %g", cfg.RC())
+	}
+	if math.Abs(cfg.Skin()-0.025) > 1e-12 {
+		t.Errorf("Skin = %g", cfg.Skin())
+	}
+	box := cfg.Box()
+	if box.D != 2 || box.Len[0] != cfg.L {
+		t.Errorf("Box = %+v", box)
+	}
+}
+
+// TestEfficiencyHelper checks Result.Efficiency arithmetic.
+func TestEfficiencyHelper(t *testing.T) {
+	ref := &Result{PerIter: 8}
+	r := &Result{PerIter: 2}
+	if got := r.Efficiency(ref, 2); got != 2 {
+		t.Errorf("efficiency = %g", got)
+	}
+	zero := &Result{}
+	if zero.Efficiency(ref, 1) != 0 {
+		t.Error("zero-time efficiency should be 0")
+	}
+}

@@ -1,0 +1,463 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hybriddem/internal/decomp"
+	"hybriddem/internal/force"
+	"hybriddem/internal/geom"
+	"hybriddem/internal/machine"
+	"hybriddem/internal/mp"
+	"hybriddem/internal/shm"
+	"hybriddem/internal/trace"
+)
+
+// rankSim is one rank's state in an MPI or Hybrid run: its share of
+// the block-cyclic decomposition plus, in hybrid mode, the rank's
+// thread team — "one process per SMP ... one thread per CPU".
+type rankSim struct {
+	cfg *Config
+	c   *mp.Comm
+	dm  *decomp.Domain
+
+	team  *shm.Team      // nil in MPI mode
+	upds  []*shm.Updater // per owned block (hybrid)
+	fused *shm.FusedUpdater
+
+	linkCost, contactCost, updCost, partCost float64
+
+	rebuilds int
+	meanDist float64
+	epot     float64
+	ekin     float64
+	iter     int
+
+	forceTime, updateTime, commTime float64
+}
+
+// span records a phase interval on the configured timeline.
+func (r *rankSim) span(phase string, t0, t1 float64) {
+	if tl := r.cfg.Timeline; tl != nil {
+		tl.Add(r.c.Rank(), r.iter, phase, t0, t1)
+	}
+}
+
+// activePerNode returns the number of busy CPUs sharing one SMP
+// node's memory system under this run shape.
+func activePerNode(cfg *Config, pf *machine.Platform) int {
+	if pf == nil {
+		return 1
+	}
+	switch cfg.Mode {
+	case Hybrid:
+		return cfg.T
+	case MPI:
+		if cfg.P < pf.CPUsPerNode {
+			return cfg.P
+		}
+		return pf.CPUsPerNode
+	default:
+		return cfg.T
+	}
+}
+
+func newRankSim(cfg *Config, c *mp.Comm, l *decomp.Layout) *rankSim {
+	r := &rankSim{cfg: cfg, c: c}
+	r.dm = decomp.NewDomain(l, c, cfg.needsHaloVel())
+	if pf := cfg.Platform; pf != nil {
+		// Exchange traffic is surface-proportional: both the pack
+		// work and the modelled wire bytes scale with
+		// (ModelN/N)^((D-1)/D).
+		r.dm.PackCost = pf.PackCost() * cfg.surfScale()
+		c.SetByteScale(cfg.surfScale())
+		if cfg.NaivePack {
+			r.dm.PackFactor = 3 // gather + wire copy + scatter
+		}
+		if cfg.SelfMessage {
+			ss := cfg.surfScale()
+			r.dm.SelfMsgCost = func(bytes int) float64 {
+				return pf.IntraLat + float64(bytes)*ss/pf.IntraBw
+			}
+		}
+	}
+	if cfg.Mode == Hybrid {
+		r.team = shm.NewTeam(cfg.T, shm.Costs{})
+		if cfg.Fused {
+			r.fused = shm.NewFusedUpdater(cfg.Method)
+		} else {
+			for range r.dm.Blocks {
+				r.upds = append(r.upds, shm.NewUpdater(cfg.Method))
+			}
+		}
+	}
+	return r
+}
+
+// rebuild runs the full list-invalidation sequence and rederives the
+// modelled costs for the new list's locality.
+func (r *rankSim) rebuild() {
+	cfg := r.cfg
+	r.dm.Rebuild(cfg.Reorder)
+	r.rebuilds++
+
+	// Locality metric across this rank's blocks.
+	var sum int64
+	var n int64
+	for _, b := range r.dm.Blocks {
+		for _, l := range b.List.Links {
+			d := int64(l.I) - int64(l.J)
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+		n += int64(len(b.List.Links))
+	}
+	if n > 0 {
+		r.meanDist = float64(sum) / float64(n)
+	}
+
+	if pf := cfg.Platform; pf != nil {
+		cp := machine.CostParams{D: cfg.D, MeanLinkDist: cfg.modelDist(r.meanDist), ActivePerNode: activePerNode(cfg, pf)}
+		ws := cfg.workScale()
+		// Amortise the per-particle force-pass memory traffic over
+		// this rank's links (halo copies are read too).
+		parts := 0
+		for _, b := range r.dm.Blocks {
+			parts += b.PS.Len()
+		}
+		memPerLink := 0.0
+		if n := r.dm.NumLinks(); n > 0 {
+			memPerLink = pf.ForceMemCost(cp) * float64(parts) / float64(n)
+		}
+		r.linkCost = (pf.LinkCost(cp) + memPerLink) * ws
+		r.contactCost = pf.ContactPairCost(cp) * ws
+		r.updCost = pf.UpdateCost(cp) * ws
+		r.partCost = pf.ParticleCost(cp) * ws
+		if r.team != nil {
+			costs := pf.ShmCosts(cfg.T, cp)
+			costs.PerLink += memPerLink
+			costs = costs.ScaleWork(ws, cfg.atomicScale())
+			costs.HaloWork = cfg.surfScale() / ws
+			r.team.SetCosts(costs)
+		}
+	}
+
+	if r.team != nil {
+		if r.fused != nil {
+			pieces := make([]shm.FusedPiece, len(r.dm.Blocks))
+			for i, b := range r.dm.Blocks {
+				pieces[i] = shm.FusedPiece{PS: b.PS, Links: b.List.Links, NCoreLinks: b.List.NCore, NCore: b.NCore}
+			}
+			r.fused.Prepare(pieces, cfg.T)
+		} else {
+			for i, b := range r.dm.Blocks {
+				r.upds[i].Prepare(b.List.Links, b.PS.Len(), b.NCore, cfg.T)
+			}
+		}
+	}
+}
+
+// clock returns the rank's modelled time: the team clock in hybrid
+// mode (regions advance it past the comm clock), otherwise the comm
+// clock. The two are kept in step by syncClocks.
+func (r *rankSim) clock() float64 {
+	if r.team != nil {
+		return r.team.Clock()
+	}
+	return r.c.Clock()
+}
+
+// syncClocks folds communication waits into the team clock and vice
+// versa so a single timeline covers both runtimes.
+func (r *rankSim) syncClocks() {
+	if r.team == nil {
+		return
+	}
+	if r.c.Clock() > r.team.Clock() {
+		r.team.SetClock(r.c.Clock())
+	} else {
+		r.c.SetClock(r.team.Clock())
+	}
+}
+
+// step advances one iteration and returns the modelled seconds of the
+// timed window (halo swap + force + energy + update).
+func (r *rankSim) step() float64 {
+	cfg := r.cfg
+	dm := r.dm
+	box := cfg.Box()
+	plain := dm.PlainBox()
+	r.syncClocks()
+	t0 := r.clock()
+
+	r.iter++
+
+	// Halo swap.
+	c0 := r.clock()
+	dm.RefreshHalos()
+	r.syncClocks()
+	r.commTime += r.clock() - c0
+	r.span("comm", c0, r.clock())
+
+	// Force phase over every owned block: core links at full energy,
+	// halo links at half.
+	f0 := r.clock()
+	epot := 0.0
+	switch {
+	case r.team == nil:
+		// Halo-link counts are a surface effect, so their charges get
+		// the surface/bulk weight when modelling a larger system.
+		hw := cfg.surfScale() / cfg.workScale()
+		for _, b := range dm.Blocks {
+			b.PS.ZeroForces()
+			c0 := dm.TC.Contacts
+			epot += cfg.Spring.Accumulate(b.PS, b.List.CoreLinks(), b.NCore, plain, 1, &dm.TC)
+			cCore := dm.TC.Contacts - c0
+			epot += cfg.Spring.Accumulate(b.PS, b.List.HaloLinks(), b.NCore, plain, 0.5, &dm.TC)
+			cHalo := dm.TC.Contacts - c0 - cCore
+			nCore := float64(b.List.NCore)
+			nHalo := float64(len(b.List.Links) - b.List.NCore)
+			eff := nCore + nHalo*hw
+			r.c.Compute(eff*r.linkCost +
+				(float64(cCore)+float64(cHalo)*hw)*r.contactCost +
+				2*eff*r.updCost)
+			if cfg.Gravity != 0 {
+				force.ApplyGravity(b.PS, b.NCore, cfg.D-1, cfg.Gravity)
+			}
+		}
+	case r.fused != nil:
+		shm.ZeroForcesAllBlocks(r.team, storesOf(dm))
+		epot = r.fused.Accumulate(r.team, cfg.Spring, plain)
+		r.applyGravityBlocks()
+	default:
+		shm.ZeroForcesAllBlocks(r.team, storesOf(dm))
+		for i, b := range dm.Blocks {
+			epot += r.upds[i].Accumulate(r.team, cfg.Spring, b.PS, b.List.Links, b.List.NCore, b.NCore, plain)
+		}
+		r.applyGravityBlocks()
+	}
+	r.syncClocks()
+	r.forceTime += r.clock() - f0
+	r.span("force", f0, r.clock())
+
+	// Update phase: integrate core particles of every block.
+	u0 := r.clock()
+	ekin := 0.0
+	if r.team == nil {
+		for _, b := range dm.Blocks {
+			force.Integrate(b.PS, b.NCore, cfg.Dt, box, force.WrapDeferred, &dm.TC)
+			r.c.Compute(float64(b.NCore) * r.partCost)
+			ekin += force.KineticEnergy(b.PS, b.NCore)
+		}
+	} else {
+		shm.IntegrateAllBlocks(r.team, storesOf(dm), coresOf(dm), cfg.Dt, box, force.WrapDeferred)
+		for _, b := range dm.Blocks {
+			ekin += force.KineticEnergy(b.PS, b.NCore)
+		}
+	}
+	r.syncClocks()
+
+	// Energy: reduced within the team by the region join, over blocks
+	// by the rank, and over ranks by the collective.
+	g := r.c.Allreduce([]float64{epot, ekin}, mp.Sum)
+	r.epot, r.ekin = g[0], g[1]
+	r.syncClocks()
+	r.updateTime += r.clock() - u0
+	r.span("update", u0, r.clock())
+
+	elapsed := r.clock() - t0
+
+	// Validity check + rebuild live outside the timed window.
+	b0 := r.clock()
+	if !r.dm.ListsValid(cfg.Skin()) {
+		r.rebuild()
+		r.syncClocks()
+		r.span("rebuild", b0, r.clock())
+	}
+	r.syncClocks()
+	return elapsed
+}
+
+func storesOf(dm *decomp.Domain) []*shm.BlockStore {
+	out := make([]*shm.BlockStore, len(dm.Blocks))
+	for i, b := range dm.Blocks {
+		out[i] = &shm.BlockStore{PS: b.PS, NCore: b.NCore}
+	}
+	return out
+}
+
+func coresOf(dm *decomp.Domain) []int {
+	out := make([]int, len(dm.Blocks))
+	for i, b := range dm.Blocks {
+		out[i] = b.NCore
+	}
+	return out
+}
+
+func (r *rankSim) applyGravityBlocks() {
+	if r.cfg.Gravity == 0 {
+		return
+	}
+	for _, b := range r.dm.Blocks {
+		force.ApplyGravity(b.PS, b.NCore, r.cfg.D-1, r.cfg.Gravity)
+	}
+}
+
+// RunDistributed executes an MPI or Hybrid run and returns the merged
+// result (rank 0's phase attribution, max-over-ranks timing, summed
+// counters).
+func RunDistributed(cfg Config, iters int) (*Result, error) {
+	if cfg.Mode != MPI && cfg.Mode != Hybrid {
+		return nil, fmt.Errorf("core: RunDistributed with mode %v", cfg.Mode)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	l, err := decomp.NewLayout(cfg.Box(), cfg.RC(), cfg.P, cfg.BlocksPerProc)
+	if err != nil {
+		return nil, err
+	}
+	var net mp.Network = mp.ZeroNetwork{}
+	if cfg.Platform != nil {
+		if cfg.Mode == Hybrid {
+			net = cfg.Platform.NodeNetwork()
+		} else {
+			net = cfg.Platform.Network()
+		}
+	}
+
+	results := make([]*Result, cfg.P)
+	start := time.Now()
+	comms := mp.Run(cfg.P, net, func(c *mp.Comm) {
+		r := newRankSim(&cfg, c, l)
+		if cfg.Init != nil {
+			for i := 0; i < cfg.N; i++ {
+				r.dm.Place(cfg.Init.Pos[i], cfg.Init.Vel[i], int32(i))
+			}
+		} else {
+			r.dm.FillClustered(cfg.N, cfg.Seed, cfg.InitVel, cfg.FillHeight)
+		}
+		r.rebuild()
+		for i := 0; i < cfg.Warmup; i++ {
+			r.step()
+		}
+		c.Barrier()
+		c.SetClock(0)
+		if r.team != nil {
+			r.team.SetClock(0)
+		}
+		r.forceTime, r.updateTime, r.commTime = 0, 0, 0
+		rebuilds0 := r.rebuilds
+
+		total := 0.0
+		for i := 0; i < iters; i++ {
+			total += r.step()
+		}
+		perIter := total / float64(iters)
+		// Timing is the slowest rank's (the paper's t is the global
+		// iteration time).
+		perIter = c.AllreduceScalar(perIter, mp.Max)
+
+		nlinks := c.AllreduceScalar(float64(r.dm.NumLinks()), mp.Sum)
+
+		res := &Result{
+			Mode:       cfg.Mode,
+			Iters:      iters,
+			PerIter:    perIter,
+			Epot:       r.epot,
+			Ekin:       r.ekin,
+			NLinks:     int64(nlinks),
+			Rebuilds:   r.rebuilds - rebuilds0,
+			ForceTime:  r.forceTime / float64(iters),
+			UpdateTime: r.updateTime / float64(iters),
+			CommTime:   r.commTime / float64(iters),
+
+			MeanLinkDist: r.meanDist,
+		}
+		res.TC = r.dm.TC
+		if r.team != nil {
+			res.TC.Add(&r.team.TC)
+			res.AtomicFraction = r.team.TC.AtomicFraction()
+		}
+		if cfg.CollectState {
+			gatherState(&cfg, c, r, res)
+		}
+		results[c.Rank()] = res
+	})
+	wall := time.Since(start)
+
+	out := results[0]
+	out.Wall = wall
+	var tc trace.Counters
+	var taken, avoided int64
+	for i, res := range results {
+		tc.Add(&res.TC)
+		taken += res.TC.AtomicsTaken
+		avoided += res.TC.AtomicsAvoided
+		tc.Add(&comms[i].TC)
+	}
+	out.TC = tc
+	if taken+avoided > 0 {
+		out.AtomicFraction = float64(taken) / float64(taken+avoided)
+	}
+	return out, nil
+}
+
+// stateGatherTag is far above the tag space the exchange phases use.
+const stateGatherTag = 1 << 28
+
+// gatherState collects every rank's core particles onto rank 0,
+// indexed by persistent particle ID, wrapping deferred periodic
+// coordinates back into the box.
+func gatherState(cfg *Config, c *mp.Comm, r *rankSim, res *Result) {
+	box := cfg.Box()
+	var f []float64
+	var ids []int32
+	for _, b := range r.dm.Blocks {
+		for i := 0; i < b.NCore; i++ {
+			p, _ := box.Wrap(b.PS.Pos[i])
+			v := b.PS.Vel[i]
+			for k := 0; k < cfg.D; k++ {
+				f = append(f, p[k])
+			}
+			for k := 0; k < cfg.D; k++ {
+				f = append(f, v[k])
+			}
+			ids = append(ids, b.PS.ID[i])
+		}
+	}
+	if c.Rank() != 0 {
+		c.Send(0, stateGatherTag, f, ids)
+		return
+	}
+	res.Pos = make([]geom.Vec, cfg.N)
+	res.Vel = make([]geom.Vec, cfg.N)
+	fill := func(f []float64, ids []int32) {
+		per := 2 * cfg.D
+		for i, id := range ids {
+			for k := 0; k < cfg.D; k++ {
+				res.Pos[id][k] = f[per*i+k]
+				res.Vel[id][k] = f[per*i+cfg.D+k]
+			}
+		}
+	}
+	fill(f, ids)
+	for src := 1; src < cfg.P; src++ {
+		rf, rids := c.Recv(src, stateGatherTag)
+		fill(rf, rids)
+	}
+}
+
+// Run dispatches on the configured mode.
+func Run(cfg Config, iters int) (*Result, error) {
+	switch cfg.Mode {
+	case Serial, OpenMP:
+		return RunShared(cfg, iters)
+	case MPI, Hybrid:
+		return RunDistributed(cfg, iters)
+	default:
+		return nil, fmt.Errorf("core: unknown mode %v", cfg.Mode)
+	}
+}

@@ -1,0 +1,306 @@
+package decomp
+
+import (
+	"fmt"
+
+	"hybriddem/internal/geom"
+)
+
+// boolToInt converts for payload arithmetic.
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// packParticles gathers positions (and optionally velocities) of the
+// indexed particles into a flat float64 buffer: D coordinates per
+// particle, then D velocity components when withVel is set.
+func packParticles(b *Block, idx []int32, d int, withVel bool) []float64 {
+	per := d
+	if withVel {
+		per = 2 * d
+	}
+	out := make([]float64, 0, per*len(idx))
+	for _, i := range idx {
+		p := b.PS.Pos[i]
+		for k := 0; k < d; k++ {
+			out = append(out, p[k])
+		}
+		if withVel {
+			v := b.PS.Vel[i]
+			for k := 0; k < d; k++ {
+				out = append(out, v[k])
+			}
+		}
+	}
+	return out
+}
+
+// localLeg stages one same-rank halo delivery so that all gathers of a
+// dimension complete before any append mutates a store.
+type localLeg struct {
+	dst   *Block
+	dim   int
+	side  int
+	shift geom.Vec
+	src   *Block
+	f     []float64
+	ids   []int32
+}
+
+// buildHalos constructs the halo templates and performs the initial
+// exchange, dimension by dimension so corner data propagates. Must run
+// with empty halos (migrate guarantees this).
+func (dm *Domain) buildHalos() {
+	d := dm.L.D
+	rc := dm.L.RC
+	for dim := 0; dim < d; dim++ {
+		var locals []localLeg
+		// Gather + send for both faces of every owned block.
+		for _, b := range dm.Blocks {
+			for side := 0; side < 2; side++ {
+				dir := 2*side - 1 // side 0 -> lower face -> dir -1
+				nb, _, ok := dm.L.Neighbor(b.ID, dim, dir)
+				if !ok {
+					continue
+				}
+				idx := b.coreSlab(dim, side, rc)
+				b.sendIdx[dim][side] = idx
+				// Data sent towards dir lands on the *opposite* face
+				// of the neighbour.
+				dstSide := 1 - side
+				f := packParticles(b, idx, d, dm.WithVel)
+				ids := make([]int32, len(idx))
+				for k, i := range idx {
+					ids[k] = b.PS.ID[i]
+				}
+				dm.C.Compute(float64(len(idx)) * dm.packCost())
+				dstRank := dm.L.RankOfBlock(nb)
+				if dstRank == dm.C.Rank() {
+					dst := dm.Blocks[dm.slot[nb]]
+					_, shift, _ := dm.L.Neighbor(nb, dim, -dir)
+					locals = append(locals, localLeg{dst: dst, dim: dim, side: dstSide, shift: shift, src: b, f: f, ids: ids})
+				} else {
+					dm.C.Send(dstRank, dm.tagFor(phaseBuild, nb, dim, dstSide), f, ids)
+				}
+			}
+		}
+		// Receive + append for both faces of every owned block, lower
+		// side first for a deterministic halo layout.
+		for _, b := range dm.Blocks {
+			for side := 0; side < 2; side++ {
+				dir := 2*side - 1
+				nb, shift, ok := dm.L.Neighbor(b.ID, dim, dir)
+				if !ok {
+					continue
+				}
+				srcRank := dm.L.RankOfBlock(nb)
+				if srcRank == dm.C.Rank() {
+					continue // staged locally; appended below
+				}
+				f, ids := dm.C.Recv(srcRank, dm.tagFor(phaseBuild, b.ID, dim, side))
+				dm.appendHalo(b, nb, srcRank, dim, side, shift, f, ids)
+			}
+		}
+		for _, leg := range locals {
+			dm.chargeSelf(len(leg.ids), d+boolToInt(dm.WithVel)*d)
+			dm.appendHalo(leg.dst, leg.src.ID, dm.C.Rank(), leg.dim, leg.side, leg.shift, leg.f, leg.ids)
+		}
+	}
+}
+
+// appendHalo unpacks one received leg into dst as a new halo segment.
+func (dm *Domain) appendHalo(dst *Block, srcBlock, srcRank, dim, side int, shift geom.Vec, f []float64, ids []int32) {
+	d := dm.L.D
+	per := d
+	if dm.WithVel {
+		per = 2 * d
+	}
+	n := len(ids)
+	if len(f) != per*n {
+		panic(fmt.Sprintf("decomp: halo payload %d floats for %d ids", len(f), n))
+	}
+	seg := haloSeg{
+		srcRank: srcRank, srcBlock: srcBlock,
+		dim: dim, side: side,
+		start: dst.PS.Len(), count: n, shift: shift,
+	}
+	for i := 0; i < n; i++ {
+		var p, v geom.Vec
+		for k := 0; k < d; k++ {
+			p[k] = f[per*i+k] + shift[k]
+		}
+		if dm.WithVel {
+			for k := 0; k < d; k++ {
+				v[k] = f[per*i+d+k]
+			}
+		}
+		dst.PS.Append(p, v, ids[i])
+	}
+	dst.segs = append(dst.segs, seg)
+	dm.C.Compute(float64(n) * dm.packCost())
+}
+
+// RefreshHalos re-sends every halo template and overwrites the halo
+// segments in place — the per-iteration halo swap. "The same MPI types
+// can be used for many iterations until the list of links becomes
+// invalid."
+func (dm *Domain) RefreshHalos() {
+	d := dm.L.D
+	per := d
+	if dm.WithVel {
+		per = 2 * d
+	}
+	for dim := 0; dim < d; dim++ {
+		var locals []localLeg
+		for _, b := range dm.Blocks {
+			for side := 0; side < 2; side++ {
+				dir := 2*side - 1
+				nb, _, ok := dm.L.Neighbor(b.ID, dim, dir)
+				if !ok {
+					continue
+				}
+				idx := b.sendIdx[dim][side]
+				dstSide := 1 - side
+				f := packParticles(b, idx, d, dm.WithVel)
+				dm.C.Compute(float64(len(idx)) * dm.packCost())
+				dstRank := dm.L.RankOfBlock(nb)
+				if dstRank == dm.C.Rank() {
+					dst := dm.Blocks[dm.slot[nb]]
+					locals = append(locals, localLeg{dst: dst, dim: dim, side: dstSide, src: b, f: f})
+				} else {
+					dm.C.Send(dstRank, dm.tagFor(phaseRefresh, nb, dim, dstSide), f, nil)
+				}
+			}
+		}
+		for _, b := range dm.Blocks {
+			for _, seg := range b.segs {
+				if seg.dim != dim || seg.srcRank == dm.C.Rank() {
+					continue
+				}
+				f, _ := dm.C.Recv(seg.srcRank, dm.tagFor(phaseRefresh, b.ID, seg.dim, seg.side))
+				dm.overwriteSeg(b, seg, f, per)
+			}
+		}
+		for _, leg := range locals {
+			dst := leg.dst
+			dm.chargeSelf(len(leg.f)/per, per)
+			for _, seg := range dst.segs {
+				if seg.dim == dim && seg.side == leg.side && seg.srcBlock == leg.src.ID && seg.srcRank == dm.C.Rank() {
+					dm.overwriteSeg(dst, seg, leg.f, per)
+					break
+				}
+			}
+		}
+	}
+}
+
+// overwriteSeg writes refreshed coordinates (and velocities) into an
+// existing halo segment.
+func (dm *Domain) overwriteSeg(b *Block, seg haloSeg, f []float64, per int) {
+	d := dm.L.D
+	if len(f) != per*seg.count {
+		panic(fmt.Sprintf("decomp: refresh payload %d floats for segment of %d", len(f), seg.count))
+	}
+	for i := 0; i < seg.count; i++ {
+		at := seg.start + i
+		for k := 0; k < d; k++ {
+			b.PS.Pos[at][k] = f[per*i+k] + seg.shift[k]
+		}
+		if dm.WithVel {
+			for k := 0; k < d; k++ {
+				b.PS.Vel[at][k] = f[per*i+d+k]
+			}
+		}
+	}
+	dm.C.Compute(float64(seg.count) * dm.packCost())
+}
+
+// migrate wraps core positions into the global box and moves particles
+// whose home block changed, then clears halos. Movers travel in one
+// all-to-all round of (possibly empty) per-rank messages carrying
+// (dstBlock, pos, vel, id) tuples.
+func (dm *Domain) migrate() {
+	l := dm.L
+	d := l.D
+	me := dm.C.Rank()
+	perF := 2 * d // pos + vel always travel on migration
+
+	for _, b := range dm.Blocks {
+		b.resetHalo()
+	}
+
+	outF := make([][]float64, l.P)
+	outI := make([][]int32, l.P)
+	moved := int64(0)
+	for _, b := range dm.Blocks {
+		for i := 0; i < b.NCore; {
+			p, _ := l.Box.Wrap(b.PS.Pos[i])
+			b.PS.Pos[i] = p
+			home := l.BlockOfPos(p)
+			if home == b.ID {
+				i++
+				continue
+			}
+			dst := l.RankOfBlock(home)
+			outI[dst] = append(outI[dst], int32(home), b.PS.ID[i])
+			v := b.PS.Vel[i]
+			buf := outF[dst]
+			for k := 0; k < d; k++ {
+				buf = append(buf, p[k])
+			}
+			for k := 0; k < d; k++ {
+				buf = append(buf, v[k])
+			}
+			outF[dst] = buf
+			b.PS.Remove(i)
+			b.NCore--
+			moved++
+			// do not advance i: Remove swapped a new particle in
+		}
+	}
+	dm.TC.MigratedParts += moved
+	dm.C.Compute(float64(moved) * dm.packCost())
+
+	deliver := func(f []float64, ints []int32) {
+		n := len(ints) / 2
+		if len(f) != perF*n {
+			panic(fmt.Sprintf("decomp: migrate payload %d floats for %d particles", len(f), n))
+		}
+		for i := 0; i < n; i++ {
+			home := int(ints[2*i])
+			id := ints[2*i+1]
+			s, ok := dm.slot[home]
+			if !ok {
+				panic(fmt.Sprintf("decomp: rank %d received migrant for foreign block %d", me, home))
+			}
+			var p, v geom.Vec
+			for k := 0; k < d; k++ {
+				p[k] = f[perF*i+k]
+				v[k] = f[perF*i+d+k]
+			}
+			b := dm.Blocks[s]
+			// Halo is empty, so appending grows the core directly.
+			b.PS.Append(p, v, id)
+			b.NCore++
+		}
+		dm.C.Compute(float64(n) * dm.packCost())
+	}
+
+	for r := 0; r < l.P; r++ {
+		if r == me {
+			continue
+		}
+		dm.C.Send(r, dm.tagFor(phaseMigrate, 0, 0, 0), outF[r], outI[r])
+	}
+	deliver(outF[me], outI[me])
+	for r := 0; r < l.P; r++ {
+		if r == me {
+			continue
+		}
+		f, ints := dm.C.Recv(r, dm.tagFor(phaseMigrate, 0, 0, 0))
+		deliver(f, ints)
+	}
+}

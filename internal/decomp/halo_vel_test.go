@@ -1,0 +1,109 @@
+package decomp
+
+import (
+	"math"
+	"testing"
+
+	"hybriddem/internal/geom"
+	"hybriddem/internal/mp"
+)
+
+// TestHaloCarriesVelocities: with WithVel set, halo copies must track
+// their home particle's velocity through both the initial build and
+// the per-iteration refresh — the path damped force laws depend on.
+func TestHaloCarriesVelocities(t *testing.T) {
+	const n = 300
+	box := geom.NewBox(2, 10, geom.Periodic)
+	l := mustLayout(t, box, 0.6, 4, 1)
+	mp.Run(4, nil, func(c *mp.Comm) {
+		dm := NewDomain(l, c, true)
+		dm.FillUniform(n, 31, 0.7)
+		dm.Rebuild(false)
+		ref := globalSystem(n, 2, box, 31, 0.7)
+
+		check := func(stage string) {
+			for _, b := range dm.Blocks {
+				for i := b.NCore; i < b.PS.Len(); i++ {
+					id := b.PS.ID[i]
+					for k := 0; k < 2; k++ {
+						if math.Abs(b.PS.Vel[i][k]-ref.Vel[id][k]) > 1e-12 {
+							t.Fatalf("%s: halo velocity of %d = %v, want %v",
+								stage, id, b.PS.Vel[i], ref.Vel[id])
+						}
+					}
+				}
+			}
+		}
+		check("build")
+
+		// Change every core particle's velocity deterministically and
+		// refresh; the halo copies must follow.
+		for _, b := range dm.Blocks {
+			for i := 0; i < b.NCore; i++ {
+				b.PS.Vel[i][0] += 0.5
+				b.PS.Vel[i][1] -= 0.25
+			}
+		}
+		for i := 0; i < n; i++ {
+			ref.Vel[i][0] += 0.5
+			ref.Vel[i][1] -= 0.25
+		}
+		dm.RefreshHalos()
+		check("refresh")
+	})
+}
+
+// TestWithoutVelHaloVelocitiesZero: without WithVel the halo copies
+// carry zero velocity and no velocity bytes travel.
+func TestWithoutVelHaloVelocitiesZero(t *testing.T) {
+	const n = 200
+	box := geom.NewBox(2, 10, geom.Periodic)
+	l := mustLayout(t, box, 0.6, 2, 1)
+	mp.Run(2, nil, func(c *mp.Comm) {
+		dm := NewDomain(l, c, false)
+		dm.FillUniform(n, 33, 0.7)
+		dm.Rebuild(false)
+		for _, b := range dm.Blocks {
+			for i := b.NCore; i < b.PS.Len(); i++ {
+				if b.PS.Vel[i] != (geom.Vec{}) {
+					t.Fatalf("halo particle %d has velocity %v without WithVel", b.PS.ID[i], b.PS.Vel[i])
+				}
+			}
+		}
+	})
+}
+
+// TestAblationKnobsChargeTime: the naive-pack and self-messaging
+// knobs must add modelled time without changing physics.
+func TestAblationKnobsChargeTime(t *testing.T) {
+	const n = 400
+	box := geom.NewBox(2, 10, geom.Periodic)
+	l := mustLayout(t, box, 0.6, 1, 4) // P=1: all legs local
+
+	run := func(packFactor float64, selfMsg bool) float64 {
+		var clock float64
+		mp.Run(1, nil, func(c *mp.Comm) {
+			dm := NewDomain(l, c, false)
+			dm.PackCost = 1e-6
+			dm.PackFactor = packFactor
+			if selfMsg {
+				dm.SelfMsgCost = func(bytes int) float64 { return 1e-5 + float64(bytes)*1e-9 }
+			}
+			dm.FillUniform(n, 35, 0)
+			dm.Rebuild(false)
+			dm.RefreshHalos()
+			clock = c.Clock()
+		})
+		return clock
+	}
+
+	base := run(0, false)
+	naive := run(3, false)
+	selfm := run(0, true)
+	if naive <= base {
+		t.Errorf("naive pack did not cost more: %g vs %g", naive, base)
+	}
+	if selfm <= base {
+		t.Errorf("self messaging did not cost more: %g vs %g", selfm, base)
+	}
+}

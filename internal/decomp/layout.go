@@ -1,0 +1,189 @@
+// Package decomp implements the paper's message-passing domain
+// decomposition (Section 6): a general block-cyclic distribution of
+// spatial blocks over a Cartesian process grid, per-block halo regions
+// of width rc, halo templates rebuilt with the link list and reused
+// for many iterations (the MPI indexed-datatype optimisation), halo
+// swaps by matched sendrecv in each dimension, and particle migration
+// when the list becomes invalid.
+package decomp
+
+import (
+	"fmt"
+
+	"hybriddem/internal/geom"
+	"hybriddem/internal/mp"
+)
+
+// Layout describes how the global box is cut into blocks and how
+// blocks map onto processes. The block grid is an integer multiple of
+// the process grid in every dimension; blocks are dealt out
+// round-robin (block-cyclic), so increasing the number of blocks B at
+// fixed P refines the load-balancing granularity exactly as in the
+// paper.
+type Layout struct {
+	D         int
+	Box       geom.Box // global domain
+	RC        float64  // cutoff distance == halo width
+	ProcDims  [geom.MaxD]int
+	BlockDims [geom.MaxD]int
+	P         int // total processes
+	B         int // total blocks
+}
+
+// NewLayout builds a layout for p processes with blocksPerProc blocks
+// per process (B = p * blocksPerProc). Process and cycle counts are
+// factored over the dimensions as squarely as possible. It returns an
+// error when any block edge would be smaller than rc, which would let
+// halos span more than one neighbouring block.
+func NewLayout(box geom.Box, rc float64, p, blocksPerProc int) (*Layout, error) {
+	if p < 1 || blocksPerProc < 1 {
+		return nil, fmt.Errorf("decomp: p=%d blocksPerProc=%d", p, blocksPerProc)
+	}
+	if rc <= 0 {
+		return nil, fmt.Errorf("decomp: cutoff %g", rc)
+	}
+	d := box.D
+	pd := mp.DimsCreate(p, d)
+	cd := mp.DimsCreate(blocksPerProc, d)
+	l := &Layout{D: d, Box: box, RC: rc, P: p}
+	l.B = 1
+	for i := 0; i < d; i++ {
+		l.ProcDims[i] = pd[i]
+		l.BlockDims[i] = pd[i] * cd[i]
+		l.B *= l.BlockDims[i]
+		edge := box.Len[i] / float64(l.BlockDims[i])
+		if edge < rc {
+			return nil, fmt.Errorf("decomp: block edge %.4g < cutoff %.4g in dim %d (%d blocks over %.4g)",
+				edge, rc, i, l.BlockDims[i], box.Len[i])
+		}
+	}
+	for i := d; i < geom.MaxD; i++ {
+		l.ProcDims[i] = 1
+		l.BlockDims[i] = 1
+	}
+	return l, nil
+}
+
+// BlocksPerProc returns B/P, the paper's granularity measure.
+func (l *Layout) BlocksPerProc() int { return l.B / l.P }
+
+// blockID flattens block coordinates row-major.
+func (l *Layout) blockID(c [geom.MaxD]int) int {
+	id := 0
+	for i := 0; i < l.D; i++ {
+		id = id*l.BlockDims[i] + c[i]
+	}
+	return id
+}
+
+// blockCoords expands a flat block id.
+func (l *Layout) blockCoords(id int) [geom.MaxD]int {
+	var c [geom.MaxD]int
+	for i := l.D - 1; i >= 0; i-- {
+		c[i] = id % l.BlockDims[i]
+		id /= l.BlockDims[i]
+	}
+	return c
+}
+
+// RankOfBlock returns the owning process of a block: coordinate-wise
+// modulo onto the process grid (the cyclic deal), flattened row-major.
+func (l *Layout) RankOfBlock(id int) int {
+	c := l.blockCoords(id)
+	r := 0
+	for i := 0; i < l.D; i++ {
+		r = r*l.ProcDims[i] + c[i]%l.ProcDims[i]
+	}
+	return r
+}
+
+// BlocksOfRank returns the flat ids of the blocks the rank owns, in
+// ascending id order.
+func (l *Layout) BlocksOfRank(rank int) []int {
+	var out []int
+	for id := 0; id < l.B; id++ {
+		if l.RankOfBlock(id) == rank {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// CoreRegion returns the origin and edge lengths of a block's core.
+func (l *Layout) CoreRegion(id int) (origin, span geom.Vec) {
+	c := l.blockCoords(id)
+	for i := 0; i < l.D; i++ {
+		edge := l.Box.Len[i] / float64(l.BlockDims[i])
+		origin[i] = float64(c[i]) * edge
+		span[i] = edge
+	}
+	return origin, span
+}
+
+// ExtRegion returns the core grown by the halo width rc on every side.
+// For reflecting (walled) domains the growth is clipped at the domain
+// boundary, since nothing lives beyond a hard wall.
+func (l *Layout) ExtRegion(id int) (origin, span geom.Vec) {
+	origin, span = l.CoreRegion(id)
+	for i := 0; i < l.D; i++ {
+		lo := origin[i] - l.RC
+		hi := origin[i] + span[i] + l.RC
+		if l.Box.BC == geom.Reflecting {
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > l.Box.Len[i] {
+				hi = l.Box.Len[i]
+			}
+		}
+		origin[i] = lo
+		span[i] = hi - lo
+	}
+	return origin, span
+}
+
+// BlockOfPos returns the flat id of the block whose core contains p,
+// clamping onto the grid (positions exactly on the upper domain face
+// belong to the last block).
+func (l *Layout) BlockOfPos(p geom.Vec) int {
+	var c [geom.MaxD]int
+	for i := 0; i < l.D; i++ {
+		edge := l.Box.Len[i] / float64(l.BlockDims[i])
+		v := int(p[i] / edge)
+		if v < 0 {
+			v = 0
+		}
+		if v >= l.BlockDims[i] {
+			v = l.BlockDims[i] - 1
+		}
+		c[i] = v
+	}
+	return l.blockID(c)
+}
+
+// Neighbor returns the flat id of the block displaced by dir (+1/-1)
+// along dim, together with the coordinate shift the *receiver* must
+// add to positions arriving from that neighbour (nonzero only when
+// the displacement wraps a periodic boundary). ok is false when the
+// domain is walled and the neighbour would lie outside.
+func (l *Layout) Neighbor(id, dim, dir int) (nb int, shift geom.Vec, ok bool) {
+	c := l.blockCoords(id)
+	v := c[dim] + dir
+	n := l.BlockDims[dim]
+	switch {
+	case v >= 0 && v < n:
+		// interior neighbour
+	case l.Box.BC == geom.Periodic:
+		if v < 0 {
+			v += n
+			shift[dim] = -l.Box.Len[dim]
+		} else {
+			v -= n
+			shift[dim] = +l.Box.Len[dim]
+		}
+	default:
+		return 0, geom.Vec{}, false
+	}
+	c[dim] = v
+	return l.blockID(c), shift, true
+}

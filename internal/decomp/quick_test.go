@@ -1,0 +1,148 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hybriddem/internal/geom"
+)
+
+// TestLayoutPropertiesQuick drives the layout invariants over random
+// shapes: block assignment is a partition with equal shares, core
+// regions tile the volume, neighbour relations are mutual, and
+// BlockOfPos agrees with CoreRegion.
+func TestLayoutPropertiesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(3)
+		p := 1 + rng.Intn(12)
+		bpp := 1 + rng.Intn(8)
+		lsize := 8 + rng.Float64()*8
+		bc := geom.Periodic
+		if rng.Intn(2) == 0 {
+			bc = geom.Reflecting
+		}
+		box := geom.NewBox(d, lsize, bc)
+		rc := 0.2 + rng.Float64()*0.2
+		l, err := NewLayout(box, rc, p, bpp)
+		if err != nil {
+			return true // too-fine layouts are rejected, which is fine
+		}
+
+		// Partition with equal shares.
+		total := 0
+		for r := 0; r < p; r++ {
+			ids := l.BlocksOfRank(r)
+			if len(ids) != l.B/p {
+				return false
+			}
+			total += len(ids)
+		}
+		if total != l.B {
+			return false
+		}
+
+		// Volume tiling.
+		vol := 0.0
+		for id := 0; id < l.B; id++ {
+			_, span := l.CoreRegion(id)
+			v := 1.0
+			for k := 0; k < d; k++ {
+				v *= span[k]
+			}
+			vol += v
+		}
+		if vol < box.Volume()*0.999 || vol > box.Volume()*1.001 {
+			return false
+		}
+
+		// Mutual neighbours with opposite shifts.
+		for id := 0; id < l.B; id++ {
+			for dim := 0; dim < d; dim++ {
+				for _, dir := range []int{-1, 1} {
+					nb, shift, ok := l.Neighbor(id, dim, dir)
+					if !ok {
+						if bc == geom.Periodic {
+							return false // periodic always has neighbours
+						}
+						continue
+					}
+					back, backShift, ok2 := l.Neighbor(nb, dim, -dir)
+					if !ok2 || back != id {
+						return false
+					}
+					for k := 0; k < geom.MaxD; k++ {
+						if shift[k] != -backShift[k] {
+							return false
+						}
+					}
+				}
+			}
+		}
+
+		// Random positions land in blocks that contain them.
+		for i := 0; i < 50; i++ {
+			var pnt geom.Vec
+			for k := 0; k < d; k++ {
+				pnt[k] = rng.Float64() * lsize
+			}
+			id := l.BlockOfPos(pnt)
+			origin, span := l.CoreRegion(id)
+			for k := 0; k < d; k++ {
+				if pnt[k] < origin[k]-1e-9 || pnt[k] > origin[k]+span[k]+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExtRegionCoversCorePlusHalo: the extended region must contain
+// the core grown by rc (clipped at walls).
+func TestExtRegionCoversCorePlusHalo(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(3)
+		bc := geom.Periodic
+		if rng.Intn(2) == 0 {
+			bc = geom.Reflecting
+		}
+		box := geom.NewBox(d, 10, bc)
+		l, err := NewLayout(box, 0.5, 1+rng.Intn(6), 1+rng.Intn(4))
+		if err != nil {
+			return true
+		}
+		for id := 0; id < l.B; id++ {
+			co, cs := l.CoreRegion(id)
+			eo, es := l.ExtRegion(id)
+			for k := 0; k < d; k++ {
+				wantLo := co[k] - l.RC
+				wantHi := co[k] + cs[k] + l.RC
+				if bc == geom.Reflecting {
+					if wantLo < 0 {
+						wantLo = 0
+					}
+					if wantHi > box.Len[k] {
+						wantHi = box.Len[k]
+					}
+				}
+				const tol = 1e-12
+				if diff := eo[k] - wantLo; diff > tol || diff < -tol {
+					return false
+				}
+				if diff := eo[k] + es[k] - wantHi; diff > tol || diff < -tol {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+// Package export writes particle states in the formats downstream
+// visualisation tools ingest: legacy VTK polydata (ParaView),
+// extended XYZ (OVITO) and CSV.
+package export
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"hybriddem/internal/particle"
+)
+
+// WriteVTK writes the first n particles as legacy-ASCII VTK polydata
+// with velocity vectors and particle IDs attached as point data.
+func WriteVTK(w io.Writer, ps *particle.Store, n int, title string) error {
+	bw := bufio.NewWriter(w)
+	d := ps.D
+	fmt.Fprintln(bw, "# vtk DataFile Version 3.0")
+	fmt.Fprintln(bw, title)
+	fmt.Fprintln(bw, "ASCII")
+	fmt.Fprintln(bw, "DATASET POLYDATA")
+	fmt.Fprintf(bw, "POINTS %d double\n", n)
+	for i := 0; i < n; i++ {
+		p := ps.Pos[i]
+		fmt.Fprintf(bw, "%g %g %g\n", p[0], dim(p, 1, d), dim(p, 2, d))
+	}
+	fmt.Fprintf(bw, "POINT_DATA %d\n", n)
+	fmt.Fprintln(bw, "VECTORS velocity double")
+	for i := 0; i < n; i++ {
+		v := ps.Vel[i]
+		fmt.Fprintf(bw, "%g %g %g\n", v[0], dim(v, 1, d), dim(v, 2, d))
+	}
+	fmt.Fprintln(bw, "SCALARS id int 1")
+	fmt.Fprintln(bw, "LOOKUP_TABLE default")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(bw, "%d\n", ps.ID[i])
+	}
+	return bw.Flush()
+}
+
+// dim returns component k of a vector, zero beyond the active
+// dimensionality.
+func dim(v [3]float64, k, d int) float64 {
+	if k < d {
+		return v[k]
+	}
+	return 0
+}
+
+// WriteXYZ writes the first n particles in extended-XYZ format with a
+// Lattice comment for the box and per-particle velocities.
+func WriteXYZ(w io.Writer, ps *particle.Store, n int, boxLen [3]float64) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d\n", n)
+	fmt.Fprintf(bw, "Lattice=\"%g 0 0 0 %g 0 0 0 %g\" Properties=species:S:1:pos:R:3:velo:R:3:id:I:1\n",
+		boxLen[0], boxLen[1], boxLen[2])
+	d := ps.D
+	for i := 0; i < n; i++ {
+		p, v := ps.Pos[i], ps.Vel[i]
+		fmt.Fprintf(bw, "P %g %g %g %g %g %g %d\n",
+			p[0], dim(p, 1, d), dim(p, 2, d),
+			v[0], dim(v, 1, d), dim(v, 2, d), ps.ID[i])
+	}
+	return bw.Flush()
+}
+
+// WriteCSV writes the first n particles as a CSV table with a header.
+func WriteCSV(w io.Writer, ps *particle.Store, n int) error {
+	bw := bufio.NewWriter(w)
+	d := ps.D
+	fmt.Fprint(bw, "id")
+	for k := 0; k < d; k++ {
+		fmt.Fprintf(bw, ",x%d", k)
+	}
+	for k := 0; k < d; k++ {
+		fmt.Fprintf(bw, ",v%d", k)
+	}
+	fmt.Fprintln(bw)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(bw, "%d", ps.ID[i])
+		for k := 0; k < d; k++ {
+			fmt.Fprintf(bw, ",%g", ps.Pos[i][k])
+		}
+		for k := 0; k < d; k++ {
+			fmt.Fprintf(bw, ",%g", ps.Vel[i][k])
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the store to path in the format chosen by the
+// extension: .vtk, .xyz or .csv.
+func SaveFile(path string, ps *particle.Store, n int, boxLen [3]float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch {
+	case hasSuffix(path, ".vtk"):
+		err = WriteVTK(f, ps, n, "hybriddem state")
+	case hasSuffix(path, ".xyz"):
+		err = WriteXYZ(f, ps, n, boxLen)
+	case hasSuffix(path, ".csv"):
+		err = WriteCSV(f, ps, n)
+	default:
+		err = fmt.Errorf("export: unknown extension in %q (want .vtk, .xyz or .csv)", path)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}

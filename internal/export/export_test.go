@@ -1,0 +1,106 @@
+package export
+
+import (
+	"bytes"
+	"encoding/csv"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hybriddem/internal/geom"
+	"hybriddem/internal/particle"
+)
+
+func sampleStore() *particle.Store {
+	ps := particle.New(2, 3)
+	ps.Append(geom.Vec{0.1, 0.2}, geom.Vec{1, -1}, 7)
+	ps.Append(geom.Vec{0.3, 0.4}, geom.Vec{0, 2}, 8)
+	ps.Append(geom.Vec{0.5, 0.6}, geom.Vec{-3, 0}, 9)
+	return ps
+}
+
+func TestWriteVTKStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteVTK(&buf, sampleStore(), 3, "test"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# vtk DataFile Version 3.0",
+		"DATASET POLYDATA",
+		"POINTS 3 double",
+		"0.1 0.2 0", // 2-D z padded with zero
+		"VECTORS velocity double",
+		"SCALARS id int 1",
+		"LOOKUP_TABLE default",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VTK output missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "\n"); got != 5+3+2+3+2+3 {
+		t.Errorf("VTK line count %d", got)
+	}
+}
+
+func TestWriteXYZStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteXYZ(&buf, sampleStore(), 3, [3]float64{1, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("XYZ has %d lines", len(lines))
+	}
+	if lines[0] != "3" {
+		t.Errorf("count line %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "Lattice=") || !strings.Contains(lines[1], "Properties=") {
+		t.Errorf("comment line %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "P 0.1 0.2 0 1 -1 0 7") {
+		t.Errorf("first particle line %q", lines[2])
+	}
+}
+
+func TestWriteCSVParsesBack(t *testing.T) {
+	var buf bytes.Buffer
+	ps := sampleStore()
+	if err := WriteCSV(&buf, ps, 3); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d CSV rows", len(rows))
+	}
+	if strings.Join(rows[0], ",") != "id,x0,x1,v0,v1" {
+		t.Errorf("header %v", rows[0])
+	}
+	for i := 1; i < 4; i++ {
+		id, _ := strconv.Atoi(rows[i][0])
+		if int32(id) != ps.ID[i-1] {
+			t.Errorf("row %d id %d", i, id)
+		}
+		x, _ := strconv.ParseFloat(rows[i][1], 64)
+		if x != ps.Pos[i-1][0] {
+			t.Errorf("row %d x %g", i, x)
+		}
+	}
+}
+
+func TestSaveFileByExtension(t *testing.T) {
+	dir := t.TempDir()
+	ps := sampleStore()
+	for _, name := range []string{"a.vtk", "a.xyz", "a.csv"} {
+		if err := SaveFile(filepath.Join(dir, name), ps, 3, [3]float64{1, 1, 0}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if err := SaveFile(filepath.Join(dir, "a.dat"), ps, 3, [3]float64{1, 1, 0}); err == nil {
+		t.Error("unknown extension accepted")
+	}
+}

@@ -1,0 +1,180 @@
+package force
+
+import (
+	"fmt"
+	"math"
+
+	"hybriddem/internal/geom"
+)
+
+// BondTable records the permanent bonds that glue basic particles
+// into composite grains: "collections of simpler basic particles
+// stuck together with permanent bonds made of dissipative springs"
+// (Section 2). Bonds are keyed by persistent particle ID so they
+// survive reordering, migration and halo replication unchanged.
+//
+// A bonded pair interacts through a two-sided spring about the bond
+// rest length instead of the one-sided contact force. Rest lengths
+// must stay below the cutoff rc so bonded pairs always appear in the
+// link list; the grain builders enforce a margin.
+type BondTable struct {
+	K    float64 // bond stiffness
+	Damp float64 // bond damping (dissipative spring)
+
+	maxBonds int
+	partner  []int32   // [id*maxBonds + k], -1 when empty
+	rest     []float64 // matching rest lengths
+	count    int       // total bonds
+}
+
+// NewBondTable creates a table for n particles with at most maxBonds
+// bonds each.
+func NewBondTable(n, maxBonds int, k, damp float64) *BondTable {
+	if n < 1 || maxBonds < 1 {
+		panic(fmt.Sprintf("force: bond table n=%d maxBonds=%d", n, maxBonds))
+	}
+	bt := &BondTable{
+		K: k, Damp: damp,
+		maxBonds: maxBonds,
+		partner:  make([]int32, n*maxBonds),
+		rest:     make([]float64, n*maxBonds),
+	}
+	for i := range bt.partner {
+		bt.partner[i] = -1
+	}
+	return bt
+}
+
+// NumBonds returns the number of bonds added.
+func (bt *BondTable) NumBonds() int { return bt.count }
+
+// MaxRest returns the longest rest length in the table.
+func (bt *BondTable) MaxRest() float64 {
+	maxr := 0.0
+	for i, p := range bt.partner {
+		if p >= 0 && bt.rest[i] > maxr {
+			maxr = bt.rest[i]
+		}
+	}
+	return maxr
+}
+
+// Add bonds particles a and b (by ID) at the given rest length. It is
+// an error to add a duplicate bond or exceed a particle's bond slots.
+func (bt *BondTable) Add(a, b int32, rest float64) error {
+	if a == b {
+		return fmt.Errorf("force: self-bond on particle %d", a)
+	}
+	if rest <= 0 {
+		return fmt.Errorf("force: bond rest length %g", rest)
+	}
+	if _, ok := bt.Bonded(a, b); ok {
+		return fmt.Errorf("force: duplicate bond %d-%d", a, b)
+	}
+	add := func(x, y int32) error {
+		base := int(x) * bt.maxBonds
+		for k := 0; k < bt.maxBonds; k++ {
+			if bt.partner[base+k] == -1 {
+				bt.partner[base+k] = y
+				bt.rest[base+k] = rest
+				return nil
+			}
+		}
+		return fmt.Errorf("force: particle %d exceeds %d bonds", x, bt.maxBonds)
+	}
+	if err := add(a, b); err != nil {
+		return err
+	}
+	if err := add(b, a); err != nil {
+		return err
+	}
+	bt.count++
+	return nil
+}
+
+// Bonded reports whether a and b are bonded and the bond rest length.
+// The scan is over a fixed handful of slots, cheap enough for the
+// force loop's hot path.
+func (bt *BondTable) Bonded(a, b int32) (rest float64, ok bool) {
+	if int(a)*bt.maxBonds >= len(bt.partner) {
+		return 0, false
+	}
+	base := int(a) * bt.maxBonds
+	for k := 0; k < bt.maxBonds; k++ {
+		if bt.partner[base+k] == b {
+			return bt.rest[base+k], true
+		}
+	}
+	return 0, false
+}
+
+// BondsOf returns the bonded partner IDs of particle a (for tests and
+// diagnostics).
+func (bt *BondTable) BondsOf(a int32) []int32 {
+	var out []int32
+	base := int(a) * bt.maxBonds
+	for k := 0; k < bt.maxBonds; k++ {
+		if p := bt.partner[base+k]; p >= 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// pairBond computes the bond force on the first particle of a bonded
+// pair: a two-sided dissipative spring about the rest length.
+func (bt *BondTable) pairBond(rest float64, disp, relVel geom.Vec, d int) (fi geom.Vec, e float64) {
+	r2 := geom.Norm2(disp, d)
+	if r2 == 0 {
+		return geom.Vec{}, 0
+	}
+	r := math.Sqrt(r2)
+	inv := 1.0 / r
+	stretch := r - rest
+	// Positive stretch pulls i towards j: along +disp.
+	mag := bt.K * stretch
+	if bt.Damp > 0 {
+		vn := geom.Dot(relVel, disp, d) * inv
+		mag += bt.Damp * vn
+	}
+	var f geom.Vec
+	for k := 0; k < d; k++ {
+		f[k] = mag * disp[k] * inv
+	}
+	return f, 0.5 * bt.K * stretch * stretch
+}
+
+// PairID evaluates the pair interaction with bond awareness: bonded
+// pairs (by ID) use the two-sided bond spring, everything else the
+// one-sided contact force. With no bond table it is exactly Pair.
+func (s Spring) PairID(idI, idJ int32, disp, relVel geom.Vec, d int) (fi geom.Vec, e float64, contact bool) {
+	if s.Bonds != nil {
+		if rest, ok := s.Bonds.Bonded(idI, idJ); ok {
+			f, e := s.Bonds.pairBond(rest, disp, relVel, d)
+			return f, e, true
+		}
+	}
+	return s.Pair(disp, relVel, d)
+}
+
+// MaxBondStrain returns the largest relative deviation from rest
+// length across all bonds, given positions indexed by ID; grains are
+// intact while this stays well below (rc - rest)/rest.
+func (bt *BondTable) MaxBondStrain(pos []geom.Vec, box geom.Box) float64 {
+	maxs := 0.0
+	for id := 0; id < len(bt.partner)/bt.maxBonds; id++ {
+		base := id * bt.maxBonds
+		for k := 0; k < bt.maxBonds; k++ {
+			p := bt.partner[base+k]
+			if p < 0 || int(p) < id {
+				continue // count each bond once
+			}
+			r := math.Sqrt(box.Dist2(pos[id], pos[p]))
+			s := math.Abs(r-bt.rest[base+k]) / bt.rest[base+k]
+			if s > maxs {
+				maxs = s
+			}
+		}
+	}
+	return maxs
+}

@@ -1,0 +1,135 @@
+package force
+
+import (
+	"math"
+	"testing"
+
+	"hybriddem/internal/geom"
+)
+
+func TestBondTableAddAndLookup(t *testing.T) {
+	bt := NewBondTable(4, 3, 10, 0)
+	if err := bt.Add(0, 1, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.Add(1, 2, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if bt.NumBonds() != 2 {
+		t.Errorf("NumBonds = %d", bt.NumBonds())
+	}
+	if r, ok := bt.Bonded(0, 1); !ok || r != 0.1 {
+		t.Errorf("Bonded(0,1) = %g, %v", r, ok)
+	}
+	if r, ok := bt.Bonded(1, 0); !ok || r != 0.1 {
+		t.Errorf("bond not symmetric: %g, %v", r, ok)
+	}
+	if _, ok := bt.Bonded(0, 2); ok {
+		t.Error("phantom bond")
+	}
+	if got := bt.BondsOf(1); len(got) != 2 {
+		t.Errorf("BondsOf(1) = %v", got)
+	}
+	if bt.MaxRest() != 0.2 {
+		t.Errorf("MaxRest = %g", bt.MaxRest())
+	}
+}
+
+func TestBondTableErrors(t *testing.T) {
+	bt := NewBondTable(4, 1, 10, 0)
+	if err := bt.Add(0, 0, 0.1); err == nil {
+		t.Error("self bond accepted")
+	}
+	if err := bt.Add(0, 1, -1); err == nil {
+		t.Error("negative rest accepted")
+	}
+	if err := bt.Add(0, 1, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.Add(0, 1, 0.1); err == nil {
+		t.Error("duplicate bond accepted")
+	}
+	if err := bt.Add(0, 2, 0.1); err == nil {
+		t.Error("bond slot overflow accepted")
+	}
+}
+
+func TestBondForceRestoresRestLength(t *testing.T) {
+	bt := NewBondTable(2, 2, 100, 0)
+	if err := bt.Add(0, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	sp := Spring{Diameter: 0.5, K: 1, Bonds: bt}
+
+	// Stretched bond: force on i pulls towards j (+disp direction).
+	fi, e, contact := sp.PairID(0, 1, geom.Vec{0.7, 0, 0}, geom.Vec{}, 3)
+	if !contact {
+		t.Fatal("bonded pair not flagged as interacting")
+	}
+	if fi[0] <= 0 {
+		t.Errorf("stretched bond force %v should pull i towards j", fi)
+	}
+	if math.Abs(e-0.5*100*0.04) > 1e-12 {
+		t.Errorf("stretched bond energy %g", e)
+	}
+	// Compressed bond: pushes apart.
+	fi, _, _ = sp.PairID(0, 1, geom.Vec{0.3, 0, 0}, geom.Vec{}, 3)
+	if fi[0] >= 0 {
+		t.Errorf("compressed bond force %v should push i away", fi)
+	}
+	// At rest: no force.
+	fi, e, _ = sp.PairID(0, 1, geom.Vec{0.5, 0, 0}, geom.Vec{}, 3)
+	if geom.Norm(fi, 3) > 1e-12 || e > 1e-15 {
+		t.Errorf("rest bond force %v energy %g", fi, e)
+	}
+	// Unbonded pair uses the plain contact force (none at r=0.7 > d).
+	fi, _, contact = sp.PairID(0, 0, geom.Vec{0.7, 0, 0}, geom.Vec{}, 3)
+	_ = fi
+	if contact {
+		t.Error("unbonded distant pair in contact")
+	}
+}
+
+func TestBondDampingOpposesStretchRate(t *testing.T) {
+	bt := NewBondTable(2, 2, 0, 5) // pure damper
+	if err := bt.Add(0, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	sp := Spring{Diameter: 0.5, Bonds: bt}
+	// j receding from i: relative velocity along +disp; damping pulls
+	// i after j.
+	fi, _, _ := sp.PairID(0, 1, geom.Vec{0.5, 0, 0}, geom.Vec{1, 0, 0}, 3)
+	if fi[0] <= 0 {
+		t.Errorf("damping should resist separation: %v", fi)
+	}
+	fi, _, _ = sp.PairID(0, 1, geom.Vec{0.5, 0, 0}, geom.Vec{-1, 0, 0}, 3)
+	if fi[0] >= 0 {
+		t.Errorf("damping should resist approach: %v", fi)
+	}
+}
+
+func TestMaxBondStrain(t *testing.T) {
+	bt := NewBondTable(3, 2, 10, 0)
+	if err := bt.Add(0, 1, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.Add(1, 2, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	box := geom.NewBox(2, 100, geom.Reflecting)
+	pos := []geom.Vec{{0, 0}, {1.2, 0}, {1.2, 1.0}}
+	got := bt.MaxBondStrain(pos, box)
+	if math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("MaxBondStrain = %g, want 0.2", got)
+	}
+}
+
+func TestPairIDWithoutBondsEqualsPair(t *testing.T) {
+	sp := Spring{Diameter: 0.2, K: 30}
+	disp := geom.Vec{0.1, 0.05, 0}
+	f1, e1, c1 := sp.Pair(disp, geom.Vec{}, 3)
+	f2, e2, c2 := sp.PairID(3, 7, disp, geom.Vec{}, 3)
+	if f1 != f2 || e1 != e2 || c1 != c2 {
+		t.Error("PairID without bonds diverges from Pair")
+	}
+}

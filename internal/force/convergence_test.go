@@ -1,0 +1,104 @@
+package force
+
+import (
+	"math"
+	"testing"
+
+	"hybriddem/internal/cell"
+	"hybriddem/internal/geom"
+	"hybriddem/internal/particle"
+)
+
+// oscillatorError integrates two bonded particles — a harmonic
+// oscillator in the relative coordinate with ω = sqrt(2K) — for three
+// periods with leapfrog-consistent half-step initial velocities and
+// returns the maximum separation error against the analytic solution.
+func oscillatorError(dt float64) float64 {
+	const (
+		K    = 100.0
+		A    = 0.1
+		rest = 0.5
+	)
+	omega := math.Sqrt(2 * K)
+	ps := particle.New(1, 2)
+	ps.Append(geom.Vec{5 - (rest+A)/2}, geom.Vec{}, 0)
+	ps.Append(geom.Vec{5 + (rest+A)/2}, geom.Vec{}, 1)
+	vhalf := A * omega * math.Sin(omega*dt/2) / 2
+	ps.Vel[0][0] = -vhalf
+	ps.Vel[1][0] = +vhalf
+	bt := NewBondTable(2, 1, K, 0)
+	if err := bt.Add(0, 1, rest); err != nil {
+		panic(err)
+	}
+	sp := Spring{Diameter: rest, K: 0, Bonds: bt}
+	box := geom.NewBox(1, 10, geom.Reflecting)
+	links := []cell.Link{{I: 0, J: 1}}
+	steps := int(3 * 2 * math.Pi / omega / dt)
+	maxe := 0.0
+	for i := 0; i < steps; i++ {
+		t := float64(i) * dt
+		sep := ps.Pos[1][0] - ps.Pos[0][0]
+		want := rest + A*math.Cos(omega*t)
+		if e := math.Abs(sep - want); e > maxe {
+			maxe = e
+		}
+		ps.ZeroForces()
+		sp.Accumulate(ps, links, 2, box, 1, nil)
+		Integrate(ps, 2, dt, box, WrapGlobal, nil)
+	}
+	return maxe
+}
+
+// TestIntegratorSecondOrder validates the paper's "standard
+// second-order accurate scheme": halving the step must quarter the
+// trajectory error (the kick-drift update is leapfrog once velocities
+// are read at half steps).
+func TestIntegratorSecondOrder(t *testing.T) {
+	e1 := oscillatorError(4e-3)
+	e2 := oscillatorError(2e-3)
+	e3 := oscillatorError(1e-3)
+	r12 := e1 / e2
+	r23 := e2 / e3
+	for _, r := range []float64{r12, r23} {
+		if r < 3.5 || r > 4.5 {
+			t.Errorf("convergence ratio %.2f, want ~4 (errors %g %g %g)", r, e1, e2, e3)
+		}
+	}
+}
+
+// TestIntegratorEnergyBounded: over many periods the leapfrog's
+// energy error must stay bounded (no secular drift), a symplectic
+// property a naive Euler scheme would fail.
+func TestIntegratorEnergyBounded(t *testing.T) {
+	const K, rest, A = 100.0, 0.5, 0.1
+	ps := particle.New(1, 2)
+	ps.Append(geom.Vec{5 - (rest+A)/2}, geom.Vec{}, 0)
+	ps.Append(geom.Vec{5 + (rest+A)/2}, geom.Vec{}, 1)
+	bt := NewBondTable(2, 1, K, 0)
+	if err := bt.Add(0, 1, rest); err != nil {
+		t.Fatal(err)
+	}
+	sp := Spring{Diameter: rest, K: 0, Bonds: bt}
+	box := geom.NewBox(1, 10, geom.Reflecting)
+	links := []cell.Link{{I: 0, J: 1}}
+	dt := 1e-3
+	var e0, emin, emax float64
+	for i := 0; i < 200000; i++ { // ~450 periods
+		ps.ZeroForces()
+		epot := sp.Accumulate(ps, links, 2, box, 1, nil)
+		etot := epot + KineticEnergy(ps, 2)
+		if i == 0 {
+			e0, emin, emax = etot, etot, etot
+		}
+		if etot < emin {
+			emin = etot
+		}
+		if etot > emax {
+			emax = etot
+		}
+		Integrate(ps, 2, dt, box, WrapGlobal, nil)
+	}
+	if (emax-emin)/e0 > 0.05 {
+		t.Errorf("energy envelope %.3f%% of E0 over 450 periods", 100*(emax-emin)/e0)
+	}
+}

@@ -1,0 +1,262 @@
+package force
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hybriddem/internal/cell"
+	"hybriddem/internal/geom"
+	"hybriddem/internal/particle"
+	"hybriddem/internal/trace"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPairForceBasics(t *testing.T) {
+	sp := Spring{Diameter: 1, K: 10}
+	// Separation 0.5 along x: overlap 0.5, |F| = 5, pushing i in -x.
+	fi, e, contact := sp.Pair(geom.Vec{0.5, 0, 0}, geom.Vec{}, 3)
+	if !contact {
+		t.Fatal("no contact at overlap")
+	}
+	if !almostEq(fi[0], -5, 1e-12) || fi[1] != 0 {
+		t.Errorf("force = %v", fi)
+	}
+	if !almostEq(e, 0.5*10*0.25, 1e-12) {
+		t.Errorf("energy = %g", e)
+	}
+}
+
+func TestPairNoForceBeyondDiameter(t *testing.T) {
+	sp := Spring{Diameter: 0.1, K: 100}
+	fi, e, contact := sp.Pair(geom.Vec{0.2, 0, 0}, geom.Vec{}, 3)
+	if contact || e != 0 || fi != (geom.Vec{}) {
+		t.Errorf("force beyond range: %v %g %v", fi, e, contact)
+	}
+	// Exactly at the diameter: no contact (half-open).
+	_, _, contact = sp.Pair(geom.Vec{0.1, 0, 0}, geom.Vec{}, 3)
+	if contact {
+		t.Error("contact exactly at diameter")
+	}
+	// Coincident particles: guarded, no NaN.
+	fi, _, _ = sp.Pair(geom.Vec{}, geom.Vec{}, 3)
+	if fi != (geom.Vec{}) {
+		t.Errorf("coincident force = %v", fi)
+	}
+}
+
+func TestPairForceCentralProperty(t *testing.T) {
+	// The elastic force must point along the pair axis, away from j.
+	sp := Spring{Diameter: 1, K: 3}
+	f := func(x, y, z float64) bool {
+		d := geom.Vec{x, y, z}
+		r := geom.Norm(d, 3)
+		if r == 0 || r >= 1 {
+			return true
+		}
+		fi, e, _ := sp.Pair(d, geom.Vec{}, 3)
+		// fi parallel to -d: cross terms vanish.
+		dot := geom.Dot(fi, d, 3)
+		if dot >= 0 {
+			return false // repulsion must push i away from j
+		}
+		fmag := geom.Norm(fi, 3)
+		return almostEq(fmag, 3*(1-r), 1e-9) && e >= 0
+	}
+	if err := quick.Check(func(a, b, c int8) bool {
+		return f(float64(a)/128, float64(b)/128, float64(c)/128)
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDampingOpposesApproach(t *testing.T) {
+	sp := Spring{Diameter: 1, K: 0, Damp: 2}
+	// j approaching i from +x: relative velocity of j w.r.t. i is -x.
+	fi, _, _ := sp.Pair(geom.Vec{0.5, 0, 0}, geom.Vec{-1, 0, 0}, 3)
+	// vn = dot(rel, disp)/r = -1*0.5/0.5 = -1; mag = -Damp*vn = 2 > 0
+	// → force on i along -disp: damping pushes i away as the pair
+	// compresses, resisting the approach.
+	if fi[0] >= 0 {
+		t.Errorf("damping force on approach = %v", fi)
+	}
+	// Separating pair: damping pulls back.
+	fi, _, _ = sp.Pair(geom.Vec{0.5, 0, 0}, geom.Vec{+1, 0, 0}, 3)
+	if fi[0] <= 0 {
+		t.Errorf("damping force on separation = %v", fi)
+	}
+}
+
+// buildSystem returns a random store and its link list.
+func buildSystem(t testing.TB, d, n int, bc geom.Boundary, seed int64) (*particle.Store, *cell.List, geom.Box, Spring) {
+	box := geom.NewBox(d, 1.0, bc)
+	ps := particle.New(d, n)
+	rng := rand.New(rand.NewSource(seed))
+	particle.FillUniformVel(ps, n, box, 0.3, 0, rng)
+	sp := Spring{Diameter: 0.08, K: 50}
+	rc := 0.12
+	g := cell.NewGrid(d, geom.Vec{}, box.Len, rc, bc == geom.Periodic)
+	g.Bin(ps.Pos, n, nil)
+	list := g.BuildLinks(ps.Pos, n, n, rc*rc, box, nil)
+	return ps, list, box, sp
+}
+
+func TestNewtonThirdLaw(t *testing.T) {
+	for _, d := range []int{2, 3} {
+		ps, list, box, sp := buildSystem(t, d, 400, geom.Periodic, 3)
+		var tc trace.Counters
+		ps.ZeroForces()
+		sp.Accumulate(ps, list.Links, ps.Len(), box, 1, &tc)
+		var total geom.Vec
+		for i := 0; i < ps.Len(); i++ {
+			total = geom.Add(total, ps.Frc[i], d)
+		}
+		for k := 0; k < d; k++ {
+			if math.Abs(total[k]) > 1e-9 {
+				t.Errorf("D=%d: net internal force component %d = %g", d, k, total[k])
+			}
+		}
+		if tc.ForceEvals != int64(len(list.Links)) {
+			t.Errorf("counted %d force evals for %d links", tc.ForceEvals, len(list.Links))
+		}
+	}
+}
+
+func TestMomentumConservation(t *testing.T) {
+	ps, list, box, sp := buildSystem(t, 2, 300, geom.Periodic, 5)
+	p0 := Momentum(ps, ps.Len())
+	for it := 0; it < 50; it++ {
+		ps.ZeroForces()
+		sp.Accumulate(ps, list.Links, ps.Len(), box, 1, nil)
+		Integrate(ps, ps.Len(), 1e-4, box, WrapGlobal, nil)
+	}
+	p1 := Momentum(ps, ps.Len())
+	for k := 0; k < 2; k++ {
+		if math.Abs(p1[k]-p0[k]) > 1e-9 {
+			t.Errorf("momentum drift in component %d: %g -> %g", k, p0[k], p1[k])
+		}
+	}
+}
+
+func TestEnergyConservation(t *testing.T) {
+	// Elastic system, no damping: E = Ekin + Epot must be conserved
+	// to the integrator's accuracy over a short run with a valid list.
+	ps, list, box, sp := buildSystem(t, 2, 300, geom.Periodic, 7)
+	dt := 2e-5
+	ps.ZeroForces()
+	e0 := sp.Accumulate(ps, list.Links, ps.Len(), box, 1, nil) + KineticEnergy(ps, ps.Len())
+	for it := 0; it < 100; it++ {
+		ps.ZeroForces()
+		sp.Accumulate(ps, list.Links, ps.Len(), box, 1, nil)
+		Integrate(ps, ps.Len(), dt, box, WrapGlobal, nil)
+	}
+	ps.ZeroForces()
+	e1 := sp.Accumulate(ps, list.Links, ps.Len(), box, 1, nil) + KineticEnergy(ps, ps.Len())
+	if math.Abs(e1-e0) > 0.02*math.Abs(e0) {
+		t.Errorf("energy drift: %g -> %g (%.2f%%)", e0, e1, 100*math.Abs(e1-e0)/math.Abs(e0))
+	}
+}
+
+func TestHaloForceSkipsGhosts(t *testing.T) {
+	// Link oriented core-first: ghost J must receive no force.
+	ps := particle.New(2, 2)
+	ps.Append(geom.Vec{0.50, 0.5}, geom.Vec{}, 0)
+	ps.Append(geom.Vec{0.55, 0.5}, geom.Vec{}, 1) // ghost
+	sp := Spring{Diameter: 0.1, K: 10}
+	box := geom.NewBox(2, 1, geom.Reflecting)
+	links := []cell.Link{{I: 0, J: 1}}
+	sp.Accumulate(ps, links, 1, box, 0.5, nil)
+	if ps.Frc[0][0] >= 0 {
+		t.Errorf("core force = %v, want repulsion in -x", ps.Frc[0])
+	}
+	if ps.Frc[1] != (geom.Vec{}) {
+		t.Errorf("ghost received force %v", ps.Frc[1])
+	}
+}
+
+func TestEnergyScaleHalvesHaloEnergy(t *testing.T) {
+	ps := particle.New(2, 2)
+	ps.Append(geom.Vec{0.50, 0.5}, geom.Vec{}, 0)
+	ps.Append(geom.Vec{0.55, 0.5}, geom.Vec{}, 1)
+	sp := Spring{Diameter: 0.1, K: 10}
+	box := geom.NewBox(2, 1, geom.Reflecting)
+	links := []cell.Link{{I: 0, J: 1}}
+	full := sp.Accumulate(ps, links, 2, box, 1, nil)
+	half := sp.Accumulate(ps, links, 2, box, 0.5, nil)
+	if !almostEq(half, full/2, 1e-12) {
+		t.Errorf("half-scale energy %g vs full %g", half, full)
+	}
+}
+
+func TestReflectingWallsBounce(t *testing.T) {
+	box := geom.NewBox(1, 1, geom.Reflecting)
+	ps := particle.New(1, 1)
+	ps.Append(geom.Vec{0.95}, geom.Vec{2, 0, 0}, 0)
+	Integrate(ps, 1, 0.1, box, WrapGlobal, nil) // moves to 1.15 -> reflect to 0.85
+	if !almostEq(ps.Pos[0][0], 0.85, 1e-9) {
+		t.Errorf("position after bounce = %g", ps.Pos[0][0])
+	}
+	if ps.Vel[0][0] != -2 {
+		t.Errorf("velocity after bounce = %g", ps.Vel[0][0])
+	}
+}
+
+func TestWrapDeferredLeavesPeriodicUnwrapped(t *testing.T) {
+	box := geom.NewBox(1, 1, geom.Periodic)
+	ps := particle.New(1, 1)
+	ps.Append(geom.Vec{0.95}, geom.Vec{2, 0, 0}, 0)
+	Integrate(ps, 1, 0.1, box, WrapDeferred, nil)
+	if !almostEq(ps.Pos[0][0], 1.15, 1e-12) {
+		t.Errorf("deferred wrap moved the particle to %g", ps.Pos[0][0])
+	}
+	Integrate(ps, 1, 0.1, box, WrapGlobal, nil)
+	if ps.Pos[0][0] >= 1 {
+		t.Errorf("global wrap left particle at %g", ps.Pos[0][0])
+	}
+}
+
+func TestApplyGravity(t *testing.T) {
+	ps := particle.New(2, 2)
+	ps.Append(geom.Vec{0.5, 0.5}, geom.Vec{}, 0)
+	ps.Append(geom.Vec{0.2, 0.2}, geom.Vec{}, 1)
+	ApplyGravity(ps, 2, 1, -9.8)
+	for i := 0; i < 2; i++ {
+		if ps.Frc[i][1] != -9.8 || ps.Frc[i][0] != 0 {
+			t.Errorf("gravity on %d = %v", i, ps.Frc[i])
+		}
+	}
+}
+
+func TestIntegrateRangeMatchesIntegrate(t *testing.T) {
+	box := geom.NewBox(2, 1, geom.Periodic)
+	a := particle.New(2, 10)
+	rng := rand.New(rand.NewSource(2))
+	particle.FillUniformVel(a, 10, box, 1, 0, rng)
+	for i := range a.Frc {
+		a.Frc[i] = geom.Vec{float64(i), -float64(i)}
+	}
+	b := a.Clone()
+	Integrate(a, 10, 0.01, box, WrapGlobal, nil)
+	IntegrateRange(b, 0, 5, 0.01, box, WrapGlobal, nil)
+	IntegrateRange(b, 5, 10, 0.01, box, WrapGlobal, nil)
+	for i := 0; i < 10; i++ {
+		if a.Pos[i] != b.Pos[i] || a.Vel[i] != b.Vel[i] {
+			t.Fatalf("range split diverges at %d", i)
+		}
+	}
+}
+
+func TestPairEnergyRMax(t *testing.T) {
+	sp := Spring{Diameter: 0.3, K: 4}
+	if sp.RMax() != 0.3 {
+		t.Errorf("RMax = %g", sp.RMax())
+	}
+	if sp.PairEnergy(0.4) != 0 {
+		t.Error("energy beyond diameter")
+	}
+	if !almostEq(sp.PairEnergy(0.1), 0.5*4*0.04, 1e-12) {
+		t.Errorf("PairEnergy(0.1) = %g", sp.PairEnergy(0.1))
+	}
+}

@@ -1,0 +1,75 @@
+package force
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hybriddem/internal/cell"
+	"hybriddem/internal/geom"
+	"hybriddem/internal/particle"
+)
+
+func TestHertzForceMagnitude(t *testing.T) {
+	sp := Spring{Diameter: 1, K: 10, Hertz: true}
+	// Overlap 0.25 at separation 0.75: |F| = 10 * 0.25^1.5 = 1.25.
+	fi, e, contact := sp.Pair(geom.Vec{0.75, 0, 0}, geom.Vec{}, 3)
+	if !contact {
+		t.Fatal("no contact")
+	}
+	want := 10 * math.Pow(0.25, 1.5)
+	if math.Abs(-fi[0]-want) > 1e-12 {
+		t.Errorf("|F| = %g, want %g", -fi[0], want)
+	}
+	wantE := 0.4 * 10 * math.Pow(0.25, 2.5)
+	if math.Abs(e-wantE) > 1e-12 {
+		t.Errorf("E = %g, want %g", e, wantE)
+	}
+	if math.Abs(sp.PairEnergy(0.75)-wantE) > 1e-12 {
+		t.Errorf("PairEnergy = %g", sp.PairEnergy(0.75))
+	}
+}
+
+func TestHertzSofterAtGrazingStifferWhenDeep(t *testing.T) {
+	lin := Spring{Diameter: 1, K: 10}
+	hz := Spring{Diameter: 1, K: 10, Hertz: true}
+	// Grazing contact (overlap << 1): Hertz is weaker.
+	fl, _, _ := lin.Pair(geom.Vec{0.99, 0, 0}, geom.Vec{}, 3)
+	fh, _, _ := hz.Pair(geom.Vec{0.99, 0, 0}, geom.Vec{}, 3)
+	if -fh[0] >= -fl[0] {
+		t.Errorf("grazing: hertz %g not below linear %g", -fh[0], -fl[0])
+	}
+	// Hertz force stays continuous at onset: tiny overlap, tiny force.
+	fh, _, _ = hz.Pair(geom.Vec{1 - 1e-9, 0, 0}, geom.Vec{}, 3)
+	if -fh[0] > 1e-8 {
+		t.Errorf("force discontinuous at contact onset: %g", -fh[0])
+	}
+}
+
+func TestHertzEnergyConservation(t *testing.T) {
+	// The Hertzian system must conserve energy like the linear one.
+	box := geom.NewBox(2, 1.0, geom.Periodic)
+	ps := particle.New(2, 300)
+	rng := rand.New(rand.NewSource(17))
+	particle.FillUniformVel(ps, 300, box, 0.3, 0, rng)
+	sp := Spring{Diameter: 0.08, K: 50, Hertz: true}
+	rc := 0.12
+	g := cell.NewGrid(2, geom.Vec{}, box.Len, rc, true)
+	g.Bin(ps.Pos, 300, nil)
+	list := g.BuildLinks(ps.Pos, 300, 300, rc*rc, box, nil)
+
+	energy := func() float64 {
+		ps.ZeroForces()
+		return sp.Accumulate(ps, list.Links, 300, box, 1, nil) + KineticEnergy(ps, 300)
+	}
+	e0 := energy()
+	for it := 0; it < 100; it++ {
+		ps.ZeroForces()
+		sp.Accumulate(ps, list.Links, 300, box, 1, nil)
+		Integrate(ps, 300, 2e-5, box, WrapGlobal, nil)
+	}
+	e1 := energy()
+	if math.Abs(e1-e0) > 0.02*math.Abs(e0) {
+		t.Errorf("hertz energy drift %g -> %g", e0, e1)
+	}
+}

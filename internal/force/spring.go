@@ -1,0 +1,150 @@
+// Package force implements the pairwise interaction and the time
+// integrator of the paper's test code: identical elastic spheres whose
+// contact force costs "one floating point inverse and one square root"
+// per pair, optional dissipative damping (the grain-bond model of the
+// full Physics DEM), and a second-order accurate kick-drift update.
+package force
+
+import (
+	"math"
+
+	"hybriddem/internal/cell"
+	"hybriddem/internal/geom"
+	"hybriddem/internal/particle"
+	"hybriddem/internal/trace"
+)
+
+// Spring is a linear repulsive contact force between spheres of equal
+// diameter: for separation r < Diameter the pair repels with magnitude
+// K*(Diameter-r), plus an optional dissipative term Damp*vn along the
+// contact normal (a "dissipative spring", zero for the elastic
+// benchmark). Particle mass is 1.
+type Spring struct {
+	Diameter float64 // contact distance; rmax of the model
+	K        float64 // spring stiffness
+	Damp     float64 // normal damping coefficient, >= 0
+
+	// Hertz switches the contact law from the paper's linear spring
+	// to the Hertzian K*overlap^(3/2) of elastic-sphere contact
+	// mechanics — softer at grazing contact, stiffer when deeply
+	// compressed. Provided as a model extension; all benchmarks use
+	// the linear law.
+	Hertz bool
+
+	// Bonds, when non-nil, overrides the contact force for the
+	// permanently bonded pairs of composite grains (see BondTable).
+	Bonds *BondTable
+}
+
+// RMax returns the longest force range, which for a contact model is
+// the sphere diameter.
+func (s Spring) RMax() float64 { return s.Diameter }
+
+// PairEnergy returns the potential energy stored at separation r.
+func (s Spring) PairEnergy(r float64) float64 {
+	if r >= s.Diameter {
+		return 0
+	}
+	o := s.Diameter - r
+	if s.Hertz {
+		return 0.4 * s.K * o * o * math.Sqrt(o)
+	}
+	return 0.5 * s.K * o * o
+}
+
+// Pair computes the force the pair exerts on particle i (the force on
+// j is the negative) and the pair potential energy, given the
+// displacement from i to j and the relative velocity vj-vi. It mirrors
+// the paper's cost profile: one sqrt and one divide on the hot path.
+func (s Spring) Pair(disp, relVel geom.Vec, d int) (fi geom.Vec, e float64, contact bool) {
+	r2 := geom.Norm2(disp, d)
+	if r2 >= s.Diameter*s.Diameter || r2 == 0 {
+		return geom.Vec{}, 0, false
+	}
+	r := math.Sqrt(r2)
+	inv := 1.0 / r
+	overlap := s.Diameter - r
+	// Repulsion pushes i away from j: along -disp.
+	var mag, epair float64
+	if s.Hertz {
+		h := overlap * math.Sqrt(overlap)
+		mag = s.K * h
+		epair = 0.4 * s.K * h * overlap // integral of K o^(3/2)
+	} else {
+		mag = s.K * overlap
+		epair = 0.5 * s.K * overlap * overlap
+	}
+	if s.Damp > 0 {
+		// Normal component of the approach velocity; damping opposes
+		// relative motion along the contact normal.
+		vn := geom.Dot(relVel, disp, d) * inv
+		mag -= s.Damp * vn
+	}
+	for k := 0; k < d; k++ {
+		fi[k] = -mag * disp[k] * inv
+	}
+	return fi, epair, true
+}
+
+// Accumulate walks links, adding pair forces into ps.Frc and returning
+// the accumulated potential energy scaled by energyScale (the paper
+// multiplies halo-link energy by one half to avoid double counting
+// between replicating blocks). Forces are applied to link endpoint I
+// always and to J only when J < nCore: halo copies never need forces
+// since their home block computes the mirrored update itself.
+//
+// This is the serial kernel; the thread-parallel variants with their
+// five update-protection strategies live in internal/shm.
+func (s Spring) Accumulate(ps *particle.Store, links []cell.Link, nCore int, box geom.Box, energyScale float64, tc *trace.Counters) float64 {
+	d := ps.D
+	epot := 0.0
+	pos, vel, frc, ids := ps.Pos, ps.Vel, ps.Frc, ps.ID
+	var distSum, contacts int64
+	for _, l := range links {
+		disp := box.Disp(pos[l.I], pos[l.J])
+		rel := geom.Sub(vel[l.J], vel[l.I], d)
+		fi, e, contact := s.PairID(ids[l.I], ids[l.J], disp, rel, d)
+		if contact {
+			contacts++
+		}
+		epot += e
+		for k := 0; k < d; k++ {
+			frc[l.I][k] += fi[k]
+		}
+		if int(l.J) < nCore {
+			for k := 0; k < d; k++ {
+				frc[l.J][k] -= fi[k]
+			}
+		}
+		di := int64(l.I) - int64(l.J)
+		if di < 0 {
+			di = -di
+		}
+		distSum += di
+	}
+	if tc != nil {
+		n := int64(len(links))
+		tc.ForceEvals += n
+		tc.LinkVisits += n
+		tc.Contacts += contacts
+		tc.ForceUpdates += 2 * n
+		tc.LinkIndexDistSum += distSum
+		tc.LinkIndexDistN += n
+	}
+	return epot * energyScale
+}
+
+// PotentialOnly walks links summing pair potential energy without
+// touching the force array; used by invariant tests.
+func (s Spring) PotentialOnly(ps *particle.Store, links []cell.Link, box geom.Box, scale float64) float64 {
+	d := ps.D
+	epot := 0.0
+	for _, l := range links {
+		disp := box.Disp(ps.Pos[l.I], ps.Pos[l.J])
+		r2 := geom.Norm2(disp, d)
+		if r2 < s.Diameter*s.Diameter {
+			epot += s.PairEnergy(math.Sqrt(r2))
+		}
+	}
+	return epot * scale
+}

@@ -1,0 +1,197 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVecOps(t *testing.T) {
+	a := Vec{1, 2, 3}
+	b := Vec{4, -5, 6}
+	if got := Add(a, b, 3); got != (Vec{5, -3, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Sub(a, b, 3); got != (Vec{-3, 7, -3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := Scale(a, 2, 3); got != (Vec{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := Dot(a, b, 3); got != 4-10+18 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := Norm2(a, 2); got != 5 {
+		t.Errorf("Norm2 d=2 = %v", got)
+	}
+	if got := Norm(Vec{3, 4}, 2); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+}
+
+func TestVecDimensionality(t *testing.T) {
+	// Operations over d components must ignore the rest.
+	a := Vec{1, 2, 99}
+	b := Vec{5, 5, 99}
+	if got := Add(a, b, 2); got[2] != 0 {
+		t.Errorf("Add leaked dimension 3: %v", got)
+	}
+	if got := Dot(a, b, 2); got != 15 {
+		t.Errorf("Dot d=2 = %v", got)
+	}
+}
+
+func TestNewBoxPanics(t *testing.T) {
+	for _, tc := range []struct {
+		d int
+		l float64
+	}{{0, 1}, {4, 1}, {2, 0}, {2, -3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBox(%d, %g) did not panic", tc.d, tc.l)
+				}
+			}()
+			NewBox(tc.d, tc.l, Periodic)
+		}()
+	}
+}
+
+func TestBoxVolumeContains(t *testing.T) {
+	b := NewBox(3, 2, Periodic)
+	if b.Volume() != 8 {
+		t.Errorf("volume = %g", b.Volume())
+	}
+	if !b.Contains(Vec{0, 0, 0}) || !b.Contains(Vec{1.999, 1.999, 1.999}) {
+		t.Error("Contains rejects interior points")
+	}
+	if b.Contains(Vec{2, 0, 0}) || b.Contains(Vec{-0.001, 0, 0}) {
+		t.Error("Contains accepts exterior points")
+	}
+}
+
+func TestPeriodicWrapProperty(t *testing.T) {
+	b := NewBox(3, 7.5, Periodic)
+	f := func(x, y, z float64) bool {
+		p, _ := b.Wrap(Vec{x, y, z})
+		return b.Contains(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeriodicWrapPreservesModulo(t *testing.T) {
+	b := NewBox(2, 10, Periodic)
+	p, _ := b.Wrap(Vec{23, -7})
+	if !almostEq(p[0], 3, 1e-12) || !almostEq(p[1], 3, 1e-12) {
+		t.Errorf("wrap(23,-7) = %v", p)
+	}
+}
+
+func TestReflectingWrap(t *testing.T) {
+	b := NewBox(1, 10, Reflecting)
+	cases := []struct {
+		in, out float64
+		flip    bool
+	}{
+		{5, 5, false},
+		{12, 8, true},   // one bounce off the top
+		{-3, 3, true},   // one bounce off the bottom
+		{23, 3, false},  // 23 -> fold period 20 -> 3, even bounces
+		{-13, 7, false}, // -13 -> 7 with two bounces
+	}
+	for _, c := range cases {
+		p, flip := b.Wrap(Vec{c.in})
+		if !almostEq(p[0], c.out, 1e-9) || flip[0] != c.flip {
+			t.Errorf("reflect(%g) = %g flip=%v, want %g flip=%v", c.in, p[0], flip[0], c.out, c.flip)
+		}
+	}
+}
+
+func TestReflectingWrapProperty(t *testing.T) {
+	b := NewBox(2, 4, Reflecting)
+	f := func(x, y float64) bool {
+		p, _ := b.Wrap(Vec{x, y})
+		return b.Contains(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinimumImageDisp(t *testing.T) {
+	b := NewBox(2, 10, Periodic)
+	d := b.Disp(Vec{9.5, 0}, Vec{0.5, 0})
+	if !almostEq(d[0], 1, 1e-12) {
+		t.Errorf("min image across boundary = %v", d)
+	}
+	d = b.Disp(Vec{0.5, 0}, Vec{9.5, 0})
+	if !almostEq(d[0], -1, 1e-12) {
+		t.Errorf("min image reverse = %v", d)
+	}
+	// Plain difference without periodicity.
+	r := NewBox(2, 10, Reflecting)
+	d = r.Disp(Vec{9.5, 0}, Vec{0.5, 0})
+	if !almostEq(d[0], -9, 1e-12) {
+		t.Errorf("plain disp = %v", d)
+	}
+}
+
+func TestDispAntisymmetryProperty(t *testing.T) {
+	b := NewBox(3, 6, Periodic)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		var p, q Vec
+		for k := 0; k < 3; k++ {
+			p[k] = rng.Float64() * 6
+			q[k] = rng.Float64() * 6
+		}
+		d1 := b.Disp(p, q)
+		d2 := b.Disp(q, p)
+		for k := 0; k < 3; k++ {
+			if !almostEq(d1[k], -d2[k], 1e-12) {
+				t.Fatalf("Disp not antisymmetric at %v %v: %v vs %v", p, q, d1, d2)
+			}
+		}
+	}
+}
+
+func TestMinimumImageIsShortest(t *testing.T) {
+	b := NewBox(2, 5, Periodic)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		var p, q Vec
+		for k := 0; k < 2; k++ {
+			p[k] = rng.Float64() * 5
+			q[k] = rng.Float64() * 5
+		}
+		got := b.Dist2(p, q)
+		// Brute force over the 9 images.
+		best := math.Inf(1)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				img := Vec{q[0] + 5*float64(dx), q[1] + 5*float64(dy)}
+				d := Sub(img, p, 2)
+				if n := Norm2(d, 2); n < best {
+					best = n
+				}
+			}
+		}
+		if !almostEq(got, best, 1e-9) {
+			t.Fatalf("Dist2(%v,%v) = %g, brute force %g", p, q, got, best)
+		}
+	}
+}
+
+func TestBoundaryString(t *testing.T) {
+	if Periodic.String() != "periodic" || Reflecting.String() != "reflecting" {
+		t.Error("Boundary.String mismatch")
+	}
+	if Boundary(9).String() == "" {
+		t.Error("unknown boundary should still format")
+	}
+}

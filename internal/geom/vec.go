@@ -1,0 +1,72 @@
+// Package geom provides the small amount of D-dimensional geometry the
+// DEM code needs: fixed-size vectors usable in 1, 2 or 3 dimensions,
+// rectangular simulation boxes with periodic or reflecting walls, and
+// minimum-image displacement.
+//
+// The paper's test code "works in an arbitrary number of dimensions D";
+// in practice it is benchmarked at D=2 and D=3. We support D in [1,3]
+// with a fixed-size array type so that vectors never allocate.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxD is the largest supported spatial dimensionality.
+const MaxD = 3
+
+// Vec is a point or displacement in up to MaxD dimensions. Components
+// beyond the active dimensionality D must be zero; all operations take
+// the active D explicitly so that a Vec is just plain storage.
+type Vec [MaxD]float64
+
+// Zero returns the zero vector.
+func Zero() Vec { return Vec{} }
+
+// Add returns a + b over the first d components.
+func Add(a, b Vec, d int) Vec {
+	var r Vec
+	for i := 0; i < d; i++ {
+		r[i] = a[i] + b[i]
+	}
+	return r
+}
+
+// Sub returns a - b over the first d components.
+func Sub(a, b Vec, d int) Vec {
+	var r Vec
+	for i := 0; i < d; i++ {
+		r[i] = a[i] - b[i]
+	}
+	return r
+}
+
+// Scale returns s*a over the first d components.
+func Scale(a Vec, s float64, d int) Vec {
+	var r Vec
+	for i := 0; i < d; i++ {
+		r[i] = s * a[i]
+	}
+	return r
+}
+
+// Dot returns the inner product over the first d components.
+func Dot(a, b Vec, d int) float64 {
+	s := 0.0
+	for i := 0; i < d; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns |a|^2 over the first d components.
+func Norm2(a Vec, d int) float64 { return Dot(a, a, d) }
+
+// Norm returns |a| over the first d components.
+func Norm(a Vec, d int) float64 { return math.Sqrt(Norm2(a, d)) }
+
+// String formats the first MaxD components.
+func (v Vec) String() string {
+	return fmt.Sprintf("(%g, %g, %g)", v[0], v[1], v[2])
+}

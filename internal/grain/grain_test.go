@@ -1,0 +1,155 @@
+package grain
+
+import (
+	"math"
+	"testing"
+
+	"hybriddem/internal/geom"
+)
+
+func TestShapeSizes(t *testing.T) {
+	want := map[Shape]int{Dimer: 2, Trimer: 3, Chain: 4, Tetra: 4}
+	for s, n := range want {
+		if s.Size() != n {
+			t.Errorf("%v size = %d, want %d", s, s.Size(), n)
+		}
+		if s.String() == "" {
+			t.Errorf("%v has no name", s)
+		}
+	}
+	if Shape(99).Size() != 0 {
+		t.Error("unknown shape has a size")
+	}
+}
+
+func TestShapeBondsAreUnitLength(t *testing.T) {
+	for _, s := range []Shape{Dimer, Trimer, Chain, Tetra} {
+		for _, d := range []int{2, 3} {
+			off := s.offsets(d)
+			for _, b := range s.bonds(d) {
+				dist := 0.0
+				for k := 0; k < 3; k++ {
+					dd := off[b[0]][k] - off[b[1]][k]
+					dist += dd * dd
+				}
+				if math.Abs(math.Sqrt(dist)-1) > 1e-9 {
+					t.Errorf("%v d=%d bond %v length %g", s, d, b, math.Sqrt(dist))
+				}
+			}
+		}
+	}
+}
+
+func TestShapeConnectivity(t *testing.T) {
+	// Every shape must be a single connected grain through its bonds.
+	for _, s := range []Shape{Dimer, Trimer, Chain, Tetra} {
+		for _, d := range []int{2, 3} {
+			n := s.Size()
+			adj := make([][]int, n)
+			for _, b := range s.bonds(d) {
+				adj[b[0]] = append(adj[b[0]], b[1])
+				adj[b[1]] = append(adj[b[1]], b[0])
+			}
+			seen := make([]bool, n)
+			stack := []int{0}
+			seen[0] = true
+			count := 1
+			for len(stack) > 0 {
+				v := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, w := range adj[v] {
+					if !seen[w] {
+						seen[w] = true
+						count++
+						stack = append(stack, w)
+					}
+				}
+			}
+			if count != n {
+				t.Errorf("%v d=%d: only %d of %d members connected", s, d, count, n)
+			}
+		}
+	}
+}
+
+func TestBuildPlacesGrainsInsideBox(t *testing.T) {
+	for _, d := range []int{2, 3} {
+		for _, s := range []Shape{Dimer, Trimer, Chain, Tetra} {
+			box := geom.NewBox(d, 5, geom.Reflecting)
+			st, bt, err := Build(Config{
+				D: d, Shape: s, Grains: 40, Diameter: 0.1,
+				Box: box, BondK: 100, BondDamp: 1, Seed: 3,
+			})
+			if err != nil {
+				t.Fatalf("%v d=%d: %v", s, d, err)
+			}
+			if len(st.Pos) != 40*s.Size() {
+				t.Fatalf("%v d=%d: %d particles", s, d, len(st.Pos))
+			}
+			for i, p := range st.Pos {
+				if !box.Contains(p) {
+					t.Fatalf("%v d=%d: particle %d outside box at %v", s, d, i, p)
+				}
+			}
+			if bt.NumBonds() != 40*len(s.bonds(d)) {
+				t.Errorf("%v d=%d: %d bonds", s, d, bt.NumBonds())
+			}
+			// All bonds at rest initially.
+			if strain := bt.MaxBondStrain(st.Pos, box); strain > 1e-9 {
+				t.Errorf("%v d=%d: initial bond strain %g", s, d, strain)
+			}
+			// Rest lengths below any sensible cutoff.
+			if bt.MaxRest() > 0.1+1e-12 {
+				t.Errorf("%v d=%d: rest length %g above diameter", s, d, bt.MaxRest())
+			}
+		}
+	}
+}
+
+func TestBuildClusteredHeight(t *testing.T) {
+	box := geom.NewBox(2, 10, geom.Reflecting)
+	st, _, err := Build(Config{
+		D: 2, Shape: Dimer, Grains: 100, Diameter: 0.1,
+		Box: box, Height: 0.3, BondK: 10, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range st.Pos {
+		if p[1] > 0.3*10+0.3 { // height limit plus grain extent
+			t.Fatalf("particle %d above the bed at y=%g", i, p[1])
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	box := geom.NewBox(2, 1, geom.Reflecting)
+	if _, _, err := Build(Config{D: 2, Shape: Shape(9), Grains: 1, Diameter: 0.1, Box: box}); err == nil {
+		t.Error("unknown shape accepted")
+	}
+	if _, _, err := Build(Config{D: 2, Shape: Dimer, Grains: 0, Diameter: 0.1, Box: box}); err == nil {
+		t.Error("zero grains accepted")
+	}
+	tiny := geom.NewBox(2, 0.1, geom.Reflecting)
+	if _, _, err := Build(Config{D: 2, Shape: Dimer, Grains: 1, Diameter: 0.1, Box: tiny}); err == nil {
+		t.Error("grain bigger than box accepted")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	box := geom.NewBox(3, 4, geom.Periodic)
+	cfg := Config{D: 3, Shape: Tetra, Grains: 20, Diameter: 0.08, Box: box, BondK: 50, Seed: 11}
+	a, _, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Pos {
+		if a.Pos[i] != b.Pos[i] {
+			t.Fatal("same seed produced different packings")
+		}
+	}
+}

@@ -1,0 +1,370 @@
+// Package machine defines the virtual platforms the experiments run
+// on: calibrated cost models of the paper's three machines — the Cray
+// T3E-900, the Sun HPC 3500 and the Compaq ES40 cluster. A platform
+// converts the physical event counts the simulation produces (links
+// visited, contacts computed, force updates, locks taken, messages,
+// regions) into modelled seconds via a cache model, a lock model, an
+// OpenMP overhead model and a two-level network model.
+//
+// Calibration targets the paper's Tables 1 and 2 and, much more
+// importantly, every *relative* effect the paper reports: who wins,
+// by what factor, and where the crossovers fall. The decomposition of
+// the per-link cost is:
+//
+//	visit    — distance computation and loop arithmetic (no sqrt)
+//	contact  — the square root + inverse paid only when r < rmax,
+//	           which is why the paper's times grow much slower than
+//	           the link count when rc rises from 1.5 to 2.0 rmax
+//	stream   — reading the link list itself; 8-byte integers double
+//	           this on the T3E
+//	miss     — particle-array cache misses, governed by the measured
+//	           locality of the link list (reordering collapses it)
+package machine
+
+import (
+	"fmt"
+
+	"hybriddem/internal/mp"
+	"hybriddem/internal/shm"
+)
+
+// Platform is a virtual machine description. All times are seconds,
+// sizes bytes, rates bytes/second.
+type Platform struct {
+	Name        string
+	Nodes       int // SMP boxes
+	CPUsPerNode int
+
+	// Compute.
+	PairVisit    float64 // per link: distance check + loop arithmetic
+	PairVisitDim float64 // extra per spatial dimension
+	ContactCost  float64 // per in-range pair: sqrt + inverse + update math
+	UpdateBase   float64 // per force accumulation (register/ALU)
+	ParticleUpd  float64 // per position update (integrator)
+
+	// Memory system.
+	IntWordBytes  float64 // link-list integer width: 8 on the T3E
+	LineBytes     float64 // cache-line size
+	LinePenalty   float64 // seconds per line fetched from main memory
+	CacheBytes    float64 // per-CPU reuse window (incl. stream buffers)
+	BwContention  float64 // extra line-fetch cost per additional busy CPU on the node
+	BytesPerPart  float64 // pos+vel+frc footprint of one particle (SoA)
+	MinMissFactor float64 // residual miss fraction with perfect locality
+	RedBwScale    float64 // extra bandwidth pressure per added thread for array reductions
+
+	// Lock model.
+	SoftwareLocks bool    // KAI-style software locks (Sun) vs hardware (Compaq)
+	AtomicOp      float64 // per protected update, uncontended
+	AtomicScale   float64 // contention growth per extra thread
+	CriticalOp    float64 // per critical-section entry
+
+	// OpenMP overhead model.
+	ForkJoin    float64 // per parallel region (team-wide)
+	BarrierBase float64 // per intra-team barrier at T=2
+	BarrierPerT float64 // additional barrier cost per extra thread
+
+	// Network (unused when Nodes == 1 and the run is threads-only).
+	IntraLat, IntraBw float64
+	InterLat, InterBw float64
+}
+
+// T3E returns the 344-CPU Cray T3E-900 model: single-CPU nodes, a
+// fast torus network, a modest on-chip cache backed by stream buffers
+// (modelled as a 2 MB effective reuse window), and — crucially for
+// Table 1 — 8-byte default integers that double the link-list memory
+// traffic.
+func T3E() *Platform {
+	return &Platform{
+		Name:        "T3E",
+		Nodes:       344,
+		CPUsPerNode: 1,
+
+		PairVisit:    245e-9,
+		PairVisitDim: 60e-9,
+		ContactCost:  800e-9,
+		UpdateBase:   8e-9,
+		ParticleUpd:  60e-9,
+
+		IntWordBytes:  8,
+		LineBytes:     64,
+		LinePenalty:   260e-9,
+		CacheBytes:    2 << 20, // effective reuse window incl. stream buffers
+		BwContention:  0,       // one CPU per memory system
+		BytesPerPart:  72,
+		MinMissFactor: 0.10,
+		RedBwScale:    0,
+
+		SoftwareLocks: true,
+		AtomicOp:      2.5e-6,
+		AtomicScale:   0.15,
+		CriticalOp:    4e-6,
+
+		ForkJoin:    25e-6,
+		BarrierBase: 8e-6,
+		BarrierPerT: 1.5e-6,
+
+		IntraLat: 12e-6, IntraBw: 300e6,
+		InterLat: 12e-6, InterBw: 300e6,
+	}
+}
+
+// SunHPC returns the 8-CPU Sun HPC 3500 model: one big SMP with large
+// external caches, MPI through shared memory, and the KAI
+// source-to-source OpenMP system whose software locks make atomic
+// updates "very costly".
+func SunHPC() *Platform {
+	return &Platform{
+		Name:        "Sun",
+		Nodes:       1,
+		CPUsPerNode: 8,
+
+		PairVisit:    185e-9,
+		PairVisitDim: 50e-9,
+		ContactCost:  650e-9,
+		UpdateBase:   10e-9,
+		ParticleUpd:  75e-9,
+
+		IntWordBytes:  4,
+		LineBytes:     64,
+		LinePenalty:   280e-9,
+		CacheBytes:    4 << 20,
+		BwContention:  0.15, // big crossbar backplane; mild sharing penalty
+		BytesPerPart:  72,
+		MinMissFactor: 0.06,
+		RedBwScale:    1.2, // bulk array reductions saturate the backplane
+
+		SoftwareLocks: true,
+		AtomicOp:      3.0e-6, // KAI software lock
+		AtomicScale:   0.30,
+		CriticalOp:    5e-6,
+
+		ForkJoin:    30e-6,
+		BarrierBase: 10e-6,
+		BarrierPerT: 2e-6,
+
+		IntraLat: 4e-6, IntraBw: 180e6,
+		InterLat: 4e-6, InterBw: 180e6,
+	}
+}
+
+// CompaqES40 returns the St Andrews cluster model: 5 ES40 boxes with
+// four 500 MHz EV6 CPUs each, memory-channel interconnect, hardware
+// atomic updates, and a per-box memory system that pure-MPI runs
+// saturate ("the code is saturating the bandwidth to main memory on a
+// single SMP").
+func CompaqES40() *Platform {
+	return &Platform{
+		Name:        "CPQ",
+		Nodes:       5,
+		CPUsPerNode: 4,
+
+		PairVisit:    75e-9,
+		PairVisitDim: 30e-9,
+		ContactCost:  270e-9,
+		UpdateBase:   5e-9,
+		ParticleUpd:  50e-9,
+
+		IntWordBytes:  4,
+		LineBytes:     64,
+		LinePenalty:   180e-9,
+		CacheBytes:    4 << 20,
+		BwContention:  0.55,
+		BytesPerPart:  72,
+		MinMissFactor: 0.05,
+		RedBwScale:    0.35,
+
+		SoftwareLocks: false,
+		AtomicOp:      150e-9, // hardware load-locked/store-conditional
+		AtomicScale:   0.30,   // line bouncing under contention
+		CriticalOp:    900e-9,
+
+		ForkJoin:    18e-6,
+		BarrierBase: 5e-6,
+		BarrierPerT: 1e-6,
+
+		IntraLat: 2.5e-6, IntraBw: 350e6,
+		InterLat: 9e-6, InterBw: 80e6,
+	}
+}
+
+// Platforms returns the three benchmark machines in the paper's order.
+func Platforms() []*Platform {
+	return []*Platform{SunHPC(), T3E(), CompaqES40()}
+}
+
+// ByName looks a platform up by its table label (case-sensitive:
+// "Sun", "T3E", "CPQ").
+func ByName(name string) (*Platform, error) {
+	for _, p := range Platforms() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("machine: unknown platform %q (want Sun, T3E or CPQ)", name)
+}
+
+// MaxCPUs returns the machine's total CPU count.
+func (p *Platform) MaxCPUs() int { return p.Nodes * p.CPUsPerNode }
+
+// Network returns the message-passing cost model for pure-MPI runs:
+// consecutive groups of CPUsPerNode ranks share an SMP node.
+func (p *Platform) Network() mp.Network {
+	return mp.LatBwNetwork{
+		CPUsPerNode: p.CPUsPerNode,
+		IntraLat:    p.IntraLat, IntraBw: p.IntraBw,
+		InterLat: p.InterLat, InterBw: p.InterBw,
+	}
+}
+
+// NodeNetwork returns the cost model for hybrid runs, where each rank
+// occupies a whole SMP node ("one process per SMP"): every message
+// crosses the cluster interconnect.
+func (p *Platform) NodeNetwork() mp.Network {
+	return mp.LatBwNetwork{
+		CPUsPerNode: 1,
+		IntraLat:    p.InterLat, IntraBw: p.InterBw,
+		InterLat: p.InterLat, InterBw: p.InterBw,
+	}
+}
+
+// CostParams captures the geometry a phase runs under, from which the
+// per-event costs are derived.
+type CostParams struct {
+	D             int
+	MeanLinkDist  float64 // measured mean |i-j| over the current list, rescaled to the modelled N
+	ActivePerNode int     // busy CPUs sharing one node's memory system
+}
+
+// contention returns the line-fetch multiplier when several CPUs on a
+// node compete for memory bandwidth.
+func (p *Platform) contention(active int) float64 {
+	if active < 1 {
+		active = 1
+	}
+	if active > p.CPUsPerNode {
+		active = p.CPUsPerNode
+	}
+	return 1 + p.BwContention*float64(active-1)
+}
+
+// missFraction is the cache model: the force loop's active window is
+// the span of particle memory the link list touches between reuses,
+// which the mean link index distance captures directly. Windows
+// inside the reuse window hit; windows far beyond it miss.
+func (p *Platform) missFraction(meanDist float64) float64 {
+	window := meanDist * p.BytesPerPart
+	if window <= p.CacheBytes {
+		return p.MinMissFactor
+	}
+	m := 1 - p.CacheBytes/window
+	if m < p.MinMissFactor {
+		m = p.MinMissFactor
+	}
+	return m
+}
+
+// LinkCost returns the modelled seconds per link of the force loop:
+// visit arithmetic and streaming the link list itself (integer width
+// matters). The sqrt/inverse of in-range pairs is charged per contact
+// (ContactPairCost) and the particle-array misses per particle per
+// pass (ForceMemCost): each particle's data is loaded roughly once
+// per traversal of the cell-ordered list and then reused across its
+// links, which is why the paper's marginal link cost is identical for
+// ordered and unordered stores while the reordering gain is a
+// constant per particle.
+func (p *Platform) LinkCost(cp CostParams) float64 {
+	cont := p.contention(cp.ActivePerNode)
+	visit := p.PairVisit + p.PairVisitDim*float64(cp.D)
+	stream := (2 * p.IntWordBytes / p.LineBytes) * p.LinePenalty * cont
+	return visit + stream
+}
+
+// ForceMemCost returns the modelled seconds of particle-array memory
+// traffic per particle per force pass. The store holds one array per
+// coordinate (positions and forces: 2D arrays of 8 bytes). With an
+// unordered store every element sits on its own line (miss fraction
+// from the cache model); cell-ordering packs consecutive particles
+// onto shared lines, collapsing the traffic to the streaming minimum
+// of 8/LineBytes lines per element.
+func (p *Platform) ForceMemCost(cp CostParams) float64 {
+	cont := p.contention(cp.ActivePerNode)
+	frac := p.missFraction(cp.MeanLinkDist)
+	arrays := float64(2 * cp.D)
+	streamFrac := 8 / p.LineBytes
+	lines := arrays * (streamFrac + frac*(1-streamFrac))
+	return lines * p.LinePenalty * cont
+}
+
+// ContactPairCost returns the modelled seconds per in-range pair: the
+// "one floating point inverse and one square root" plus the force
+// arithmetic.
+func (p *Platform) ContactPairCost(cp CostParams) float64 { return p.ContactCost }
+
+// UpdateCost returns the modelled seconds per unprotected force-array
+// accumulation (the memory side lives in LinkCost's line model).
+func (p *Platform) UpdateCost(cp CostParams) float64 { return p.UpdateBase }
+
+// ParticleCost returns the modelled seconds per position update: the
+// integrator arithmetic plus a streaming pass over the particle
+// arrays.
+func (p *Platform) ParticleCost(cp CostParams) float64 {
+	cont := p.contention(cp.ActivePerNode)
+	return p.ParticleUpd + p.BytesPerPart/p.LineBytes*p.LinePenalty*cont*0.25
+}
+
+// AtomicCost returns the modelled seconds per protected update on a
+// team of T threads.
+func (p *Platform) AtomicCost(T int) float64 {
+	if T < 1 {
+		T = 1
+	}
+	return p.AtomicOp * (1 + p.AtomicScale*float64(T-1))
+}
+
+// BarrierCost returns the modelled seconds per intra-team barrier.
+func (p *Platform) BarrierCost(T int) float64 {
+	if T <= 1 {
+		return 0
+	}
+	return p.BarrierBase + p.BarrierPerT*float64(T-2)
+}
+
+// ReductionWordCost returns the modelled seconds per word moved by an
+// array-reduction strategy. Array reductions are pure bulk streaming
+// — "all array reduction techniques place a heavy demand on the
+// memory system" — so they saturate the node's memory bandwidth much
+// faster than the cache-friendly force loop; RedBwScale captures the
+// per-thread pressure.
+func (p *Platform) ReductionWordCost(T int) float64 {
+	if T < 1 {
+		T = 1
+	}
+	sat := 1 + p.RedBwScale*float64(T-1)
+	return 8 / p.LineBytes * p.LinePenalty * sat
+}
+
+// PackCost returns the modelled seconds per particle packed into or
+// unpacked from an exchange buffer.
+func (p *Platform) PackCost() float64 {
+	return p.BytesPerPart / p.LineBytes * p.LinePenalty
+}
+
+// ShmCosts bundles the per-event constants the shared-memory kernels
+// charge, for a team of T threads running under cp.
+func (p *Platform) ShmCosts(T int, cp CostParams) shm.Costs {
+	fj := p.ForkJoin
+	if T <= 1 {
+		fj = 0
+	}
+	return shm.Costs{
+		ForkJoin:      fj,
+		Barrier:       p.BarrierCost(T),
+		Critical:      p.CriticalOp,
+		AtomicTaken:   p.AtomicCost(T),
+		ReductionWord: p.ReductionWordCost(T),
+		PerLink:       p.LinkCost(cp),
+		PerContact:    p.ContactPairCost(cp),
+		PerUpdate:     p.UpdateCost(cp),
+		PerParticle:   p.ParticleCost(cp),
+	}
+}

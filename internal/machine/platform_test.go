@@ -1,0 +1,158 @@
+package machine
+
+import (
+	"testing"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"Sun", "T3E", "CPQ"} {
+		p, err := ByName(name)
+		if err != nil || p.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, p, err)
+		}
+	}
+	if _, err := ByName("VAX"); err == nil {
+		t.Error("unknown platform accepted")
+	}
+}
+
+func TestPlatformShapes(t *testing.T) {
+	sun, _ := ByName("Sun")
+	t3e, _ := ByName("T3E")
+	cpq, _ := ByName("CPQ")
+	if sun.MaxCPUs() != 8 || t3e.MaxCPUs() != 344 || cpq.MaxCPUs() != 20 {
+		t.Errorf("CPU counts: %d %d %d", sun.MaxCPUs(), t3e.MaxCPUs(), cpq.MaxCPUs())
+	}
+	if t3e.CPUsPerNode != 1 || cpq.CPUsPerNode != 4 {
+		t.Error("node shapes wrong")
+	}
+	if t3e.IntWordBytes != 8 {
+		t.Error("T3E must have 8-byte integers")
+	}
+	if !sun.SoftwareLocks || cpq.SoftwareLocks {
+		t.Error("lock hardware flags wrong")
+	}
+}
+
+func TestMissFractionMonotone(t *testing.T) {
+	p := CompaqES40()
+	// Small windows hit; fraction rises monotonically with distance.
+	prev := -1.0
+	for _, dist := range []float64{1, 100, 1e4, 1e5, 1e6, 1e7} {
+		m := p.missFraction(dist)
+		if m < prev-1e-15 {
+			t.Fatalf("miss fraction not monotone at %g: %g < %g", dist, m, prev)
+		}
+		if m < 0 || m > 1 {
+			t.Fatalf("miss fraction %g out of range", m)
+		}
+		prev = m
+	}
+	if p.missFraction(10) != p.MinMissFactor {
+		t.Error("in-cache window should pay only the residual miss rate")
+	}
+}
+
+func TestForceMemCostOrderingAcrossLocality(t *testing.T) {
+	for _, p := range Platforms() {
+		bad := p.ForceMemCost(CostParams{D: 3, MeanLinkDist: 3e5, ActivePerNode: 1})
+		good := p.ForceMemCost(CostParams{D: 3, MeanLinkDist: 20, ActivePerNode: 1})
+		if good >= bad {
+			t.Errorf("%s: ordered traffic %g not below scattered %g", p.Name, good, bad)
+		}
+		// More coordinate arrays in 3-D than 2-D.
+		if p.ForceMemCost(CostParams{D: 3, MeanLinkDist: 3e5, ActivePerNode: 1}) <=
+			p.ForceMemCost(CostParams{D: 2, MeanLinkDist: 3e5, ActivePerNode: 1}) {
+			t.Errorf("%s: 3-D traffic not above 2-D", p.Name)
+		}
+	}
+}
+
+func TestContentionRaisesCost(t *testing.T) {
+	cpq := CompaqES40()
+	solo := cpq.ForceMemCost(CostParams{D: 2, MeanLinkDist: 3e5, ActivePerNode: 1})
+	full := cpq.ForceMemCost(CostParams{D: 2, MeanLinkDist: 3e5, ActivePerNode: 4})
+	if full <= solo {
+		t.Errorf("bandwidth contention missing: %g vs %g", full, solo)
+	}
+	// T3E has one CPU per node: no contention possible.
+	t3e := T3E()
+	a := t3e.ForceMemCost(CostParams{D: 2, MeanLinkDist: 3e5, ActivePerNode: 1})
+	b := t3e.ForceMemCost(CostParams{D: 2, MeanLinkDist: 3e5, ActivePerNode: 8})
+	if a != b {
+		t.Error("T3E contention should clamp to one CPU per node")
+	}
+}
+
+func TestT3EPaysForWideIntegers(t *testing.T) {
+	t3e := T3E()
+	narrow := *t3e
+	narrow.IntWordBytes = 4
+	cp := CostParams{D: 2, MeanLinkDist: 50, ActivePerNode: 1}
+	if t3e.LinkCost(cp) <= narrow.LinkCost(cp) {
+		t.Error("8-byte integers should cost more per link")
+	}
+}
+
+func TestAtomicCostPlatformGap(t *testing.T) {
+	sun := SunHPC()
+	cpq := CompaqES40()
+	// Software locks an order of magnitude above hardware.
+	if sun.AtomicCost(4) < 5*cpq.AtomicCost(4) {
+		t.Errorf("Sun lock %g not far above CPQ %g", sun.AtomicCost(4), cpq.AtomicCost(4))
+	}
+	if cpq.AtomicCost(4) <= cpq.AtomicCost(1) {
+		t.Error("atomic contention should grow with threads")
+	}
+}
+
+func TestBarrierCostEndpoints(t *testing.T) {
+	p := CompaqES40()
+	if p.BarrierCost(1) != 0 {
+		t.Error("T=1 barrier should be free")
+	}
+	if p.BarrierCost(4) <= p.BarrierCost(2) {
+		t.Error("barrier cost should grow with team size")
+	}
+}
+
+func TestShmCostsBundle(t *testing.T) {
+	p := SunHPC()
+	cp := CostParams{D: 3, MeanLinkDist: 40, ActivePerNode: 4}
+	c := p.ShmCosts(4, cp)
+	if c.ForkJoin != p.ForkJoin || c.AtomicTaken != p.AtomicCost(4) {
+		t.Error("bundle fields mismatch")
+	}
+	if c.PerLink <= 0 || c.PerParticle <= 0 || c.ReductionWord <= 0 {
+		t.Error("zero kernel costs")
+	}
+	// T=1 teams pay no fork/join.
+	if p.ShmCosts(1, cp).ForkJoin != 0 {
+		t.Error("solo team should not pay fork/join")
+	}
+}
+
+func TestNetworkClasses(t *testing.T) {
+	cpq := CompaqES40()
+	n := cpq.Network()
+	if !n.SameNode(0, 3) || n.SameNode(3, 4) {
+		t.Error("CPQ node grouping wrong")
+	}
+	intra := n.MsgCost(0, 1, 8192)
+	inter := n.MsgCost(0, 4, 8192)
+	if intra >= inter {
+		t.Errorf("memory-channel hop %g not above shared-memory %g", inter, intra)
+	}
+	sun := SunHPC().Network()
+	if !sun.SameNode(0, 7) {
+		t.Error("Sun is one box")
+	}
+}
+
+func TestPackCostPositive(t *testing.T) {
+	for _, p := range Platforms() {
+		if p.PackCost() <= 0 {
+			t.Errorf("%s pack cost %g", p.Name, p.PackCost())
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package measure
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hybriddem/internal/cell"
+	"hybriddem/internal/force"
+	"hybriddem/internal/geom"
+	"hybriddem/internal/particle"
+)
+
+func TestSphereVolume(t *testing.T) {
+	if sphereVolume(1, 2) != 2 {
+		t.Error("1-D")
+	}
+	if math.Abs(sphereVolume(2, 2)-math.Pi) > 1e-12 {
+		t.Error("2-D")
+	}
+	if math.Abs(sphereVolume(3, 2)-4.0/3.0*math.Pi) > 1e-12 {
+		t.Error("3-D")
+	}
+}
+
+func TestPackingFractionMatchesPaperDensities(t *testing.T) {
+	// The paper's benchmark: 10^6 spheres of d=0.05. D=2 in a 50^2
+	// box -> area fraction ~0.785; D=3 in 5^3 -> ~0.524. Checked at
+	// reduced N with the same density.
+	ps2 := particle.New(2, 1)
+	ps2.Append(geom.Vec{}, geom.Vec{}, 0)
+	box2 := geom.NewBox(2, 50.0/1000, geom.Periodic) // one particle per (L/1000)^2 cell
+	got2 := PackingFraction(ps2, 1, 0.05, box2)
+	if math.Abs(got2-0.785) > 0.01 {
+		t.Errorf("2-D packing fraction %g", got2)
+	}
+	ps3 := particle.New(3, 1)
+	ps3.Append(geom.Vec{}, geom.Vec{}, 0)
+	box3 := geom.NewBox(3, 5.0/100, geom.Periodic)
+	got3 := PackingFraction(ps3, 1, 0.05, box3)
+	if math.Abs(got3-0.524) > 0.01 {
+		t.Errorf("3-D packing fraction %g", got3)
+	}
+}
+
+func TestTemperature(t *testing.T) {
+	ps := particle.New(2, 2)
+	ps.Append(geom.Vec{}, geom.Vec{1, 0}, 0)
+	ps.Append(geom.Vec{}, geom.Vec{0, 1}, 1)
+	// Ekin = 1; T = 2*1/(2*2) = 0.5.
+	if got := Temperature(ps, 2); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("temperature %g", got)
+	}
+	if Temperature(ps, 0) != 0 {
+		t.Error("empty temperature")
+	}
+}
+
+func TestCoordinationCountsContactsOnly(t *testing.T) {
+	// Three collinear particles: 0-1 touching, 1-2 in list but apart.
+	ps := particle.New(2, 3)
+	ps.Append(geom.Vec{0.50, 0.5}, geom.Vec{}, 0)
+	ps.Append(geom.Vec{0.54, 0.5}, geom.Vec{}, 1)
+	ps.Append(geom.Vec{0.61, 0.5}, geom.Vec{}, 2)
+	box := geom.NewBox(2, 1, geom.Periodic)
+	links := []cell.Link{{I: 0, J: 1}, {I: 1, J: 2}}
+	// Contact distance 0.05: only 0-1 touch (0.04 < 0.05 < 0.07).
+	z := Coordination(ps, links, 3, 0.05, box)
+	want := 2.0 / 3.0 // one contact shared by two of three particles
+	if math.Abs(z-want) > 1e-12 {
+		t.Errorf("coordination %g, want %g", z, want)
+	}
+}
+
+func TestCoordinationHaloWeight(t *testing.T) {
+	// Core-halo contact counts once for the single core particle.
+	ps := particle.New(2, 2)
+	ps.Append(geom.Vec{0.50, 0.5}, geom.Vec{}, 0)
+	ps.Append(geom.Vec{0.54, 0.5}, geom.Vec{}, 1) // halo copy
+	box := geom.NewBox(2, 1, geom.Reflecting)
+	links := []cell.Link{{I: 0, J: 1}}
+	z := Coordination(ps, links, 1, 0.05, box)
+	if z != 1 {
+		t.Errorf("halo coordination %g", z)
+	}
+}
+
+// denseSystem builds an equilibrated-ish random system with its list.
+func denseSystem(t *testing.T, n int) (*particle.Store, *cell.List, geom.Box, force.Spring) {
+	t.Helper()
+	box := geom.NewBox(2, 1.0, geom.Periodic)
+	ps := particle.New(2, n)
+	rng := rand.New(rand.NewSource(9))
+	particle.FillUniformVel(ps, n, box, 0.2, 0, rng)
+	sp := force.Spring{Diameter: 0.04, K: 100}
+	rc := 0.06
+	g := cell.NewGrid(2, geom.Vec{}, box.Len, rc, true)
+	g.Bin(ps.Pos, n, nil)
+	list := g.BuildLinks(ps.Pos, n, n, rc*rc, box, nil)
+	return ps, list, box, sp
+}
+
+func TestPairCorrelationApproachesOne(t *testing.T) {
+	// For an uncorrelated (uniform random) configuration g(r) ~ 1 in
+	// every resolved shell.
+	ps, list, box, _ := denseSystem(t, 4000)
+	rdf := PairCorrelation(ps, list.Links, ps.Len(), box, 0.055, 8)
+	centers := rdf.BinCenters()
+	if len(centers) != 8 || centers[0] <= 0 {
+		t.Fatalf("bin centers %v", centers)
+	}
+	for i, g := range rdf.Bins {
+		if i == 0 {
+			continue // innermost shell is noisy at this density
+		}
+		if g < 0.7 || g > 1.3 {
+			t.Errorf("bin %d: g(r)=%g for an uncorrelated system", i, g)
+		}
+	}
+}
+
+func TestPairCorrelationPanicsOnBadArgs(t *testing.T) {
+	ps, list, box, _ := denseSystem(t, 100)
+	defer func() {
+		if recover() == nil {
+			t.Error("bad rdf args accepted")
+		}
+	}()
+	PairCorrelation(ps, list.Links, ps.Len(), box, -1, 0)
+}
+
+func TestStressSymmetricAndPressurePositive(t *testing.T) {
+	// A compressed random packing must push outward: positive
+	// pressure, symmetric stress tensor.
+	box := geom.NewBox(2, 1.0, geom.Periodic)
+	ps := particle.New(2, 3000)
+	rng := rand.New(rand.NewSource(4))
+	particle.FillUniform(ps, 3000, box, 0, rng)
+	sp := force.Spring{Diameter: 0.04, K: 100} // overlapping at this density
+	rc := 0.06
+	g := cell.NewGrid(2, geom.Vec{}, box.Len, rc, true)
+	g.Bin(ps.Pos, 3000, nil)
+	list := g.BuildLinks(ps.Pos, 3000, 3000, rc*rc, box, nil)
+
+	s := Stress(ps, list.Links, 3000, sp, box)
+	if math.Abs(s[1]-s[2]) > 1e-9*(math.Abs(s[1])+math.Abs(s[2])+1e-30) {
+		t.Errorf("stress not symmetric: %v", s)
+	}
+	p := Pressure(ps, list.Links, 3000, sp, box)
+	if p <= 0 {
+		t.Errorf("compressed packing pressure %g", p)
+	}
+}
+
+func TestStressIdealGasLimit(t *testing.T) {
+	// Without interactions the pressure is the ideal-gas value
+	// rho * T (unit mass, k_B = 1).
+	box := geom.NewBox(2, 1.0, geom.Periodic)
+	ps := particle.New(2, 2000)
+	rng := rand.New(rand.NewSource(6))
+	particle.FillUniformVel(ps, 2000, box, 1, 0, rng)
+	sp := force.Spring{Diameter: 1e-9, K: 0} // effectively no contacts
+	p := Pressure(ps, nil, 2000, sp, box)
+	want := float64(2000) / box.Volume() * Temperature(ps, 2000)
+	if math.Abs(p-want) > 1e-9*want {
+		t.Errorf("ideal-gas pressure %g, want %g", p, want)
+	}
+}

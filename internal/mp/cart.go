@@ -1,0 +1,118 @@
+package mp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cart is a d-dimensional Cartesian process topology over a Comm,
+// mirroring MPI_Cart_create with periodic wraparound per dimension.
+// Rank 0 holds coordinate (0,...,0); ranks advance fastest in the last
+// dimension, matching MPI's row-major convention.
+type Cart struct {
+	C       *Comm
+	D       int
+	Dims    []int
+	Periods []bool
+}
+
+// DimsCreate factors size into d dimensions as squarely as possible
+// (largest factors first), mirroring MPI_Dims_create with all entries
+// initially zero.
+func DimsCreate(size, d int) []int {
+	if size < 1 || d < 1 {
+		panic(fmt.Sprintf("mp: DimsCreate(%d, %d)", size, d))
+	}
+	dims := make([]int, d)
+	for i := range dims {
+		dims[i] = 1
+	}
+	// Peel prime factors of size largest-first onto the currently
+	// smallest dimension.
+	var factors []int
+	n := size
+	for f := 2; f*f <= n; f++ {
+		for n%f == 0 {
+			factors = append(factors, f)
+			n /= f
+		}
+	}
+	if n > 1 {
+		factors = append(factors, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(factors)))
+	for _, f := range factors {
+		k := 0
+		for i := 1; i < d; i++ {
+			if dims[i] < dims[k] {
+				k = i
+			}
+		}
+		dims[k] *= f
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(dims)))
+	return dims
+}
+
+// NewCart builds a Cartesian topology; the product of dims must equal
+// the communicator size.
+func NewCart(c *Comm, dims []int, periods []bool) *Cart {
+	p := 1
+	for _, v := range dims {
+		p *= v
+	}
+	if p != c.Size() {
+		panic(fmt.Sprintf("mp: cart dims %v product %d != size %d", dims, p, c.Size()))
+	}
+	if len(periods) != len(dims) {
+		panic("mp: cart periods length mismatch")
+	}
+	return &Cart{
+		C:       c,
+		D:       len(dims),
+		Dims:    append([]int(nil), dims...),
+		Periods: append([]bool(nil), periods...),
+	}
+}
+
+// Coords returns the Cartesian coordinates of a rank.
+func (ct *Cart) Coords(rank int) []int {
+	c := make([]int, ct.D)
+	for i := ct.D - 1; i >= 0; i-- {
+		c[i] = rank % ct.Dims[i]
+		rank /= ct.Dims[i]
+	}
+	return c
+}
+
+// RankOf returns the rank holding the given coordinates, applying
+// periodic wrap where enabled. It returns -1 when a non-periodic
+// coordinate falls outside the grid (MPI_PROC_NULL).
+func (ct *Cart) RankOf(coords []int) int {
+	rank := 0
+	for i := 0; i < ct.D; i++ {
+		v := coords[i]
+		n := ct.Dims[i]
+		if v < 0 || v >= n {
+			if !ct.Periods[i] {
+				return -1
+			}
+			v = ((v % n) + n) % n
+		}
+		rank = rank*n + v
+	}
+	return rank
+}
+
+// Shift returns the source and destination ranks of a displacement
+// along one dimension, mirroring MPI_Cart_shift: src sends to this
+// rank, this rank sends to dst. Either may be -1 at a non-periodic
+// edge.
+func (ct *Cart) Shift(dim, disp int) (src, dst int) {
+	me := ct.Coords(ct.C.Rank())
+	up := append([]int(nil), me...)
+	up[dim] += disp
+	dn := append([]int(nil), me...)
+	dn[dim] -= disp
+	return ct.RankOf(dn), ct.RankOf(up)
+}

@@ -1,0 +1,164 @@
+package mp
+
+import "fmt"
+
+// Op selects the combining operation of an Allreduce.
+type Op int
+
+const (
+	Sum Op = iota
+	Max
+	Min
+)
+
+// collState is one generation of a rendezvous collective. Generations
+// are kept in a map so a fast rank may enter generation g+1 while slow
+// ranks are still reading generation g's result.
+type collState struct {
+	arrived int
+	readers int
+	clock   float64     // max participant clock
+	per     [][]float64 // per-rank contributions (deterministic order)
+	result  []float64
+	done    bool
+}
+
+// rendezvous runs one collective: every rank deposits contrib (may be
+// nil), the last arriver combines all contributions in rank order with
+// combine (receiving the per-rank slice), and every rank leaves with
+// the shared result and a clock equal to the max participant clock
+// plus cost(size, resultBytes).
+func (c *Comm) rendezvous(contrib []float64, combine func(per [][]float64) []float64, costBytes int) []float64 {
+	w := c.w
+	w.collMu.Lock()
+	defer w.collMu.Unlock()
+
+	gen := w.collGen
+	st := w.collAt(gen)
+	if st.per == nil {
+		st.per = make([][]float64, w.size)
+	}
+	st.per[c.rank] = contrib
+	if c.clock > st.clock {
+		st.clock = c.clock
+	}
+	st.arrived++
+	if st.arrived == w.size {
+		st.result = combine(st.per)
+		st.done = true
+		w.collGen++ // open the next generation
+		w.collCond.Broadcast()
+	} else {
+		for !st.done {
+			if w.anyPanic {
+				panic("mp: collective abandoned by a panicked rank")
+			}
+			w.collCond.Wait()
+		}
+	}
+	res := st.result
+	c.clock = st.clock + w.net.CollectiveCost(w.size, costBytes)
+	st.readers++
+	if st.readers == w.size {
+		delete(w.colls, gen)
+	}
+	c.TC.Collectives++
+	return res
+}
+
+// collAt returns (creating on demand) the state for generation g.
+func (w *world) collAt(g int) *collState {
+	if w.colls == nil {
+		w.colls = make(map[int]*collState)
+	}
+	st, ok := w.colls[g]
+	if !ok {
+		st = &collState{}
+		w.colls[g] = st
+	}
+	return st
+}
+
+// Barrier blocks until every rank has entered, then releases all with
+// equalised clocks plus the network's barrier cost.
+func (c *Comm) Barrier() {
+	w := c.w
+	w.collMu.Lock()
+	defer w.collMu.Unlock()
+	gen := w.collGen
+	st := w.collAt(gen)
+	if c.clock > st.clock {
+		st.clock = c.clock
+	}
+	st.arrived++
+	if st.arrived == w.size {
+		st.done = true
+		w.collGen++
+		w.collCond.Broadcast()
+	} else {
+		for !st.done {
+			if w.anyPanic {
+				panic("mp: barrier abandoned by a panicked rank")
+			}
+			w.collCond.Wait()
+		}
+	}
+	c.clock = st.clock + w.net.BarrierCost(w.size)
+	st.readers++
+	if st.readers == w.size {
+		delete(w.colls, gen)
+	}
+	c.TC.Barriers++
+}
+
+// Allreduce combines each rank's vector element-wise with op and
+// returns the identical result on every rank. Summation is performed
+// in rank order so the floating-point result is deterministic.
+func (c *Comm) Allreduce(v []float64, op Op) []float64 {
+	in := append([]float64(nil), v...)
+	res := c.rendezvous(in, func(per [][]float64) []float64 {
+		if len(per) == 0 || per[0] == nil {
+			return nil
+		}
+		out := append([]float64(nil), per[0]...)
+		for r := 1; r < len(per); r++ {
+			pv := per[r]
+			if len(pv) != len(out) {
+				panic(fmt.Sprintf("mp: allreduce length mismatch: rank 0 has %d, rank %d has %d", len(out), r, len(pv)))
+			}
+			for k := range out {
+				switch op {
+				case Sum:
+					out[k] += pv[k]
+				case Max:
+					if pv[k] > out[k] {
+						out[k] = pv[k]
+					}
+				case Min:
+					if pv[k] < out[k] {
+						out[k] = pv[k]
+					}
+				}
+			}
+		}
+		return out
+	}, 8*len(v))
+	return append([]float64(nil), res...)
+}
+
+// AllreduceScalar is Allreduce for a single value.
+func (c *Comm) AllreduceScalar(x float64, op Op) float64 {
+	return c.Allreduce([]float64{x}, op)[0]
+}
+
+// Bcast distributes root's vector to every rank.
+func (c *Comm) Bcast(root int, v []float64) []float64 {
+	var contrib []float64
+	if c.rank == root {
+		contrib = append([]float64(nil), v...)
+	}
+	res := c.rendezvous(contrib, func(per [][]float64) []float64 {
+		return per[root]
+	}, 8*len(v))
+	return append([]float64(nil), res...)
+}

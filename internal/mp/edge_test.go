@@ -1,0 +1,114 @@
+package mp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewCartRejectsBadDims(t *testing.T) {
+	Run(4, nil, func(c *Comm) {
+		defer func() {
+			if recover() == nil {
+				t.Error("mismatched dims product accepted")
+			}
+		}()
+		NewCart(c, []int{3, 2}, []bool{true, true})
+	})
+}
+
+func TestNewCartRejectsPeriodsMismatch(t *testing.T) {
+	Run(4, nil, func(c *Comm) {
+		defer func() {
+			if recover() == nil {
+				t.Error("periods length mismatch accepted")
+			}
+		}()
+		NewCart(c, []int{2, 2}, []bool{true})
+	})
+}
+
+func TestDimsCreatePanicsOnBadInput(t *testing.T) {
+	for _, in := range [][2]int{{0, 2}, {4, 0}, {-1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("DimsCreate%v accepted", in)
+				}
+			}()
+			DimsCreate(in[0], in[1])
+		}()
+	}
+}
+
+func TestRunPanicsOnZeroRanks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Run(0, ...) accepted")
+		}
+	}()
+	Run(0, nil, func(c *Comm) {})
+}
+
+func TestByteScaleAffectsModelledCostOnly(t *testing.T) {
+	net := LatBwNetwork{CPUsPerNode: 1, InterLat: 0, InterBw: 1e6, IntraLat: 0, IntraBw: 1e6}
+	Run(2, net, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.SetByteScale(10)
+			c.Send(1, 0, make([]float64, 100), nil) // 800 bytes, modelled as 8000
+			if c.TC.BytesSent != 800 {
+				t.Errorf("counter recorded %d bytes, want raw 800", c.TC.BytesSent)
+			}
+		} else {
+			c.Recv(0, 0)
+			want := 8000.0 / 1e6
+			if math.Abs(c.Clock()-want) > 1e-12 {
+				t.Errorf("receiver clock %g, want %g (scaled bytes)", c.Clock(), want)
+			}
+		}
+	})
+}
+
+func TestSetByteScaleIgnoresNonPositive(t *testing.T) {
+	Run(1, nil, func(c *Comm) {
+		c.SetByteScale(-3)
+		if c.modelBytes(100) != 100 {
+			t.Error("non-positive scale not reset to 1")
+		}
+	})
+}
+
+func TestSendRecvSelf(t *testing.T) {
+	Run(1, nil, func(c *Comm) {
+		f, i := c.SendRecv(0, 9, []float64{3}, []int32{4}, 0)
+		if f[0] != 3 || i[0] != 4 {
+			t.Errorf("self sendrecv got %v %v", f, i)
+		}
+		if c.Clock() != 0 {
+			t.Errorf("self message charged %g", c.Clock())
+		}
+	})
+}
+
+func TestComputeIgnoresNegative(t *testing.T) {
+	Run(1, nil, func(c *Comm) {
+		c.Compute(-5)
+		if c.Clock() != 0 {
+			t.Error("negative compute advanced the clock")
+		}
+		c.SetClock(3)
+		if c.Clock() != 3 {
+			t.Error("SetClock failed")
+		}
+	})
+}
+
+func TestAllreduceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch accepted")
+		}
+	}()
+	Run(2, nil, func(c *Comm) {
+		c.Allreduce(make([]float64, c.Rank()+1), Sum)
+	})
+}

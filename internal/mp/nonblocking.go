@@ -1,0 +1,132 @@
+package mp
+
+import "fmt"
+
+// Request is a handle on a nonblocking operation, mirroring
+// MPI_Request. Complete it with Wait (or the communicator's WaitAll).
+type Request struct {
+	c    *Comm
+	done bool
+
+	// receive side
+	isRecv   bool
+	src, tag int
+	f        []float64
+	i        []int32
+}
+
+// ISend posts a nonblocking send. Because the runtime's sends are
+// eager and buffered, the data is already on its way when ISend
+// returns; the request completes immediately but is returned for
+// symmetry with MPI code structure.
+func (c *Comm) ISend(dst, tag int, f []float64, ints []int32) *Request {
+	c.Send(dst, tag, f, ints)
+	return &Request{c: c, done: true}
+}
+
+// IRecv posts a nonblocking receive for (src, tag). The matching and
+// clock accounting happen at Wait time; posting is free. This models
+// MPI's ability to overlap communication with computation: any
+// compute the rank performs between IRecv and Wait runs "during" the
+// transfer on the virtual timeline.
+func (c *Comm) IRecv(src, tag int) *Request {
+	if src < 0 || src >= c.size {
+		panic(fmt.Sprintf("mp: irecv from invalid rank %d of %d", src, c.size))
+	}
+	return &Request{c: c, isRecv: true, src: src, tag: tag}
+}
+
+// Wait blocks until the operation completes and returns the received
+// payloads (nil for sends). Waiting twice is an error.
+func (r *Request) Wait() ([]float64, []int32) {
+	if r.done {
+		if r.isRecv {
+			return r.f, r.i
+		}
+		return nil, nil
+	}
+	r.done = true
+	r.f, r.i = r.c.Recv(r.src, r.tag)
+	return r.f, r.i
+}
+
+// Done reports whether the request has completed.
+func (r *Request) Done() bool { return r.done }
+
+// WaitAll completes a set of requests in order and returns the
+// received payloads aligned with the input slice.
+func WaitAll(reqs []*Request) (fs [][]float64, is [][]int32) {
+	fs = make([][]float64, len(reqs))
+	is = make([][]int32, len(reqs))
+	for k, r := range reqs {
+		fs[k], is[k] = r.Wait()
+	}
+	return fs, is
+}
+
+// Gather collects every rank's vector on root, concatenated in rank
+// order; non-root ranks receive nil. Payload sizes may differ by
+// rank. The returned offsets slice (root only) gives each rank's
+// starting index.
+func (c *Comm) Gather(root int, v []float64) (all []float64, offsets []int) {
+	contrib := append([]float64(nil), v...)
+	res := c.rendezvous(contrib, func(per [][]float64) []float64 {
+		var out []float64
+		for _, pv := range per {
+			out = append(out, pv...)
+		}
+		return out
+	}, 8*len(v))
+	// Exchange per-rank lengths for the offsets; every rank must join
+	// this collective even though only root consumes the result.
+	lens := c.Allreduce(makeLenVec(c.size, c.rank, len(v)), Sum)
+	if c.rank != root {
+		return nil, nil
+	}
+	offsets = make([]int, c.size)
+	acc := 0
+	for rk := 0; rk < c.size; rk++ {
+		offsets[rk] = acc
+		acc += int(lens[rk])
+	}
+	return append([]float64(nil), res...), offsets
+}
+
+// makeLenVec builds a one-hot length vector for the offset exchange.
+func makeLenVec(size, rank, n int) []float64 {
+	v := make([]float64, size)
+	v[rank] = float64(n)
+	return v
+}
+
+// Scatter distributes equal-length chunks of root's vector: rank k
+// receives chunk[k]. Every rank must pass the same chunk length; only
+// root's data matters.
+func (c *Comm) Scatter(root int, data []float64, chunk int) []float64 {
+	var contrib []float64
+	if c.rank == root {
+		if len(data) != chunk*c.size {
+			panic(fmt.Sprintf("mp: scatter of %d elements into %d chunks of %d", len(data), c.size, chunk))
+		}
+		contrib = append([]float64(nil), data...)
+	}
+	res := c.rendezvous(contrib, func(per [][]float64) []float64 {
+		return per[root]
+	}, 8*chunk)
+	out := make([]float64, chunk)
+	copy(out, res[c.rank*chunk:(c.rank+1)*chunk])
+	return out
+}
+
+// AllGather is Gather to every rank.
+func (c *Comm) AllGather(v []float64) []float64 {
+	contrib := append([]float64(nil), v...)
+	res := c.rendezvous(contrib, func(per [][]float64) []float64 {
+		var out []float64
+		for _, pv := range per {
+			out = append(out, pv...)
+		}
+		return out
+	}, 8*len(v))
+	return append([]float64(nil), res...)
+}

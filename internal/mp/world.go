@@ -1,0 +1,243 @@
+package mp
+
+import (
+	"fmt"
+	"sync"
+
+	"hybriddem/internal/trace"
+)
+
+// packet is one in-flight point-to-point message. Payloads carry the
+// two element types the DEM code exchanges: float64 (positions,
+// velocities, energies) and int32 (identities, counts, templates).
+type packet struct {
+	src, tag int
+	f        []float64
+	i        []int32
+	sentAt   float64 // sender's virtual clock at send time
+	cost     float64 // modelled transfer cost, fixed at send time
+}
+
+// mailbox is a rank's unordered pending-message store with MPI-style
+// (source, tag) matching. Messages that arrived before their Recv are
+// buffered (eager protocol); Recv blocks until a match exists.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []packet
+	aborted bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(p packet) {
+	m.mu.Lock()
+	m.pending = append(m.pending, p)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// take removes and returns the first pending packet matching src and
+// tag, blocking until one arrives. Matching in arrival order between
+// identical (src, tag) pairs preserves MPI's non-overtaking rule
+// because puts from one sender are ordered by the channel of calls.
+func (m *mailbox) take(src, tag int) packet {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for k, p := range m.pending {
+			if p.src == src && p.tag == tag {
+				m.pending = append(m.pending[:k], m.pending[k+1:]...)
+				return p
+			}
+		}
+		if m.aborted {
+			panic("mp: receive abandoned by a panicked rank")
+		}
+		m.cond.Wait()
+	}
+}
+
+// abort wakes any blocked receiver after a sibling rank dies.
+func (m *mailbox) abort() {
+	m.mu.Lock()
+	m.aborted = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// world is the shared state of one Run: mailboxes, the network model
+// and the collective-synchronisation scratch.
+type world struct {
+	size  int
+	net   Network
+	boxes []*mailbox
+
+	collMu   sync.Mutex
+	collCond *sync.Cond
+	collGen  int
+	colls    map[int]*collState
+	anyPanic bool
+}
+
+// Comm is one rank's handle on the world: its identity, counters and
+// virtual clock. A Comm is confined to the goroutine Run created it
+// for.
+type Comm struct {
+	rank, size int
+	w          *world
+	clock      float64
+	byteScale  float64 // multiplier on modelled payload sizes (1 = off)
+	TC         trace.Counters
+}
+
+// SetByteScale makes the cost model treat every payload as scale
+// times its actual size. Drivers running a scaled-down system use it
+// to model the full-size system's (surface-proportional) exchange
+// traffic; counters always record actual bytes.
+func (c *Comm) SetByteScale(scale float64) {
+	if scale <= 0 {
+		scale = 1
+	}
+	c.byteScale = scale
+}
+
+// modelBytes returns the payload size the cost model sees.
+func (c *Comm) modelBytes(bytes int) int {
+	if c.byteScale == 0 || c.byteScale == 1 {
+		return bytes
+	}
+	return int(float64(bytes) * c.byteScale)
+}
+
+// Run executes fn concurrently on p ranks over the given network and
+// returns each rank's final Comm (for clocks and counters) after all
+// ranks complete. Panics on any rank propagate.
+func Run(p int, net Network, fn func(c *Comm)) []*Comm {
+	if p < 1 {
+		panic(fmt.Sprintf("mp: nonpositive rank count %d", p))
+	}
+	if net == nil {
+		net = ZeroNetwork{}
+	}
+	w := &world{size: p, net: net, boxes: make([]*mailbox, p)}
+	w.collCond = sync.NewCond(&w.collMu)
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	comms := make([]*Comm, p)
+	panics := make([]any, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		comms[r] = &Comm{rank: r, size: p, w: w}
+		wg.Add(1)
+		go func(c *Comm, r int) {
+			defer wg.Done()
+			defer func() {
+				if e := recover(); e != nil {
+					panics[r] = e
+					// Wake any rank blocked in a collective or a
+					// receive so the run does not deadlock on a dead
+					// peer.
+					w.collMu.Lock()
+					w.anyPanic = true
+					w.collCond.Broadcast()
+					w.collMu.Unlock()
+					for _, b := range w.boxes {
+						b.abort()
+					}
+				}
+			}()
+			fn(c)
+		}(comms[r], r)
+	}
+	wg.Wait()
+	for r, e := range panics {
+		if e != nil {
+			panic(fmt.Sprintf("mp: rank %d panicked: %v", r, e))
+		}
+	}
+	return comms
+}
+
+// Rank returns this rank's index in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.size }
+
+// Clock returns the rank's current virtual time in seconds.
+func (c *Comm) Clock() float64 { return c.clock }
+
+// Compute advances the rank's virtual clock by dt seconds of modelled
+// local work. Negative dt is ignored.
+func (c *Comm) Compute(dt float64) {
+	if dt > 0 {
+		c.clock += dt
+	}
+}
+
+// SetClock forces the virtual clock; the drivers use it to reset
+// between warm-up and measured iterations.
+func (c *Comm) SetClock(t float64) { c.clock = t }
+
+// payloadBytes is the modelled wire size of a message: 8 bytes per
+// float64 plus 4 per int32 (the virtual platforms override integer
+// width in their compute model, not on the wire).
+func payloadBytes(f []float64, i []int32) int { return 8*len(f) + 4*len(i) }
+
+// Send posts an eager, buffered send of the two payload slices to dst
+// with the given tag. The slices are copied so the caller may reuse
+// its buffers immediately (MPI buffered-send semantics).
+func (c *Comm) Send(dst, tag int, f []float64, ints []int32) {
+	if dst < 0 || dst >= c.size {
+		panic(fmt.Sprintf("mp: send to invalid rank %d of %d", dst, c.size))
+	}
+	bytes := payloadBytes(f, ints)
+	p := packet{
+		src:    c.rank,
+		tag:    tag,
+		sentAt: c.clock,
+		cost:   c.w.net.MsgCost(c.rank, dst, c.modelBytes(bytes)),
+	}
+	if len(f) > 0 {
+		p.f = append([]float64(nil), f...)
+	}
+	if len(ints) > 0 {
+		p.i = append([]int32(nil), ints...)
+	}
+	c.TC.MsgsSent++
+	c.TC.BytesSent += int64(bytes)
+	if c.w.net.SameNode(c.rank, dst) {
+		c.TC.MsgsIntra++
+		c.TC.BytesIntra += int64(bytes)
+	}
+	c.w.boxes[dst].put(p)
+}
+
+// Recv blocks until a message with the given source and tag arrives
+// and returns its payloads. The rank's clock advances to at least the
+// send time plus the modelled transfer cost.
+func (c *Comm) Recv(src, tag int) ([]float64, []int32) {
+	if src < 0 || src >= c.size {
+		panic(fmt.Sprintf("mp: recv from invalid rank %d of %d", src, c.size))
+	}
+	p := c.w.boxes[c.rank].take(src, tag)
+	arrive := p.sentAt + p.cost
+	if arrive > c.clock {
+		c.clock = arrive
+	}
+	return p.f, p.i
+}
+
+// SendRecv performs the matched exchange the halo swap is built from:
+// send to dst and receive from src with the same tag, without
+// deadlock (sends are eager). It mirrors MPI_Sendrecv.
+func (c *Comm) SendRecv(dst, tag int, f []float64, ints []int32, src int) ([]float64, []int32) {
+	c.Send(dst, tag, f, ints)
+	return c.Recv(src, tag)
+}

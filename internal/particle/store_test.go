@@ -1,0 +1,178 @@
+package particle
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hybriddem/internal/geom"
+)
+
+func filled(n int) *Store {
+	s := New(2, n)
+	rng := rand.New(rand.NewSource(1))
+	box := geom.NewBox(2, 1, geom.Periodic)
+	FillUniform(s, n, box, 0, rng)
+	return s
+}
+
+func TestAppendTruncateLen(t *testing.T) {
+	s := New(3, 4)
+	if s.Len() != 0 {
+		t.Fatalf("new store has %d particles", s.Len())
+	}
+	i := s.Append(geom.Vec{1, 2, 3}, geom.Vec{4, 5, 6}, 7)
+	if i != 0 || s.Len() != 1 {
+		t.Fatalf("append index %d len %d", i, s.Len())
+	}
+	if s.Pos[0] != (geom.Vec{1, 2, 3}) || s.Vel[0] != (geom.Vec{4, 5, 6}) || s.ID[0] != 7 {
+		t.Error("appended fields mismatch")
+	}
+	if s.Frc[0] != (geom.Vec{}) {
+		t.Error("fresh particle has nonzero force")
+	}
+	s.Append(geom.Vec{9}, geom.Vec{}, 8)
+	s.Truncate(1)
+	if s.Len() != 1 || s.ID[0] != 7 {
+		t.Error("truncate removed the wrong end")
+	}
+}
+
+func TestTruncatePanicsOutOfRange(t *testing.T) {
+	s := filled(3)
+	for _, n := range []int{-1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Truncate(%d) did not panic", n)
+				}
+			}()
+			s.Truncate(n)
+		}()
+	}
+}
+
+func TestRemoveSwapsLast(t *testing.T) {
+	s := New(2, 3)
+	s.Append(geom.Vec{0}, geom.Vec{}, 10)
+	s.Append(geom.Vec{1}, geom.Vec{}, 11)
+	s.Append(geom.Vec{2}, geom.Vec{}, 12)
+	s.Remove(0)
+	if s.Len() != 2 || s.ID[0] != 12 || s.ID[1] != 11 {
+		t.Errorf("after remove: len=%d ids=%v", s.Len(), s.ID)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := filled(5)
+	c := s.Clone()
+	c.Pos[0][0] = 99
+	c.ID[1] = -1
+	if s.Pos[0][0] == 99 || s.ID[1] == -1 {
+		t.Error("clone shares storage")
+	}
+}
+
+func TestZeroForces(t *testing.T) {
+	s := filled(4)
+	for i := range s.Frc {
+		s.Frc[i] = geom.Vec{1, 1, 1}
+	}
+	s.ZeroForces()
+	for i := range s.Frc {
+		if s.Frc[i] != (geom.Vec{}) {
+			t.Fatalf("force %d not cleared", i)
+		}
+	}
+}
+
+// TestPermuteProperty: permuting by any permutation rearranges but
+// never loses or duplicates particles, and leaves the tail (halo)
+// untouched.
+func TestPermuteProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(50)
+		halo := rng.Intn(5)
+		s := New(2, n+halo)
+		box := geom.NewBox(2, 1, geom.Periodic)
+		FillUniform(s, n+halo, box, 0, rng)
+		perm := rng.Perm(n)
+		p32 := make([]int32, n)
+		for i, p := range perm {
+			p32[i] = int32(p)
+		}
+		before := s.Clone()
+		s.Permute(p32)
+		// Core particles: s[i] == before[perm[i]].
+		for i := 0; i < n; i++ {
+			if s.ID[i] != before.ID[perm[i]] || s.Pos[i] != before.Pos[perm[i]] {
+				return false
+			}
+		}
+		// Halo untouched.
+		for i := n; i < n+halo; i++ {
+			if s.ID[i] != before.ID[i] || s.Pos[i] != before.Pos[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermutePanicsWhenTooLong(t *testing.T) {
+	s := filled(3)
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized permutation did not panic")
+		}
+	}()
+	s.Permute([]int32{0, 1, 2, 3})
+}
+
+func TestMaxDisp2(t *testing.T) {
+	s := New(2, 2)
+	s.Append(geom.Vec{0.1, 0.1}, geom.Vec{}, 0)
+	s.Append(geom.Vec{0.9, 0.9}, geom.Vec{}, 1)
+	ref := s.SnapshotPos()
+	box := geom.NewBox(2, 1, geom.Periodic)
+	s.Pos[0][0] = 0.15 // moved 0.05
+	s.Pos[1][0] = 0.05 // moved 0.15 across the wrap
+	got := s.MaxDisp2(ref, 2, box)
+	want := 0.15 * 0.15
+	if got < want-1e-12 || got > want+1e-12 {
+		t.Errorf("MaxDisp2 = %g, want %g", got, want)
+	}
+}
+
+func TestFillUniformDeterminism(t *testing.T) {
+	box := geom.NewBox(3, 2, geom.Periodic)
+	a := New(3, 10)
+	b := New(3, 10)
+	FillUniform(a, 10, box, 0, rand.New(rand.NewSource(5)))
+	FillUniform(b, 10, box, 0, rand.New(rand.NewSource(5)))
+	for i := 0; i < 10; i++ {
+		if a.Pos[i] != b.Pos[i] {
+			t.Fatal("same seed produced different configurations")
+		}
+		if !box.Contains(a.Pos[i]) {
+			t.Fatalf("particle %d outside box: %v", i, a.Pos[i])
+		}
+	}
+}
+
+func TestFillUniformVelBounds(t *testing.T) {
+	box := geom.NewBox(2, 1, geom.Periodic)
+	s := New(2, 100)
+	FillUniformVel(s, 100, box, 0.5, 0, rand.New(rand.NewSource(9)))
+	for i := 0; i < 100; i++ {
+		for k := 0; k < 2; k++ {
+			if v := s.Vel[i][k]; v < -0.5 || v > 0.5 {
+				t.Fatalf("velocity %g out of bounds", v)
+			}
+		}
+	}
+}

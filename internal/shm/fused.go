@@ -1,0 +1,293 @@
+package shm
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"hybriddem/internal/cell"
+	"hybriddem/internal/force"
+	"hybriddem/internal/geom"
+	"hybriddem/internal/particle"
+)
+
+// BlockStore pairs a block's particle store with its core count for
+// the whole-rank fused kernels.
+type BlockStore struct {
+	PS    *particle.Store
+	NCore int
+}
+
+// spinAdd accumulates sign*v into dst[p] under a per-particle
+// spinlock.
+func spinAdd(locks []int32, p int32, dst []geom.Vec, v geom.Vec, d int, sign float64) {
+	for !atomic.CompareAndSwapInt32(&locks[p], 0, 1) {
+		runtime.Gosched()
+	}
+	for k := 0; k < d; k++ {
+		dst[p][k] += sign * v[k]
+	}
+	atomic.StoreInt32(&locks[p], 0)
+}
+
+// ZeroForcesAllBlocks clears the core force accumulators of every
+// block inside a single parallel region — the paper's optimisation of
+// "having a single parallel region enclosing the outer loop over
+// blocks" for the simple loops.
+func ZeroForcesAllBlocks(tm *Team, blocks []*BlockStore) {
+	tm.Region(func(th *Thread) {
+		total := 0
+		for _, b := range blocks {
+			lo, hi := chunk(b.NCore, tm.T, th.ID)
+			for i := lo; i < hi; i++ {
+				b.PS.Frc[i] = geom.Vec{}
+			}
+			total += hi - lo
+		}
+		th.Compute(float64(total) * tm.Costs.PerParticle / 4)
+	})
+}
+
+// IntegrateAllBlocks advances every block's core particles in a single
+// parallel region; chunks are disjoint so no synchronisation is needed
+// between blocks.
+func IntegrateAllBlocks(tm *Team, blocks []*BlockStore, cores []int, dt float64, box geom.Box, mode force.WrapMode) {
+	tm.Region(func(th *Thread) {
+		total := 0
+		for i, b := range blocks {
+			lo, hi := chunk(cores[i], tm.T, th.ID)
+			force.IntegrateRange(b.PS, lo, hi, dt, box, mode, &th.TC)
+			total += hi - lo
+		}
+		th.Compute(float64(total) * tm.Costs.PerParticle)
+	})
+}
+
+// FusedPiece is one block's contribution to the fused force loop.
+type FusedPiece struct {
+	PS         *particle.Store
+	Links      []cell.Link
+	NCoreLinks int // links [0:NCoreLinks) are core-core (full energy)
+	NCore      int // particle indices >= NCore are halo copies
+}
+
+// FusedUpdater implements the paper's Section 11 proposal: "a single
+// parallel loop over all links in all blocks rather than one loop per
+// block". Threads chunk the *concatenated* link list, so with many
+// blocks per thread most blocks are private to one thread and the
+// conflict (lock) fraction collapses, while fork/join overhead drops
+// from one region per block to one region per iteration.
+type FusedUpdater struct {
+	Method Method
+
+	pieces  []FusedPiece
+	offsets []int // global link offset of each piece; len(pieces)+1
+	total   int
+	T       int
+	tables  []*ConflictTable
+	locks   [][]int32
+}
+
+// NewFusedUpdater returns a fused updater; only the per-update
+// protection methods make sense here (array reductions would need a
+// private copy of every block).
+func NewFusedUpdater(m Method) *FusedUpdater {
+	switch m {
+	case Atomic, SelectedAtomic, Unprotected:
+		return &FusedUpdater{Method: m}
+	default:
+		panic(fmt.Sprintf("shm: fused updater does not support method %v", m))
+	}
+}
+
+// Prepare recomputes the global chunking and per-piece conflict tables
+// for the current lists; call at every rebuild.
+func (fu *FusedUpdater) Prepare(pieces []FusedPiece, T int) {
+	fu.pieces = pieces
+	fu.T = T
+	fu.offsets = make([]int, len(pieces)+1)
+	for i, p := range pieces {
+		fu.offsets[i+1] = fu.offsets[i] + len(p.Links)
+	}
+	fu.total = fu.offsets[len(pieces)]
+	fu.tables = make([]*ConflictTable, len(pieces))
+	fu.locks = make([][]int32, len(pieces))
+	for i, p := range pieces {
+		ranges := make([][2]int, T)
+		for t := 0; t < T; t++ {
+			glo, ghi := chunk(fu.total, T, t)
+			lo := clampRange(glo-fu.offsets[i], len(p.Links))
+			hi := clampRange(ghi-fu.offsets[i], len(p.Links))
+			if hi < lo {
+				hi = lo
+			}
+			ranges[t] = [2]int{lo, hi}
+		}
+		if fu.Method == SelectedAtomic {
+			fu.tables[i] = buildConflictRanges(p.Links, p.PS.Len(), p.NCore, ranges)
+		}
+		fu.locks[i] = make([]int32, p.PS.Len())
+	}
+}
+
+// clampRange clips a piece-local index into [0, n].
+func clampRange(v, n int) int {
+	if v < 0 {
+		return 0
+	}
+	if v > n {
+		return n
+	}
+	return v
+}
+
+// buildConflictRanges marks particles updated by links in more than
+// one of the given per-thread link ranges.
+func buildConflictRanges(links []cell.Link, nParticles, nCore int, ranges [][2]int) *ConflictTable {
+	ct := &ConflictTable{shared: make([]bool, nParticles)}
+	owner := make([]int32, nParticles)
+	for i := range owner {
+		owner[i] = -1
+	}
+	mark := func(p int32, t int32) {
+		if int(p) >= nCore {
+			return
+		}
+		switch owner[p] {
+		case -1:
+			owner[p] = t
+		case t:
+		default:
+			if !ct.shared[p] {
+				ct.shared[p] = true
+				ct.nShared++
+			}
+		}
+	}
+	for t, r := range ranges {
+		for _, l := range links[r[0]:r[1]] {
+			mark(l.I, int32(t))
+			mark(l.J, int32(t))
+		}
+	}
+	return ct
+}
+
+// NumShared returns the total number of protected particles across
+// all pieces.
+func (fu *FusedUpdater) NumShared() int {
+	n := 0
+	for _, t := range fu.tables {
+		if t != nil {
+			n += t.nShared
+		}
+	}
+	return n
+}
+
+// Accumulate runs the fused force loop in one parallel region and
+// returns the total potential energy (halo links at half weight).
+func (fu *FusedUpdater) Accumulate(tm *Team, sp force.Spring, box geom.Box) float64 {
+	if tm.T != fu.T {
+		panic(fmt.Sprintf("shm: fused updater prepared for T=%d, run with T=%d", fu.T, tm.T))
+	}
+	epotPer := make([]float64, tm.T)
+	costs := tm.Costs
+	tm.Region(func(th *Thread) {
+		glo, ghi := chunk(fu.total, tm.T, th.ID)
+		epot := 0.0
+		var taken, avoided, nl, distSum, contacts, contactsHalo int64
+		var effLinks float64
+		hw := costs.haloWork()
+		for pi, p := range fu.pieces {
+			lo := glo - fu.offsets[pi]
+			hi := ghi - fu.offsets[pi]
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > len(p.Links) {
+				hi = len(p.Links)
+			}
+			if hi <= lo {
+				continue
+			}
+			d := p.PS.D
+			pos, vel, frc, ids := p.PS.Pos, p.PS.Vel, p.PS.Frc, p.PS.ID
+			locks := fu.locks[pi]
+			var shared []bool
+			if fu.Method == SelectedAtomic {
+				shared = fu.tables[pi].shared
+			}
+			for li := lo; li < hi; li++ {
+				l := p.Links[li]
+				disp := box.Disp(pos[l.I], pos[l.J])
+				rel := geom.Sub(vel[l.J], vel[l.I], d)
+				fi, e, contact := sp.PairID(ids[l.I], ids[l.J], disp, rel, d)
+				if li < p.NCoreLinks {
+					if contact {
+						contacts++
+					}
+					epot += e
+				} else {
+					if contact {
+						contactsHalo++
+					}
+					epot += 0.5 * e
+				}
+				fu.apply(th, locks, shared, frc, l.I, fi, +1, d, &taken, &avoided)
+				if int(l.J) < p.NCore {
+					fu.apply(th, locks, shared, frc, l.J, fi, -1, d, &taken, &avoided)
+				}
+				di := int64(l.I) - int64(l.J)
+				if di < 0 {
+					di = -di
+				}
+				distSum += di
+			}
+			nl += int64(hi - lo)
+			coreN, haloN := splitLinks(lo, hi, p.NCoreLinks)
+			effLinks += float64(coreN) + float64(haloN)*hw
+		}
+		th.TC.ForceEvals += nl
+		th.TC.LinkVisits += nl
+		th.TC.Contacts += contacts + contactsHalo
+		th.TC.ForceUpdates += taken + avoided
+		th.TC.AtomicsTaken += taken
+		th.TC.AtomicsAvoided += avoided
+		th.TC.LinkIndexDistSum += distSum
+		th.TC.LinkIndexDistN += nl
+		th.Compute(effLinks*costs.PerLink +
+			(float64(contacts)+float64(contactsHalo)*hw)*costs.PerContact +
+			float64(avoided)*costs.PerUpdate +
+			float64(taken)*(costs.PerUpdate+costs.AtomicTaken))
+		epotPer[th.ID] = epot
+	})
+	epot := 0.0
+	for _, e := range epotPer {
+		epot += e
+	}
+	return epot
+}
+
+func (fu *FusedUpdater) apply(th *Thread, locks []int32, shared []bool, frc []geom.Vec, p int32, v geom.Vec, sign float64, d int, taken, avoided *int64) {
+	switch fu.Method {
+	case Atomic:
+		spinAdd(locks, p, frc, v, d, sign)
+		*taken++
+	case SelectedAtomic:
+		if shared[p] {
+			spinAdd(locks, p, frc, v, d, sign)
+			*taken++
+		} else {
+			for k := 0; k < d; k++ {
+				frc[p][k] += sign * v[k]
+			}
+			*avoided++
+		}
+	case Unprotected:
+		for k := 0; k < d; k++ {
+			frc[p][k] += sign * v[k]
+		}
+		*avoided++
+	}
+}

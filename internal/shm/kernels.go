@@ -1,0 +1,30 @@
+package shm
+
+import (
+	"hybriddem/internal/force"
+	"hybriddem/internal/geom"
+	"hybriddem/internal/particle"
+)
+
+// IntegrateParallel advances the first nCore particles by one step
+// using a statically scheduled parallel loop over particles ("the
+// update of positions is parallelised over particles"). There are no
+// inter-thread dependencies: each thread owns a disjoint chunk.
+func IntegrateParallel(tm *Team, ps *particle.Store, nCore int, dt float64, box geom.Box, mode force.WrapMode) {
+	tm.ParallelFor(nCore, func(th *Thread, lo, hi int) {
+		force.IntegrateRange(ps, lo, hi, dt, box, mode, &th.TC)
+		th.Compute(float64(hi-lo) * tm.Costs.PerParticle)
+	})
+}
+
+// ZeroForcesParallel clears the force accumulators of the first n
+// particles in parallel; one of the "simplest loops" the paper fuses
+// into larger parallel regions.
+func ZeroForcesParallel(tm *Team, ps *particle.Store, n int) {
+	tm.ParallelFor(n, func(th *Thread, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ps.Frc[i] = geom.Vec{}
+		}
+		th.Compute(float64(hi-lo) * tm.Costs.PerParticle / 4)
+	})
+}

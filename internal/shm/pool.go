@@ -1,0 +1,22 @@
+package shm
+
+// TeamPool adapts a Team to the cell.Pool interface so the
+// link-generation path can run thread-parallel without a dependency
+// cycle. Work performed through the pool advances the team's virtual
+// clock only by its fork/join overhead: the paper excludes link
+// generation from its timings ("this represents a small overhead in a
+// real simulation"), and notes its OpenMP version "scales rather
+// poorly" anyway.
+type TeamPool struct {
+	Team *Team
+}
+
+// Threads implements cell.Pool.
+func (p TeamPool) Threads() int { return p.Team.T }
+
+// ParallelFor implements cell.Pool.
+func (p TeamPool) ParallelFor(n int, body func(thread, lo, hi int)) {
+	p.Team.ParallelFor(n, func(th *Thread, lo, hi int) {
+		body(th.ID, lo, hi)
+	})
+}

@@ -1,0 +1,96 @@
+package shm
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Schedule selects how a parallel loop's iterations are dealt to
+// threads, mirroring OpenMP's schedule clause. The paper's code uses
+// Static throughout ("load balance can be achieved in all cases using
+// a static schedule"); Dynamic and Guided exist for the ablation
+// benches and for irregular loops outside the paper's scope.
+type Schedule int
+
+const (
+	// Static gives thread t the contiguous block [t*n/T, (t+1)*n/T).
+	Static Schedule = iota
+	// Dynamic deals fixed-size chunks from a shared counter; ideal
+	// balance, one atomic fetch per chunk.
+	Dynamic
+	// Guided deals geometrically shrinking chunks (half the remaining
+	// work divided by T, floored at the chunk size).
+	Guided
+)
+
+func (s Schedule) String() string {
+	switch s {
+	case Static:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	case Guided:
+		return "guided"
+	default:
+		return fmt.Sprintf("Schedule(%d)", int(s))
+	}
+}
+
+// ParallelForSched runs body over [0, n) under the given schedule and
+// chunk size (ignored for Static; floored at 1 otherwise). The body
+// receives contiguous [lo, hi) ranges exactly as with ParallelFor.
+//
+// Dynamic and Guided charge one modelled critical-entry per chunk
+// handed out: the shared loop counter is this runtime's analogue of
+// the OpenMP schedule bookkeeping.
+func (tm *Team) ParallelForSched(n int, sched Schedule, chunkSize int, body func(th *Thread, lo, hi int)) {
+	if sched == Static {
+		tm.ParallelFor(n, body)
+		return
+	}
+	if chunkSize < 1 {
+		chunkSize = 1
+	}
+	var next int64
+	tm.Region(func(th *Thread) {
+		for {
+			var lo, hi int
+			switch sched {
+			case Dynamic:
+				lo = int(atomic.AddInt64(&next, int64(chunkSize))) - chunkSize
+				hi = lo + chunkSize
+			case Guided:
+				// Claim half the remaining work divided by T, at
+				// least chunkSize. A CAS loop keeps claims
+				// consistent under contention.
+				for {
+					cur := atomic.LoadInt64(&next)
+					remain := int64(n) - cur
+					if remain <= 0 {
+						lo = n
+						break
+					}
+					take := remain / int64(2*tm.T)
+					if take < int64(chunkSize) {
+						take = int64(chunkSize)
+					}
+					if atomic.CompareAndSwapInt64(&next, cur, cur+take) {
+						lo = int(cur)
+						hi = int(cur + take)
+						break
+					}
+				}
+			default:
+				panic(fmt.Sprintf("shm: unknown schedule %v", sched))
+			}
+			if lo >= n {
+				return
+			}
+			if hi > n {
+				hi = n
+			}
+			th.Compute(tm.Costs.Critical) // schedule bookkeeping
+			body(th, lo, hi)
+		}
+	})
+}

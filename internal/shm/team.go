@@ -1,0 +1,208 @@
+// Package shm is a shared-memory (OpenMP-style) runtime: fork-join
+// thread teams with statically scheduled parallel loops, intra-team
+// barriers, per-particle locks, and the paper's five strategies for
+// protecting concurrent updates of the global force array (atomic,
+// selected atomic, and the critical / stripe / transpose array
+// reductions).
+//
+// Threads are goroutines, so loops really run in parallel on the host;
+// each thread additionally carries a virtual clock that the kernels
+// advance using the cost constants of the virtual platform. A parallel
+// region's modelled duration is fork + max over threads + join,
+// mirroring the fork/join overhead the paper measures with the OpenMP
+// microbenchmark suite.
+package shm
+
+import (
+	"fmt"
+	"sync"
+
+	"hybriddem/internal/trace"
+)
+
+// Costs is the set of modelled per-event overheads a virtual platform
+// charges inside shared-memory kernels. All values are seconds. The
+// machine package derives these from a platform; the zero value is a
+// free machine (tests).
+type Costs struct {
+	ForkJoin      float64 // per parallel region entered (whole-team cost)
+	Barrier       float64 // per intra-team barrier (whole-team cost)
+	Critical      float64 // per critical-section entry
+	AtomicTaken   float64 // per protected force update
+	ReductionWord float64 // per word combined by an array reduction
+	PerLink       float64 // compute+memory per link visited
+	PerContact    float64 // extra per in-range pair (sqrt + inverse)
+	PerUpdate     float64 // per unprotected force-array accumulation
+	PerParticle   float64 // per particle position update
+
+	// HaloWork weights the charges of halo links relative to core
+	// links. Halo link counts are a surface effect, so when a
+	// scaled-down run models a larger system the drivers set this to
+	// surfScale/workScale (< 1); zero means 1.
+	HaloWork float64
+}
+
+// haloWork returns the halo-link weight, defaulting to 1.
+func (c Costs) haloWork() float64 {
+	if c.HaloWork == 0 {
+		return 1
+	}
+	return c.HaloWork
+}
+
+// ScaleWork multiplies the per-work-item costs by work and the
+// per-protected-update cost by atomic, leaving the per-event
+// overheads (fork/join, barrier, critical) untouched. The drivers use
+// it to model a larger system than the one actually run: bulk work
+// counts grow linearly with the particle number, while the
+// selected-atomic conflict counts live on thread-chunk boundaries and
+// grow only with the surface power (full-atomic locking passes
+// atomic == work since it locks every update).
+func (c Costs) ScaleWork(work, atomic float64) Costs {
+	c.AtomicTaken *= atomic
+	c.ReductionWord *= work
+	c.PerLink *= work
+	c.PerContact *= work
+	c.PerUpdate *= work
+	c.PerParticle *= work
+	return c
+}
+
+// Thread is one member of a team during a parallel region. It owns a
+// virtual clock and private counters; nothing on it is synchronised,
+// so kernels may use it freely on the hot path.
+type Thread struct {
+	ID    int
+	clock float64
+	TC    trace.Counters
+	team  *Team
+}
+
+// Compute advances the thread's virtual clock by dt seconds.
+func (th *Thread) Compute(dt float64) {
+	if dt > 0 {
+		th.clock += dt
+	}
+}
+
+// Clock returns the thread's current virtual time.
+func (th *Thread) Clock() float64 { return th.clock }
+
+// Barrier synchronises all threads of the enclosing region and
+// equalises their clocks to the max plus the platform's barrier cost.
+func (th *Thread) Barrier() {
+	th.team.bar.await(th)
+	th.TC.TeamBarriers++
+}
+
+// Team is a reusable fork-join team of T threads bound to cost
+// constants. A Team is not safe for concurrent regions; in hybrid runs
+// each rank owns its own team, exactly as each MPI process owns its
+// OpenMP thread pool.
+type Team struct {
+	T     int
+	Costs Costs
+	clock float64
+	TC    trace.Counters // merged thread counters plus region counts
+	bar   *clockBarrier
+	mu    sync.Mutex // guards Critical
+}
+
+// NewTeam returns a team of t threads with the given cost constants.
+func NewTeam(t int, costs Costs) *Team {
+	if t < 1 {
+		panic(fmt.Sprintf("shm: team size %d", t))
+	}
+	return &Team{T: t, Costs: costs, bar: newClockBarrier(t, costs.Barrier)}
+}
+
+// Clock returns the team's virtual time (advanced at each region join).
+func (tm *Team) Clock() float64 { return tm.clock }
+
+// SetCosts replaces the team's cost constants; drivers call it after
+// every list rebuild because the per-link cost depends on the list's
+// measured locality.
+func (tm *Team) SetCosts(c Costs) {
+	tm.Costs = c
+	tm.bar.cost = c.Barrier
+}
+
+// SetClock forces the team clock; drivers reset it between warm-up and
+// measured iterations.
+func (tm *Team) SetClock(t float64) { tm.clock = t }
+
+// Compute advances the team clock by dt seconds of serial (master
+// thread) work outside any region.
+func (tm *Team) Compute(dt float64) {
+	if dt > 0 {
+		tm.clock += dt
+	}
+}
+
+// Region runs body concurrently on T threads. Each thread starts at
+// the team clock; at the join the team clock becomes the max thread
+// clock plus the fork/join overhead, and thread counters merge into
+// the team's.
+func (tm *Team) Region(body func(th *Thread)) {
+	threads := make([]*Thread, tm.T)
+	start := tm.clock
+	var wg sync.WaitGroup
+	panics := make([]any, tm.T)
+	for t := 0; t < tm.T; t++ {
+		threads[t] = &Thread{ID: t, clock: start, team: tm}
+		wg.Add(1)
+		go func(th *Thread) {
+			defer wg.Done()
+			defer func() {
+				if e := recover(); e != nil {
+					panics[th.ID] = e
+					tm.bar.abort()
+				}
+			}()
+			body(th)
+		}(threads[t])
+	}
+	wg.Wait()
+	for t, e := range panics {
+		if e != nil {
+			panic(fmt.Sprintf("shm: thread %d panicked: %v", t, e))
+		}
+	}
+	maxClock := start
+	for _, th := range threads {
+		if th.clock > maxClock {
+			maxClock = th.clock
+		}
+		tm.TC.Add(&th.TC)
+	}
+	tm.clock = maxClock + tm.Costs.ForkJoin
+	tm.TC.ParallelRegions++
+}
+
+// chunk returns the static-schedule bounds of thread t over n items:
+// a simple block distribution of iterations amongst threads, the
+// paper's schedule for every loop.
+func chunk(n, T, t int) (lo, hi int) {
+	lo = t * n / T
+	hi = (t + 1) * n / T
+	return lo, hi
+}
+
+// ParallelFor runs body(th, lo, hi) on each thread's static chunk of
+// [0, n).
+func (tm *Team) ParallelFor(n int, body func(th *Thread, lo, hi int)) {
+	tm.Region(func(th *Thread) {
+		lo, hi := chunk(n, tm.T, th.ID)
+		body(th, lo, hi)
+	})
+}
+
+// Critical runs body under the team's mutual-exclusion lock and
+// charges the entry cost to the calling thread.
+func (tm *Team) Critical(th *Thread, body func()) {
+	tm.mu.Lock()
+	body()
+	tm.mu.Unlock()
+	th.Compute(tm.Costs.Critical)
+	th.TC.CriticalEnters++
+}

@@ -1,0 +1,406 @@
+package shm
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"hybriddem/internal/cell"
+	"hybriddem/internal/force"
+	"hybriddem/internal/geom"
+	"hybriddem/internal/particle"
+)
+
+// Method selects how concurrent updates of the global force array are
+// protected, Section 7 of the paper.
+type Method int
+
+const (
+	// Atomic protects every accumulation with a per-particle lock
+	// ("making every update atomic").
+	Atomic Method = iota
+	// SelectedAtomic consults a conflict table built at link-list
+	// time and locks only particles genuinely updated by more than
+	// one thread — the paper's winning strategy on the Compaq.
+	SelectedAtomic
+	// CriticalReduction accumulates into thread-private arrays and
+	// performs the global sum inside a critical region; the paper
+	// reports "extremely poor results which are not shown".
+	CriticalReduction
+	// Stripe accumulates privately then reduces in T rounds, each
+	// thread always updating a different stripe of the global array,
+	// with a barrier between rounds.
+	Stripe
+	// Transpose accumulates into a [T][N] temporary and reduces in
+	// parallel over the particle index.
+	Transpose
+	// Unprotected performs plain unlocked updates. It is INCORRECT
+	// under real concurrency and exists only for the paper's Section
+	// 9.2 ablation ("an incorrect code ... simulating a machine with
+	// an extremely efficient atomic lock"); the ablation harness runs
+	// it with T=1 real threads while modelling T virtual threads.
+	Unprotected
+)
+
+var methodNames = map[Method]string{
+	Atomic:            "atomic",
+	SelectedAtomic:    "selected-atomic",
+	CriticalReduction: "critical-reduction",
+	Stripe:            "stripe",
+	Transpose:         "transpose",
+	Unprotected:       "unprotected",
+}
+
+func (m Method) String() string {
+	if s, ok := methodNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Methods lists the strategies the paper benchmarks (Figure 4/5 show
+// atomic, selected atomic, and the stripe/transpose pair; the critical
+// reduction is measured but unplotted).
+var Methods = []Method{Atomic, SelectedAtomic, CriticalReduction, Stripe, Transpose}
+
+// ConflictTable records which particles are updated by links belonging
+// to more than one thread under the static link distribution. It stays
+// valid for as long as the link list does: "the table is valid for
+// many force calculations until the linked list is next recalculated".
+type ConflictTable struct {
+	shared  []bool
+	nShared int
+}
+
+// BuildConflictTable scans links as distributed over T threads and
+// marks particles with links belonging to more than one thread.
+// Particles at index >= nCore (halo copies) are never updated, hence
+// never shared.
+func BuildConflictTable(links []cell.Link, nParticles, nCore, T int) *ConflictTable {
+	ct := &ConflictTable{shared: make([]bool, nParticles)}
+	owner := make([]int32, nParticles)
+	for i := range owner {
+		owner[i] = -1
+	}
+	mark := func(p int32, t int32) {
+		if int(p) >= nCore {
+			return
+		}
+		switch owner[p] {
+		case -1:
+			owner[p] = t
+		case t:
+		default:
+			if !ct.shared[p] {
+				ct.shared[p] = true
+				ct.nShared++
+			}
+		}
+	}
+	n := len(links)
+	for t := 0; t < T; t++ {
+		lo, hi := chunk(n, T, t)
+		for _, l := range links[lo:hi] {
+			mark(l.I, int32(t))
+			mark(l.J, int32(t))
+		}
+	}
+	return ct
+}
+
+// NumShared returns the number of particles needing protection.
+func (ct *ConflictTable) NumShared() int { return ct.nShared }
+
+// Updater executes the thread-parallel force accumulation for one
+// block with a chosen protection method. It owns the per-particle
+// locks and the reduction scratch, sized lazily to the block.
+type Updater struct {
+	Method Method
+	locks  []int32     // per-particle spinlocks (atomic methods)
+	priv   [][]float64 // T thread-private force arrays, layout [i*D+k]
+	ct     *ConflictTable
+}
+
+// NewUpdater returns an updater for the given method.
+func NewUpdater(m Method) *Updater { return &Updater{Method: m} }
+
+// Prepare must be called whenever the link list changes: it (re)builds
+// the conflict table for the selected-atomic method and resizes the
+// lock array. T is the team size the force loop will use.
+func (u *Updater) Prepare(links []cell.Link, nParticles, nCore, T int) {
+	if cap(u.locks) < nParticles {
+		u.locks = make([]int32, nParticles)
+	}
+	u.locks = u.locks[:nParticles]
+	if u.Method == SelectedAtomic {
+		u.ct = BuildConflictTable(links, nParticles, nCore, T)
+	}
+}
+
+// Conflicts returns the conflict table built by the last Prepare, or
+// nil for methods that do not use one.
+func (u *Updater) Conflicts() *ConflictTable { return u.ct }
+
+// lockAdd accumulates v into dst[p] under the per-particle spinlock.
+func (u *Updater) lockAdd(p int32, dst []geom.Vec, v geom.Vec, d int, sign float64) {
+	for !atomic.CompareAndSwapInt32(&u.locks[p], 0, 1) {
+		runtime.Gosched()
+	}
+	for k := 0; k < d; k++ {
+		dst[p][k] += sign * v[k]
+	}
+	atomic.StoreInt32(&u.locks[p], 0)
+}
+
+// ensurePriv sizes and zeroes the T private arrays of d*n floats each
+// and returns them. The zeroing traffic is charged to the threads by
+// the reduction kernels; "all array reduction techniques place a heavy
+// demand on the memory system".
+func (u *Updater) ensurePriv(T, words int) [][]float64 {
+	if len(u.priv) < T {
+		u.priv = append(u.priv, make([][]float64, T-len(u.priv))...)
+	}
+	for t := 0; t < T; t++ {
+		if cap(u.priv[t]) < words {
+			u.priv[t] = make([]float64, words)
+		} else {
+			u.priv[t] = u.priv[t][:words]
+			for i := range u.priv[t] {
+				u.priv[t][i] = 0
+			}
+		}
+	}
+	return u.priv[:T]
+}
+
+// Accumulate runs the parallel force loop over the block's single
+// link list (core links first, then halo links whose energy counts
+// half), adding pair forces into ps.Frc and returning the potential
+// energy. Forces land on endpoint I always and on J when J < nCore,
+// identically to the serial kernel in internal/force.
+//
+// The whole list is processed in ONE statically scheduled loop — the
+// same distribution Prepare built the conflict table for. Splitting
+// core and halo links into separate loops would redistribute links
+// over threads and invalidate the table.
+func (u *Updater) Accumulate(tm *Team, sp force.Spring, ps *particle.Store, links []cell.Link, nCoreLinks, nCore int, box geom.Box) float64 {
+	d := ps.D
+	n := len(links)
+	costs := tm.Costs
+	epotPer := make([]float64, tm.T)
+
+	switch u.Method {
+	case Atomic, SelectedAtomic, Unprotected:
+		tm.Region(func(th *Thread) {
+			lo, hi := chunk(n, tm.T, th.ID)
+			epot := 0.0
+			var taken, avoided, distSum, contacts, contactsHalo int64
+			pos, vel, frc, ids := ps.Pos, ps.Vel, ps.Frc, ps.ID
+			for li := lo; li < hi; li++ {
+				l := links[li]
+				disp := box.Disp(pos[l.I], pos[l.J])
+				rel := geom.Sub(vel[l.J], vel[l.I], d)
+				fi, e, contact := sp.PairID(ids[l.I], ids[l.J], disp, rel, d)
+				if li < nCoreLinks {
+					if contact {
+						contacts++
+					}
+					epot += e
+				} else {
+					if contact {
+						contactsHalo++
+					}
+					epot += 0.5 * e
+				}
+				u.applyProtected(th, frc, l.I, fi, +1, d, &taken, &avoided)
+				if int(l.J) < nCore {
+					u.applyProtected(th, frc, l.J, fi, -1, d, &taken, &avoided)
+				}
+				di := int64(l.I) - int64(l.J)
+				if di < 0 {
+					di = -di
+				}
+				distSum += di
+			}
+			nl := int64(hi - lo)
+			coreN, haloN := splitLinks(lo, hi, nCoreLinks)
+			hw := costs.haloWork()
+			th.TC.ForceEvals += nl
+			th.TC.LinkVisits += nl
+			th.TC.Contacts += contacts + contactsHalo
+			th.TC.ForceUpdates += taken + avoided
+			th.TC.AtomicsTaken += taken
+			th.TC.AtomicsAvoided += avoided
+			th.TC.LinkIndexDistSum += distSum
+			th.TC.LinkIndexDistN += nl
+			th.Compute((float64(coreN)+float64(haloN)*hw)*costs.PerLink +
+				(float64(contacts)+float64(contactsHalo)*hw)*costs.PerContact +
+				float64(avoided)*costs.PerUpdate +
+				float64(taken)*(costs.PerUpdate+costs.AtomicTaken))
+			epotPer[th.ID] = epot
+		})
+
+	case CriticalReduction, Stripe, Transpose:
+		words := ps.Len() * d
+		priv := u.ensurePriv(tm.T, words)
+		tm.Region(func(th *Thread) {
+			lo, hi := chunk(n, tm.T, th.ID)
+			epot := 0.0
+			var distSum, contacts, contactsHalo int64
+			pos, vel, ids := ps.Pos, ps.Vel, ps.ID
+			mine := priv[th.ID]
+			for li := lo; li < hi; li++ {
+				l := links[li]
+				disp := box.Disp(pos[l.I], pos[l.J])
+				rel := geom.Sub(vel[l.J], vel[l.I], d)
+				fi, e, contact := sp.PairID(ids[l.I], ids[l.J], disp, rel, d)
+				if li < nCoreLinks {
+					if contact {
+						contacts++
+					}
+					epot += e
+				} else {
+					if contact {
+						contactsHalo++
+					}
+					epot += 0.5 * e
+				}
+				for k := 0; k < d; k++ {
+					mine[int(l.I)*d+k] += fi[k]
+				}
+				if int(l.J) < nCore {
+					for k := 0; k < d; k++ {
+						mine[int(l.J)*d+k] -= fi[k]
+					}
+				}
+				di := int64(l.I) - int64(l.J)
+				if di < 0 {
+					di = -di
+				}
+				distSum += di
+			}
+			nl := int64(hi - lo)
+			coreN, haloN := splitLinks(lo, hi, nCoreLinks)
+			hw := costs.haloWork()
+			effLinks := float64(coreN) + float64(haloN)*hw
+			th.TC.ForceEvals += nl
+			th.TC.LinkVisits += nl
+			th.TC.Contacts += contacts + contactsHalo
+			th.TC.ForceUpdates += 2 * nl
+			th.TC.LinkIndexDistSum += distSum
+			th.TC.LinkIndexDistN += nl
+			// Private accumulation plus the zeroing traffic of the
+			// scratch array.
+			th.Compute(effLinks*(costs.PerLink+2*costs.PerUpdate) +
+				(float64(contacts)+float64(contactsHalo)*hw)*costs.PerContact +
+				float64(words)*costs.ReductionWord)
+			epotPer[th.ID] = epot
+
+			u.reduce(th, tm, ps, words, d, priv)
+		})
+
+	default:
+		panic(fmt.Sprintf("shm: unknown update method %v", u.Method))
+	}
+
+	epot := 0.0
+	for _, e := range epotPer {
+		epot += e
+	}
+	return epot
+}
+
+// splitLinks returns how many of the links in [lo, hi) fall before
+// the core/halo boundary at nCoreLinks.
+func splitLinks(lo, hi, nCoreLinks int) (core, halo int64) {
+	c := nCoreLinks - lo
+	if c < 0 {
+		c = 0
+	}
+	if c > hi-lo {
+		c = hi - lo
+	}
+	return int64(c), int64(hi - lo - c)
+}
+
+// applyProtected performs one force accumulation under the updater's
+// protection policy.
+func (u *Updater) applyProtected(th *Thread, frc []geom.Vec, p int32, v geom.Vec, sign float64, d int, taken, avoided *int64) {
+	switch u.Method {
+	case Atomic:
+		u.lockAdd(p, frc, v, d, sign)
+		*taken++
+	case SelectedAtomic:
+		if u.ct.shared[p] {
+			u.lockAdd(p, frc, v, d, sign)
+			*taken++
+		} else {
+			for k := 0; k < d; k++ {
+				frc[p][k] += sign * v[k]
+			}
+			*avoided++
+		}
+	case Unprotected:
+		for k := 0; k < d; k++ {
+			frc[p][k] += sign * v[k]
+		}
+		*avoided++
+	}
+}
+
+// reduce merges the thread-private arrays into ps.Frc according to the
+// method. Called from within the region by every thread; contains the
+// barriers each strategy needs.
+func (u *Updater) reduce(th *Thread, tm *Team, ps *particle.Store, words, d int, priv [][]float64) {
+	frc := ps.Frc
+	switch u.Method {
+	case CriticalReduction:
+		// Threads serialise on the critical section; the virtual
+		// clock models the serialisation by staggering completion in
+		// thread order, so the modelled region time grows as T times
+		// the reduction work — the paper's "extremely poor" result.
+		th.Barrier() // all private arrays complete
+		tm.Critical(th, func() {
+			mine := priv[th.ID]
+			for i := 0; i < words; i++ {
+				frc[i/d][i%d] += mine[i]
+			}
+		})
+		th.TC.ReductionWords += int64(words)
+		th.Compute(float64(th.ID+1) * float64(words) * tm.Costs.ReductionWord)
+		th.Barrier()
+
+	case Stripe:
+		// T rounds; in round r thread t owns stripe (t+r) mod T, so
+		// no two threads ever touch the same portion of the global
+		// array; a barrier separates rounds.
+		th.Barrier()
+		T := tm.T
+		mine := priv[th.ID]
+		for r := 0; r < T; r++ {
+			s := (th.ID + r) % T
+			lo, hi := chunk(words, T, s)
+			for i := lo; i < hi; i++ {
+				frc[i/d][i%d] += mine[i]
+			}
+			th.TC.ReductionWords += int64(hi - lo)
+			th.Compute(float64(hi-lo) * tm.Costs.ReductionWord)
+			th.Barrier()
+		}
+
+	case Transpose:
+		// Parallel reduction over the main particle index: thread t
+		// sums column chunk [lo,hi) across all T private arrays.
+		th.Barrier()
+		lo, hi := chunk(words, tm.T, th.ID)
+		for t := 0; t < tm.T; t++ {
+			mine := priv[t]
+			for i := lo; i < hi; i++ {
+				frc[i/d][i%d] += mine[i]
+			}
+		}
+		th.TC.ReductionWords += int64((hi - lo) * tm.T)
+		th.Compute(float64((hi-lo)*tm.T) * tm.Costs.ReductionWord)
+		th.Barrier()
+	}
+}

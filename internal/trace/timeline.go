@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Span is one phase interval on a rank's virtual timeline.
+type Span struct {
+	Rank  int
+	Iter  int
+	Phase string
+	T0    float64 // virtual seconds
+	T1    float64
+}
+
+// Timeline collects phase spans across ranks — this module's analogue
+// of the OMPItrace/Paraver tracing the paper's Further Work applies
+// to the hybrid code. Ranks append concurrently; analysis happens
+// after the run.
+type Timeline struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Add records one span. Inverted intervals are clamped to zero width.
+func (tl *Timeline) Add(rank, iter int, phase string, t0, t1 float64) {
+	if t1 < t0 {
+		t1 = t0
+	}
+	tl.mu.Lock()
+	tl.spans = append(tl.spans, Span{Rank: rank, Iter: iter, Phase: phase, T0: t0, T1: t1})
+	tl.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans sorted by (rank, start).
+func (tl *Timeline) Spans() []Span {
+	tl.mu.Lock()
+	out := append([]Span(nil), tl.spans...)
+	tl.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].T0 < out[j].T0
+	})
+	return out
+}
+
+// PhaseTotals sums span durations per phase per rank.
+func (tl *Timeline) PhaseTotals() map[string][]float64 {
+	spans := tl.Spans()
+	ranks := 0
+	for _, s := range spans {
+		if s.Rank+1 > ranks {
+			ranks = s.Rank + 1
+		}
+	}
+	out := make(map[string][]float64)
+	for _, s := range spans {
+		if out[s.Phase] == nil {
+			out[s.Phase] = make([]float64, ranks)
+		}
+		out[s.Phase][s.Rank] += s.T1 - s.T0
+	}
+	return out
+}
+
+// Imbalance returns, per phase, max/mean of the per-rank totals — the
+// load-imbalance factor the block-cyclic granularity is meant to
+// drive towards one.
+func (tl *Timeline) Imbalance() map[string]float64 {
+	out := make(map[string]float64)
+	for phase, per := range tl.PhaseTotals() {
+		maxv, sum := 0.0, 0.0
+		for _, v := range per {
+			sum += v
+			if v > maxv {
+				maxv = v
+			}
+		}
+		if sum > 0 {
+			mean := sum / float64(len(per))
+			out[phase] = maxv / mean
+		}
+	}
+	return out
+}
+
+// phaseGlyphs assigns stable single-character glyphs for rendering.
+var phaseGlyphs = map[string]byte{
+	"comm":    '~',
+	"force":   '#',
+	"update":  '+',
+	"rebuild": 'R',
+}
+
+// Render draws an ASCII Gantt chart of the first maxSpansPerRank
+// spans of every rank, width columns wide, over the common time
+// window. Phases get the glyphs ~ (comm), # (force), + (update),
+// R (rebuild); unknown phases render as '?'.
+func (tl *Timeline) Render(width int) string {
+	spans := tl.Spans()
+	if len(spans) == 0 {
+		return "(empty timeline)\n"
+	}
+	tmin, tmax := spans[0].T0, spans[0].T1
+	ranks := 0
+	for _, s := range spans {
+		if s.T0 < tmin {
+			tmin = s.T0
+		}
+		if s.T1 > tmax {
+			tmax = s.T1
+		}
+		if s.Rank+1 > ranks {
+			ranks = s.Rank + 1
+		}
+	}
+	if tmax <= tmin {
+		tmax = tmin + 1
+	}
+	scale := float64(width) / (tmax - tmin)
+	rows := make([][]byte, ranks)
+	for r := range rows {
+		rows[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range spans {
+		g, ok := phaseGlyphs[s.Phase]
+		if !ok {
+			g = '?'
+		}
+		lo := int((s.T0 - tmin) * scale)
+		hi := int((s.T1 - tmin) * scale)
+		if hi == lo {
+			hi = lo + 1
+		}
+		for c := lo; c < hi && c < width; c++ {
+			rows[s.Rank][c] = g
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "virtual time %.6fs .. %.6fs  (~ comm, # force, + update, R rebuild)\n", tmin, tmax)
+	for r, row := range rows {
+		fmt.Fprintf(&sb, "rank %2d |%s|\n", r, row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTimelineSpansSorted(t *testing.T) {
+	tl := &Timeline{}
+	tl.Add(1, 0, "force", 2, 3)
+	tl.Add(0, 0, "force", 0, 1)
+	tl.Add(0, 1, "update", 1, 2)
+	spans := tl.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("%d spans", len(spans))
+	}
+	if spans[0].Rank != 0 || spans[0].T0 != 0 {
+		t.Errorf("spans not sorted: %+v", spans)
+	}
+	if spans[2].Rank != 1 {
+		t.Errorf("rank ordering: %+v", spans)
+	}
+}
+
+func TestTimelineClampsInverted(t *testing.T) {
+	tl := &Timeline{}
+	tl.Add(0, 0, "force", 5, 3)
+	s := tl.Spans()[0]
+	if s.T1 != s.T0 {
+		t.Errorf("inverted span not clamped: %+v", s)
+	}
+}
+
+func TestPhaseTotalsAndImbalance(t *testing.T) {
+	tl := &Timeline{}
+	tl.Add(0, 0, "force", 0, 3) // rank 0: 3s force
+	tl.Add(1, 0, "force", 0, 1) // rank 1: 1s force
+	tl.Add(0, 0, "comm", 3, 4)
+	tl.Add(1, 0, "comm", 1, 2)
+	totals := tl.PhaseTotals()
+	if totals["force"][0] != 3 || totals["force"][1] != 1 {
+		t.Errorf("force totals %v", totals["force"])
+	}
+	imb := tl.Imbalance()
+	if imb["force"] != 1.5 { // max 3 / mean 2
+		t.Errorf("force imbalance %g", imb["force"])
+	}
+	if imb["comm"] != 1.0 {
+		t.Errorf("comm imbalance %g", imb["comm"])
+	}
+}
+
+func TestRenderContainsGlyphs(t *testing.T) {
+	tl := &Timeline{}
+	tl.Add(0, 0, "force", 0, 1)
+	tl.Add(0, 0, "comm", 1, 2)
+	tl.Add(1, 0, "update", 0, 2)
+	tl.Add(1, 1, "mystery", 2, 3)
+	out := tl.Render(40)
+	for _, want := range []string{"#", "~", "+", "?", "rank  0", "rank  1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if tlEmpty := (&Timeline{}).Render(40); !strings.Contains(tlEmpty, "empty") {
+		t.Error("empty timeline render")
+	}
+}
+
+func TestTimelineConcurrentAdd(t *testing.T) {
+	tl := &Timeline{}
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tl.Add(r, i, "force", float64(i), float64(i+1))
+			}
+		}(r)
+	}
+	wg.Wait()
+	if got := len(tl.Spans()); got != 800 {
+		t.Errorf("%d spans after concurrent adds", got)
+	}
+}
