@@ -8,11 +8,16 @@
 //	dembench -list           # list experiment IDs
 //	dembench -full           # paper scale: 10^6 particles, 40/20 iterations
 //	dembench -n 100000       # custom particle count
+//
+// Reports go to stdout; wall-clock generation times go to stderr, so
+// stdout is deterministic for a fixed seed and can be diffed against a
+// golden copy.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -21,21 +26,29 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dembench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		expList = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		full    = flag.Bool("full", false, "paper scale: 10^6 particles, 40/20 iterations")
-		n       = flag.Int("n", 0, "particle count (default 40000)")
-		iters   = flag.Int("iters", 0, "measured iterations per run (default 8/4 for D=2/3)")
-		seed    = flag.Int64("seed", 1, "random seed")
+		expList = fs.String("exp", "", "comma-separated experiment IDs (default: all)")
+		list    = fs.Bool("list", false, "list experiments and exit")
+		full    = fs.Bool("full", false, "paper scale: 10^6 particles, 40/20 iterations")
+		n       = fs.Int("n", 0, "particle count (default 40000)")
+		iters   = fs.Int("iters", 0, "measured iterations per run (default 8/4 for D=2/3)")
+		seed    = fs.Int64("seed", 1, "random seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, e := range bench.All {
-			fmt.Printf("%-4s %s\n", e.ID, e.Desc)
+			fmt.Fprintf(stdout, "%-4s %s\n", e.ID, e.Desc)
 		}
-		return
+		return 0
 	}
 
 	opts := bench.Options{N: *n, Iters: *iters, Seed: *seed, Full: *full}
@@ -47,8 +60,8 @@ func main() {
 		for _, id := range strings.Split(*expList, ",") {
 			e, err := bench.ByID(strings.TrimSpace(id))
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				fmt.Fprintln(stderr, err)
+				return 2
 			}
 			exps = append(exps, e)
 		}
@@ -57,7 +70,9 @@ func main() {
 	for _, e := range exps {
 		start := time.Now()
 		rep := e.Run(opts)
-		fmt.Println(rep.String())
-		fmt.Printf("(%s generated in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		fmt.Fprintln(stdout, rep.String())
+		fmt.Fprintln(stdout)
+		fmt.Fprintf(stderr, "(%s generated in %.1fs)\n", e.ID, time.Since(start).Seconds())
 	}
+	return 0
 }

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file from the current output")
+
+// goldenArgs pins the regression run: two cheap experiments (a paper
+// table and a section estimate) at the smallest particle count the
+// suite accepts, one iteration, fixed seed. Everything on stdout is
+// virtual-clock output, so the bytes are reproducible.
+var goldenArgs = []string{"-exp", "T1,X1", "-n", "40000", "-iters", "1", "-seed", "1"}
+
+func TestListSmoke(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if n := len(strings.Split(strings.TrimSpace(out.String()), "\n")); n < 14 {
+		t.Errorf("only %d experiments listed", n)
+	}
+}
+
+func TestUnknownExperimentExitTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "T99"}, &out, &errb); code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+}
+
+func TestGoldenRegression(t *testing.T) {
+	golden := filepath.Join("testdata", "golden.txt")
+	var out, errb bytes.Buffer
+	if code := run(goldenArgs, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", golden, out.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test ./cmd/dembench -run TestGoldenRegression -update)", err)
+	}
+	if err := diffTolerant(string(want), out.String(), 1e-9); err != nil {
+		t.Errorf("output drifted from %s: %v\n(refresh with -update if the change is intended)", golden, err)
+	}
+
+	// The report must also be deterministic across two consecutive
+	// runs in the same process.
+	var again bytes.Buffer
+	if code := run(goldenArgs, &again, &errb); code != 0 {
+		t.Fatalf("second run exit %d: %s", code, errb.String())
+	}
+	if again.String() != out.String() {
+		t.Error("two consecutive runs with the same seed produced different reports")
+	}
+}
+
+// diffTolerant compares two reports line by line and token by token.
+// Tokens that parse as floats must agree to relative tolerance tol
+// (absolute below 1e-12); everything else must match exactly. This
+// keeps the golden file stable against last-digit float formatting
+// while still catching real numeric drift.
+func diffTolerant(want, got string, tol float64) error {
+	wl := strings.Split(strings.TrimRight(want, "\n"), "\n")
+	gl := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(wl) != len(gl) {
+		return fmt.Errorf("%d lines, golden has %d", len(gl), len(wl))
+	}
+	for i := range wl {
+		wt, gt := strings.Fields(wl[i]), strings.Fields(gl[i])
+		if len(wt) != len(gt) {
+			return fmt.Errorf("line %d: %q vs golden %q", i+1, gl[i], wl[i])
+		}
+		for j := range wt {
+			if wt[j] == gt[j] {
+				continue
+			}
+			wf, werr := strconv.ParseFloat(strings.TrimSuffix(wt[j], "%"), 64)
+			gf, gerr := strconv.ParseFloat(strings.TrimSuffix(gt[j], "%"), 64)
+			if werr != nil || gerr != nil {
+				return fmt.Errorf("line %d token %d: %q vs golden %q", i+1, j+1, gt[j], wt[j])
+			}
+			diff := wf - gf
+			if diff < 0 {
+				diff = -diff
+			}
+			scale := wf
+			if scale < 0 {
+				scale = -scale
+			}
+			if diff > 1e-12 && diff > tol*scale {
+				return fmt.Errorf("line %d token %d: %v vs golden %v (rel err %g)", i+1, j+1, gf, wf, diff/scale)
+			}
+		}
+	}
+	return nil
+}

@@ -6,11 +6,19 @@
 //	demrun -d 3 -n 50000 -mode hybrid -p 4 -t 4 -bpp 2 -platform CPQ
 //	demrun -d 2 -n 100000 -mode mpi -p 16 -rc 2.0 -noreorder
 //	demrun -d 2 -n 30000 -mode serial -fill 0.25 -gravity -30
+//	demrun -d 2 -n 250 -verify
+//
+// With -verify the run becomes a differential conformance check: the
+// configuration is pushed through every execution mode, force-update
+// strategy and reordering setting, and each trajectory is compared
+// step by step against the serial baseline. The exit status is nonzero
+// when any variant diverges.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -18,33 +26,43 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("demrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		d        = flag.Int("d", 3, "spatial dimensions (1-3)")
-		n        = flag.Int("n", 20000, "particle count")
-		mode     = flag.String("mode", "serial", "serial | openmp | mpi | hybrid")
-		p        = flag.Int("p", 1, "MPI ranks")
-		t        = flag.Int("t", 1, "threads per rank")
-		bpp      = flag.Int("bpp", 1, "blocks per process (granularity B/P)")
-		rc       = flag.Float64("rc", 1.5, "cutoff factor rc/rmax")
-		method   = flag.String("method", "selected-atomic", "atomic | selected-atomic | critical-reduction | stripe | transpose")
-		fused    = flag.Bool("fused", false, "fuse the hybrid force loop into one region (Section 11)")
-		platform = flag.String("platform", "CPQ", "virtual platform: Sun | T3E | CPQ | none")
-		iters    = flag.Int("iters", 10, "measured iterations")
-		warmup   = flag.Int("warmup", 2, "warm-up iterations")
-		seed     = flag.Int64("seed", 1, "random seed")
-		noreord  = flag.Bool("noreorder", false, "disable cache particle reordering")
-		walls    = flag.Bool("walls", false, "reflecting walls instead of periodic boundaries")
-		gravity  = flag.Float64("gravity", 0, "gravity along the last dimension")
-		fill     = flag.Float64("fill", 0, "cluster particles into the bottom fraction of the box (0 = uniform)")
-		damp     = flag.Float64("damp", 0, "dissipative spring damping")
-		hertz    = flag.Bool("hertz", false, "Hertzian contact law instead of the linear spring")
-		initVel  = flag.Float64("vel", 0, "initial velocity scale")
-		modelN   = flag.Int("modeln", 0, "model the cache behaviour of this many particles (0 = actual N)")
-		save     = flag.String("save", "", "write a checkpoint of the final state to this file")
-		load     = flag.String("load", "", "resume from a checkpoint file")
-		export   = flag.String("export", "", "write the final state for visualisation (.vtk, .xyz or .csv)")
+		d        = fs.Int("d", 3, "spatial dimensions (1-3)")
+		n        = fs.Int("n", 20000, "particle count")
+		mode     = fs.String("mode", "serial", "serial | openmp | mpi | hybrid")
+		p        = fs.Int("p", 1, "MPI ranks")
+		t        = fs.Int("t", 1, "threads per rank")
+		bpp      = fs.Int("bpp", 1, "blocks per process (granularity B/P)")
+		rc       = fs.Float64("rc", 1.5, "cutoff factor rc/rmax")
+		method   = fs.String("method", "selected-atomic", "atomic | selected-atomic | critical-reduction | stripe | transpose")
+		fused    = fs.Bool("fused", false, "fuse the hybrid force loop into one region (Section 11)")
+		platform = fs.String("platform", "CPQ", "virtual platform: Sun | T3E | CPQ | none")
+		iters    = fs.Int("iters", 10, "measured iterations")
+		warmup   = fs.Int("warmup", 2, "warm-up iterations")
+		seed     = fs.Int64("seed", 1, "random seed")
+		noreord  = fs.Bool("noreorder", false, "disable cache particle reordering")
+		walls    = fs.Bool("walls", false, "reflecting walls instead of periodic boundaries")
+		gravity  = fs.Float64("gravity", 0, "gravity along the last dimension")
+		fill     = fs.Float64("fill", 0, "cluster particles into the bottom fraction of the box (0 = uniform)")
+		damp     = fs.Float64("damp", 0, "dissipative spring damping")
+		hertz    = fs.Bool("hertz", false, "Hertzian contact law instead of the linear spring")
+		initVel  = fs.Float64("vel", 0, "initial velocity scale")
+		modelN   = fs.Int("modeln", 0, "model the cache behaviour of this many particles (0 = actual N)")
+		save     = fs.String("save", "", "write a checkpoint of the final state to this file")
+		load     = fs.String("load", "", "resume from a checkpoint file")
+		export   = fs.String("export", "", "write the final state for visualisation (.vtk, .xyz or .csv)")
+		verify   = fs.Bool("verify", false, "run the differential conformance matrix instead of a timing run")
+		verTol   = fs.Float64("verify-tol", 0, "conformance tolerance (0 = default 1e-7)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	cfg := hybriddem.Default(*d, *n)
 	cfg.RCFactor = *rc
@@ -74,8 +92,8 @@ func main() {
 	case "hybrid":
 		cfg.Mode = hybriddem.Hybrid
 	default:
-		fmt.Fprintf(os.Stderr, "demrun: unknown mode %q\n", *mode)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "demrun: unknown mode %q\n", *mode)
+		return 2
 	}
 
 	switch strings.ToLower(*method) {
@@ -90,17 +108,30 @@ func main() {
 	case "transpose":
 		cfg.Method = hybriddem.Transpose
 	default:
-		fmt.Fprintf(os.Stderr, "demrun: unknown method %q\n", *method)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "demrun: unknown method %q\n", *method)
+		return 2
 	}
 
 	if strings.ToLower(*platform) != "none" {
 		pf, err := hybriddem.PlatformByName(*platform)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "demrun:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "demrun:", err)
+			return 2
 		}
 		cfg.Platform = pf
+	}
+
+	if *verify {
+		c, err := hybriddem.RunConformance(cfg, *iters, *verTol)
+		if err != nil {
+			fmt.Fprintln(stderr, "demrun:", err)
+			return 1
+		}
+		fmt.Fprint(stdout, c)
+		if len(c.Failed()) > 0 {
+			return 1
+		}
+		return 0
 	}
 
 	if *save != "" || *export != "" {
@@ -108,48 +139,49 @@ func main() {
 	}
 	if *load != "" {
 		if _, err := hybriddem.LoadCheckpoint(*load, &cfg); err != nil {
-			fmt.Fprintln(os.Stderr, "demrun:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "demrun:", err)
+			return 1
 		}
 	}
 
 	res, err := hybriddem.Run(cfg, *iters)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "demrun:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "demrun:", err)
+		return 1
 	}
 
 	if *save != "" {
 		if err := hybriddem.SaveCheckpoint(*save, &cfg, res, *iters); err != nil {
-			fmt.Fprintln(os.Stderr, "demrun:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "demrun:", err)
+			return 1
 		}
-		fmt.Printf("checkpoint     %s\n", *save)
+		fmt.Fprintf(stdout, "checkpoint     %s\n", *save)
 	}
 	if *export != "" {
 		if err := hybriddem.ExportState(*export, &cfg, res); err != nil {
-			fmt.Fprintln(os.Stderr, "demrun:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "demrun:", err)
+			return 1
 		}
-		fmt.Printf("exported       %s\n", *export)
+		fmt.Fprintf(stdout, "exported       %s\n", *export)
 	}
 
-	fmt.Printf("mode            %v (P=%d, T=%d, B/P=%d)\n", cfg.Mode, cfg.P, cfg.T, cfg.BlocksPerProc)
-	fmt.Printf("system          D=%d, N=%d, L=%.4g, rc=%.3g, %v\n", cfg.D, cfg.N, cfg.L, cfg.RC(), cfg.BC)
+	fmt.Fprintf(stdout, "mode            %v (P=%d, T=%d, B/P=%d)\n", cfg.Mode, cfg.P, cfg.T, cfg.BlocksPerProc)
+	fmt.Fprintf(stdout, "system          D=%d, N=%d, L=%.4g, rc=%.3g, %v\n", cfg.D, cfg.N, cfg.L, cfg.RC(), cfg.BC)
 	if cfg.Platform != nil {
-		fmt.Printf("platform        %s (%d nodes x %d CPUs)\n", cfg.Platform.Name, cfg.Platform.Nodes, cfg.Platform.CPUsPerNode)
+		fmt.Fprintf(stdout, "platform        %s (%d nodes x %d CPUs)\n", cfg.Platform.Name, cfg.Platform.Nodes, cfg.Platform.CPUsPerNode)
 	}
-	fmt.Printf("iterations      %d measured after %d warm-up\n", res.Iters, cfg.Warmup)
-	fmt.Printf("model time/iter %.6f s  (force %.6f, update %.6f, comm %.6f)\n",
+	fmt.Fprintf(stdout, "iterations      %d measured after %d warm-up\n", res.Iters, cfg.Warmup)
+	fmt.Fprintf(stdout, "model time/iter %.6f s  (force %.6f, update %.6f, comm %.6f)\n",
 		res.PerIter, res.ForceTime, res.UpdateTime, res.CommTime)
-	fmt.Printf("wall time/iter  %.6f s\n", res.Wall.Seconds()/float64(res.Iters))
-	fmt.Printf("energy          potential %.6g, kinetic %.6g\n", res.Epot, res.Ekin)
-	fmt.Printf("links           %d (mean index distance %.0f)\n", res.NLinks, res.MeanLinkDist)
-	fmt.Printf("rebuilds        %d during measurement\n", res.Rebuilds)
+	fmt.Fprintf(stdout, "wall time/iter  %.6f s\n", res.Wall.Seconds()/float64(res.Iters))
+	fmt.Fprintf(stdout, "energy          potential %.6g, kinetic %.6g\n", res.Epot, res.Ekin)
+	fmt.Fprintf(stdout, "links           %d (mean index distance %.0f)\n", res.NLinks, res.MeanLinkDist)
+	fmt.Fprintf(stdout, "rebuilds        %d during measurement\n", res.Rebuilds)
 	if res.AtomicFraction > 0 {
-		fmt.Printf("lock fraction   %.2f%% of force updates\n", 100*res.AtomicFraction)
+		fmt.Fprintf(stdout, "lock fraction   %.2f%% of force updates\n", 100*res.AtomicFraction)
 	}
 	tc := res.TC
-	fmt.Printf("counters        %d force evals, %d contacts, %d msgs (%d bytes), %d regions\n",
+	fmt.Fprintf(stdout, "counters        %d force evals, %d contacts, %d msgs (%d bytes), %d regions\n",
 		tc.ForceEvals, tc.Contacts, tc.MsgsSent, tc.BytesSent, tc.ParallelRegions)
+	return 0
 }

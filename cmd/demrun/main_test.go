@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSerialSmoke(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-d", "2", "-n", "400", "-iters", "3", "-warmup", "1"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"mode", "system", "energy", "counters"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunAllModesSmoke(t *testing.T) {
+	for _, args := range [][]string{
+		{"-d", "2", "-n", "400", "-mode", "openmp", "-t", "2", "-iters", "2"},
+		{"-d", "2", "-n", "400", "-mode", "mpi", "-p", "2", "-bpp", "2", "-iters", "2"},
+		{"-d", "2", "-n", "400", "-mode", "hybrid", "-p", "2", "-t", "2", "-iters", "2", "-method", "stripe"},
+		{"-d", "2", "-n", "400", "-mode", "serial", "-walls", "-gravity", "-10", "-fill", "0.3", "-iters", "2"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 0 {
+			t.Errorf("%v: exit %d, stderr: %s", args, code, errb.String())
+		}
+	}
+}
+
+func TestRunVerifyFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-d", "2", "-n", "200", "-iters", "3", "-verify"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("-verify exit %d, stderr: %s\nstdout: %s", code, errb.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "all 26 variants agree") {
+		t.Errorf("conformance report missing verdict:\n%s", out.String())
+	}
+}
+
+func TestRunCheckpointRoundTrip(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "state.gob")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-d", "2", "-n", "400", "-iters", "2", "-save", ck}, &out, &errb); code != 0 {
+		t.Fatalf("save exit %d: %s", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-d", "2", "-n", "400", "-iters", "2", "-load", ck}, &out, &errb); code != 0 {
+		t.Fatalf("load exit %d: %s", code, errb.String())
+	}
+}
+
+func TestRunBadFlagsExitTwo(t *testing.T) {
+	for _, args := range [][]string{
+		{"-mode", "cuda"},
+		{"-method", "mutex"},
+		{"-platform", "PDP11"},
+		{"-definitely-not-a-flag"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("%v: exit %d, want 2", args, code)
+		}
+	}
+}

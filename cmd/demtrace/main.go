@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -22,19 +23,27 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("demtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		d       = flag.Int("d", 2, "spatial dimensions")
-		n       = flag.Int("n", 20000, "particle count")
-		mode    = flag.String("mode", "mpi", "serial | openmp | mpi | hybrid")
-		p       = flag.Int("p", 4, "MPI ranks")
-		t       = flag.Int("t", 1, "threads per rank")
-		bpp     = flag.Int("bpp", 1, "blocks per process")
-		iters   = flag.Int("iters", 4, "measured iterations")
-		fill    = flag.Float64("fill", 0, "cluster particles into the bottom fraction (0 = uniform)")
-		width   = flag.Int("width", 100, "chart width in columns")
-		gravity = flag.Float64("gravity", 0, "gravity along the last dimension")
+		d       = fs.Int("d", 2, "spatial dimensions")
+		n       = fs.Int("n", 20000, "particle count")
+		mode    = fs.String("mode", "mpi", "serial | openmp | mpi | hybrid")
+		p       = fs.Int("p", 4, "MPI ranks")
+		t       = fs.Int("t", 1, "threads per rank")
+		bpp     = fs.Int("bpp", 1, "blocks per process")
+		iters   = fs.Int("iters", 4, "measured iterations")
+		fill    = fs.Float64("fill", 0, "cluster particles into the bottom fraction (0 = uniform)")
+		width   = fs.Int("width", 100, "chart width in columns")
+		gravity = fs.Float64("gravity", 0, "gravity along the last dimension")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	cfg := hybriddem.Default(*d, *n)
 	cfg.Platform = hybriddem.CompaqES40()
@@ -46,33 +55,38 @@ func main() {
 	if *fill > 0 || *gravity != 0 {
 		cfg.BC = hybriddem.Reflecting
 	}
+	// The -p/-t defaults suit the distributed modes; collapse the
+	// counts the selected mode cannot use instead of erroring out.
 	switch strings.ToLower(*mode) {
 	case "serial":
 		cfg.Mode = hybriddem.Serial
+		cfg.P, cfg.T = 1, 1
 	case "openmp":
 		cfg.Mode = hybriddem.OpenMP
+		cfg.P = 1
 	case "mpi":
 		cfg.Mode = hybriddem.MPI
+		cfg.T = 1
 	case "hybrid":
 		cfg.Mode = hybriddem.Hybrid
 	default:
-		fmt.Fprintf(os.Stderr, "demtrace: unknown mode %q\n", *mode)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "demtrace: unknown mode %q\n", *mode)
+		return 2
 	}
 
 	tl := &trace.Timeline{}
 	cfg.Timeline = tl
 	res, err := hybriddem.Run(cfg, *iters)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "demtrace:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "demtrace:", err)
+		return 1
 	}
 
-	fmt.Printf("%v run: P=%d T=%d B/P=%d, %d iterations, %.4fs modelled per iteration\n\n",
+	fmt.Fprintf(stdout, "%v run: P=%d T=%d B/P=%d, %d iterations, %.4fs modelled per iteration\n\n",
 		cfg.Mode, cfg.P, cfg.T, cfg.BlocksPerProc, res.Iters, res.PerIter)
-	fmt.Print(tl.Render(*width))
+	fmt.Fprint(stdout, tl.Render(*width))
 
-	fmt.Println("\nper-phase totals (virtual seconds per rank):")
+	fmt.Fprintln(stdout, "\nper-phase totals (virtual seconds per rank):")
 	totals := tl.PhaseTotals()
 	phases := make([]string, 0, len(totals))
 	for ph := range totals {
@@ -81,12 +95,13 @@ func main() {
 	sort.Strings(phases)
 	imb := tl.Imbalance()
 	for _, ph := range phases {
-		fmt.Printf("  %-8s", ph)
+		fmt.Fprintf(stdout, "  %-8s", ph)
 		for _, v := range totals[ph] {
-			fmt.Printf(" %9.4f", v)
+			fmt.Fprintf(stdout, " %9.4f", v)
 		}
-		fmt.Printf("   imbalance %.2fx\n", imb[ph])
+		fmt.Fprintf(stdout, "   imbalance %.2fx\n", imb[ph])
 	}
-	fmt.Println("\nimbalance = max/mean across ranks; the block-cyclic granularity")
-	fmt.Println("B/P exists to drive the force-phase imbalance towards 1.0.")
+	fmt.Fprintln(stdout, "\nimbalance = max/mean across ranks; the block-cyclic granularity")
+	fmt.Fprintln(stdout, "B/P exists to drive the force-phase imbalance towards 1.0.")
+	return 0
 }

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTraceSmoke(t *testing.T) {
+	for _, args := range [][]string{
+		{"-d", "2", "-n", "400", "-mode", "mpi", "-p", "2", "-iters", "2", "-width", "60"},
+		{"-d", "2", "-n", "400", "-mode", "hybrid", "-p", "2", "-t", "2", "-bpp", "2", "-iters", "2", "-width", "60"},
+		{"-d", "2", "-n", "400", "-mode", "serial", "-iters", "2", "-width", "60"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("%v: exit %d: %s", args, code, errb.String())
+		}
+		for _, want := range []string{"per-phase totals", "imbalance"} {
+			if !strings.Contains(out.String(), want) {
+				t.Errorf("%v: output lacks %q", args, want)
+			}
+		}
+	}
+}
+
+func TestRunTraceBadModeExitTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-mode", "simd"}, &out, &errb); code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+}

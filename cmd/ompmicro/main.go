@@ -9,6 +9,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 	"time"
 
 	"hybriddem/internal/machine"
@@ -26,14 +28,22 @@ func measure(reps int, fn func()) float64 {
 }
 
 func main() {
-	var (
-		maxT = flag.Int("maxt", 8, "largest team size to measure")
-		reps = flag.Int("reps", 2000, "repetitions per measurement")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	fmt.Println("== host wall-clock overheads of the shm runtime ==")
-	fmt.Printf("%4s %16s %16s %16s\n", "T", "region fork/join", "barrier", "critical")
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ompmicro", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		maxT = fs.Int("maxt", 8, "largest team size to measure")
+		reps = fs.Int("reps", 2000, "repetitions per measurement")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fmt.Fprintln(stdout, "== host wall-clock overheads of the shm runtime ==")
+	fmt.Fprintf(stdout, "%4s %16s %16s %16s\n", "T", "region fork/join", "barrier", "critical")
 	for T := 1; T <= *maxT; T *= 2 {
 		tm := shm.NewTeam(T, shm.Costs{})
 		region := measure(*reps, func() {
@@ -56,15 +66,15 @@ func main() {
 				}
 			})
 		}) / inner
-		fmt.Printf("%4d %14.2fus %14.2fus %14.2fus\n",
+		fmt.Fprintf(stdout, "%4d %14.2fus %14.2fus %14.2fus\n",
 			T, region*1e6, barrier*1e6, critical*1e6)
 	}
 
-	fmt.Println("\n== modelled per-event overheads of the virtual platforms ==")
-	fmt.Printf("%-5s %12s %14s %14s %14s %14s\n",
+	fmt.Fprintln(stdout, "\n== modelled per-event overheads of the virtual platforms ==")
+	fmt.Fprintf(stdout, "%-5s %12s %14s %14s %14s %14s\n",
 		"plat", "fork/join", "barrier(T=4)", "atomic(T=4)", "critical", "red. word(T=4)")
 	for _, pf := range machine.Platforms() {
-		fmt.Printf("%-5s %10.1fus %12.1fus %12.3fus %12.1fus %14.1fns\n",
+		fmt.Fprintf(stdout, "%-5s %10.1fus %12.1fus %12.3fus %12.1fus %14.1fns\n",
 			pf.Name,
 			pf.ForkJoin*1e6,
 			pf.BarrierCost(4)*1e6,
@@ -76,13 +86,14 @@ func main() {
 	// Section 9.3: the hybrid code enters roughly one region per block
 	// (force) plus two fused regions per iteration, each with its
 	// implicit join barrier. Price one block's worth on each platform.
-	fmt.Println("\n== Section 9.3 estimate: OpenMP sync cost per block per iteration ==")
+	fmt.Fprintln(stdout, "\n== Section 9.3 estimate: OpenMP sync cost per block per iteration ==")
 	for _, pf := range machine.Platforms() {
 		perBlock := pf.ForkJoin + pf.BarrierCost(4)
-		fmt.Printf("%-5s ~%.0f us per block per iteration (paper estimates ~50 us on its hardware)\n",
+		fmt.Fprintf(stdout, "%-5s ~%.0f us per block per iteration (paper estimates ~50 us on its hardware)\n",
 			pf.Name, perBlock*1e6)
 	}
-	fmt.Println("\nwith B/P <= 32 this amounts to a couple of milliseconds per iteration,")
-	fmt.Println("\"only ... a couple of percent\" of the >100 ms iterations — the paper's")
-	fmt.Println("argument that thread synchronisation is NOT the main hybrid overhead.")
+	fmt.Fprintln(stdout, "\nwith B/P <= 32 this amounts to a couple of milliseconds per iteration,")
+	fmt.Fprintln(stdout, "\"only ... a couple of percent\" of the >100 ms iterations — the paper's")
+	fmt.Fprintln(stdout, "argument that thread synchronisation is NOT the main hybrid overhead.")
+	return 0
 }

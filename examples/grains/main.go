@@ -14,18 +14,25 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math"
+	"os"
 	"strings"
 
 	"hybriddem"
 )
 
 func main() {
+	if err := run(os.Stdout, 120, 9000); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, grains, iters int) error {
 	const (
 		dims    = 2
-		grains  = 120
 		shape   = hybriddem.Trimer
-		iters   = 9000
 		columns = 48
 	)
 
@@ -47,17 +54,17 @@ func main() {
 		Seed: 42,
 	})
 	if err != nil {
-		panic(err)
+		return err
 	}
 	cfg.Init = state
 	cfg.Spring.Bonds = bonds
 
-	fmt.Printf("dropping %d %v grains (%d particles) onto the floor...\n\n",
+	fmt.Fprintf(w, "dropping %d %v grains (%d particles) onto the floor...\n\n",
 		grains, shape, cfg.N)
 
 	res, err := hybriddem.Run(cfg, iters)
 	if err != nil {
-		panic(err)
+		return err
 	}
 
 	// Bed profile: mean and max height, plus an ASCII histogram of
@@ -77,30 +84,30 @@ func main() {
 		}
 		sumH += p[1]
 	}
-	fmt.Printf("settled after %d steps: mean height %.3f, peak %.3f (box %.3f)\n",
+	fmt.Fprintf(w, "settled after %d steps: mean height %.3f, peak %.3f (box %.3f)\n",
 		iters, sumH/float64(len(res.Pos)), maxH, cfg.L)
-	fmt.Printf("kinetic energy %.4g (dissipated by the bonds), bond strain %.1f%%\n",
+	fmt.Fprintf(w, "kinetic energy %.4g (dissipated by the bonds), bond strain %.1f%%\n",
 		res.Ekin, 100*bonds.MaxBondStrain(res.Pos, cfg.Box()))
 
 	if obs, err := hybriddem.Measure(&cfg, res); err == nil {
-		fmt.Printf("pile observables: coordination %.2f neighbours/particle, pressure %.3g\n",
+		fmt.Fprintf(w, "pile observables: coordination %.2f neighbours/particle, pressure %.3g\n",
 			obs.Coordination, obs.Pressure)
 	}
 
 	const rows = 8
-	fmt.Println("\nbed profile:")
+	fmt.Fprintln(w, "\nbed profile:")
 	for r := rows; r >= 1; r-- {
 		line := make([]byte, columns)
 		for c := range line {
-			if heights[c]/maxH*rows >= float64(r) {
+			if maxH > 0 && heights[c]/maxH*rows >= float64(r) {
 				line[c] = '#'
 			} else {
 				line[c] = ' '
 			}
 		}
-		fmt.Printf("  |%s|\n", line)
+		fmt.Fprintf(w, "  |%s|\n", line)
 	}
-	fmt.Printf("  +%s+\n", strings.Repeat("-", columns))
+	fmt.Fprintf(w, "  +%s+\n", strings.Repeat("-", columns))
 
 	// The same system through the hybrid driver: grains that straddle
 	// block boundaries feel their bonds through halo copies.
@@ -111,7 +118,7 @@ func main() {
 	hcfg.Method = hybriddem.SelectedAtomic
 	hres, err := hybriddem.Run(hcfg, iters)
 	if err != nil {
-		panic(err)
+		return err
 	}
 	maxDev := 0.0
 	box := cfg.Box()
@@ -120,6 +127,7 @@ func main() {
 			maxDev = d
 		}
 	}
-	fmt.Printf("\nhybrid (P=2, T=2) rerun of the same fall: max trajectory deviation %.2g\n", maxDev)
-	fmt.Println("bonds crossing block boundaries are served by the halo exchange.")
+	fmt.Fprintf(w, "\nhybrid (P=2, T=2) rerun of the same fall: max trajectory deviation %.2g\n", maxDev)
+	fmt.Fprintln(w, "bonds crossing block boundaries are served by the halo exchange.")
+	return nil
 }

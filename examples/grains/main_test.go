@@ -1,0 +1,19 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGrainsSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, 10, 40); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"dropping 10", "bed profile", "hybrid (P=2, T=2)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output lacks %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -16,16 +16,21 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"hybriddem"
 )
 
 func main() {
-	const (
-		dims      = 3
-		particles = 60_000
-		iters     = 6
-	)
+	if err := run(os.Stdout, 60_000, 6, []int{1, 2, 4, 8}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, particles, iters int, bpps []int) error {
+	const dims = 3
 
 	base := func() hybriddem.Config {
 		cfg := hybriddem.Default(dims, particles)
@@ -35,30 +40,39 @@ func main() {
 		return cfg
 	}
 
-	run := func(mode hybriddem.Mode, p, t, bpp int, fused bool) *hybriddem.Result {
+	run1 := func(mode hybriddem.Mode, p, t, bpp int, fused bool) (*hybriddem.Result, error) {
 		cfg := base()
 		cfg.Mode = mode
 		cfg.P, cfg.T = p, t
 		cfg.BlocksPerProc = bpp
 		cfg.Method = hybriddem.SelectedAtomic
 		cfg.Fused = fused
-		res, err := hybriddem.Run(cfg, iters)
-		if err != nil {
-			panic(err)
-		}
-		return res
+		return hybriddem.Run(cfg, iters)
 	}
 
-	fmt.Printf("clustered DEM on the virtual Compaq cluster: D=%d, N=%d\n\n", dims, particles)
-	fmt.Printf("%8s %16s %16s %16s %12s\n",
+	fmt.Fprintf(w, "clustered DEM on the virtual Compaq cluster: D=%d, N=%d\n\n", dims, particles)
+	fmt.Fprintf(w, "%8s %16s %16s %16s %12s\n",
 		"B/P", "MPI P=16", "hybrid 4x4", "hybrid fused", "lock frac")
 
-	ref := run(hybriddem.MPI, 16, 1, 1, false).PerIter
-	for _, bpp := range []int{1, 2, 4, 8} {
-		mpi := run(hybriddem.MPI, 16, 1, bpp, false)
-		hyb := run(hybriddem.Hybrid, 4, 4, bpp, false)
-		fus := run(hybriddem.Hybrid, 4, 4, bpp, true)
-		fmt.Printf("%8d %9.4fs(%4.2f) %9.4fs(%4.2f) %9.4fs(%4.2f) %11.1f%%\n",
+	refRes, err := run1(hybriddem.MPI, 16, 1, 1, false)
+	if err != nil {
+		return err
+	}
+	ref := refRes.PerIter
+	for _, bpp := range bpps {
+		mpi, err := run1(hybriddem.MPI, 16, 1, bpp, false)
+		if err != nil {
+			return err
+		}
+		hyb, err := run1(hybriddem.Hybrid, 4, 4, bpp, false)
+		if err != nil {
+			return err
+		}
+		fus, err := run1(hybriddem.Hybrid, 4, 4, bpp, true)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%8d %9.4fs(%4.2f) %9.4fs(%4.2f) %9.4fs(%4.2f) %11.1f%%\n",
 			bpp,
 			mpi.PerIter, ref/mpi.PerIter,
 			hyb.PerIter, ref/hyb.PerIter,
@@ -66,8 +80,9 @@ func main() {
 			100*hyb.AtomicFraction)
 	}
 
-	fmt.Println("\nparenthesised values are efficiency against MPI at B/P=1.")
-	fmt.Println("the paper's conclusion: overall load balance is better achieved by a")
-	fmt.Println("finer MPI granularity than by load-balancing within each SMP with")
-	fmt.Println("threads — unless the force loop is fused across blocks (Section 11).")
+	fmt.Fprintln(w, "\nparenthesised values are efficiency against MPI at B/P=1.")
+	fmt.Fprintln(w, "the paper's conclusion: overall load balance is better achieved by a")
+	fmt.Fprintln(w, "finer MPI granularity than by load-balancing within each SMP with")
+	fmt.Fprintln(w, "threads — unless the force loop is fused across blocks (Section 11).")
+	return nil
 }

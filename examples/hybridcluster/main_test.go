@@ -1,0 +1,19 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHybridClusterSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, 2000, 1, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"clustered DEM", "MPI P=16", "hybrid 4x4"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output lacks %q:\n%s", want, out.String())
+		}
+	}
+}

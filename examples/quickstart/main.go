@@ -6,17 +6,20 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"hybriddem"
 )
 
 func main() {
-	const (
-		dims      = 3
-		particles = 20_000
-		iters     = 10
-	)
+	if err := run(os.Stdout, 3, 20_000, 10); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
 
+func run(w io.Writer, dims, particles, iters int) error {
 	type variant struct {
 		name string
 		tune func(*hybriddem.Config)
@@ -41,9 +44,9 @@ func main() {
 		}},
 	}
 
-	fmt.Printf("DEM quickstart: D=%d, N=%d, %d iterations, virtual platform %q\n\n",
+	fmt.Fprintf(w, "DEM quickstart: D=%d, N=%d, %d iterations, virtual platform %q\n\n",
 		dims, particles, iters, "CPQ")
-	fmt.Printf("%-16s %12s %12s %14s %14s %10s\n",
+	fmt.Fprintf(w, "%-16s %12s %12s %14s %14s %10s\n",
 		"mode", "model t/iter", "wall t/iter", "potential E", "kinetic E", "links")
 
 	for _, v := range variants {
@@ -54,15 +57,16 @@ func main() {
 		v.tune(&cfg)
 		res, err := hybriddem.Run(cfg, iters)
 		if err != nil {
-			panic(err)
+			return err
 		}
-		fmt.Printf("%-16s %10.4fs %10.4fs %14.4f %14.4f %10d\n",
+		fmt.Fprintf(w, "%-16s %10.4fs %10.4fs %14.4f %14.4f %10d\n",
 			v.name,
 			res.PerIter,
 			res.Wall.Seconds()/float64(iters),
 			res.Epot, res.Ekin, res.NLinks)
 	}
 
-	fmt.Println("\nAll modes integrate the same trajectories; the energies above")
-	fmt.Println("must agree across rows to float accumulation accuracy.")
+	fmt.Fprintln(w, "\nAll modes integrate the same trajectories; the energies above")
+	fmt.Fprintln(w, "must agree across rows to float accumulation accuracy.")
+	return nil
 }

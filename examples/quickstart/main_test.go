@@ -1,0 +1,19 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestQuickstartSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, 2, 400, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"serial", "openmp T=4", "mpi P=4", "hybrid P=2xT=2"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output lacks %q:\n%s", want, out.String())
+		}
+	}
+}

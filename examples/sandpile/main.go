@@ -11,17 +11,21 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"hybriddem"
 )
 
 func main() {
-	const (
-		dims      = 2
-		particles = 30_000
-		ranks     = 16
-		iters     = 8
-	)
+	if err := run(os.Stdout, 30_000, 16, 8, []int{1, 2, 4, 8, 16}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, particles, ranks, iters int, bpps []int) error {
+	const dims = 2
 
 	base := func() hybriddem.Config {
 		cfg := hybriddem.Default(dims, particles)
@@ -34,28 +38,28 @@ func main() {
 		return cfg
 	}
 
-	fmt.Printf("sand bed: D=%d, N=%d grains in the bottom 25%% of the box\n", dims, particles)
-	fmt.Printf("pure MPI on the virtual Compaq cluster, P=%d\n\n", ranks)
-	fmt.Printf("%6s %14s %14s %10s\n", "B/P", "model t/iter", "vs B/P=1", "links")
+	fmt.Fprintf(w, "sand bed: D=%d, N=%d grains in the bottom 25%% of the box\n", dims, particles)
+	fmt.Fprintf(w, "pure MPI on the virtual Compaq cluster, P=%d\n\n", ranks)
+	fmt.Fprintf(w, "%6s %14s %14s %10s\n", "B/P", "model t/iter", "vs B/P=1", "links")
 
 	var tRef float64
 	bestBpp, bestT := 1, 0.0
-	for _, bpp := range []int{1, 2, 4, 8, 16} {
+	for i, bpp := range bpps {
 		cfg := base()
 		cfg.Mode = hybriddem.MPI
 		cfg.P = ranks
 		cfg.BlocksPerProc = bpp
 		res, err := hybriddem.Run(cfg, iters)
 		if err != nil {
-			panic(err)
+			return err
 		}
-		if bpp == 1 {
+		if i == 0 {
 			tRef = res.PerIter
 		}
 		if bestT == 0 || res.PerIter < bestT {
 			bestBpp, bestT = bpp, res.PerIter
 		}
-		fmt.Printf("%6d %12.4fs %13.2fx %10d\n", bpp, res.PerIter, tRef/res.PerIter, res.NLinks)
+		fmt.Fprintf(w, "%6d %12.4fs %13.2fx %10d\n", bpp, res.PerIter, tRef/res.PerIter, res.NLinks)
 	}
 
 	// The hybrid alternative: one process per SMP box, threads
@@ -68,12 +72,13 @@ func main() {
 	cfg.Method = hybriddem.SelectedAtomic
 	res, err := hybriddem.Run(cfg, iters)
 	if err != nil {
-		panic(err)
+		return err
 	}
-	fmt.Printf("\nhybrid P=4 T=4 at B/P=%d: %.4fs per iteration (%.2fx the naive MPI run)\n",
+	fmt.Fprintf(w, "\nhybrid P=4 T=4 at B/P=%d: %.4fs per iteration (%.2fx the naive MPI run)\n",
 		cfg.BlocksPerProc, res.PerIter, tRef/res.PerIter)
-	fmt.Printf("lock fraction in the hybrid force loop: %.1f%%\n", 100*res.AtomicFraction)
-	fmt.Printf("\nbest pure-MPI granularity here: B/P=%d at %.4fs per iteration\n", bestBpp, bestT)
-	fmt.Println("a clustered bed needs finer blocks than work-per-CPU alone would suggest;")
-	fmt.Println("the paper asks whether threads inside each box are the cheaper way to balance.")
+	fmt.Fprintf(w, "lock fraction in the hybrid force loop: %.1f%%\n", 100*res.AtomicFraction)
+	fmt.Fprintf(w, "\nbest pure-MPI granularity here: B/P=%d at %.4fs per iteration\n", bestBpp, bestT)
+	fmt.Fprintln(w, "a clustered bed needs finer blocks than work-per-CPU alone would suggest;")
+	fmt.Fprintln(w, "the paper asks whether threads inside each box are the cheaper way to balance.")
+	return nil
 }

@@ -1,0 +1,19 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSandpileSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, 800, 4, 2, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sand bed", "hybrid P=4 T=4", "best pure-MPI granularity"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output lacks %q:\n%s", want, out.String())
+		}
+	}
+}

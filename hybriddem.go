@@ -49,6 +49,7 @@ import (
 	"hybriddem/internal/particle"
 	"hybriddem/internal/shm"
 	"hybriddem/internal/trace"
+	"hybriddem/internal/verify"
 )
 
 // Config describes one simulation run; start from Default and
@@ -247,6 +248,43 @@ func Measure(cfg *Config, res *Result) (*Observables, error) {
 		RDFRadii:        rdf.BinCenters(),
 		RDF:             rdf.Bins,
 	}, nil
+}
+
+// Conformance is the outcome of a differential verification run: one
+// result per execution-mode × strategy × reordering variant, each
+// compared step by step against the serial baseline.
+type Conformance = verify.Conformance
+
+// Divergence localises the first disagreement between two trajectories
+// (step, particle, field, component).
+type Divergence = verify.Divergence
+
+// RunConformance pushes cfg through every execution mode, force-update
+// strategy and reordering setting and compares whole trajectories
+// against the serial baseline over iters steps; tol <= 0 selects the
+// default 1e-7. The configuration's Mode/P/T fields are overridden per
+// variant and the virtual platform is stripped (correctness runs do
+// not model cost).
+func RunConformance(cfg Config, iters int, tol float64) (*Conformance, error) {
+	return verify.RunConformance(cfg, iters, tol)
+}
+
+// ScenarioKind selects a family of generated verification scenarios.
+type ScenarioKind = verify.Kind
+
+// Verification scenario families.
+const (
+	ScenarioUniform        = verify.Uniform
+	ScenarioClustered      = verify.Clustered
+	ScenarioBondedGrains   = verify.BondedGrains
+	ScenarioDegenerateGrid = verify.DegenerateGrid
+	ScenarioNearBoundary   = verify.NearBoundary
+)
+
+// Scenario builds a deterministic verification initial condition of
+// the given family: a ready-to-run Config with an explicit Init state.
+func Scenario(k ScenarioKind, d, n int, seed int64) (Config, error) {
+	return verify.Scenario(k, d, n, seed)
 }
 
 // Experiment regenerates one of the paper's tables or figures.

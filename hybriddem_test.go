@@ -109,6 +109,59 @@ func TestMeasureCheckpointExportThroughFacade(t *testing.T) {
 	}
 }
 
+// TestVerify is the façade's verification sub-tree: the differential
+// conformance matrix and the generated scenario families exercised
+// through the public API, the same machinery cmd/demrun exposes behind
+// -verify.
+func TestVerify(t *testing.T) {
+	t.Run("conformance", func(t *testing.T) {
+		cfg, err := hybriddem.Scenario(hybriddem.ScenarioUniform, 2, 220, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := hybriddem.RunConformance(cfg, 20, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if failed := c.Failed(); len(failed) > 0 {
+			t.Fatalf("conformance failed:\n%s", c)
+		}
+	})
+	t.Run("scenarios", func(t *testing.T) {
+		kinds := []hybriddem.ScenarioKind{
+			hybriddem.ScenarioUniform, hybriddem.ScenarioClustered,
+			hybriddem.ScenarioBondedGrains, hybriddem.ScenarioDegenerateGrid,
+			hybriddem.ScenarioNearBoundary,
+		}
+		for _, k := range kinds {
+			cfg, err := hybriddem.Scenario(k, 2, 80, 5)
+			if err != nil {
+				t.Fatalf("%v: %v", k, err)
+			}
+			if _, err := hybriddem.Run(cfg, 3); err != nil {
+				t.Errorf("%v: %v", k, err)
+			}
+		}
+	})
+	t.Run("divergence-reporting", func(t *testing.T) {
+		cfg, err := hybriddem.Scenario(hybriddem.ScenarioUniform, 2, 100, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// An absurdly tight tolerance must flag the threaded variants
+		// (summation order differs) and attach a localization.
+		c, err := hybriddem.RunConformance(cfg, 10, 1e-300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range c.Failed() {
+			if r.Err == nil && r.Div == nil {
+				t.Errorf("%s: failed without a divergence record", r.Name)
+			}
+		}
+	})
+}
+
 func TestModesAgreeThroughFacade(t *testing.T) {
 	run := func(mode hybriddem.Mode, p, t_ int) *hybriddem.Result {
 		cfg := hybriddem.Default(2, 400)

@@ -1,0 +1,54 @@
+package cell
+
+import "hybriddem/internal/geom"
+
+// BruteLinks is the O(n^2) reference implementation of BuildLinks:
+// every unordered pair of the first n particles closer than sqrt(rc2)
+// under box, skipping halo-halo pairs and orienting halo links
+// core-first, exactly as the cell-based builder promises. It exists as
+// a correctness oracle for the conformance harness (internal/verify)
+// and this package's own tests; production code must use BuildLinks.
+func BruteLinks(pos []geom.Vec, n, nCore int, rc2 float64, box geom.Box) *List {
+	var core, halo []Link
+	for i := int32(0); i < int32(n); i++ {
+		for j := i + 1; j < int32(n); j++ {
+			if i >= int32(nCore) && j >= int32(nCore) {
+				continue // halo-halo: owned by a neighbouring block
+			}
+			if box.Dist2(pos[i], pos[j]) >= rc2 {
+				continue
+			}
+			a, b := i, j
+			if a >= int32(nCore) {
+				a, b = b, a
+			}
+			if b >= int32(nCore) {
+				halo = append(halo, Link{a, b})
+			} else {
+				core = append(core, Link{a, b})
+			}
+		}
+	}
+	return &List{Links: append(core, halo...), NCore: len(core)}
+}
+
+// PairSet normalises a link list into the set of unordered pairs it
+// covers, reporting a duplicate pair if one exists. Verification
+// helpers compare builders through it because the cell-based and
+// brute-force builders enumerate pairs in different orders.
+func PairSet(links []Link) (pairs map[[2]int32]bool, dup *Link) {
+	pairs = make(map[[2]int32]bool, len(links))
+	for _, l := range links {
+		a, b := l.I, l.J
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]int32{a, b}
+		if pairs[key] {
+			d := l
+			return pairs, &d
+		}
+		pairs[key] = true
+	}
+	return pairs, nil
+}

@@ -78,6 +78,16 @@ type Config struct {
 	// cmd/demtrace.
 	Timeline *trace.Timeline
 
+	// Probe, when non-nil, receives the complete global state
+	// (positions and velocities indexed by particle ID, freshly
+	// allocated — the callback may keep the slices) after every
+	// measured iteration. In distributed modes the state is gathered
+	// onto rank 0 and the probe fires there; the gather traffic is
+	// charged to the virtual clocks like any other communication, so
+	// probed runs are for correctness work (internal/verify), not for
+	// timing.
+	Probe func(iter int, pos, vel []geom.Vec)
+
 	// NaivePack is the indexed-datatype ablation: halo data pays an
 	// extra user-side pack and unpack per particle per swap, as it
 	// would without the paper's cached MPI indexed datatypes.

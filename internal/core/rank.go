@@ -354,6 +354,12 @@ func RunDistributed(cfg Config, iters int) (*Result, error) {
 		total := 0.0
 		for i := 0; i < iters; i++ {
 			total += r.step()
+			if cfg.Probe != nil {
+				pos, vel := gather(&cfg, c, r)
+				if c.Rank() == 0 {
+					cfg.Probe(i, pos, vel)
+				}
+			}
 		}
 		perIter := total / float64(iters)
 		// Timing is the slowest rank's (the paper's t is the global
@@ -382,7 +388,7 @@ func RunDistributed(cfg Config, iters int) (*Result, error) {
 			res.AtomicFraction = r.team.TC.AtomicFraction()
 		}
 		if cfg.CollectState {
-			gatherState(&cfg, c, r, res)
+			res.Pos, res.Vel = gather(&cfg, c, r)
 		}
 		results[c.Rank()] = res
 	})
@@ -408,10 +414,11 @@ func RunDistributed(cfg Config, iters int) (*Result, error) {
 // stateGatherTag is far above the tag space the exchange phases use.
 const stateGatherTag = 1 << 28
 
-// gatherState collects every rank's core particles onto rank 0,
-// indexed by persistent particle ID, wrapping deferred periodic
-// coordinates back into the box.
-func gatherState(cfg *Config, c *mp.Comm, r *rankSim, res *Result) {
+// gather collects every rank's core particles onto rank 0, indexed by
+// persistent particle ID, wrapping deferred periodic coordinates back
+// into the box. All ranks must call it; only rank 0 receives the
+// state (the others return nil slices).
+func gather(cfg *Config, c *mp.Comm, r *rankSim) (pos, vel []geom.Vec) {
 	box := cfg.Box()
 	var f []float64
 	var ids []int32
@@ -430,16 +437,16 @@ func gatherState(cfg *Config, c *mp.Comm, r *rankSim, res *Result) {
 	}
 	if c.Rank() != 0 {
 		c.Send(0, stateGatherTag, f, ids)
-		return
+		return nil, nil
 	}
-	res.Pos = make([]geom.Vec, cfg.N)
-	res.Vel = make([]geom.Vec, cfg.N)
+	pos = make([]geom.Vec, cfg.N)
+	vel = make([]geom.Vec, cfg.N)
 	fill := func(f []float64, ids []int32) {
 		per := 2 * cfg.D
 		for i, id := range ids {
 			for k := 0; k < cfg.D; k++ {
-				res.Pos[id][k] = f[per*i+k]
-				res.Vel[id][k] = f[per*i+cfg.D+k]
+				pos[id][k] = f[per*i+k]
+				vel[id][k] = f[per*i+cfg.D+k]
 			}
 		}
 	}
@@ -448,6 +455,7 @@ func gatherState(cfg *Config, c *mp.Comm, r *rankSim, res *Result) {
 		rf, rids := c.Recv(src, stateGatherTag)
 		fill(rf, rids)
 	}
+	return pos, vel
 }
 
 // Run dispatches on the configured mode.

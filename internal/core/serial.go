@@ -215,6 +215,18 @@ func (s *sharedSim) step() float64 {
 	return elapsed
 }
 
+// collect returns the current state indexed by particle ID.
+func (s *sharedSim) collect() (pos, vel []geom.Vec) {
+	n := s.cfg.N
+	pos = make([]geom.Vec, n)
+	vel = make([]geom.Vec, n)
+	for i := 0; i < n; i++ {
+		pos[s.ps.ID[i]] = s.ps.Pos[i]
+		vel[s.ps.ID[i]] = s.ps.Vel[i]
+	}
+	return pos, vel
+}
+
 // RunShared executes a Serial or OpenMP run for the configured warmup
 // plus iters measured iterations.
 func RunShared(cfg Config, iters int) (*Result, error) {
@@ -235,6 +247,10 @@ func RunShared(cfg Config, iters int) (*Result, error) {
 	start := time.Now()
 	for i := 0; i < iters; i++ {
 		total += s.step()
+		if cfg.Probe != nil {
+			p, v := s.collect()
+			cfg.Probe(i, p, v)
+		}
 	}
 	wall := time.Since(start)
 
@@ -259,12 +275,7 @@ func RunShared(cfg Config, iters int) (*Result, error) {
 		res.AtomicFraction = s.team.TC.AtomicFraction()
 	}
 	if cfg.CollectState {
-		res.Pos = make([]geom.Vec, cfg.N)
-		res.Vel = make([]geom.Vec, cfg.N)
-		for i := 0; i < cfg.N; i++ {
-			res.Pos[s.ps.ID[i]] = s.ps.Pos[i]
-			res.Vel[s.ps.ID[i]] = s.ps.Vel[i]
-		}
+		res.Pos, res.Vel = s.collect()
 	}
 	return res, nil
 }

@@ -148,13 +148,26 @@ func (l *Layout) ExtRegion(id int) (origin, span geom.Vec) {
 func (l *Layout) BlockOfPos(p geom.Vec) int {
 	var c [geom.MaxD]int
 	for i := 0; i < l.D; i++ {
-		edge := l.Box.Len[i] / float64(l.BlockDims[i])
+		n := l.BlockDims[i]
+		edge := l.Box.Len[i] / float64(n)
 		v := int(p[i] / edge)
 		if v < 0 {
 			v = 0
 		}
-		if v >= l.BlockDims[i] {
-			v = l.BlockDims[i] - 1
+		if v >= n {
+			v = n - 1
+		}
+		// The division can round across a face for positions within an
+		// ulp of it, which would disagree with the [v*edge, (v+1)*edge)
+		// comparisons the core regions and halo slabs are built from —
+		// the particle would then be owned by a block whose slabs never
+		// select it and vanish from its neighbour's halo. Nudge v until
+		// ownership and comparison agree exactly.
+		for v > 0 && p[i] < float64(v)*edge {
+			v--
+		}
+		for v < n-1 && p[i] >= float64(v+1)*edge {
+			v++
 		}
 		c[i] = v
 	}

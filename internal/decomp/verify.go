@@ -1,0 +1,146 @@
+package decomp
+
+import (
+	"fmt"
+	"math"
+
+	"hybriddem/internal/geom"
+)
+
+// VerifyHalos checks every halo invariant of this rank's blocks against
+// the known global particle set (positions indexed by ID, in [0, L)).
+// It is an oracle for the conformance harness and the fuzz targets in
+// internal/verify, exploiting the fact that every rank can reconstruct
+// the full initial configuration from the fill seed, so no
+// communication is needed to validate communicated state.
+//
+// Three invariants are enforced per block:
+//
+//  1. Consistency — each halo copy carries a valid particle ID and its
+//     stored position equals the global position of that particle up to
+//     a periodic image, and lies inside the block's extended region.
+//  2. Completeness — every periodic image of a global particle that
+//     falls strictly inside the extended region (by more than slack in
+//     every dimension) and is not the block's own core copy appears in
+//     the halo.
+//  3. Uniqueness — no image is delivered twice.
+//
+// slack absorbs the half-open slab boundaries and the float rounding of
+// the periodic shift; anything placed closer than slack to an extended
+// face is exempt from the completeness requirement (consistency still
+// applies to it if it was delivered). slack <= 0 selects 1e-9 * RC.
+// Call it immediately after Rebuild, before any motion. Velocities are
+// checked too when vel is non-nil and the domain carries them.
+func (dm *Domain) VerifyHalos(global []geom.Vec, vel []geom.Vec, slack float64) error {
+	if slack <= 0 {
+		slack = 1e-9 * dm.L.RC
+	}
+	tol2 := slack * slack
+	box := dm.L.Box
+	d := dm.L.D
+	for _, b := range dm.Blocks {
+		if err := dm.verifyBlockHalos(b, global, vel, box, d, slack, tol2); err != nil {
+			return fmt.Errorf("decomp: rank %d block %d: %w", dm.C.Rank(), b.ID, err)
+		}
+	}
+	return nil
+}
+
+func (dm *Domain) verifyBlockHalos(b *Block, global, vel []geom.Vec, box geom.Box, dim int, slack, tol2 float64) error {
+	type image struct {
+		id  int32
+		pos geom.Vec
+	}
+
+	// Consistency + collect what was delivered.
+	have := make([]image, 0, b.NumHalo())
+	for i := b.NCore; i < b.PS.Len(); i++ {
+		id := b.PS.ID[i]
+		p := b.PS.Pos[i]
+		if id < 0 || int(id) >= len(global) {
+			return fmt.Errorf("halo entry %d has ID %d outside the %d global particles", i-b.NCore, id, len(global))
+		}
+		if d2 := box.Dist2(p, global[id]); d2 > tol2 {
+			return fmt.Errorf("halo copy of particle %d sits at %v, no periodic image of its global position %v (min-image distance %.3g)",
+				id, p, global[id], math.Sqrt(d2))
+		}
+		for k := 0; k < dim; k++ {
+			if p[k] < b.ExtOrigin[k]-slack || p[k] > b.ExtOrigin[k]+b.ExtSpan[k]+slack {
+				return fmt.Errorf("halo copy of particle %d at %v lies outside the extended region [%v, %v+%v) in dim %d",
+					id, p, b.ExtOrigin, b.ExtOrigin, b.ExtSpan, k)
+			}
+		}
+		if vel != nil && dm.WithVel {
+			dv := geom.Sub(b.PS.Vel[i], vel[id], dim)
+			if geom.Norm2(dv, dim) > tol2 {
+				return fmt.Errorf("halo copy of particle %d carries velocity %v, expected %v", id, b.PS.Vel[i], vel[id])
+			}
+		}
+		have = append(have, image{id: id, pos: p})
+	}
+
+	// Uniqueness: the same image must not be delivered twice. Two halo
+	// entries collide when they share an ID and sit closer than slack
+	// (distinct periodic images of one particle are >= one block edge
+	// apart, far beyond slack).
+	for i := range have {
+		for j := i + 1; j < len(have); j++ {
+			if have[i].id != have[j].id {
+				continue
+			}
+			dp := geom.Sub(have[i].pos, have[j].pos, dim)
+			if geom.Norm2(dp, dim) <= tol2 {
+				return fmt.Errorf("halo holds two copies of particle %d at %v", have[i].id, have[i].pos)
+			}
+		}
+	}
+
+	// Completeness: enumerate every periodic image of every global
+	// particle that lands strictly inside the extended region and
+	// demand its presence. Offsets beyond +-1 box length are impossible
+	// because a block edge is at least RC wide.
+	offs := []float64{0}
+	if box.BC == geom.Periodic {
+		offs = []float64{-1, 0, 1}
+	}
+	var want geom.Vec
+	var check func(k int32, d int) error
+	check = func(k int32, d int) error {
+		if d == dim {
+			// The unshifted image of a particle homed in this block is
+			// its core copy, not a halo.
+			if want == global[k] && dm.L.BlockOfPos(want) == b.ID {
+				return nil
+			}
+			for _, h := range have {
+				if h.id != k {
+					continue
+				}
+				dp := geom.Sub(h.pos, want, dim)
+				if geom.Norm2(dp, dim) <= tol2 {
+					return nil
+				}
+			}
+			return fmt.Errorf("particle %d has an image at %v inside the extended region [%v, +%v) but no halo copy of it",
+				k, want, b.ExtOrigin, b.ExtSpan)
+		}
+		lo, hi := b.ExtOrigin[d], b.ExtOrigin[d]+b.ExtSpan[d]
+		for _, m := range offs {
+			x := global[k][d] + m*box.Len[d]
+			if x <= lo+slack || x >= hi-slack {
+				continue
+			}
+			want[d] = x
+			if err := check(k, d+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for k := range global {
+		if err := check(int32(k), 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package mp
+
+// Race-focused stress tests: every rank in Run is a real goroutine,
+// so these exist chiefly for `go test -race`. They hammer the mailbox
+// (mixed tags, non-blocking overlap), the collective rendezvous, and
+// several worlds running concurrently in one process, the shape the
+// hybrid driver uses.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestRaceMixedTagTraffic(t *testing.T) {
+	// Each rank floods every other rank with messages on several
+	// tags in a seeded-random order, then drains them tag by tag.
+	// Per-(src,tag) FIFO ordering must survive the interleaving.
+	const P, tags, msgs = 6, 4, 8
+	Run(P, nil, func(c *Comm) {
+		rng := rand.New(rand.NewSource(int64(100 + c.Rank())))
+		// Interleave the (dst,tag) streams randomly while keeping
+		// each individual stream in sequence order so per-(src,tag)
+		// FIFO is checkable on the receive side.
+		type stream struct{ dst, tag, next int }
+		var streams []*stream
+		for dst := 0; dst < P; dst++ {
+			if dst == c.Rank() {
+				continue
+			}
+			for tag := 0; tag < tags; tag++ {
+				streams = append(streams, &stream{dst: dst, tag: tag})
+			}
+		}
+		for len(streams) > 0 {
+			k := rng.Intn(len(streams))
+			s := streams[k]
+			c.Send(s.dst, s.tag, []float64{float64(s.next)}, []int32{int32(c.Rank())})
+			s.next++
+			if s.next == msgs {
+				streams[k] = streams[len(streams)-1]
+				streams = streams[:len(streams)-1]
+			}
+		}
+		for src := 0; src < P; src++ {
+			if src == c.Rank() {
+				continue
+			}
+			for tag := 0; tag < tags; tag++ {
+				for seq := 0; seq < msgs; seq++ {
+					f, ints := c.Recv(src, tag)
+					if int(f[0]) != seq || int(ints[0]) != src {
+						panic("FIFO violated under mixed-tag load")
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestRaceNonblockingOverlapsCollectives(t *testing.T) {
+	// Outstanding ISend/IRecv pairs bracket an Allreduce and a
+	// Barrier; the requests complete afterwards. This is the halo
+	// exchange pattern overlapped with the energy reduction.
+	const P, reps = 5, 10
+	Run(P, nil, func(c *Comm) {
+		right := (c.Rank() + 1) % P
+		left := (c.Rank() + P - 1) % P
+		for r := 0; r < reps; r++ {
+			rq := c.IRecv(left, r)
+			sq := c.ISend(right, r, []float64{float64(c.Rank()*1000 + r)}, nil)
+			sum := c.AllreduceScalar(float64(c.Rank()), Sum)
+			if int(sum) != P*(P-1)/2 {
+				panic("allreduce wrong under overlap")
+			}
+			c.Barrier()
+			f, _ := rq.Wait()
+			if int(f[0]) != left*1000+r {
+				panic("nonblocking payload wrong")
+			}
+			sq.Wait()
+		}
+	})
+}
+
+func TestRaceConcurrentWorlds(t *testing.T) {
+	// Several independent worlds run at once in one process; their
+	// mailboxes and collectives must not interfere.
+	const worlds, P = 4, 4
+	var wg sync.WaitGroup
+	for w := 0; w < worlds; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			Run(P, nil, func(c *Comm) {
+				base := float64((w + 1) * 100)
+				v := c.Allreduce([]float64{base + float64(c.Rank())}, Sum)
+				want := float64(P)*base + float64(P*(P-1)/2)
+				if v[0] != want {
+					panic("cross-world interference in allreduce")
+				}
+				got := c.Bcast(0, []float64{base})
+				if got[0] != base {
+					panic("cross-world interference in bcast")
+				}
+			})
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestRaceGatherScatterStress(t *testing.T) {
+	const P, reps = 6, 8
+	Run(P, nil, func(c *Comm) {
+		for r := 0; r < reps; r++ {
+			mine := []float64{float64(c.Rank()), float64(r)}
+			all, offs := c.Gather(0, mine)
+			if c.Rank() == 0 {
+				for p := 0; p < P; p++ {
+					if all[offs[p]] != float64(p) || all[offs[p]+1] != float64(r) {
+						panic("gather misplaced a contribution")
+					}
+				}
+			}
+			var data []float64
+			if c.Rank() == 0 {
+				for p := 0; p < P; p++ {
+					data = append(data, float64(r*P+p))
+				}
+			}
+			part := c.Scatter(0, data, 1)
+			if part[0] != float64(r*P+c.Rank()) {
+				panic("scatter delivered the wrong chunk")
+			}
+		}
+	})
+}

@@ -193,6 +193,7 @@ func (fu *FusedUpdater) Accumulate(tm *Team, sp force.Spring, box geom.Box) floa
 	}
 	epotPer := make([]float64, tm.T)
 	costs := tm.Costs
+	hook := PairForceHook
 	tm.Region(func(th *Thread) {
 		glo, ghi := chunk(fu.total, tm.T, th.ID)
 		epot := 0.0
@@ -223,6 +224,9 @@ func (fu *FusedUpdater) Accumulate(tm *Team, sp force.Spring, box geom.Box) floa
 				disp := box.Disp(pos[l.I], pos[l.J])
 				rel := geom.Sub(vel[l.J], vel[l.I], d)
 				fi, e, contact := sp.PairID(ids[l.I], ids[l.J], disp, rel, d)
+				if hook != nil {
+					fi = hook(fu.Method, ids[l.I], ids[l.J], fi)
+				}
 				if li < p.NCoreLinks {
 					if contact {
 						contacts++

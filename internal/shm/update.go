@@ -63,6 +63,16 @@ func (m Method) String() string {
 // reduction is measured but unplotted).
 var Methods = []Method{Atomic, SelectedAtomic, CriticalReduction, Stripe, Transpose}
 
+// PairForceHook, when non-nil, intercepts every pair force computed by
+// the shared-memory updaters (per-block and fused) before it is
+// accumulated: it receives the update method and the two particle IDs
+// and returns the force to apply to endpoint I. It is a fault-injection
+// point for the conformance harness in internal/verify — a test can
+// corrupt the output of exactly one update strategy and assert the
+// differential runner localises the divergence — and must stay nil in
+// production. Set and clear it only while no simulation is running.
+var PairForceHook func(m Method, idI, idJ int32, fi geom.Vec) geom.Vec
+
 // ConflictTable records which particles are updated by links belonging
 // to more than one thread under the static link distribution. It stays
 // valid for as long as the link list does: "the table is valid for
@@ -191,6 +201,7 @@ func (u *Updater) Accumulate(tm *Team, sp force.Spring, ps *particle.Store, link
 
 	switch u.Method {
 	case Atomic, SelectedAtomic, Unprotected:
+		hook := PairForceHook
 		tm.Region(func(th *Thread) {
 			lo, hi := chunk(n, tm.T, th.ID)
 			epot := 0.0
@@ -201,6 +212,9 @@ func (u *Updater) Accumulate(tm *Team, sp force.Spring, ps *particle.Store, link
 				disp := box.Disp(pos[l.I], pos[l.J])
 				rel := geom.Sub(vel[l.J], vel[l.I], d)
 				fi, e, contact := sp.PairID(ids[l.I], ids[l.J], disp, rel, d)
+				if hook != nil {
+					fi = hook(u.Method, ids[l.I], ids[l.J], fi)
+				}
 				if li < nCoreLinks {
 					if contact {
 						contacts++
@@ -243,6 +257,7 @@ func (u *Updater) Accumulate(tm *Team, sp force.Spring, ps *particle.Store, link
 	case CriticalReduction, Stripe, Transpose:
 		words := ps.Len() * d
 		priv := u.ensurePriv(tm.T, words)
+		hook := PairForceHook
 		tm.Region(func(th *Thread) {
 			lo, hi := chunk(n, tm.T, th.ID)
 			epot := 0.0
@@ -254,6 +269,9 @@ func (u *Updater) Accumulate(tm *Team, sp force.Spring, ps *particle.Store, link
 				disp := box.Disp(pos[l.I], pos[l.J])
 				rel := geom.Sub(vel[l.J], vel[l.I], d)
 				fi, e, contact := sp.PairID(ids[l.I], ids[l.J], disp, rel, d)
+				if hook != nil {
+					fi = hook(u.Method, ids[l.I], ids[l.J], fi)
+				}
 				if li < nCoreLinks {
 					if contact {
 						contacts++

@@ -1,0 +1,165 @@
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"hybriddem/internal/core"
+	"hybriddem/internal/shm"
+)
+
+// Variant is one cell of the differential matrix: a named
+// configuration whose trajectory must match the serial baseline.
+type Variant struct {
+	Name string
+	Cfg  core.Config
+}
+
+// Matrix expands a base configuration into the full conformance
+// matrix: serial, OpenMP under all five force-update strategies, MPI,
+// and hybrid under all five strategies — each with reordering both on
+// and off — plus the fused hybrid loop for the two strategies it
+// supports. The base's physics (box, springs, bonds, gravity, initial
+// state) is preserved; mode, P, T, B/P, Method, Fused and Reorder are
+// overridden per variant.
+func Matrix(base core.Config) []Variant {
+	var out []Variant
+	add := func(name string, mutate func(*core.Config)) {
+		cfg := base
+		cfg.Mode = core.Serial
+		cfg.P, cfg.T = 1, 1
+		cfg.BlocksPerProc = 1
+		cfg.Fused = false
+		mutate(&cfg)
+		out = append(out, Variant{Name: name, Cfg: cfg})
+	}
+	for _, reorder := range []bool{true, false} {
+		suffix := "/reorder"
+		if !reorder {
+			suffix = "/noreorder"
+		}
+		add("serial"+suffix, func(c *core.Config) {
+			c.Reorder = reorder
+		})
+		for _, m := range shm.Methods {
+			m := m
+			add("openmp/"+m.String()+suffix, func(c *core.Config) {
+				c.Mode = core.OpenMP
+				c.T = 3
+				c.Method = m
+				c.Reorder = reorder
+			})
+		}
+		add("mpi"+suffix, func(c *core.Config) {
+			c.Mode = core.MPI
+			c.P = 2
+			c.BlocksPerProc = 2
+			c.Reorder = reorder
+		})
+		for _, m := range shm.Methods {
+			m := m
+			add("hybrid/"+m.String()+suffix, func(c *core.Config) {
+				c.Mode = core.Hybrid
+				c.P, c.T = 2, 2
+				c.BlocksPerProc = 2
+				c.Method = m
+				c.Reorder = reorder
+			})
+		}
+	}
+	for _, m := range []shm.Method{shm.Atomic, shm.SelectedAtomic} {
+		m := m
+		add("hybrid/"+m.String()+"/fused", func(c *core.Config) {
+			c.Mode = core.Hybrid
+			c.P, c.T = 2, 2
+			c.BlocksPerProc = 2
+			c.Method = m
+			c.Fused = true
+			c.Reorder = true
+		})
+	}
+	return out
+}
+
+// VariantResult is one matrix cell's outcome against the baseline.
+type VariantResult struct {
+	Name   string
+	MaxDev float64     // largest deviation anywhere in the trajectory
+	Div    *Divergence // first out-of-tolerance point, nil when agreeing
+	Err    error       // run failure, nil when the variant executed
+}
+
+// OK reports whether the variant ran and stayed within tolerance.
+func (v *VariantResult) OK() bool { return v.Err == nil && v.Div == nil }
+
+// Conformance is the outcome of a differential run over the matrix.
+type Conformance struct {
+	Tol     float64
+	Iters   int
+	Results []VariantResult
+}
+
+// RunConformance captures the serial baseline trajectory of cfg and
+// compares every matrix variant against it over iters steps. The
+// virtual platform is stripped (correctness runs use free cost
+// modelling) and tol <= 0 selects DefaultTol.
+func RunConformance(cfg core.Config, iters int, tol float64) (*Conformance, error) {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	cfg.Mode = core.Serial
+	cfg.P, cfg.T = 1, 1
+	cfg.Platform = nil
+	cfg.Timeline = nil
+	cfg.Reorder = true
+	base, err := Capture(cfg, iters)
+	if err != nil {
+		return nil, fmt.Errorf("verify: baseline: %w", err)
+	}
+	c := &Conformance{Tol: tol, Iters: iters}
+	box := cfg.Box()
+	for _, v := range Matrix(cfg) {
+		r := VariantResult{Name: v.Name}
+		tr, err := Capture(v.Cfg, iters)
+		if err != nil {
+			r.Err = err
+		} else {
+			r.Div, r.MaxDev = Compare(box, base, tr, tol)
+		}
+		c.Results = append(c.Results, r)
+	}
+	return c, nil
+}
+
+// Failed returns the variants that errored or diverged.
+func (c *Conformance) Failed() []VariantResult {
+	var out []VariantResult
+	for _, r := range c.Results {
+		if !r.OK() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// String renders one line per variant plus a verdict.
+func (c *Conformance) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "conformance over %d variants, %d steps, tolerance %.1g\n", len(c.Results), c.Iters, c.Tol)
+	for _, r := range c.Results {
+		switch {
+		case r.Err != nil:
+			fmt.Fprintf(&sb, "  FAIL %-36s %v\n", r.Name, r.Err)
+		case r.Div != nil:
+			fmt.Fprintf(&sb, "  FAIL %-36s %s\n", r.Name, r.Div)
+		default:
+			fmt.Fprintf(&sb, "  ok   %-36s max deviation %.3g\n", r.Name, r.MaxDev)
+		}
+	}
+	if n := len(c.Failed()); n > 0 {
+		fmt.Fprintf(&sb, "%d of %d variants DIVERGED from the serial baseline\n", n, len(c.Results))
+	} else {
+		fmt.Fprintf(&sb, "all %d variants agree with the serial baseline\n", len(c.Results))
+	}
+	return sb.String()
+}

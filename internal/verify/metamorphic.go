@@ -1,0 +1,262 @@
+package verify
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"hybriddem/internal/checkpoint"
+	"hybriddem/internal/core"
+	"hybriddem/internal/geom"
+)
+
+// Metamorphic oracles: each Check* runs cfg (and a transformed twin)
+// and asserts a symmetry that any correct DEM must satisfy, with no
+// reference to a second implementation. They all return nil on
+// success and an error carrying the first-divergence localization on
+// failure. tol <= 0 selects DefaultTol.
+
+// CheckReorderInvariance asserts that the cache reordering is a pure
+// permutation of storage: trajectories with Reorder on and off must be
+// identical particle by particle.
+func CheckReorderInvariance(cfg core.Config, iters int, tol float64) error {
+	on, off := cfg, cfg
+	on.Reorder, off.Reorder = true, false
+	a, err := Capture(on, iters)
+	if err != nil {
+		return err
+	}
+	b, err := Capture(off, iters)
+	if err != nil {
+		return err
+	}
+	if div, _ := Compare(cfg.Box(), a, b, tol); div != nil {
+		return fmt.Errorf("verify: reordering changed the physics: %s", div)
+	}
+	return nil
+}
+
+// CheckNewtonZeroSum asserts the zero-sum consequence of Newton's
+// third law: with periodic boundaries and no gravity every pair force
+// cancels, so total momentum must stay at its initial value for the
+// whole run (pairwise damping included — it is equal and opposite
+// too).
+func CheckNewtonZeroSum(cfg core.Config, iters int, tol float64) error {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	if cfg.BC != geom.Periodic {
+		return fmt.Errorf("verify: zero-sum oracle needs periodic boundaries, got %v", cfg.BC)
+	}
+	if cfg.Gravity != 0 {
+		return fmt.Errorf("verify: zero-sum oracle needs zero gravity, got %g", cfg.Gravity)
+	}
+	tr, err := Capture(cfg, iters)
+	if err != nil {
+		return err
+	}
+	var ref geom.Vec
+	haveRef := false
+	if cfg.Init != nil {
+		for _, v := range cfg.Init.Vel {
+			ref = geom.Add(ref, v, cfg.D)
+		}
+		haveRef = true
+	}
+	for s, st := range tr.Steps {
+		var p geom.Vec
+		for _, v := range st.Vel {
+			p = geom.Add(p, v, cfg.D)
+		}
+		if !haveRef {
+			ref, haveRef = p, true
+			continue
+		}
+		for k := 0; k < cfg.D; k++ {
+			if d := math.Abs(p[k] - ref[k]); d > tol {
+				return fmt.Errorf("verify: momentum drifted at step %d: component %d is %.9g, initially %.9g (|Δ| = %.3g)",
+					s, k, p[k], ref[k], d)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckTranslationInvariance asserts homogeneity under the periodic
+// boundary: translating the whole initial state by shift and
+// translating the resulting trajectory back must reproduce the
+// original run. The configuration must carry an explicit Init.
+func CheckTranslationInvariance(cfg core.Config, iters int, shift geom.Vec, tol float64) error {
+	if cfg.BC != geom.Periodic {
+		return fmt.Errorf("verify: translation oracle needs periodic boundaries, got %v", cfg.BC)
+	}
+	if cfg.Init == nil {
+		return fmt.Errorf("verify: translation oracle needs an explicit Init state")
+	}
+	box := cfg.Box()
+	base, err := Capture(cfg, iters)
+	if err != nil {
+		return err
+	}
+	moved := cfg
+	moved.Init = &core.State{Pos: make([]geom.Vec, cfg.N), Vel: cfg.Init.Vel}
+	for i, p := range cfg.Init.Pos {
+		moved.Init.Pos[i], _ = box.Wrap(geom.Add(p, shift, cfg.D))
+	}
+	tr, err := Capture(moved, iters)
+	if err != nil {
+		return err
+	}
+	for _, st := range tr.Steps {
+		for i, p := range st.Pos {
+			st.Pos[i], _ = box.Wrap(geom.Sub(p, shift, cfg.D))
+		}
+	}
+	if div, _ := Compare(box, base, tr, tol); div != nil {
+		return fmt.Errorf("verify: translation by %v changed the physics: %s", shift, div)
+	}
+	return nil
+}
+
+// CheckAxisPermutationInvariance asserts isotropy under the cubic
+// periodic box's point group: permuting the coordinate axes of the
+// initial state (perm[k] is the old axis landing on new axis k) and
+// permuting the trajectory back must reproduce the original run. With
+// gravity the permutation must fix the last axis.
+func CheckAxisPermutationInvariance(cfg core.Config, iters int, perm []int, tol float64) error {
+	d := cfg.D
+	if len(perm) != d {
+		return fmt.Errorf("verify: permutation has %d entries for D=%d", len(perm), d)
+	}
+	seen := make([]bool, d)
+	for _, p := range perm {
+		if p < 0 || p >= d || seen[p] {
+			return fmt.Errorf("verify: %v is not a permutation of the %d axes", perm, d)
+		}
+		seen[p] = true
+	}
+	box := cfg.Box()
+	for k := 1; k < d; k++ {
+		if box.Len[k] != box.Len[0] {
+			return fmt.Errorf("verify: axis-permutation oracle needs a cubic box, got %v", box.Len)
+		}
+	}
+	if cfg.Gravity != 0 && perm[d-1] != d-1 {
+		return fmt.Errorf("verify: gravity along axis %d but perm %v moves it", d-1, perm)
+	}
+	if cfg.Init == nil {
+		return fmt.Errorf("verify: axis-permutation oracle needs an explicit Init state")
+	}
+	base, err := Capture(cfg, iters)
+	if err != nil {
+		return err
+	}
+	apply := func(v geom.Vec, p []int) geom.Vec {
+		var out geom.Vec
+		for k := 0; k < d; k++ {
+			out[k] = v[p[k]]
+		}
+		return out
+	}
+	inv := make([]int, d)
+	for k, p := range perm {
+		inv[p] = k
+	}
+	turned := cfg
+	turned.Init = &core.State{Pos: make([]geom.Vec, cfg.N), Vel: make([]geom.Vec, cfg.N)}
+	for i := range cfg.Init.Pos {
+		turned.Init.Pos[i] = apply(cfg.Init.Pos[i], perm)
+		turned.Init.Vel[i] = apply(cfg.Init.Vel[i], perm)
+	}
+	tr, err := Capture(turned, iters)
+	if err != nil {
+		return err
+	}
+	for _, st := range tr.Steps {
+		for i := range st.Pos {
+			st.Pos[i] = apply(st.Pos[i], inv)
+			st.Vel[i] = apply(st.Vel[i], inv)
+		}
+	}
+	if div, _ := Compare(box, base, tr, tol); div != nil {
+		return fmt.Errorf("verify: axis permutation %v changed the physics: %s", perm, div)
+	}
+	return nil
+}
+
+// CheckRefinementInvariance asserts that the block-cyclic granularity
+// is a pure work distribution: an MPI run on p ranks with B blocks per
+// process and one with 2B must compute the same trajectory.
+func CheckRefinementInvariance(cfg core.Config, iters, p, bpp int, tol float64) error {
+	coarse, fine := cfg, cfg
+	for _, c := range []*core.Config{&coarse, &fine} {
+		c.Mode = core.MPI
+		c.P, c.T = p, 1
+		c.Platform = nil
+	}
+	coarse.BlocksPerProc = bpp
+	fine.BlocksPerProc = 2 * bpp
+	a, err := Capture(coarse, iters)
+	if err != nil {
+		return fmt.Errorf("verify: B/P=%d: %w", bpp, err)
+	}
+	b, err := Capture(fine, iters)
+	if err != nil {
+		return fmt.Errorf("verify: B/P=%d: %w", 2*bpp, err)
+	}
+	if div, _ := Compare(cfg.Box(), a, b, tol); div != nil {
+		return fmt.Errorf("verify: refining B/P=%d to %d changed the physics: %s", bpp, 2*bpp, div)
+	}
+	return nil
+}
+
+// CheckCheckpointRoundTrip asserts two properties of the checkpoint
+// subsystem: a snapshot survives a save/load/save cycle bit for bit,
+// and a run of iters1+iters2 steps equals a run of iters1 steps
+// resumed from its checkpoint for iters2 more.
+func CheckCheckpointRoundTrip(cfg core.Config, iters1, iters2 int, tol float64) error {
+	cfg.CollectState = true
+	straight, err := Capture(cfg, iters1+iters2)
+	if err != nil {
+		return err
+	}
+	first, err := core.Run(cfg, iters1)
+	if err != nil {
+		return err
+	}
+	snap, err := checkpoint.FromResult(&cfg, first, iters1)
+	if err != nil {
+		return err
+	}
+	var buf1, buf2 bytes.Buffer
+	if err := checkpoint.Save(&buf1, snap); err != nil {
+		return err
+	}
+	loaded, err := checkpoint.Load(bytes.NewReader(buf1.Bytes()))
+	if err != nil {
+		return err
+	}
+	if err := checkpoint.Save(&buf2, loaded); err != nil {
+		return err
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		return fmt.Errorf("verify: checkpoint save/load/save is not bit-identical (%d vs %d bytes)",
+			buf1.Len(), buf2.Len())
+	}
+	resumed := cfg
+	if err := loaded.Apply(&resumed); err != nil {
+		return err
+	}
+	tail, err := Capture(resumed, iters2)
+	if err != nil {
+		return err
+	}
+	// The resumed trajectory's step s corresponds to the straight
+	// run's step iters1+s.
+	shifted := &Trajectory{Box: straight.Box, Steps: straight.Steps[iters1:]}
+	if div, _ := Compare(cfg.Box(), shifted, tail, tol); div != nil {
+		div.Step += iters1
+		return fmt.Errorf("verify: resumed run diverged from the straight run: %s", div)
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hybriddem/internal/cell"
+	"hybriddem/internal/geom"
+)
+
+// quickCfg keeps the property runs deterministic and bounded.
+func quickCfg(seed int64, count int) *quick.Config {
+	return &quick.Config{MaxCount: count, Rand: rand.New(rand.NewSource(seed))}
+}
+
+// pick folds arbitrary fuzz/quick bytes into a scenario selector.
+func pick(kindB, dB uint8, seed int64, n int) (Kind, int, int, int64) {
+	k := Kinds[int(kindB)%len(Kinds)]
+	d := 2 + int(dB)%2
+	return k, d, n, seed
+}
+
+// Property: the link list built through the cell grid is exactly the
+// brute-force pair set, on every scenario family.
+func TestQuickLinkListMatchesBruteForce(t *testing.T) {
+	prop := func(kindB, dB uint8, seed int64) bool {
+		k, d, n, seed := pick(kindB, dB, seed, 48)
+		cfg, err := Scenario(k, d, n, seed)
+		if err != nil {
+			return true // generator rejected the shape, nothing to check
+		}
+		box := cfg.Box()
+		rc := cfg.RC()
+		pos := cfg.Init.Pos
+		g := cell.NewGrid(d, geom.Zero(), box.Len, rc, box.BC == geom.Periodic)
+		g.Bin(pos, cfg.N, nil)
+		got := g.BuildLinks(pos, cfg.N, cfg.N, rc*rc, box, nil)
+		want := cell.BruteLinks(pos, cfg.N, cfg.N, rc*rc, box)
+		gs, gdup := cell.PairSet(got.Links)
+		ws, wdup := cell.PairSet(want.Links)
+		if gdup != nil {
+			t.Logf("%v d=%d seed=%d: duplicate link %v", k, d, seed, *gdup)
+			return false
+		}
+		if wdup != nil {
+			t.Logf("%v d=%d seed=%d: duplicate brute pair %v", k, d, seed, *wdup)
+			return false
+		}
+		if len(gs) != len(ws) {
+			t.Logf("%v d=%d seed=%d: %d links vs %d brute pairs", k, d, seed, len(gs), len(ws))
+			return false
+		}
+		for p := range ws {
+			if !gs[p] {
+				t.Logf("%v d=%d seed=%d: brute pair %v missing from link list", k, d, seed, p)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(1, 60)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: total momentum is conserved on every scenario family (all
+// run with periodic boundaries and zero gravity).
+func TestQuickMomentumConserved(t *testing.T) {
+	prop := func(kindB, dB uint8, seed int64) bool {
+		k, d, n, seed := pick(kindB, dB, seed, 40)
+		cfg, err := Scenario(k, d, n, seed)
+		if err != nil {
+			return true
+		}
+		if err := CheckNewtonZeroSum(cfg, 5, 1e-9); err != nil {
+			t.Logf("%v d=%d seed=%d: %v", k, d, seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(2, 15)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the cache reordering never changes the trajectory, on any
+// scenario family.
+func TestQuickReorderInvariant(t *testing.T) {
+	prop := func(kindB, dB uint8, seed int64) bool {
+		k, d, n, seed := pick(kindB, dB, seed, 40)
+		cfg, err := Scenario(k, d, n, seed)
+		if err != nil {
+			return true
+		}
+		if err := CheckReorderInvariance(cfg, 4, 0); err != nil {
+			t.Logf("%v d=%d seed=%d: %v", k, d, seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(3, 15)); err != nil {
+		t.Error(err)
+	}
+}

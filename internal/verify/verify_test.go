@@ -1,0 +1,272 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"hybriddem/internal/core"
+	"hybriddem/internal/decomp"
+	"hybriddem/internal/geom"
+	"hybriddem/internal/mp"
+	"hybriddem/internal/shm"
+)
+
+// testScenario builds a small scenario or fails the test.
+func testScenario(t *testing.T, k Kind, d, n int, seed int64) core.Config {
+	t.Helper()
+	cfg, err := Scenario(k, d, n, seed)
+	if err != nil {
+		t.Fatalf("Scenario(%v, d=%d, n=%d): %v", k, d, n, err)
+	}
+	return cfg
+}
+
+func TestScenarioFamiliesRunAndAreDeterministic(t *testing.T) {
+	for _, k := range Kinds {
+		for _, d := range []int{2, 3} {
+			cfg := testScenario(t, k, d, 60, 7)
+			if err := cfg.Validate(); err != nil {
+				t.Errorf("%v d=%d: invalid config: %v", k, d, err)
+				continue
+			}
+			box := cfg.Box()
+			for p, pos := range cfg.Init.Pos {
+				if !box.Contains(pos) {
+					t.Errorf("%v d=%d: particle %d at %v outside the box", k, d, p, pos)
+				}
+			}
+			again := testScenario(t, k, d, 60, 7)
+			for p := range cfg.Init.Pos {
+				if cfg.Init.Pos[p] != again.Init.Pos[p] || cfg.Init.Vel[p] != again.Init.Vel[p] {
+					t.Fatalf("%v d=%d: same seed produced different particle %d", k, d, p)
+				}
+			}
+			other := testScenario(t, k, d, 60, 8)
+			same := true
+			for p := range cfg.Init.Pos {
+				if cfg.Init.Pos[p] != other.Init.Pos[p] {
+					same = false
+					break
+				}
+			}
+			if same && k != DegenerateGrid { // the grid ignores the seed for positions
+				t.Errorf("%v d=%d: different seeds produced identical positions", k, d)
+			}
+			if _, err := Capture(cfg, 3); err != nil {
+				t.Errorf("%v d=%d: run failed: %v", k, d, err)
+			}
+		}
+	}
+}
+
+func TestCompareLocalizesAnInjectedPerturbation(t *testing.T) {
+	cfg := testScenario(t, Uniform, 2, 40, 3)
+	a, err := Capture(cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div, max := Compare(cfg.Box(), a, a, 0); div != nil || max != 0 {
+		t.Fatalf("trajectory differs from itself: %v (max %g)", div, max)
+	}
+	b, err := Capture(cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb one component of one particle at one step.
+	b.Steps[4].Vel[17][1] += 5e-4
+	div, max := Compare(cfg.Box(), a, b, 0)
+	if div == nil {
+		t.Fatal("perturbation not detected")
+	}
+	if div.Step != 4 || div.Particle != 17 || div.Field != "vel" || div.Component != 1 {
+		t.Fatalf("mislocalized: %s", div)
+	}
+	if max < 4e-4 {
+		t.Fatalf("max deviation %g does not reflect the 5e-4 perturbation", max)
+	}
+}
+
+func TestConformanceMatrixAgrees(t *testing.T) {
+	cfg := testScenario(t, Uniform, 2, 220, 11)
+	c, err := RunConformance(cfg, 25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed := c.Failed(); len(failed) > 0 {
+		t.Fatalf("matrix diverged:\n%s", c)
+	}
+	if len(c.Results) != 26 {
+		t.Fatalf("matrix has %d variants, expected 26", len(c.Results))
+	}
+	if !strings.Contains(c.String(), "all 26 variants agree") {
+		t.Errorf("report did not announce agreement:\n%s", c)
+	}
+}
+
+func TestConformanceMatrixClustered(t *testing.T) {
+	cfg := testScenario(t, Clustered, 2, 160, 5)
+	c, err := RunConformance(cfg, 15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed := c.Failed(); len(failed) > 0 {
+		t.Fatalf("matrix diverged:\n%s", c)
+	}
+}
+
+func TestConformanceMatrixBondedGrains(t *testing.T) {
+	cfg := testScenario(t, BondedGrains, 2, 120, 9)
+	c, err := RunConformance(cfg, 15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed := c.Failed(); len(failed) > 0 {
+		t.Fatalf("matrix diverged:\n%s", c)
+	}
+}
+
+// TestInjectedFaultIsCaughtAndLocalized is the harness's own acceptance
+// test: corrupt exactly one shared-memory update strategy through the
+// fault-injection hook (no shipped code edited) and demand that the
+// differential matrix flags exactly the variants using that strategy,
+// with a step/particle localization attached.
+func TestInjectedFaultIsCaughtAndLocalized(t *testing.T) {
+	shm.PairForceHook = func(m shm.Method, idI, idJ int32, fi geom.Vec) geom.Vec {
+		if m == shm.Stripe {
+			return geom.Scale(fi, -1, geom.MaxD) // flip the pair force
+		}
+		return fi
+	}
+	defer func() { shm.PairForceHook = nil }()
+
+	cfg := testScenario(t, Uniform, 2, 220, 11)
+	c, err := RunConformance(cfg, 25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range c.Results {
+		stripe := strings.Contains(r.Name, "/stripe")
+		switch {
+		case r.Err != nil:
+			t.Errorf("%s: run failed: %v", r.Name, r.Err)
+		case stripe && r.Div == nil:
+			t.Errorf("%s: sign-flipped strategy not caught", r.Name)
+		case !stripe && r.Div != nil:
+			t.Errorf("%s: healthy variant flagged: %s", r.Name, r.Div)
+		case stripe:
+			d := r.Div
+			if d.Step < 0 || d.Step >= 25 || d.Particle < 0 || d.Particle >= cfg.N {
+				t.Errorf("%s: localization out of range: %s", r.Name, d)
+			}
+			if d.Field != "pos" && d.Field != "vel" {
+				t.Errorf("%s: localization lacks a field: %s", r.Name, d)
+			}
+		}
+	}
+}
+
+func TestMetamorphicOracles(t *testing.T) {
+	t.Run("reorder-invariance", func(t *testing.T) {
+		cfg := testScenario(t, NearBoundary, 2, 120, 21)
+		if err := CheckReorderInvariance(cfg, 12, 0); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("newton-zero-sum", func(t *testing.T) {
+		cfg := testScenario(t, Uniform, 2, 120, 22)
+		if err := CheckNewtonZeroSum(cfg, 20, 1e-9); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("newton-zero-sum-damped", func(t *testing.T) {
+		// Pairwise damping must also cancel in the momentum sum.
+		cfg := testScenario(t, Clustered, 2, 120, 23)
+		if err := CheckNewtonZeroSum(cfg, 20, 1e-9); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("translation-invariance", func(t *testing.T) {
+		cfg := testScenario(t, Uniform, 2, 120, 24)
+		shift := geom.Scale(cfg.Box().Len, 0.37, cfg.D)
+		if err := CheckTranslationInvariance(cfg, 12, shift, 1e-6); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("axis-permutation-invariance", func(t *testing.T) {
+		cfg := testScenario(t, Uniform, 2, 120, 25)
+		if err := CheckAxisPermutationInvariance(cfg, 12, []int{1, 0}, 1e-6); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("refinement-invariance", func(t *testing.T) {
+		cfg := testScenario(t, Uniform, 2, 220, 26)
+		if err := CheckRefinementInvariance(cfg, 12, 2, 1, 0); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("checkpoint-round-trip", func(t *testing.T) {
+		cfg := testScenario(t, Clustered, 2, 120, 27)
+		if err := CheckCheckpointRoundTrip(cfg, 8, 8, 0); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("checkpoint-round-trip-openmp", func(t *testing.T) {
+		cfg := testScenario(t, Uniform, 2, 120, 28)
+		cfg.Mode = core.OpenMP
+		cfg.T = 2
+		if err := CheckCheckpointRoundTrip(cfg, 8, 8, 0); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+// runHaloCheck distributes the scenario over p ranks and runs the
+// decomp halo oracle on every rank, optionally corrupting one halo
+// position first. It returns the first error any rank reports.
+func runHaloCheck(cfg core.Config, p, bpp int, reorder, corrupt bool) error {
+	l, err := decomp.NewLayout(cfg.Box(), cfg.RC(), p, bpp)
+	if err != nil {
+		return err
+	}
+	errs := make([]error, p)
+	mp.Run(p, nil, func(c *mp.Comm) {
+		dm := decomp.NewDomain(l, c, true)
+		for i, pos := range cfg.Init.Pos {
+			dm.Place(pos, cfg.Init.Vel[i], int32(i))
+		}
+		dm.Rebuild(reorder)
+		if corrupt && c.Rank() == 0 {
+			for _, b := range dm.Blocks {
+				if b.NumHalo() > 0 {
+					b.PS.Pos[b.NCore][0] += 0.01 * cfg.L
+					break
+				}
+			}
+		}
+		errs[c.Rank()] = dm.VerifyHalos(cfg.Init.Pos, cfg.Init.Vel, 0)
+	})
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+func TestVerifyHalosAcceptsRealExchange(t *testing.T) {
+	for _, k := range Kinds {
+		for _, reorder := range []bool{true, false} {
+			cfg := testScenario(t, k, 2, 150, 31)
+			if err := runHaloCheck(cfg, 2, 2, reorder, false); err != nil {
+				t.Errorf("%v reorder=%v: %v", k, reorder, err)
+			}
+		}
+	}
+}
+
+func TestVerifyHalosRejectsCorruptedHalo(t *testing.T) {
+	cfg := testScenario(t, Uniform, 2, 150, 32)
+	if err := runHaloCheck(cfg, 2, 2, true, true); err == nil {
+		t.Fatal("corrupted halo position not detected")
+	}
+}
