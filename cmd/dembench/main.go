@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"hybriddem/internal/bench"
+	"hybriddem/internal/profiling"
 )
 
 func main() {
@@ -39,10 +40,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		n       = fs.Int("n", 0, "particle count (default 40000)")
 		iters   = fs.Int("iters", 0, "measured iterations per run (default 8/4 for D=2/3)")
 		seed    = fs.Int64("seed", 1, "random seed")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		aStats  = fs.Bool("allocstats", false, "print allocation statistics to stderr at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+
+	prof, err := profiling.Start(profiling.Options{CPUProfile: *cpuProf, MemProfile: *memProf, AllocStats: *aStats}, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "dembench:", err)
+		return 2
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(stderr, "dembench:", err)
+		}
+	}()
 
 	if *list {
 		for _, e := range bench.All {

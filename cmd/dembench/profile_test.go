@@ -1,0 +1,34 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestProfilingFlagsSmoke: profiles land in files and the allocation
+// summary goes to stderr only, keeping stdout golden-diffable.
+func TestProfilingFlagsSmoke(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, errb bytes.Buffer
+	code := run([]string{"-exp", "T1", "-n", "2000",
+		"-cpuprofile", cpu, "-memprofile", mem, "-allocstats"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, f := range []string{cpu, mem} {
+		if st, err := os.Stat(f); err != nil || st.Size() == 0 {
+			t.Fatalf("profile %s missing or empty (err %v)", f, err)
+		}
+	}
+	if !strings.Contains(errb.String(), "allocstats:") {
+		t.Errorf("stderr lacks allocation summary:\n%s", errb.String())
+	}
+	if strings.Contains(out.String(), "allocstats:") {
+		t.Errorf("allocation summary leaked onto stdout:\n%s", out.String())
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"hybriddem"
+	"hybriddem/internal/profiling"
 )
 
 func main() {
@@ -59,10 +60,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		export   = fs.String("export", "", "write the final state for visualisation (.vtk, .xyz or .csv)")
 		verify   = fs.Bool("verify", false, "run the differential conformance matrix instead of a timing run")
 		verTol   = fs.Float64("verify-tol", 0, "conformance tolerance (0 = default 1e-7)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		aStats   = fs.Bool("allocstats", false, "print allocation statistics to stderr at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+
+	prof, err := profiling.Start(profiling.Options{CPUProfile: *cpuProf, MemProfile: *memProf, AllocStats: *aStats}, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "demrun:", err)
+		return 2
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(stderr, "demrun:", err)
+		}
+	}()
 
 	cfg := hybriddem.Default(*d, *n)
 	cfg.RCFactor = *rc

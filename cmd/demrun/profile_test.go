@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunProfilingFlags: -cpuprofile/-memprofile produce non-empty
+// pprof files and -allocstats reports to stderr, leaving stdout's
+// report format untouched.
+func TestRunProfilingFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, errb bytes.Buffer
+	code := run([]string{"-d", "2", "-n", "400", "-iters", "3",
+		"-cpuprofile", cpu, "-memprofile", mem, "-allocstats"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, f := range []string{cpu, mem} {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", f)
+		}
+	}
+	if !strings.Contains(errb.String(), "allocstats:") {
+		t.Errorf("stderr lacks allocation summary:\n%s", errb.String())
+	}
+	if strings.Contains(out.String(), "allocstats:") {
+		t.Errorf("allocation summary leaked onto stdout:\n%s", out.String())
+	}
+}
+
+// TestRunBadProfilePathExitTwo: an unwritable profile path fails
+// before any simulation work.
+func TestRunBadProfilePathExitTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-d", "2", "-n", "200", "-iters", "1",
+		"-cpuprofile", filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof")}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; stderr: %s", code, errb.String())
+	}
+}

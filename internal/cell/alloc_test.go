@@ -1,0 +1,33 @@
+package cell
+
+import (
+	"testing"
+
+	"hybriddem/internal/geom"
+	"hybriddem/internal/raceflag"
+)
+
+// TestWarmRebuildZeroAlloc gates the tentpole property at the cell
+// layer: once the grid scratch and the caller's ListBuffer have grown
+// to their steady-state sizes, a full bin + link-list rebuild performs
+// no allocation at all.
+func TestWarmRebuildZeroAlloc(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	box := geom.NewBox(2, 1.0, geom.Periodic)
+	pos := randomPositions(300, 2, box, 42)
+	rc := 0.1
+	g := NewGrid(2, geom.Vec{}, box.Len, rc, true)
+	var buf ListBuffer
+	rebuild := func() {
+		g.Bin(pos, len(pos), nil)
+		g.BuildLinksInto(&buf, pos, len(pos), len(pos), rc*rc, box, nil)
+	}
+	for i := 0; i < 3; i++ {
+		rebuild()
+	}
+	if avg := testing.AllocsPerRun(10, rebuild); avg != 0 {
+		t.Errorf("warm rebuild allocates %g times per run, want 0", avg)
+	}
+}

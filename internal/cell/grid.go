@@ -41,6 +41,26 @@ type Grid struct {
 	count  []int32 // particles per cell
 	start  []int32 // prefix offsets into order
 	order  []int32 // particle indices sorted by cell
+
+	// Reused scratch: fill cursors for the serial counting sort, and
+	// the per-thread count/cursor arrays of the parallel binning. Kept
+	// on the grid so repeated rebuilds are allocation-free.
+	fill       []int32
+	perThread  [][]int32
+	curThread  [][]int32
+	coreBufs   []ListBuffer // per-thread staging for BuildLinksParallel
+	checkBuf   []int64      // per-thread pair-check counts
+	mergedList List         // final list storage for BuildLinksParallel
+	stencil    [][geom.MaxD]int
+}
+
+// halfStencilCached returns the half stencil for the grid's
+// dimensionality, computing it once.
+func (g *Grid) halfStencilCached() [][geom.MaxD]int {
+	if g.stencil == nil {
+		g.stencil = halfStencil(g.D)
+	}
+	return g.stencil
 }
 
 // NewGrid builds a grid over the region [origin, origin+span) whose
@@ -156,8 +176,12 @@ func (g *Grid) Bin(pos []geom.Vec, n int, tc *trace.Counters) {
 	}
 	g.order = g.order[:n]
 	// Counting sort; fill slots per cell in ascending particle index so
-	// the result is deterministic.
-	fill := make([]int32, nc)
+	// the result is deterministic. The cursor array is grid-owned
+	// scratch, reused across rebuilds.
+	if cap(g.fill) < nc {
+		g.fill = make([]int32, nc)
+	}
+	fill := g.fill[:nc]
 	copy(fill, g.start[:nc])
 	for i := 0; i < n; i++ {
 		c := g.cellOf[i]

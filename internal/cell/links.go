@@ -24,10 +24,110 @@ type List struct {
 }
 
 // CoreLinks returns the links whose endpoints are both core particles.
-func (l *List) CoreLinks() []Link { return l.Links[:l.NCore] }
+// The capacity is clipped at NCore so a caller that appends through the
+// returned slice can never clobber the halo region of the list.
+func (l *List) CoreLinks() []Link { return l.Links[:l.NCore:l.NCore] }
 
 // HaloLinks returns the links with at least one halo endpoint.
 func (l *List) HaloLinks() []Link { return l.Links[l.NCore:] }
+
+// ListBuffer owns the reusable storage for link-list construction: the
+// core/halo staging areas and the final list's backing array. A caller
+// that rebuilds lists repeatedly holds one ListBuffer per grid and
+// passes it to BuildLinksInto; after the first few rebuilds the
+// construction is allocation-free. The List returned by BuildLinksInto
+// (and its Links backing) is owned by the buffer and is invalidated by
+// the next BuildLinksInto call on the same buffer.
+type ListBuffer struct {
+	core, halo []Link
+	list       List
+}
+
+// linkBuilder accumulates candidate pairs into core/halo staging
+// slices. It is a plain struct with pointer-receiver methods (rather
+// than a closure) so the hot rebuild path does not allocate.
+type linkBuilder struct {
+	pos    []geom.Vec
+	nCore  int32
+	rc2    float64
+	box    geom.Box
+	core   []Link
+	halo   []Link
+	checks int64
+}
+
+// add distance-tests the candidate pair (i, j) and stages it as a core
+// or halo link. Halo-halo pairs are excluded: forces on halo particles
+// are never used (each block updates only its core), and every
+// halo-halo pair is some block's core-halo or core-core pair, so
+// including them would double work and double-count energy.
+func (lb *linkBuilder) add(i, j int32) {
+	if i >= lb.nCore && j >= lb.nCore {
+		return // halo-halo: some neighbouring block owns this pair
+	}
+	lb.checks++
+	if lb.box.Dist2(lb.pos[i], lb.pos[j]) >= lb.rc2 {
+		return
+	}
+	if i >= lb.nCore || j >= lb.nCore {
+		// Orient halo links core-first so the force loop can
+		// update F[I] unconditionally.
+		if i >= lb.nCore {
+			i, j = j, i
+		}
+		lb.halo = append(lb.halo, Link{i, j})
+	} else {
+		if i > j {
+			i, j = j, i
+		}
+		lb.core = append(lb.core, Link{i, j})
+	}
+}
+
+// addCellPairs stages every candidate pair of cell c: intra-cell pairs
+// ("links internal to a cell originate from the lowest-numbered
+// particle") and inter-cell pairs over the half stencil ("those between
+// cells [originate] from the lowest-numbered cell").
+func (g *Grid) addCellPairs(lb *linkBuilder, c int32, stencil [][geom.MaxD]int) {
+	ps := g.CellParticles(c)
+	for a := 0; a < len(ps); a++ {
+		for b := a + 1; b < len(ps); b++ {
+			lb.add(ps[a], ps[b])
+		}
+	}
+	cc := g.coords(c)
+	for _, off := range stencil {
+		var nb [geom.MaxD]int
+		ok := true
+		for i := 0; i < g.D; i++ {
+			v := cc[i] + off[i]
+			if g.Wrap {
+				if v < 0 {
+					v += g.N[i]
+				} else if v >= g.N[i] {
+					v -= g.N[i]
+				}
+			} else if v < 0 || v >= g.N[i] {
+				ok = false
+				break
+			}
+			nb[i] = v
+		}
+		if !ok {
+			continue
+		}
+		c2 := g.flatten(nb)
+		if c2 == c {
+			continue // wrapped onto itself (cannot happen off the degenerate path, but cheap to guard)
+		}
+		qs := g.CellParticles(c2)
+		for _, i := range ps {
+			for _, j := range qs {
+				lb.add(i, j)
+			}
+		}
+	}
+}
 
 // BuildLinks constructs the pair list for the first n entries of pos
 // using the grid's binning (Bin must have been called with the same n).
@@ -35,97 +135,50 @@ func (l *List) HaloLinks() []Link { return l.Links[l.NCore:] }
 // Particles with index >= nCore are halo copies; pass nCore == n when
 // there is no halo. Counters may be nil.
 //
-// Halo-halo pairs are excluded: forces on halo particles are never used
-// (each block updates only its core), and every halo-halo pair is some
-// block's core-halo or core-core pair, so including them would double
-// work and double-count energy.
+// BuildLinks allocates a fresh buffer per call; steady-state callers
+// should hold a ListBuffer and use BuildLinksInto instead.
 func (g *Grid) BuildLinks(pos []geom.Vec, n, nCore int, rc2 float64, box geom.Box, tc *trace.Counters) *List {
-	var core, halo []Link
-	checks := int64(0)
+	return g.BuildLinksInto(new(ListBuffer), pos, n, nCore, rc2, box, tc)
+}
 
-	add := func(i, j int32) {
-		if i >= int32(nCore) && j >= int32(nCore) {
-			return // halo-halo: some neighbouring block owns this pair
-		}
-		checks++
-		if box.Dist2(pos[i], pos[j]) >= rc2 {
-			return
-		}
-		if i >= int32(nCore) || j >= int32(nCore) {
-			// Orient halo links core-first so the force loop can
-			// update F[I] unconditionally.
-			if i >= int32(nCore) {
-				i, j = j, i
-			}
-			halo = append(halo, Link{i, j})
-		} else {
-			if i > j {
-				i, j = j, i
-			}
-			core = append(core, Link{i, j})
-		}
+// BuildLinksInto is BuildLinks building into caller-owned reused
+// storage. The returned List (and its Links slice) is backed by buf and
+// stays valid until the next BuildLinksInto on the same buffer. The
+// list's backing array is distinct from the core/halo staging areas, so
+// retaining CoreLinks/HaloLinks sub-slices can never alias the staging
+// buffers of a later build.
+func (g *Grid) BuildLinksInto(buf *ListBuffer, pos []geom.Vec, n, nCore int, rc2 float64, box geom.Box, tc *trace.Counters) *List {
+	lb := linkBuilder{
+		pos:   pos,
+		nCore: int32(nCore),
+		rc2:   rc2,
+		box:   box,
+		core:  buf.core[:0],
+		halo:  buf.halo[:0],
 	}
 
 	if g.degenerate {
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
-				add(int32(i), int32(j))
+				lb.add(int32(i), int32(j))
 			}
 		}
 	} else {
-		stencil := halfStencil(g.D)
+		stencil := g.halfStencilCached()
 		nc := g.NumCells()
 		for c := int32(0); c < int32(nc); c++ {
-			ps := g.CellParticles(c)
-			// Intra-cell pairs: "links internal to a cell originate
-			// from the lowest-numbered particle".
-			for a := 0; a < len(ps); a++ {
-				for b := a + 1; b < len(ps); b++ {
-					add(ps[a], ps[b])
-				}
-			}
-			// Inter-cell pairs over the half stencil: "those between
-			// cells [originate] from the lowest-numbered cell".
-			cc := g.coords(c)
-			for _, off := range stencil {
-				var nb [geom.MaxD]int
-				ok := true
-				for i := 0; i < g.D; i++ {
-					v := cc[i] + off[i]
-					if g.Wrap {
-						if v < 0 {
-							v += g.N[i]
-						} else if v >= g.N[i] {
-							v -= g.N[i]
-						}
-					} else if v < 0 || v >= g.N[i] {
-						ok = false
-						break
-					}
-					nb[i] = v
-				}
-				if !ok {
-					continue
-				}
-				c2 := g.flatten(nb)
-				if c2 == c {
-					continue // wrapped onto itself (cannot happen off the degenerate path, but cheap to guard)
-				}
-				qs := g.CellParticles(c2)
-				for _, i := range ps {
-					for _, j := range qs {
-						add(i, j)
-					}
-				}
-			}
+			g.addCellPairs(&lb, c, stencil)
 		}
 	}
 
+	buf.core, buf.halo = lb.core, lb.halo
 	if tc != nil {
-		tc.PairChecks += checks
+		tc.PairChecks += lb.checks
 		tc.LinkBuilds++
 	}
-	out := &List{NCore: len(core)}
-	out.Links = append(core, halo...)
+	out := &buf.list
+	out.NCore = len(lb.core)
+	out.Links = append(out.Links[:0], lb.core...)
+	out.Links = append(out.Links, lb.halo...)
 	return out
 }

@@ -16,6 +16,23 @@ type Pool interface {
 	ParallelFor(n int, body func(thread, lo, hi int))
 }
 
+// ensureThreadScratch sizes the grid's per-thread count and cursor
+// arrays for T threads of nc cells each, reusing prior capacity.
+func (g *Grid) ensureThreadScratch(T, nc int) {
+	if len(g.perThread) < T {
+		g.perThread = append(g.perThread, make([][]int32, T-len(g.perThread))...)
+		g.curThread = append(g.curThread, make([][]int32, T-len(g.curThread))...)
+	}
+	for t := 0; t < T; t++ {
+		if cap(g.perThread[t]) < nc {
+			g.perThread[t] = make([]int32, nc)
+			g.curThread[t] = make([]int32, nc)
+		}
+		g.perThread[t] = g.perThread[t][:nc]
+		g.curThread[t] = g.curThread[t][:nc]
+	}
+}
+
 // BinParallel is the thread-parallel Bin: the paper's Section 7
 // parallelises link generation with "parallel loops over particles
 // (when binning into cells)", resolving the inter-thread dependency
@@ -44,18 +61,21 @@ func (g *Grid) BinParallel(pos []geom.Vec, n int, pool Pool, tc *trace.Counters)
 		g.order = make([]int32, n)
 	}
 	g.order = g.order[:n]
+	g.ensureThreadScratch(T, nc)
 
 	// Pass 1: classify particles and count per thread (the private
 	// arrays of the array-reduction method).
-	perThread := make([][]int32, T)
+	perThread := g.perThread
 	pool.ParallelFor(n, func(t, lo, hi int) {
-		counts := make([]int32, nc)
+		counts := perThread[t]
+		for c := range counts {
+			counts[c] = 0
+		}
 		for i := lo; i < hi; i++ {
 			c := g.cellIndex(pos[i])
 			g.cellOf[i] = c
 			counts[c]++
 		}
-		perThread[t] = counts
 	})
 
 	// Merge: global counts and prefix starts (serial over cells; the
@@ -75,9 +95,9 @@ func (g *Grid) BinParallel(pos []geom.Vec, n int, pool Pool, tc *trace.Counters)
 	// Per-thread scatter cursors: thread t's slot in cell c begins
 	// after every earlier thread's contribution, which reproduces the
 	// serial counting sort's ascending-index order exactly.
-	cursors := make([][]int32, T)
+	cursors := g.curThread
 	for t := 0; t < T; t++ {
-		cur := make([]int32, nc)
+		cur := cursors[t]
 		for c := 0; c < nc; c++ {
 			off := g.start[c]
 			for u := 0; u < t; u++ {
@@ -85,7 +105,6 @@ func (g *Grid) BinParallel(pos []geom.Vec, n int, pool Pool, tc *trace.Counters)
 			}
 			cur[c] = off
 		}
-		cursors[t] = cur
 	}
 
 	// Pass 2: scatter into the cell-ordered list.
@@ -108,93 +127,50 @@ func (g *Grid) BinParallel(pos []geom.Vec, n int, pool Pool, tc *trace.Counters)
 // contiguous cell range into private lists which are concatenated in
 // cell order, so the result matches the serial builder exactly
 // (including the core-links-first layout). The degenerate small-box
-// path stays serial.
+// path stays serial. The per-thread staging areas and the merged
+// list's backing array are grid-owned and reused across rebuilds, so
+// steady-state rebuilds are allocation-free; the returned List is
+// invalidated by the next build on the same grid.
 func (g *Grid) BuildLinksParallel(pos []geom.Vec, n, nCore int, rc2 float64, box geom.Box, pool Pool, tc *trace.Counters) *List {
 	T := pool.Threads()
 	if T <= 1 || g.degenerate {
 		return g.BuildLinks(pos, n, nCore, rc2, box, tc)
 	}
 	nc := g.NumCells()
-	stencil := halfStencil(g.D)
-	cores := make([][]Link, T)
-	halos := make([][]Link, T)
-	checks := make([]int64, T)
+	stencil := g.halfStencilCached()
+	if len(g.coreBufs) < T {
+		g.coreBufs = append(g.coreBufs, make([]ListBuffer, T-len(g.coreBufs))...)
+	}
+	if len(g.checkBuf) < T {
+		g.checkBuf = append(g.checkBuf, make([]int64, T-len(g.checkBuf))...)
+	}
+	bufs := g.coreBufs
+	checks := g.checkBuf[:T]
 
 	pool.ParallelFor(nc, func(t, clo, chi int) {
-		var core, halo []Link
-		var nchecks int64
-		add := func(i, j int32) {
-			if i >= int32(nCore) && j >= int32(nCore) {
-				return
-			}
-			nchecks++
-			if box.Dist2(pos[i], pos[j]) >= rc2 {
-				return
-			}
-			if i >= int32(nCore) || j >= int32(nCore) {
-				if i >= int32(nCore) {
-					i, j = j, i
-				}
-				halo = append(halo, Link{i, j})
-			} else {
-				if i > j {
-					i, j = j, i
-				}
-				core = append(core, Link{i, j})
-			}
+		lb := linkBuilder{
+			pos:   pos,
+			nCore: int32(nCore),
+			rc2:   rc2,
+			box:   box,
+			core:  bufs[t].core[:0],
+			halo:  bufs[t].halo[:0],
 		}
 		for c := int32(clo); c < int32(chi); c++ {
-			ps := g.CellParticles(c)
-			for a := 0; a < len(ps); a++ {
-				for b := a + 1; b < len(ps); b++ {
-					add(ps[a], ps[b])
-				}
-			}
-			cc := g.coords(c)
-			for _, off := range stencil {
-				var nb [geom.MaxD]int
-				ok := true
-				for i := 0; i < g.D; i++ {
-					v := cc[i] + off[i]
-					if g.Wrap {
-						if v < 0 {
-							v += g.N[i]
-						} else if v >= g.N[i] {
-							v -= g.N[i]
-						}
-					} else if v < 0 || v >= g.N[i] {
-						ok = false
-						break
-					}
-					nb[i] = v
-				}
-				if !ok {
-					continue
-				}
-				c2 := g.flatten(nb)
-				if c2 == c {
-					continue
-				}
-				qs := g.CellParticles(c2)
-				for _, i := range ps {
-					for _, j := range qs {
-						add(i, j)
-					}
-				}
-			}
+			g.addCellPairs(&lb, c, stencil)
 		}
-		cores[t] = core
-		halos[t] = halo
-		checks[t] = nchecks
+		bufs[t].core, bufs[t].halo = lb.core, lb.halo
+		checks[t] = lb.checks
 	})
 
-	out := &List{}
-	for _, c := range cores {
-		out.Links = append(out.Links, c...)
+	out := &g.mergedList
+	out.Links = out.Links[:0]
+	for t := 0; t < T; t++ {
+		out.Links = append(out.Links, bufs[t].core...)
 	}
 	out.NCore = len(out.Links)
-	for _, h := range halos {
-		out.Links = append(out.Links, h...)
+	for t := 0; t < T; t++ {
+		out.Links = append(out.Links, bufs[t].halo...)
 	}
 	if tc != nil {
 		for _, ch := range checks {

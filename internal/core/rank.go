@@ -25,6 +25,14 @@ type rankSim struct {
 	upds  []*shm.Updater // per owned block (hybrid)
 	fused *shm.FusedUpdater
 
+	// Per-step scratch, refreshed at rebuild so the step loop itself
+	// allocates nothing: block views for the team kernels, the fused
+	// piece list, and the two-element energy reduction buffer.
+	stores []*shm.BlockStore
+	cores  []int
+	pieces []shm.FusedPiece
+	energy [2]float64
+
 	linkCost, contactCost, updCost, partCost float64
 
 	rebuilds int
@@ -145,17 +153,49 @@ func (r *rankSim) rebuild() {
 	}
 
 	if r.team != nil {
+		r.refreshBlockViews()
 		if r.fused != nil {
-			pieces := make([]shm.FusedPiece, len(r.dm.Blocks))
-			for i, b := range r.dm.Blocks {
-				pieces[i] = shm.FusedPiece{PS: b.PS, Links: b.List.Links, NCoreLinks: b.List.NCore, NCore: b.NCore}
+			if cap(r.pieces) < len(r.dm.Blocks) {
+				r.pieces = make([]shm.FusedPiece, len(r.dm.Blocks))
 			}
-			r.fused.Prepare(pieces, cfg.T)
+			r.pieces = r.pieces[:len(r.dm.Blocks)]
+			for i, b := range r.dm.Blocks {
+				r.pieces[i] = shm.FusedPiece{PS: b.PS, Links: b.List.Links, NCoreLinks: b.List.NCore, NCore: b.NCore}
+			}
+			r.fused.Prepare(r.pieces, cfg.T)
 		} else {
 			for i, b := range r.dm.Blocks {
 				r.upds[i].Prepare(b.List.Links, b.PS.Len(), b.NCore, cfg.T)
 			}
 		}
+	}
+}
+
+// refreshBlockViews resyncs the cached per-block views the team
+// kernels consume. Core counts only change at rebuild (migration), so
+// the step loop can hand these to ZeroForcesAllBlocks /
+// IntegrateAllBlocks without per-step allocation.
+func (r *rankSim) refreshBlockViews() {
+	nb := len(r.dm.Blocks)
+	for len(r.stores) < nb {
+		r.stores = append(r.stores, &shm.BlockStore{})
+	}
+	r.stores = r.stores[:nb]
+	if cap(r.cores) < nb {
+		r.cores = make([]int, nb)
+	}
+	r.cores = r.cores[:nb]
+	for i, b := range r.dm.Blocks {
+		*r.stores[i] = shm.BlockStore{PS: b.PS, NCore: b.NCore}
+		r.cores[i] = b.NCore
+	}
+}
+
+// close releases the hybrid thread team's parked workers (no-op in
+// MPI mode).
+func (r *rankSim) close() {
+	if r.team != nil {
+		r.team.Close()
 	}
 }
 
@@ -228,11 +268,11 @@ func (r *rankSim) step() float64 {
 			}
 		}
 	case r.fused != nil:
-		shm.ZeroForcesAllBlocks(r.team, storesOf(dm))
+		shm.ZeroForcesAllBlocks(r.team, r.stores)
 		epot = r.fused.Accumulate(r.team, cfg.Spring, plain)
 		r.applyGravityBlocks()
 	default:
-		shm.ZeroForcesAllBlocks(r.team, storesOf(dm))
+		shm.ZeroForcesAllBlocks(r.team, r.stores)
 		for i, b := range dm.Blocks {
 			epot += r.upds[i].Accumulate(r.team, cfg.Spring, b.PS, b.List.Links, b.List.NCore, b.NCore, plain)
 		}
@@ -252,7 +292,7 @@ func (r *rankSim) step() float64 {
 			ekin += force.KineticEnergy(b.PS, b.NCore)
 		}
 	} else {
-		shm.IntegrateAllBlocks(r.team, storesOf(dm), coresOf(dm), cfg.Dt, box, force.WrapDeferred)
+		shm.IntegrateAllBlocks(r.team, r.stores, r.cores, cfg.Dt, box, force.WrapDeferred)
 		for _, b := range dm.Blocks {
 			ekin += force.KineticEnergy(b.PS, b.NCore)
 		}
@@ -260,9 +300,11 @@ func (r *rankSim) step() float64 {
 	r.syncClocks()
 
 	// Energy: reduced within the team by the region join, over blocks
-	// by the rank, and over ranks by the collective.
-	g := r.c.Allreduce([]float64{epot, ekin}, mp.Sum)
-	r.epot, r.ekin = g[0], g[1]
+	// by the rank, and over ranks by the collective (in place, into
+	// the rank's persistent two-element buffer).
+	r.energy[0], r.energy[1] = epot, ekin
+	r.c.AllreduceInPlace(r.energy[:], mp.Sum)
+	r.epot, r.ekin = r.energy[0], r.energy[1]
 	r.syncClocks()
 	r.updateTime += r.clock() - u0
 	r.span("update", u0, r.clock())
@@ -278,22 +320,6 @@ func (r *rankSim) step() float64 {
 	}
 	r.syncClocks()
 	return elapsed
-}
-
-func storesOf(dm *decomp.Domain) []*shm.BlockStore {
-	out := make([]*shm.BlockStore, len(dm.Blocks))
-	for i, b := range dm.Blocks {
-		out[i] = &shm.BlockStore{PS: b.PS, NCore: b.NCore}
-	}
-	return out
-}
-
-func coresOf(dm *decomp.Domain) []int {
-	out := make([]int, len(dm.Blocks))
-	for i, b := range dm.Blocks {
-		out[i] = b.NCore
-	}
-	return out
 }
 
 func (r *rankSim) applyGravityBlocks() {
@@ -332,6 +358,7 @@ func RunDistributed(cfg Config, iters int) (*Result, error) {
 	start := time.Now()
 	comms := mp.Run(cfg.P, net, func(c *mp.Comm) {
 		r := newRankSim(&cfg, c, l)
+		defer r.close()
 		if cfg.Init != nil {
 			for i := 0; i < cfg.N; i++ {
 				r.dm.Place(cfg.Init.Pos[i], cfg.Init.Vel[i], int32(i))

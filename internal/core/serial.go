@@ -18,12 +18,13 @@ import (
 // Serial and OpenMP modes: one store, one cell grid over the whole
 // (possibly periodic) box, no halos.
 type sharedSim struct {
-	cfg  Config
-	box  geom.Box
-	ps   *particle.Store
-	grid *cell.Grid
-	list *cell.List
-	ref  []geom.Vec
+	cfg     Config
+	box     geom.Box
+	ps      *particle.Store
+	grid    *cell.Grid
+	list    *cell.List
+	listBuf cell.ListBuffer // serial-path link storage, reused across rebuilds
+	ref     []geom.Vec      // position snapshot at last rebuild, reused
 
 	team *shm.Team // nil in Serial mode
 	upd  *shm.Updater
@@ -73,8 +74,20 @@ func newSharedSim(cfg Config) (*sharedSim, error) {
 		s.team = shm.NewTeam(cfg.T, shm.Costs{})
 		s.upd = shm.NewUpdater(cfg.Method)
 	}
+	// The whole-box grid geometry never changes, so one grid (and its
+	// reused binning scratch) serves every rebuild.
+	wrap := s.box.BC == geom.Periodic
+	s.grid = cell.NewGrid(cfg.D, geom.Vec{}, s.box.Len, cfg.RC(), wrap)
 	s.rebuild()
 	return s, nil
+}
+
+// close releases the thread team's parked workers (no-op in Serial
+// mode).
+func (s *sharedSim) close() {
+	if s.team != nil {
+		s.team.Close()
+	}
 }
 
 // listMeanDist returns the mean |i-j| across a link list, the
@@ -100,8 +113,6 @@ func listMeanDist(links []cell.Link) float64 {
 func (s *sharedSim) rebuild() {
 	cfg := &s.cfg
 	rc := cfg.RC()
-	wrap := s.box.BC == geom.Periodic
-	s.grid = cell.NewGrid(cfg.D, geom.Vec{}, s.box.Len, rc, wrap)
 	// In OpenMP mode the list generation itself runs thread-parallel,
 	// as in the paper's Section 7 (binning over particles, link
 	// generation over cells); the results are bit-identical to the
@@ -122,9 +133,9 @@ func (s *sharedSim) rebuild() {
 	if s.team != nil {
 		s.list = s.grid.BuildLinksParallel(s.ps.Pos, cfg.N, cfg.N, rc*rc, s.box, shm.TeamPool{Team: s.team}, &s.tc)
 	} else {
-		s.list = s.grid.BuildLinks(s.ps.Pos, cfg.N, cfg.N, rc*rc, s.box, &s.tc)
+		s.list = s.grid.BuildLinksInto(&s.listBuf, s.ps.Pos, cfg.N, cfg.N, rc*rc, s.box, &s.tc)
 	}
-	s.ref = s.ps.SnapshotPos()
+	s.ref = append(s.ref[:0], s.ps.Pos[:cfg.N]...)
 	s.meanDist = listMeanDist(s.list.Links)
 	s.rebuilds++
 
@@ -237,6 +248,7 @@ func RunShared(cfg Config, iters int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer s.close()
 	for i := 0; i < cfg.Warmup; i++ {
 		s.step()
 	}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"hybriddem/internal/decomp"
+	"hybriddem/internal/mp"
+)
+
+// benchShared times the steady-state step of the Serial/OpenMP
+// drivers. ReportAllocs makes the zero-allocation property visible in
+// benchmark output (and in CI, which runs these with -benchtime=1x as
+// a smoke test).
+func benchShared(b *testing.B, cfg Config) {
+	s, err := newSharedSim(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.close()
+	for i := 0; i < 3; i++ {
+		s.step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.step()
+	}
+}
+
+func BenchmarkStepSerial(b *testing.B) {
+	benchShared(b, allocConfig(Serial))
+}
+
+func BenchmarkStepOpenMP(b *testing.B) {
+	cfg := allocConfig(OpenMP)
+	cfg.T = 4
+	benchShared(b, cfg)
+}
+
+// benchDistributed times the steady-state step of the MPI/Hybrid
+// drivers: every rank executes b.N lock-stepped iterations, so one
+// benchmark op is one global timestep.
+func benchDistributed(b *testing.B, cfg Config) {
+	if err := cfg.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	l, err := decomp.NewLayout(cfg.Box(), cfg.RC(), cfg.P, cfg.BlocksPerProc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	mp.Run(cfg.P, mp.ZeroNetwork{}, func(c *mp.Comm) {
+		r := newRankSim(&cfg, c, l)
+		defer r.close()
+		r.dm.FillClustered(cfg.N, cfg.Seed, cfg.InitVel, cfg.FillHeight)
+		r.rebuild()
+		for i := 0; i < 3; i++ {
+			r.step()
+		}
+		// Warm steps are collectively synchronised, so by the time
+		// rank 0 resets the timer every rank is in its steady state.
+		if c.Rank() == 0 {
+			b.ResetTimer()
+		}
+		c.Barrier()
+		for i := 0; i < b.N; i++ {
+			r.step()
+		}
+	})
+}
+
+func BenchmarkStepMPI(b *testing.B) {
+	cfg := allocConfig(MPI)
+	cfg.P = 4
+	benchDistributed(b, cfg)
+}
+
+func BenchmarkStepHybrid(b *testing.B) {
+	cfg := allocConfig(Hybrid)
+	cfg.P = 2
+	cfg.T = 2
+	benchDistributed(b, cfg)
+}
+
+func BenchmarkStepHybridFused(b *testing.B) {
+	cfg := allocConfig(Hybrid)
+	cfg.P = 2
+	cfg.T = 2
+	cfg.Fused = true
+	benchDistributed(b, cfg)
+}

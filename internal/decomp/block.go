@@ -47,8 +47,20 @@ type Block struct {
 	// sendIdx are the halo templates: for each dimension and face,
 	// the local particle indices whose data is sent each swap — the
 	// role MPI indexed datatypes play in the paper. Valid until the
-	// next rebuild.
+	// next rebuild; backing arrays are reused across rebuilds.
 	sendIdx [geom.MaxD][2][]int32
+
+	// packBuf and idBuf are the per-leg persistent staging buffers the
+	// exchange gathers into before handing the data to the message
+	// runtime (which copies into its own pooled buffers), so neither
+	// the per-iteration refresh nor the rebuild exchange allocates in
+	// steady state.
+	packBuf [geom.MaxD][2][]float64
+	idBuf   [geom.MaxD][2][]int32
+
+	// listBuf owns the reused staging and backing storage of the
+	// block's link list (b.List points into it after every rebuild).
+	listBuf cell.ListBuffer
 
 	segs []haloSeg
 }
@@ -58,6 +70,9 @@ func newBlock(l *Layout, id int) *Block {
 	b.CoreOrigin, b.CoreSpan = l.CoreRegion(id)
 	b.ExtOrigin, b.ExtSpan = l.ExtRegion(id)
 	b.PS = particle.New(l.D, 0)
+	// The block's extended region never changes, so one grid serves
+	// every rebuild (binning storage is reused inside the grid).
+	b.Grid = cell.NewGrid(l.D, b.ExtOrigin, b.ExtSpan, l.RC, false)
 	return b
 }
 
@@ -73,21 +88,23 @@ func (b *Block) coreSlab(dim, side int, rc float64) []int32 {
 		hi = b.CoreOrigin[dim] + b.CoreSpan[dim]
 		lo = hi - rc
 	}
-	var out []int32
+	out := b.sendIdx[dim][side][:0]
 	for i, p := range b.PS.Pos {
 		if p[dim] >= lo && p[dim] < hi {
 			out = append(out, int32(i))
 		}
 	}
+	b.sendIdx[dim][side] = out
 	return out
 }
 
-// resetHalo drops all halo particles and forgets templates/segments.
+// resetHalo drops all halo particles and forgets templates/segments,
+// retaining their storage for the next build.
 func (b *Block) resetHalo() {
 	b.PS.Truncate(b.NCore)
 	for d := range b.sendIdx {
-		b.sendIdx[d][0] = nil
-		b.sendIdx[d][1] = nil
+		b.sendIdx[d][0] = b.sendIdx[d][0][:0]
+		b.sendIdx[d][1] = b.sendIdx[d][1][:0]
 	}
 	b.segs = b.segs[:0]
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 
-	"hybriddem/internal/cell"
 	"hybriddem/internal/geom"
 	"hybriddem/internal/mp"
 	"hybriddem/internal/trace"
@@ -61,6 +60,12 @@ type Domain struct {
 	// plainBox performs unwrapped displacement arithmetic inside a
 	// block's self-contained extended region.
 	plainBox geom.Box
+
+	// Reused exchange scratch: same-rank leg staging and the
+	// per-destination migration buffers.
+	locals []localLeg
+	migF   [][]float64
+	migI   [][]int32
 }
 
 // NewDomain builds the rank-local domain over an existing layout.
@@ -213,12 +218,14 @@ func (dm *Domain) Rebuild(reorder bool) {
 // according to their spatial position, this achieves spatial locality
 // of data ... leaving the halo particles untouched".
 func (dm *Domain) reorderCores() {
-	rc := dm.L.RC
 	for _, b := range dm.Blocks {
 		if b.NCore == 0 {
 			continue
 		}
-		g := cell.NewGrid(dm.L.D, b.ExtOrigin, b.ExtSpan, rc, false)
+		// The block's persistent grid serves both the reorder binning
+		// here and the list build that follows (buildLists re-bins it
+		// over core+halo).
+		g := b.Grid
 		g.Bin(b.PS.Pos, b.NCore, &dm.TC)
 		order := g.Order()
 		b.PS.Permute(order)
@@ -233,10 +240,9 @@ func (dm *Domain) buildLists() {
 	rc := dm.L.RC
 	rc2 := rc * rc
 	for _, b := range dm.Blocks {
-		b.Grid = cell.NewGrid(dm.L.D, b.ExtOrigin, b.ExtSpan, rc, false)
 		n := b.PS.Len()
 		b.Grid.Bin(b.PS.Pos, n, &dm.TC)
-		b.List = b.Grid.BuildLinks(b.PS.Pos, n, b.NCore, rc2, dm.plainBox, &dm.TC)
+		b.List = b.Grid.BuildLinksInto(&b.listBuf, b.PS.Pos, n, b.NCore, rc2, dm.plainBox, &dm.TC)
 		b.RefPos = append(b.RefPos[:0], b.PS.Pos[:b.NCore]...)
 	}
 }

@@ -14,28 +14,25 @@ func boolToInt(b bool) int {
 	return 0
 }
 
-// packParticles gathers positions (and optionally velocities) of the
-// indexed particles into a flat float64 buffer: D coordinates per
-// particle, then D velocity components when withVel is set.
-func packParticles(b *Block, idx []int32, d int, withVel bool) []float64 {
-	per := d
-	if withVel {
-		per = 2 * d
-	}
-	out := make([]float64, 0, per*len(idx))
+// appendParticles gathers positions (and optionally velocities) of the
+// indexed particles onto dst: D coordinates per particle, then D
+// velocity components when withVel is set. Callers pass a persistent
+// per-leg buffer resliced to [:0], so the gather allocates only while
+// the buffer grows towards its steady-state size.
+func appendParticles(dst []float64, b *Block, idx []int32, d int, withVel bool) []float64 {
 	for _, i := range idx {
 		p := b.PS.Pos[i]
 		for k := 0; k < d; k++ {
-			out = append(out, p[k])
+			dst = append(dst, p[k])
 		}
 		if withVel {
 			v := b.PS.Vel[i]
 			for k := 0; k < d; k++ {
-				out = append(out, v[k])
+				dst = append(dst, v[k])
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // localLeg stages one same-rank halo delivery so that all gathers of a
@@ -57,7 +54,7 @@ func (dm *Domain) buildHalos() {
 	d := dm.L.D
 	rc := dm.L.RC
 	for dim := 0; dim < d; dim++ {
-		var locals []localLeg
+		locals := dm.locals[:0]
 		// Gather + send for both faces of every owned block.
 		for _, b := range dm.Blocks {
 			for side := 0; side < 2; side++ {
@@ -67,15 +64,16 @@ func (dm *Domain) buildHalos() {
 					continue
 				}
 				idx := b.coreSlab(dim, side, rc)
-				b.sendIdx[dim][side] = idx
 				// Data sent towards dir lands on the *opposite* face
 				// of the neighbour.
 				dstSide := 1 - side
-				f := packParticles(b, idx, d, dm.WithVel)
-				ids := make([]int32, len(idx))
-				for k, i := range idx {
-					ids[k] = b.PS.ID[i]
+				f := appendParticles(b.packBuf[dim][side][:0], b, idx, d, dm.WithVel)
+				b.packBuf[dim][side] = f
+				ids := b.idBuf[dim][side][:0]
+				for _, i := range idx {
+					ids = append(ids, b.PS.ID[i])
 				}
+				b.idBuf[dim][side] = ids
 				dm.C.Compute(float64(len(idx)) * dm.packCost())
 				dstRank := dm.L.RankOfBlock(nb)
 				if dstRank == dm.C.Rank() {
@@ -102,12 +100,14 @@ func (dm *Domain) buildHalos() {
 				}
 				f, ids := dm.C.Recv(srcRank, dm.tagFor(phaseBuild, b.ID, dim, side))
 				dm.appendHalo(b, nb, srcRank, dim, side, shift, f, ids)
+				dm.C.FreeBuffers(f, ids)
 			}
 		}
 		for _, leg := range locals {
 			dm.chargeSelf(len(leg.ids), d+boolToInt(dm.WithVel)*d)
 			dm.appendHalo(leg.dst, leg.src.ID, dm.C.Rank(), leg.dim, leg.side, leg.shift, leg.f, leg.ids)
 		}
+		dm.locals = locals[:0]
 	}
 }
 
@@ -154,7 +154,7 @@ func (dm *Domain) RefreshHalos() {
 		per = 2 * d
 	}
 	for dim := 0; dim < d; dim++ {
-		var locals []localLeg
+		locals := dm.locals[:0]
 		for _, b := range dm.Blocks {
 			for side := 0; side < 2; side++ {
 				dir := 2*side - 1
@@ -164,7 +164,8 @@ func (dm *Domain) RefreshHalos() {
 				}
 				idx := b.sendIdx[dim][side]
 				dstSide := 1 - side
-				f := packParticles(b, idx, d, dm.WithVel)
+				f := appendParticles(b.packBuf[dim][side][:0], b, idx, d, dm.WithVel)
+				b.packBuf[dim][side] = f
 				dm.C.Compute(float64(len(idx)) * dm.packCost())
 				dstRank := dm.L.RankOfBlock(nb)
 				if dstRank == dm.C.Rank() {
@@ -180,8 +181,9 @@ func (dm *Domain) RefreshHalos() {
 				if seg.dim != dim || seg.srcRank == dm.C.Rank() {
 					continue
 				}
-				f, _ := dm.C.Recv(seg.srcRank, dm.tagFor(phaseRefresh, b.ID, seg.dim, seg.side))
+				f, ids := dm.C.Recv(seg.srcRank, dm.tagFor(phaseRefresh, b.ID, seg.dim, seg.side))
 				dm.overwriteSeg(b, seg, f, per)
+				dm.C.FreeBuffers(f, ids)
 			}
 		}
 		for _, leg := range locals {
@@ -194,6 +196,7 @@ func (dm *Domain) RefreshHalos() {
 				}
 			}
 		}
+		dm.locals = locals[:0]
 	}
 }
 
@@ -232,8 +235,16 @@ func (dm *Domain) migrate() {
 		b.resetHalo()
 	}
 
-	outF := make([][]float64, l.P)
-	outI := make([][]int32, l.P)
+	if dm.migF == nil {
+		dm.migF = make([][]float64, l.P)
+		dm.migI = make([][]int32, l.P)
+	}
+	outF := dm.migF
+	outI := dm.migI
+	for r := 0; r < l.P; r++ {
+		outF[r] = outF[r][:0]
+		outI[r] = outI[r][:0]
+	}
 	moved := int64(0)
 	for _, b := range dm.Blocks {
 		for i := 0; i < b.NCore; {
@@ -264,43 +275,47 @@ func (dm *Domain) migrate() {
 	dm.TC.MigratedParts += moved
 	dm.C.Compute(float64(moved) * dm.packCost())
 
-	deliver := func(f []float64, ints []int32) {
-		n := len(ints) / 2
-		if len(f) != perF*n {
-			panic(fmt.Sprintf("decomp: migrate payload %d floats for %d particles", len(f), n))
-		}
-		for i := 0; i < n; i++ {
-			home := int(ints[2*i])
-			id := ints[2*i+1]
-			s, ok := dm.slot[home]
-			if !ok {
-				panic(fmt.Sprintf("decomp: rank %d received migrant for foreign block %d", me, home))
-			}
-			var p, v geom.Vec
-			for k := 0; k < d; k++ {
-				p[k] = f[perF*i+k]
-				v[k] = f[perF*i+d+k]
-			}
-			b := dm.Blocks[s]
-			// Halo is empty, so appending grows the core directly.
-			b.PS.Append(p, v, id)
-			b.NCore++
-		}
-		dm.C.Compute(float64(n) * dm.packCost())
-	}
-
 	for r := 0; r < l.P; r++ {
 		if r == me {
 			continue
 		}
 		dm.C.Send(r, dm.tagFor(phaseMigrate, 0, 0, 0), outF[r], outI[r])
 	}
-	deliver(outF[me], outI[me])
+	dm.deliverMigrants(outF[me], outI[me], perF)
 	for r := 0; r < l.P; r++ {
 		if r == me {
 			continue
 		}
 		f, ints := dm.C.Recv(r, dm.tagFor(phaseMigrate, 0, 0, 0))
-		deliver(f, ints)
+		dm.deliverMigrants(f, ints, perF)
+		dm.C.FreeBuffers(f, ints)
 	}
+}
+
+// deliverMigrants appends a migration payload's particles to their
+// home blocks. Halos are empty during migration, so appending grows
+// the cores directly.
+func (dm *Domain) deliverMigrants(f []float64, ints []int32, perF int) {
+	d := dm.L.D
+	n := len(ints) / 2
+	if len(f) != perF*n {
+		panic(fmt.Sprintf("decomp: migrate payload %d floats for %d particles", len(f), n))
+	}
+	for i := 0; i < n; i++ {
+		home := int(ints[2*i])
+		id := ints[2*i+1]
+		s, ok := dm.slot[home]
+		if !ok {
+			panic(fmt.Sprintf("decomp: rank %d received migrant for foreign block %d", dm.C.Rank(), home))
+		}
+		var p, v geom.Vec
+		for k := 0; k < d; k++ {
+			p[k] = f[perF*i+k]
+			v[k] = f[perF*i+d+k]
+		}
+		b := dm.Blocks[s]
+		b.PS.Append(p, v, id)
+		b.NCore++
+	}
+	dm.C.Compute(float64(n) * dm.packCost())
 }

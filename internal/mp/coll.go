@@ -13,21 +13,101 @@ const (
 
 // collState is one generation of a rendezvous collective. Generations
 // are kept in a map so a fast rank may enter generation g+1 while slow
-// ranks are still reading generation g's result.
+// ranks are still reading generation g's result. States are recycled
+// through world.freeColl once every rank has read the result, so the
+// steady-state collective allocates nothing.
 type collState struct {
 	arrived int
 	readers int
 	clock   float64     // max participant clock
 	per     [][]float64 // per-rank contributions (deterministic order)
-	result  []float64
+	result  []float64   // reused combine buffer
 	done    bool
+}
+
+// collAt returns (creating or recycling on demand) the state for
+// generation g.
+func (w *world) collAt(g int) *collState {
+	if w.colls == nil {
+		w.colls = make(map[int]*collState)
+	}
+	st, ok := w.colls[g]
+	if !ok {
+		if k := len(w.freeColl); k > 0 {
+			st = w.freeColl[k-1]
+			w.freeColl[k-1] = nil
+			w.freeColl = w.freeColl[:k-1]
+		} else {
+			st = &collState{per: make([][]float64, w.size)}
+		}
+		w.colls[g] = st
+	}
+	return st
+}
+
+// recycleColl resets a fully read state and returns it to the
+// freelist. Contribution pointers are dropped so caller buffers are
+// not retained; the result buffer is kept for reuse. Must be called
+// under collMu.
+func (w *world) recycleColl(gen int, st *collState) {
+	delete(w.colls, gen)
+	st.arrived = 0
+	st.readers = 0
+	st.clock = 0
+	st.done = false
+	for i := range st.per {
+		st.per[i] = nil
+	}
+	w.freeColl = append(w.freeColl, st)
+}
+
+// combineInto reduces the size deposited slices of st.per element-wise
+// with op into st.result (resized to n). Summation runs in rank order
+// so the floating-point result is deterministic.
+func combineInto(st *collState, op Op, size, n int) {
+	if cap(st.result) < n {
+		st.result = make([]float64, n)
+	}
+	st.result = st.result[:n]
+	out := st.result
+	first := st.per[0]
+	if len(first) != n {
+		panic(fmt.Sprintf("mp: allreduce length mismatch: rank 0 has %d, combiner has %d", len(first), n))
+	}
+	copy(out, first)
+	for r := 1; r < size; r++ {
+		pv := st.per[r]
+		if len(pv) != n {
+			panic(fmt.Sprintf("mp: allreduce length mismatch: rank 0 has %d, rank %d has %d", n, r, len(pv)))
+		}
+		switch op {
+		case Sum:
+			for k := range out {
+				out[k] += pv[k]
+			}
+		case Max:
+			for k := range out {
+				if pv[k] > out[k] {
+					out[k] = pv[k]
+				}
+			}
+		case Min:
+			for k := range out {
+				if pv[k] < out[k] {
+					out[k] = pv[k]
+				}
+			}
+		}
+	}
 }
 
 // rendezvous runs one collective: every rank deposits contrib (may be
 // nil), the last arriver combines all contributions in rank order with
-// combine (receiving the per-rank slice), and every rank leaves with
-// the shared result and a clock equal to the max participant clock
-// plus cost(size, resultBytes).
+// combine (receiving the per-rank slice), and every rank leaves with a
+// private copy of the result and a clock equal to the max participant
+// clock plus cost(size, resultBytes). The copy is taken inside the
+// critical section because the state (and any reused result buffer) is
+// recycled as soon as the last rank has read it.
 func (c *Comm) rendezvous(contrib []float64, combine func(per [][]float64) []float64, costBytes int) []float64 {
 	w := c.w
 	w.collMu.Lock()
@@ -35,9 +115,6 @@ func (c *Comm) rendezvous(contrib []float64, combine func(per [][]float64) []flo
 
 	gen := w.collGen
 	st := w.collAt(gen)
-	if st.per == nil {
-		st.per = make([][]float64, w.size)
-	}
 	st.per[c.rank] = contrib
 	if c.clock > st.clock {
 		st.clock = c.clock
@@ -56,27 +133,14 @@ func (c *Comm) rendezvous(contrib []float64, combine func(per [][]float64) []flo
 			w.collCond.Wait()
 		}
 	}
-	res := st.result
+	res := append([]float64(nil), st.result...)
 	c.clock = st.clock + w.net.CollectiveCost(w.size, costBytes)
 	st.readers++
 	if st.readers == w.size {
-		delete(w.colls, gen)
+		w.recycleColl(gen, st)
 	}
 	c.TC.Collectives++
 	return res
-}
-
-// collAt returns (creating on demand) the state for generation g.
-func (w *world) collAt(g int) *collState {
-	if w.colls == nil {
-		w.colls = make(map[int]*collState)
-	}
-	st, ok := w.colls[g]
-	if !ok {
-		st = &collState{}
-		w.colls[g] = st
-	}
-	return st
 }
 
 // Barrier blocks until every rank has entered, then releases all with
@@ -106,49 +170,68 @@ func (c *Comm) Barrier() {
 	c.clock = st.clock + w.net.BarrierCost(w.size)
 	st.readers++
 	if st.readers == w.size {
-		delete(w.colls, gen)
+		w.recycleColl(gen, st)
 	}
 	c.TC.Barriers++
 }
 
-// Allreduce combines each rank's vector element-wise with op and
-// returns the identical result on every rank. Summation is performed
-// in rank order so the floating-point result is deterministic.
-func (c *Comm) Allreduce(v []float64, op Op) []float64 {
-	in := append([]float64(nil), v...)
-	res := c.rendezvous(in, func(per [][]float64) []float64 {
-		if len(per) == 0 || per[0] == nil {
-			return nil
-		}
-		out := append([]float64(nil), per[0]...)
-		for r := 1; r < len(per); r++ {
-			pv := per[r]
-			if len(pv) != len(out) {
-				panic(fmt.Sprintf("mp: allreduce length mismatch: rank 0 has %d, rank %d has %d", len(out), r, len(pv)))
+// AllreduceInPlace combines each rank's vector element-wise with op,
+// leaving the identical result in v on every rank. Summation runs in
+// rank order so the floating-point result is deterministic. This is
+// the allocation-free form used on the step path; every rank must pass
+// the same length.
+func (c *Comm) AllreduceInPlace(v []float64, op Op) {
+	w := c.w
+	w.collMu.Lock()
+	defer w.collMu.Unlock()
+
+	gen := w.collGen
+	st := w.collAt(gen)
+	st.per[c.rank] = v
+	if c.clock > st.clock {
+		st.clock = c.clock
+	}
+	st.arrived++
+	if st.arrived == w.size {
+		combineInto(st, op, w.size, len(v))
+		st.done = true
+		w.collGen++
+		w.collCond.Broadcast()
+	} else {
+		for !st.done {
+			if w.anyPanic {
+				panic("mp: collective abandoned by a panicked rank")
 			}
-			for k := range out {
-				switch op {
-				case Sum:
-					out[k] += pv[k]
-				case Max:
-					if pv[k] > out[k] {
-						out[k] = pv[k]
-					}
-				case Min:
-					if pv[k] < out[k] {
-						out[k] = pv[k]
-					}
-				}
-			}
+			w.collCond.Wait()
 		}
-		return out
-	}, 8*len(v))
-	return append([]float64(nil), res...)
+	}
+	if len(st.result) != len(v) {
+		panic(fmt.Sprintf("mp: allreduce length mismatch: combined %d, rank %d has %d", len(st.result), c.rank, len(v)))
+	}
+	copy(v, st.result)
+	c.clock = st.clock + w.net.CollectiveCost(w.size, 8*len(v))
+	st.readers++
+	if st.readers == w.size {
+		w.recycleColl(gen, st)
+	}
+	c.TC.Collectives++
 }
 
-// AllreduceScalar is Allreduce for a single value.
+// Allreduce combines each rank's vector element-wise with op and
+// returns the identical result on every rank as a fresh slice.
+func (c *Comm) Allreduce(v []float64, op Op) []float64 {
+	out := append([]float64(nil), v...)
+	c.AllreduceInPlace(out, op)
+	return out
+}
+
+// AllreduceScalar is Allreduce for a single value; it reuses a
+// Comm-owned one-element scratch so the per-step validity vote costs
+// no allocation.
 func (c *Comm) AllreduceScalar(x float64, op Op) float64 {
-	return c.Allreduce([]float64{x}, op)[0]
+	c.scalar[0] = x
+	c.AllreduceInPlace(c.scalar[:], op)
+	return c.scalar[0]
 }
 
 // Bcast distributes root's vector to every rank.
@@ -157,8 +240,7 @@ func (c *Comm) Bcast(root int, v []float64) []float64 {
 	if c.rank == root {
 		contrib = append([]float64(nil), v...)
 	}
-	res := c.rendezvous(contrib, func(per [][]float64) []float64 {
+	return c.rendezvous(contrib, func(per [][]float64) []float64 {
 		return per[root]
 	}, 8*len(v))
-	return append([]float64(nil), res...)
 }

@@ -81,7 +81,69 @@ type world struct {
 	collCond *sync.Cond
 	collGen  int
 	colls    map[int]*collState
+	freeColl []*collState // recycled collective states
 	anyPanic bool
+
+	// Message-buffer freelist. Send copies payloads into buffers drawn
+	// from here; receivers hand them back with Comm.FreeBuffers. The
+	// pool's buffer count is bounded by the in-flight high-water mark,
+	// and capacities ratchet up to the largest message seen, so the
+	// steady-state exchange allocates nothing.
+	poolMu sync.Mutex
+	poolF  [][]float64
+	poolI  [][]int32
+}
+
+// getF draws a float64 buffer of length n from the pool (any pooled
+// buffer with sufficient capacity), allocating with headroom on miss.
+func (w *world) getF(n int) []float64 {
+	w.poolMu.Lock()
+	for k := len(w.poolF) - 1; k >= 0; k-- {
+		if cap(w.poolF[k]) >= n {
+			b := w.poolF[k]
+			last := len(w.poolF) - 1
+			w.poolF[k] = w.poolF[last]
+			w.poolF[last] = nil
+			w.poolF = w.poolF[:last]
+			w.poolMu.Unlock()
+			return b[:n]
+		}
+	}
+	w.poolMu.Unlock()
+	return make([]float64, n, n+n/4+8)
+}
+
+// getI is getF for int32 buffers.
+func (w *world) getI(n int) []int32 {
+	w.poolMu.Lock()
+	for k := len(w.poolI) - 1; k >= 0; k-- {
+		if cap(w.poolI[k]) >= n {
+			b := w.poolI[k]
+			last := len(w.poolI) - 1
+			w.poolI[k] = w.poolI[last]
+			w.poolI[last] = nil
+			w.poolI = w.poolI[:last]
+			w.poolMu.Unlock()
+			return b[:n]
+		}
+	}
+	w.poolMu.Unlock()
+	return make([]int32, n, n+n/4+8)
+}
+
+// free returns message buffers to the pool. nil slices are ignored.
+func (w *world) free(f []float64, ints []int32) {
+	if cap(f) == 0 && cap(ints) == 0 {
+		return
+	}
+	w.poolMu.Lock()
+	if cap(f) > 0 {
+		w.poolF = append(w.poolF, f)
+	}
+	if cap(ints) > 0 {
+		w.poolI = append(w.poolI, ints)
+	}
+	w.poolMu.Unlock()
 }
 
 // Comm is one rank's handle on the world: its identity, counters and
@@ -91,7 +153,8 @@ type Comm struct {
 	rank, size int
 	w          *world
 	clock      float64
-	byteScale  float64 // multiplier on modelled payload sizes (1 = off)
+	byteScale  float64    // multiplier on modelled payload sizes (1 = off)
+	scalar     [1]float64 // AllreduceScalar scratch
 	TC         trace.Counters
 }
 
@@ -205,10 +268,12 @@ func (c *Comm) Send(dst, tag int, f []float64, ints []int32) {
 		cost:   c.w.net.MsgCost(c.rank, dst, c.modelBytes(bytes)),
 	}
 	if len(f) > 0 {
-		p.f = append([]float64(nil), f...)
+		p.f = c.w.getF(len(f))
+		copy(p.f, f)
 	}
 	if len(ints) > 0 {
-		p.i = append([]int32(nil), ints...)
+		p.i = c.w.getI(len(ints))
+		copy(p.i, ints)
 	}
 	c.TC.MsgsSent++
 	c.TC.BytesSent += int64(bytes)
@@ -219,9 +284,19 @@ func (c *Comm) Send(dst, tag int, f []float64, ints []int32) {
 	c.w.boxes[dst].put(p)
 }
 
+// FreeBuffers returns payload slices obtained from Recv to the
+// world's message-buffer pool, making the steady-state exchange
+// allocation-free. Calling it is optional — unreturned buffers are
+// simply garbage collected — but a caller that frees a slice must not
+// touch it (or any sub-slice of it) afterwards. nil slices are
+// ignored, so both return values of Recv can always be passed.
+func (c *Comm) FreeBuffers(f []float64, ints []int32) { c.w.free(f, ints) }
+
 // Recv blocks until a message with the given source and tag arrives
 // and returns its payloads. The rank's clock advances to at least the
-// send time plus the modelled transfer cost.
+// send time plus the modelled transfer cost. The returned slices come
+// from the world's buffer pool; hand them back with FreeBuffers once
+// consumed to keep the exchange allocation-free.
 func (c *Comm) Recv(src, tag int) ([]float64, []int32) {
 	if src < 0 || src >= c.size {
 		panic(fmt.Sprintf("mp: recv from invalid rank %d of %d", src, c.size))

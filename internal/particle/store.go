@@ -24,6 +24,10 @@ type Store struct {
 	Vel []geom.Vec // velocities
 	Frc []geom.Vec // force accumulators
 	ID  []int32    // persistent global identity, stable across moves
+
+	// Reused gather scratch for Permute; never copied by Clone.
+	permPos, permVel, permFrc []geom.Vec
+	permID                    []int32
 }
 
 // New returns an empty store for dimensionality d with capacity hint n.
@@ -101,13 +105,18 @@ func (s *Store) Permute(perm []int32) {
 	if n > s.Len() {
 		panic(fmt.Sprintf("particle: permutation of %d over %d particles", n, s.Len()))
 	}
-	// Gather through scratch buffers: simple, and the permutation is
-	// applied only at link-rebuild frequency so the allocation cost is
-	// amortised away (buffers could be pooled; profile first).
-	pos := make([]geom.Vec, n)
-	vel := make([]geom.Vec, n)
-	frc := make([]geom.Vec, n)
-	id := make([]int32, n)
+	// Gather through store-owned scratch buffers, reused across
+	// rebuilds so the cache reordering allocates only on growth.
+	if cap(s.permPos) < n {
+		s.permPos = make([]geom.Vec, n)
+		s.permVel = make([]geom.Vec, n)
+		s.permFrc = make([]geom.Vec, n)
+		s.permID = make([]int32, n)
+	}
+	pos := s.permPos[:n]
+	vel := s.permVel[:n]
+	frc := s.permFrc[:n]
+	id := s.permID[:n]
 	for i, p := range perm {
 		pos[i] = s.Pos[p]
 		vel[i] = s.Vel[p]

@@ -1,0 +1,87 @@
+// Package profiling wires the standard runtime profilers into the
+// command-line drivers: CPU profiles, end-of-run heap profiles and a
+// plain-text allocation summary. The drivers use it to verify the
+// zero-allocation steady state of the simulation loop on real
+// workloads (go tool pprof reads the profile files).
+package profiling
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Options selects which profiles a run collects. The zero value
+// disables everything.
+type Options struct {
+	CPUProfile string // write a pprof CPU profile to this file
+	MemProfile string // write a pprof heap profile (at Stop) to this file
+	AllocStats bool   // print an allocation summary (at Stop) to the writer
+}
+
+// Session is one profiled run. Obtain it from Start and call Stop
+// exactly once when the work is done.
+type Session struct {
+	opt     Options
+	w       io.Writer
+	cpuFile *os.File
+	m0      runtime.MemStats
+}
+
+// Start begins the requested profiling. The writer receives the
+// allocation summary; commands pass stderr so machine-diffed stdout
+// stays untouched. On error nothing is left running.
+func Start(opt Options, w io.Writer) (*Session, error) {
+	s := &Session{opt: opt, w: w}
+	if opt.CPUProfile != "" {
+		f, err := os.Create(opt.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		s.cpuFile = f
+	}
+	if opt.AllocStats {
+		runtime.ReadMemStats(&s.m0)
+	}
+	return s, nil
+}
+
+// Stop finishes the CPU profile, writes the heap profile and prints
+// the allocation summary, in that order. It returns the first error.
+func (s *Session) Stop() error {
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("profiling: %w", err)
+		}
+	}
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		keep(s.cpuFile.Close())
+		s.cpuFile = nil
+	}
+	if s.opt.MemProfile != "" {
+		f, err := os.Create(s.opt.MemProfile)
+		if err != nil {
+			keep(err)
+		} else {
+			// Up-to-date statistics need a collection first.
+			runtime.GC()
+			keep(pprof.WriteHeapProfile(f))
+			keep(f.Close())
+		}
+	}
+	if s.opt.AllocStats {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		fmt.Fprintf(s.w, "allocstats: %d allocs, %d bytes allocated, %d GC cycles during run (heap in use %d bytes)\n",
+			m.Mallocs-s.m0.Mallocs, m.TotalAlloc-s.m0.TotalAlloc, m.NumGC-s.m0.NumGC, m.HeapInuse)
+	}
+	return firstErr
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+// Package raceflag reports whether the race detector instrumented this
+// build. Allocation-gate tests consult it: the detector's shadow
+// bookkeeping allocates behind ordinary synchronisation, so
+// AllocsPerRun assertions are meaningless under -race.
+package raceflag
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

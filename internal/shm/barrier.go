@@ -58,3 +58,15 @@ func (b *clockBarrier) abort() {
 	b.cond.Broadcast()
 	b.mu.Unlock()
 }
+
+// reset clears any aborted state and half-completed arrival counts so
+// the barrier is reusable by the next region. Called at region entry,
+// when no thread can be waiting.
+func (b *clockBarrier) reset() {
+	b.mu.Lock()
+	b.aborted = false
+	b.arrived = 0
+	b.maxT = 0
+	b.relT = 0
+	b.mu.Unlock()
+}

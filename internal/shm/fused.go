@@ -30,37 +30,58 @@ func spinAdd(locks []int32, p int32, dst []geom.Vec, v geom.Vec, d int, sign flo
 	atomic.StoreInt32(&locks[p], 0)
 }
 
+type zeroBlocksBody struct {
+	blocks []*BlockStore
+}
+
+func (b *zeroBlocksBody) RunThread(th *Thread) {
+	tm := th.team
+	total := 0
+	for _, blk := range b.blocks {
+		lo, hi := chunk(blk.NCore, tm.T, th.ID)
+		frc := blk.PS.Frc
+		for i := lo; i < hi; i++ {
+			frc[i] = geom.Vec{}
+		}
+		total += hi - lo
+	}
+	th.Compute(float64(total) * tm.Costs.PerParticle / 4)
+}
+
 // ZeroForcesAllBlocks clears the core force accumulators of every
 // block inside a single parallel region — the paper's optimisation of
 // "having a single parallel region enclosing the outer loop over
 // blocks" for the simple loops.
 func ZeroForcesAllBlocks(tm *Team, blocks []*BlockStore) {
-	tm.Region(func(th *Thread) {
-		total := 0
-		for _, b := range blocks {
-			lo, hi := chunk(b.NCore, tm.T, th.ID)
-			for i := lo; i < hi; i++ {
-				b.PS.Frc[i] = geom.Vec{}
-			}
-			total += hi - lo
-		}
-		th.Compute(float64(total) * tm.Costs.PerParticle / 4)
-	})
+	tm.kZeroB = zeroBlocksBody{blocks: blocks}
+	tm.RunRegion(&tm.kZeroB)
+}
+
+type integrateBlocksBody struct {
+	blocks []*BlockStore
+	cores  []int
+	dt     float64
+	box    geom.Box
+	mode   force.WrapMode
+}
+
+func (b *integrateBlocksBody) RunThread(th *Thread) {
+	tm := th.team
+	total := 0
+	for i, blk := range b.blocks {
+		lo, hi := chunk(b.cores[i], tm.T, th.ID)
+		force.IntegrateRange(blk.PS, lo, hi, b.dt, b.box, b.mode, &th.TC)
+		total += hi - lo
+	}
+	th.Compute(float64(total) * tm.Costs.PerParticle)
 }
 
 // IntegrateAllBlocks advances every block's core particles in a single
 // parallel region; chunks are disjoint so no synchronisation is needed
 // between blocks.
 func IntegrateAllBlocks(tm *Team, blocks []*BlockStore, cores []int, dt float64, box geom.Box, mode force.WrapMode) {
-	tm.Region(func(th *Thread) {
-		total := 0
-		for i, b := range blocks {
-			lo, hi := chunk(cores[i], tm.T, th.ID)
-			force.IntegrateRange(b.PS, lo, hi, dt, box, mode, &th.TC)
-			total += hi - lo
-		}
-		th.Compute(float64(total) * tm.Costs.PerParticle)
-	})
+	tm.kIntegB = integrateBlocksBody{blocks: blocks, cores: cores, dt: dt, box: box, mode: mode}
+	tm.RunRegion(&tm.kIntegB)
 }
 
 // FusedPiece is one block's contribution to the fused force loop.
@@ -76,7 +97,8 @@ type FusedPiece struct {
 // block". Threads chunk the *concatenated* link list, so with many
 // blocks per thread most blocks are private to one thread and the
 // conflict (lock) fraction collapses, while fork/join overhead drops
-// from one region per block to one region per iteration.
+// from one region per block to one region per iteration. All scratch
+// (offsets, conflict tables, locks) is reused across Prepare calls.
 type FusedUpdater struct {
 	Method Method
 
@@ -86,6 +108,13 @@ type FusedUpdater struct {
 	T       int
 	tables  []*ConflictTable
 	locks   [][]int32
+	ranges  [][2]int // per-thread range scratch, reused per piece
+
+	epotPer []float64
+	sp      force.Spring
+	box     geom.Box
+	hook    func(m Method, idI, idJ int32, fi geom.Vec) geom.Vec
+	body    fusedBody
 }
 
 // NewFusedUpdater returns a fused updater; only the per-update
@@ -101,19 +130,38 @@ func NewFusedUpdater(m Method) *FusedUpdater {
 }
 
 // Prepare recomputes the global chunking and per-piece conflict tables
-// for the current lists; call at every rebuild.
+// for the current lists, reusing the updater's scratch; call at every
+// rebuild. The pieces slice is retained (not copied), so callers that
+// rebuild repeatedly should reuse one slice.
 func (fu *FusedUpdater) Prepare(pieces []FusedPiece, T int) {
 	fu.pieces = pieces
 	fu.T = T
-	fu.offsets = make([]int, len(pieces)+1)
+	if cap(fu.offsets) < len(pieces)+1 {
+		fu.offsets = make([]int, len(pieces)+1)
+	}
+	fu.offsets = fu.offsets[:len(pieces)+1]
+	fu.offsets[0] = 0
 	for i, p := range pieces {
 		fu.offsets[i+1] = fu.offsets[i] + len(p.Links)
 	}
 	fu.total = fu.offsets[len(pieces)]
-	fu.tables = make([]*ConflictTable, len(pieces))
-	fu.locks = make([][]int32, len(pieces))
+	if cap(fu.tables) < len(pieces) {
+		tables := make([]*ConflictTable, len(pieces))
+		copy(tables, fu.tables)
+		fu.tables = tables
+	}
+	fu.tables = fu.tables[:len(pieces)]
+	if cap(fu.locks) < len(pieces) {
+		locks := make([][]int32, len(pieces))
+		copy(locks, fu.locks)
+		fu.locks = locks
+	}
+	fu.locks = fu.locks[:len(pieces)]
+	if cap(fu.ranges) < T {
+		fu.ranges = make([][2]int, T)
+	}
+	ranges := fu.ranges[:T]
 	for i, p := range pieces {
-		ranges := make([][2]int, T)
 		for t := 0; t < T; t++ {
 			glo, ghi := chunk(fu.total, T, t)
 			lo := clampRange(glo-fu.offsets[i], len(p.Links))
@@ -124,10 +172,26 @@ func (fu *FusedUpdater) Prepare(pieces []FusedPiece, T int) {
 			ranges[t] = [2]int{lo, hi}
 		}
 		if fu.Method == SelectedAtomic {
-			fu.tables[i] = buildConflictRanges(p.Links, p.PS.Len(), p.NCore, ranges)
+			if fu.tables[i] == nil {
+				fu.tables[i] = new(ConflictTable)
+			}
+			fu.tables[i].rebuildRanges(p.Links, p.PS.Len(), p.NCore, ranges)
 		}
-		fu.locks[i] = make([]int32, p.PS.Len())
+		n := p.PS.Len()
+		if cap(fu.locks[i]) < n {
+			fu.locks[i] = make([]int32, n)
+		}
+		fu.locks[i] = fu.locks[i][:n]
+		// Re-zero the reused prefix so a lock abandoned by an aborted
+		// region cannot deadlock the next run.
+		for k := range fu.locks[i] {
+			fu.locks[i][k] = 0
+		}
 	}
+	if cap(fu.epotPer) < T {
+		fu.epotPer = make([]float64, T)
+	}
+	fu.epotPer = fu.epotPer[:T]
 }
 
 // clampRange clips a piece-local index into [0, n].
@@ -139,38 +203,6 @@ func clampRange(v, n int) int {
 		return n
 	}
 	return v
-}
-
-// buildConflictRanges marks particles updated by links in more than
-// one of the given per-thread link ranges.
-func buildConflictRanges(links []cell.Link, nParticles, nCore int, ranges [][2]int) *ConflictTable {
-	ct := &ConflictTable{shared: make([]bool, nParticles)}
-	owner := make([]int32, nParticles)
-	for i := range owner {
-		owner[i] = -1
-	}
-	mark := func(p int32, t int32) {
-		if int(p) >= nCore {
-			return
-		}
-		switch owner[p] {
-		case -1:
-			owner[p] = t
-		case t:
-		default:
-			if !ct.shared[p] {
-				ct.shared[p] = true
-				ct.nShared++
-			}
-		}
-	}
-	for t, r := range ranges {
-		for _, l := range links[r[0]:r[1]] {
-			mark(l.I, int32(t))
-			mark(l.J, int32(t))
-		}
-	}
-	return ct
 }
 
 // NumShared returns the total number of protected particles across
@@ -185,92 +217,103 @@ func (fu *FusedUpdater) NumShared() int {
 	return n
 }
 
+type fusedBody struct{ fu *FusedUpdater }
+
+func (b *fusedBody) RunThread(th *Thread) { b.fu.runThread(th) }
+
 // Accumulate runs the fused force loop in one parallel region and
 // returns the total potential energy (halo links at half weight).
 func (fu *FusedUpdater) Accumulate(tm *Team, sp force.Spring, box geom.Box) float64 {
 	if tm.T != fu.T {
 		panic(fmt.Sprintf("shm: fused updater prepared for T=%d, run with T=%d", fu.T, tm.T))
 	}
-	epotPer := make([]float64, tm.T)
-	costs := tm.Costs
-	hook := PairForceHook
-	tm.Region(func(th *Thread) {
-		glo, ghi := chunk(fu.total, tm.T, th.ID)
-		epot := 0.0
-		var taken, avoided, nl, distSum, contacts, contactsHalo int64
-		var effLinks float64
-		hw := costs.haloWork()
-		for pi, p := range fu.pieces {
-			lo := glo - fu.offsets[pi]
-			hi := ghi - fu.offsets[pi]
-			if lo < 0 {
-				lo = 0
-			}
-			if hi > len(p.Links) {
-				hi = len(p.Links)
-			}
-			if hi <= lo {
-				continue
-			}
-			d := p.PS.D
-			pos, vel, frc, ids := p.PS.Pos, p.PS.Vel, p.PS.Frc, p.PS.ID
-			locks := fu.locks[pi]
-			var shared []bool
-			if fu.Method == SelectedAtomic {
-				shared = fu.tables[pi].shared
-			}
-			for li := lo; li < hi; li++ {
-				l := p.Links[li]
-				disp := box.Disp(pos[l.I], pos[l.J])
-				rel := geom.Sub(vel[l.J], vel[l.I], d)
-				fi, e, contact := sp.PairID(ids[l.I], ids[l.J], disp, rel, d)
-				if hook != nil {
-					fi = hook(fu.Method, ids[l.I], ids[l.J], fi)
-				}
-				if li < p.NCoreLinks {
-					if contact {
-						contacts++
-					}
-					epot += e
-				} else {
-					if contact {
-						contactsHalo++
-					}
-					epot += 0.5 * e
-				}
-				fu.apply(th, locks, shared, frc, l.I, fi, +1, d, &taken, &avoided)
-				if int(l.J) < p.NCore {
-					fu.apply(th, locks, shared, frc, l.J, fi, -1, d, &taken, &avoided)
-				}
-				di := int64(l.I) - int64(l.J)
-				if di < 0 {
-					di = -di
-				}
-				distSum += di
-			}
-			nl += int64(hi - lo)
-			coreN, haloN := splitLinks(lo, hi, p.NCoreLinks)
-			effLinks += float64(coreN) + float64(haloN)*hw
-		}
-		th.TC.ForceEvals += nl
-		th.TC.LinkVisits += nl
-		th.TC.Contacts += contacts + contactsHalo
-		th.TC.ForceUpdates += taken + avoided
-		th.TC.AtomicsTaken += taken
-		th.TC.AtomicsAvoided += avoided
-		th.TC.LinkIndexDistSum += distSum
-		th.TC.LinkIndexDistN += nl
-		th.Compute(effLinks*costs.PerLink +
-			(float64(contacts)+float64(contactsHalo)*hw)*costs.PerContact +
-			float64(avoided)*costs.PerUpdate +
-			float64(taken)*(costs.PerUpdate+costs.AtomicTaken))
-		epotPer[th.ID] = epot
-	})
+	fu.sp = sp
+	fu.box = box
+	fu.hook = PairForceHook
+	fu.body.fu = fu
+	tm.RunRegion(&fu.body)
 	epot := 0.0
-	for _, e := range epotPer {
+	for _, e := range fu.epotPer {
 		epot += e
 	}
 	return epot
+}
+
+// runThread is one thread's share of the fused force loop.
+func (fu *FusedUpdater) runThread(th *Thread) {
+	tm := th.team
+	costs := tm.Costs
+	glo, ghi := chunk(fu.total, tm.T, th.ID)
+	epot := 0.0
+	var taken, avoided, nl, distSum, contacts, contactsHalo int64
+	var effLinks float64
+	hw := costs.haloWork()
+	for pi := range fu.pieces {
+		p := &fu.pieces[pi]
+		lo := glo - fu.offsets[pi]
+		hi := ghi - fu.offsets[pi]
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(p.Links) {
+			hi = len(p.Links)
+		}
+		if hi <= lo {
+			continue
+		}
+		d := p.PS.D
+		pos, vel, frc, ids := p.PS.Pos, p.PS.Vel, p.PS.Frc, p.PS.ID
+		locks := fu.locks[pi]
+		var shared []bool
+		if fu.Method == SelectedAtomic {
+			shared = fu.tables[pi].shared
+		}
+		for li := lo; li < hi; li++ {
+			l := p.Links[li]
+			disp := fu.box.Disp(pos[l.I], pos[l.J])
+			rel := geom.Sub(vel[l.J], vel[l.I], d)
+			fi, e, contact := fu.sp.PairID(ids[l.I], ids[l.J], disp, rel, d)
+			if fu.hook != nil {
+				fi = fu.hook(fu.Method, ids[l.I], ids[l.J], fi)
+			}
+			if li < p.NCoreLinks {
+				if contact {
+					contacts++
+				}
+				epot += e
+			} else {
+				if contact {
+					contactsHalo++
+				}
+				epot += 0.5 * e
+			}
+			fu.apply(th, locks, shared, frc, l.I, fi, +1, d, &taken, &avoided)
+			if int(l.J) < p.NCore {
+				fu.apply(th, locks, shared, frc, l.J, fi, -1, d, &taken, &avoided)
+			}
+			di := int64(l.I) - int64(l.J)
+			if di < 0 {
+				di = -di
+			}
+			distSum += di
+		}
+		nl += int64(hi - lo)
+		coreN, haloN := splitLinks(lo, hi, p.NCoreLinks)
+		effLinks += float64(coreN) + float64(haloN)*hw
+	}
+	th.TC.ForceEvals += nl
+	th.TC.LinkVisits += nl
+	th.TC.Contacts += contacts + contactsHalo
+	th.TC.ForceUpdates += taken + avoided
+	th.TC.AtomicsTaken += taken
+	th.TC.AtomicsAvoided += avoided
+	th.TC.LinkIndexDistSum += distSum
+	th.TC.LinkIndexDistN += nl
+	th.Compute(effLinks*costs.PerLink +
+		(float64(contacts)+float64(contactsHalo)*hw)*costs.PerContact +
+		float64(avoided)*costs.PerUpdate +
+		float64(taken)*(costs.PerUpdate+costs.AtomicTaken))
+	fu.epotPer[th.ID] = epot
 }
 
 func (fu *FusedUpdater) apply(th *Thread, locks []int32, shared []bool, frc []geom.Vec, p int32, v geom.Vec, sign float64, d int, taken, avoided *int64) {

@@ -6,25 +6,54 @@ import (
 	"hybriddem/internal/particle"
 )
 
+// The kernel entry points below run every step, so their region bodies
+// are reused structs stored on the Team rather than closures: filling
+// a struct field and passing its pointer through the RegionBody
+// interface performs no allocation.
+
+type integrateBody struct {
+	ps    *particle.Store
+	nCore int
+	dt    float64
+	box   geom.Box
+	mode  force.WrapMode
+}
+
+func (b *integrateBody) RunThread(th *Thread) {
+	tm := th.team
+	lo, hi := chunk(b.nCore, tm.T, th.ID)
+	force.IntegrateRange(b.ps, lo, hi, b.dt, b.box, b.mode, &th.TC)
+	th.Compute(float64(hi-lo) * tm.Costs.PerParticle)
+}
+
 // IntegrateParallel advances the first nCore particles by one step
 // using a statically scheduled parallel loop over particles ("the
 // update of positions is parallelised over particles"). There are no
 // inter-thread dependencies: each thread owns a disjoint chunk.
 func IntegrateParallel(tm *Team, ps *particle.Store, nCore int, dt float64, box geom.Box, mode force.WrapMode) {
-	tm.ParallelFor(nCore, func(th *Thread, lo, hi int) {
-		force.IntegrateRange(ps, lo, hi, dt, box, mode, &th.TC)
-		th.Compute(float64(hi-lo) * tm.Costs.PerParticle)
-	})
+	tm.kInteg = integrateBody{ps: ps, nCore: nCore, dt: dt, box: box, mode: mode}
+	tm.RunRegion(&tm.kInteg)
+}
+
+type zeroForcesBody struct {
+	ps *particle.Store
+	n  int
+}
+
+func (b *zeroForcesBody) RunThread(th *Thread) {
+	tm := th.team
+	lo, hi := chunk(b.n, tm.T, th.ID)
+	frc := b.ps.Frc
+	for i := lo; i < hi; i++ {
+		frc[i] = geom.Vec{}
+	}
+	th.Compute(float64(hi-lo) * tm.Costs.PerParticle / 4)
 }
 
 // ZeroForcesParallel clears the force accumulators of the first n
 // particles in parallel; one of the "simplest loops" the paper fuses
 // into larger parallel regions.
 func ZeroForcesParallel(tm *Team, ps *particle.Store, n int) {
-	tm.ParallelFor(n, func(th *Thread, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ps.Frc[i] = geom.Vec{}
-		}
-		th.Compute(float64(hi-lo) * tm.Costs.PerParticle / 4)
-	})
+	tm.kZero = zeroForcesBody{ps: ps, n: n}
+	tm.RunRegion(&tm.kZero)
 }

@@ -11,6 +11,12 @@
 // region's modelled duration is fork + max over threads + join,
 // mirroring the fork/join overhead the paper measures with the OpenMP
 // microbenchmark suite.
+//
+// Like a real OpenMP runtime the team keeps its worker threads alive
+// between regions: goroutines are spawned once (lazily, at the first
+// parallel region) and parked on a condition variable between regions,
+// so entering a region performs no allocation — a requirement of the
+// zero-allocation steady-state step.
 package shm
 
 import (
@@ -95,10 +101,31 @@ func (th *Thread) Barrier() {
 	th.TC.TeamBarriers++
 }
 
+// RegionBody is the work of one parallel region. Hot kernels implement
+// it on a reused struct (typically stored on the Team or an updater) so
+// that entering a region does not allocate; cold paths use Region,
+// which adapts a plain closure.
+type RegionBody interface {
+	RunThread(th *Thread)
+}
+
+// funcBody adapts a closure to RegionBody for the convenience Region
+// entry point. Func values are pointer-shaped, so the interface
+// conversion itself does not allocate (the closure might).
+type funcBody func(th *Thread)
+
+func (f funcBody) RunThread(th *Thread) { f(th) }
+
 // Team is a reusable fork-join team of T threads bound to cost
 // constants. A Team is not safe for concurrent regions; in hybrid runs
 // each rank owns its own team, exactly as each MPI process owns its
 // OpenMP thread pool.
+//
+// The T-1 worker goroutines are spawned at the first parallel region
+// and then parked between regions. They hold a reference to the Team,
+// so a long-lived program that discards a team should Close it;
+// forgetting to Close leaks the parked goroutines but is otherwise
+// harmless (tests routinely let teams die with the process).
 type Team struct {
 	T     int
 	Costs Costs
@@ -106,6 +133,26 @@ type Team struct {
 	TC    trace.Counters // merged thread counters plus region counts
 	bar   *clockBarrier
 	mu    sync.Mutex // guards Critical
+
+	// Persistent region machinery: reused Thread records, reused panic
+	// slots, and the condition variables that park the workers.
+	threads []*Thread
+	panics  []any
+	body    RegionBody
+	runMu   sync.Mutex
+	runC    *sync.Cond // workers wait here for the next region
+	doneC   *sync.Cond // master waits here for region completion
+	gen     int        // region generation, guarded by runMu
+	running int        // workers still inside the current region
+	started bool       // workers spawned
+	closed  bool
+
+	// Reused bodies for the allocation-free kernel entry points
+	// (kernels.go, fused.go).
+	kZero   zeroForcesBody
+	kInteg  integrateBody
+	kZeroB  zeroBlocksBody
+	kIntegB integrateBlocksBody
 }
 
 // NewTeam returns a team of t threads with the given cost constants.
@@ -113,7 +160,15 @@ func NewTeam(t int, costs Costs) *Team {
 	if t < 1 {
 		panic(fmt.Sprintf("shm: team size %d", t))
 	}
-	return &Team{T: t, Costs: costs, bar: newClockBarrier(t, costs.Barrier)}
+	tm := &Team{T: t, Costs: costs, bar: newClockBarrier(t, costs.Barrier)}
+	tm.runC = sync.NewCond(&tm.runMu)
+	tm.doneC = sync.NewCond(&tm.runMu)
+	tm.threads = make([]*Thread, t)
+	tm.panics = make([]any, t)
+	for i := range tm.threads {
+		tm.threads[i] = &Thread{ID: i, team: tm}
+	}
+	return tm
 }
 
 // Clock returns the team's virtual time (advanced at each region join).
@@ -139,37 +194,73 @@ func (tm *Team) Compute(dt float64) {
 	}
 }
 
+// Close releases the team's parked worker goroutines. The team must
+// not be inside a region. Running a region on a closed team panics;
+// Close is idempotent.
+func (tm *Team) Close() {
+	tm.runMu.Lock()
+	tm.closed = true
+	tm.runC.Broadcast()
+	tm.runMu.Unlock()
+}
+
 // Region runs body concurrently on T threads. Each thread starts at
 // the team clock; at the join the team clock becomes the max thread
 // clock plus the fork/join overhead, and thread counters merge into
-// the team's.
-func (tm *Team) Region(body func(th *Thread)) {
-	threads := make([]*Thread, tm.T)
+// the team's. The closure form allocates (the closure itself); hot
+// paths use RunRegion with a reused RegionBody.
+func (tm *Team) Region(body func(th *Thread)) { tm.RunRegion(funcBody(body)) }
+
+// RunRegion is the allocation-free core of Region: it dispatches body
+// to the persistent workers (master runs thread 0 inline) and joins.
+// If any thread panicked, the region panics on the master after all
+// threads have stopped, and the team remains usable: the next region
+// resets the barrier and the per-particle lock owners are re-zeroed by
+// the updaters' Prepare.
+func (tm *Team) RunRegion(body RegionBody) {
 	start := tm.clock
-	var wg sync.WaitGroup
-	panics := make([]any, tm.T)
-	for t := 0; t < tm.T; t++ {
-		threads[t] = &Thread{ID: t, clock: start, team: tm}
-		wg.Add(1)
-		go func(th *Thread) {
-			defer wg.Done()
-			defer func() {
-				if e := recover(); e != nil {
-					panics[th.ID] = e
-					tm.bar.abort()
-				}
-			}()
-			body(th)
-		}(threads[t])
+	tm.bar.reset()
+	for _, th := range tm.threads {
+		th.clock = start
+		th.TC = trace.Counters{}
 	}
-	wg.Wait()
-	for t, e := range panics {
+	for i := range tm.panics {
+		tm.panics[i] = nil
+	}
+	if tm.T > 1 {
+		tm.runMu.Lock()
+		if tm.closed {
+			tm.runMu.Unlock()
+			panic("shm: parallel region on closed team")
+		}
+		if !tm.started {
+			tm.started = true
+			for t := 1; t < tm.T; t++ {
+				go tm.worker(tm.threads[t])
+			}
+		}
+		tm.body = body
+		tm.running = tm.T - 1
+		tm.gen++
+		tm.runC.Broadcast()
+		tm.runMu.Unlock()
+	}
+	tm.runBody(body, tm.threads[0])
+	if tm.T > 1 {
+		tm.runMu.Lock()
+		for tm.running > 0 {
+			tm.doneC.Wait()
+		}
+		tm.body = nil
+		tm.runMu.Unlock()
+	}
+	for t, e := range tm.panics {
 		if e != nil {
 			panic(fmt.Sprintf("shm: thread %d panicked: %v", t, e))
 		}
 	}
 	maxClock := start
-	for _, th := range threads {
+	for _, th := range tm.threads {
 		if th.clock > maxClock {
 			maxClock = th.clock
 		}
@@ -177,6 +268,44 @@ func (tm *Team) Region(body func(th *Thread)) {
 	}
 	tm.clock = maxClock + tm.Costs.ForkJoin
 	tm.TC.ParallelRegions++
+}
+
+// runBody executes one thread's share of a region, converting a panic
+// into a recorded panic plus a barrier abort so sibling threads cannot
+// deadlock waiting for the dead thread.
+func (tm *Team) runBody(body RegionBody, th *Thread) {
+	defer func() {
+		if e := recover(); e != nil {
+			tm.panics[th.ID] = e
+			tm.bar.abort()
+		}
+	}()
+	body.RunThread(th)
+}
+
+// worker is the parked loop of threads 1..T-1.
+func (tm *Team) worker(th *Thread) {
+	seen := 0
+	for {
+		tm.runMu.Lock()
+		for tm.gen == seen && !tm.closed {
+			tm.runC.Wait()
+		}
+		if tm.gen == seen { // closed with no new region
+			tm.runMu.Unlock()
+			return
+		}
+		seen = tm.gen
+		body := tm.body
+		tm.runMu.Unlock()
+		tm.runBody(body, th)
+		tm.runMu.Lock()
+		tm.running--
+		if tm.running == 0 {
+			tm.doneC.Broadcast()
+		}
+		tm.runMu.Unlock()
+	}
 }
 
 // chunk returns the static-schedule bounds of thread t over n items:

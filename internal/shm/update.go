@@ -77,44 +77,82 @@ var PairForceHook func(m Method, idI, idJ int32, fi geom.Vec) geom.Vec
 // to more than one thread under the static link distribution. It stays
 // valid for as long as the link list does: "the table is valid for
 // many force calculations until the linked list is next recalculated".
+// Its storage (including the owner scratch used during construction)
+// is reused across rebuilds.
 type ConflictTable struct {
 	shared  []bool
+	owner   []int32 // construction scratch: first thread to touch each particle
 	nShared int
 }
 
-// BuildConflictTable scans links as distributed over T threads and
-// marks particles with links belonging to more than one thread.
-// Particles at index >= nCore (halo copies) are never updated, hence
-// never shared.
-func BuildConflictTable(links []cell.Link, nParticles, nCore, T int) *ConflictTable {
-	ct := &ConflictTable{shared: make([]bool, nParticles)}
-	owner := make([]int32, nParticles)
-	for i := range owner {
-		owner[i] = -1
+// resize prepares the table's storage for nParticles, clearing it.
+func (ct *ConflictTable) resize(nParticles int) {
+	if cap(ct.shared) < nParticles {
+		ct.shared = make([]bool, nParticles)
+		ct.owner = make([]int32, nParticles)
 	}
-	mark := func(p int32, t int32) {
-		if int(p) >= nCore {
-			return
-		}
-		switch owner[p] {
-		case -1:
-			owner[p] = t
-		case t:
-		default:
-			if !ct.shared[p] {
-				ct.shared[p] = true
-				ct.nShared++
-			}
+	ct.shared = ct.shared[:nParticles]
+	ct.owner = ct.owner[:nParticles]
+	for i := range ct.shared {
+		ct.shared[i] = false
+	}
+	for i := range ct.owner {
+		ct.owner[i] = -1
+	}
+	ct.nShared = 0
+}
+
+// mark records that thread t updates particle p; the second distinct
+// thread makes p shared. Halo copies (p >= nCore) are never updated,
+// hence never shared.
+func (ct *ConflictTable) mark(p, t int32, nCore int) {
+	if int(p) >= nCore {
+		return
+	}
+	switch ct.owner[p] {
+	case -1:
+		ct.owner[p] = t
+	case t:
+	default:
+		if !ct.shared[p] {
+			ct.shared[p] = true
+			ct.nShared++
 		}
 	}
+}
+
+// rebuild scans links as distributed over T threads (the static chunk
+// schedule) and marks particles with links belonging to more than one
+// thread, reusing the table's storage.
+func (ct *ConflictTable) rebuild(links []cell.Link, nParticles, nCore, T int) {
+	ct.resize(nParticles)
 	n := len(links)
 	for t := 0; t < T; t++ {
 		lo, hi := chunk(n, T, t)
 		for _, l := range links[lo:hi] {
-			mark(l.I, int32(t))
-			mark(l.J, int32(t))
+			ct.mark(l.I, int32(t), nCore)
+			ct.mark(l.J, int32(t), nCore)
 		}
 	}
+}
+
+// rebuildRanges is rebuild for an explicit per-thread link range list
+// (the fused updater's global chunking clipped to one piece).
+func (ct *ConflictTable) rebuildRanges(links []cell.Link, nParticles, nCore int, ranges [][2]int) {
+	ct.resize(nParticles)
+	for t, r := range ranges {
+		for _, l := range links[r[0]:r[1]] {
+			ct.mark(l.I, int32(t), nCore)
+			ct.mark(l.J, int32(t), nCore)
+		}
+	}
+}
+
+// BuildConflictTable scans links as distributed over T threads and
+// marks particles with links belonging to more than one thread.
+func BuildConflictTable(links []cell.Link, nParticles, nCore, T int) *ConflictTable {
+	ct := new(ConflictTable)
+	ct.rebuild(links, nParticles, nCore, T)
 	return ct
 }
 
@@ -129,6 +167,18 @@ type Updater struct {
 	locks  []int32     // per-particle spinlocks (atomic methods)
 	priv   [][]float64 // T thread-private force arrays, layout [i*D+k]
 	ct     *ConflictTable
+
+	// Prepared geometry, recorded so Accumulate can detect a
+	// mismatched team or link list instead of racing silently.
+	preparedT     int
+	preparedLinks int
+
+	// Reused per-call scratch and region bodies (no closures on the
+	// hot path).
+	epotPer []float64
+	args    accArgs
+	scalarB scalarBody
+	reduceB reduceBody
 }
 
 // NewUpdater returns an updater for the given method.
@@ -136,15 +186,32 @@ func NewUpdater(m Method) *Updater { return &Updater{Method: m} }
 
 // Prepare must be called whenever the link list changes: it (re)builds
 // the conflict table for the selected-atomic method and resizes the
-// lock array. T is the team size the force loop will use.
+// lock array. T is the team size the force loop will use; Accumulate
+// panics if run with a different team size or link count.
 func (u *Updater) Prepare(links []cell.Link, nParticles, nCore, T int) {
 	if cap(u.locks) < nParticles {
 		u.locks = make([]int32, nParticles)
 	}
 	u.locks = u.locks[:nParticles]
-	if u.Method == SelectedAtomic {
-		u.ct = BuildConflictTable(links, nParticles, nCore, T)
+	// Zero the reused prefix unconditionally: if a prior region was
+	// abandoned (clockBarrier.abort after a sibling panic) while some
+	// thread held a per-particle spinlock, the stale lock word would
+	// deadlock the first lockAdd of the next run.
+	for i := range u.locks {
+		u.locks[i] = 0
 	}
+	if u.Method == SelectedAtomic {
+		if u.ct == nil {
+			u.ct = new(ConflictTable)
+		}
+		u.ct.rebuild(links, nParticles, nCore, T)
+	}
+	u.preparedT = T
+	u.preparedLinks = len(links)
+	if cap(u.epotPer) < T {
+		u.epotPer = make([]float64, T)
+	}
+	u.epotPer = u.epotPer[:T]
 }
 
 // Conflicts returns the conflict table built by the last Prepare, or
@@ -183,6 +250,30 @@ func (u *Updater) ensurePriv(T, words int) [][]float64 {
 	return u.priv[:T]
 }
 
+// accArgs carries one Accumulate call's inputs to the region bodies.
+type accArgs struct {
+	sp         force.Spring
+	ps         *particle.Store
+	links      []cell.Link
+	nCoreLinks int
+	nCore      int
+	box        geom.Box
+	hook       func(m Method, idI, idJ int32, fi geom.Vec) geom.Vec
+	priv       [][]float64
+	words      int
+}
+
+// scalarBody runs the per-update protection methods (atomic,
+// selected-atomic, unprotected) for one thread.
+type scalarBody struct{ u *Updater }
+
+func (b *scalarBody) RunThread(th *Thread) { b.u.scalarThread(th) }
+
+// reduceBody runs the array-reduction methods for one thread.
+type reduceBody struct{ u *Updater }
+
+func (b *reduceBody) RunThread(th *Thread) { b.u.reduceThread(th) }
+
 // Accumulate runs the parallel force loop over the block's single
 // link list (core links first, then halo links whose energy counts
 // half), adding pair forces into ps.Frc and returning the potential
@@ -192,140 +283,168 @@ func (u *Updater) ensurePriv(T, words int) [][]float64 {
 // The whole list is processed in ONE statically scheduled loop — the
 // same distribution Prepare built the conflict table for. Splitting
 // core and halo links into separate loops would redistribute links
-// over threads and invalidate the table.
+// over threads and invalidate the table, which is why Accumulate
+// panics when the team size or link count differs from Prepare's.
 func (u *Updater) Accumulate(tm *Team, sp force.Spring, ps *particle.Store, links []cell.Link, nCoreLinks, nCore int, box geom.Box) float64 {
-	d := ps.D
-	n := len(links)
-	costs := tm.Costs
-	epotPer := make([]float64, tm.T)
+	if tm.T != u.preparedT || len(links) != u.preparedLinks {
+		panic(fmt.Sprintf("shm: updater prepared for T=%d over %d links, run with T=%d over %d links",
+			u.preparedT, u.preparedLinks, tm.T, len(links)))
+	}
+	u.args = accArgs{
+		sp:         sp,
+		ps:         ps,
+		links:      links,
+		nCoreLinks: nCoreLinks,
+		nCore:      nCore,
+		box:        box,
+		hook:       PairForceHook,
+	}
 
 	switch u.Method {
 	case Atomic, SelectedAtomic, Unprotected:
-		hook := PairForceHook
-		tm.Region(func(th *Thread) {
-			lo, hi := chunk(n, tm.T, th.ID)
-			epot := 0.0
-			var taken, avoided, distSum, contacts, contactsHalo int64
-			pos, vel, frc, ids := ps.Pos, ps.Vel, ps.Frc, ps.ID
-			for li := lo; li < hi; li++ {
-				l := links[li]
-				disp := box.Disp(pos[l.I], pos[l.J])
-				rel := geom.Sub(vel[l.J], vel[l.I], d)
-				fi, e, contact := sp.PairID(ids[l.I], ids[l.J], disp, rel, d)
-				if hook != nil {
-					fi = hook(u.Method, ids[l.I], ids[l.J], fi)
-				}
-				if li < nCoreLinks {
-					if contact {
-						contacts++
-					}
-					epot += e
-				} else {
-					if contact {
-						contactsHalo++
-					}
-					epot += 0.5 * e
-				}
-				u.applyProtected(th, frc, l.I, fi, +1, d, &taken, &avoided)
-				if int(l.J) < nCore {
-					u.applyProtected(th, frc, l.J, fi, -1, d, &taken, &avoided)
-				}
-				di := int64(l.I) - int64(l.J)
-				if di < 0 {
-					di = -di
-				}
-				distSum += di
-			}
-			nl := int64(hi - lo)
-			coreN, haloN := splitLinks(lo, hi, nCoreLinks)
-			hw := costs.haloWork()
-			th.TC.ForceEvals += nl
-			th.TC.LinkVisits += nl
-			th.TC.Contacts += contacts + contactsHalo
-			th.TC.ForceUpdates += taken + avoided
-			th.TC.AtomicsTaken += taken
-			th.TC.AtomicsAvoided += avoided
-			th.TC.LinkIndexDistSum += distSum
-			th.TC.LinkIndexDistN += nl
-			th.Compute((float64(coreN)+float64(haloN)*hw)*costs.PerLink +
-				(float64(contacts)+float64(contactsHalo)*hw)*costs.PerContact +
-				float64(avoided)*costs.PerUpdate +
-				float64(taken)*(costs.PerUpdate+costs.AtomicTaken))
-			epotPer[th.ID] = epot
-		})
+		u.scalarB.u = u
+		tm.RunRegion(&u.scalarB)
 
 	case CriticalReduction, Stripe, Transpose:
-		words := ps.Len() * d
-		priv := u.ensurePriv(tm.T, words)
-		hook := PairForceHook
-		tm.Region(func(th *Thread) {
-			lo, hi := chunk(n, tm.T, th.ID)
-			epot := 0.0
-			var distSum, contacts, contactsHalo int64
-			pos, vel, ids := ps.Pos, ps.Vel, ps.ID
-			mine := priv[th.ID]
-			for li := lo; li < hi; li++ {
-				l := links[li]
-				disp := box.Disp(pos[l.I], pos[l.J])
-				rel := geom.Sub(vel[l.J], vel[l.I], d)
-				fi, e, contact := sp.PairID(ids[l.I], ids[l.J], disp, rel, d)
-				if hook != nil {
-					fi = hook(u.Method, ids[l.I], ids[l.J], fi)
-				}
-				if li < nCoreLinks {
-					if contact {
-						contacts++
-					}
-					epot += e
-				} else {
-					if contact {
-						contactsHalo++
-					}
-					epot += 0.5 * e
-				}
-				for k := 0; k < d; k++ {
-					mine[int(l.I)*d+k] += fi[k]
-				}
-				if int(l.J) < nCore {
-					for k := 0; k < d; k++ {
-						mine[int(l.J)*d+k] -= fi[k]
-					}
-				}
-				di := int64(l.I) - int64(l.J)
-				if di < 0 {
-					di = -di
-				}
-				distSum += di
-			}
-			nl := int64(hi - lo)
-			coreN, haloN := splitLinks(lo, hi, nCoreLinks)
-			hw := costs.haloWork()
-			effLinks := float64(coreN) + float64(haloN)*hw
-			th.TC.ForceEvals += nl
-			th.TC.LinkVisits += nl
-			th.TC.Contacts += contacts + contactsHalo
-			th.TC.ForceUpdates += 2 * nl
-			th.TC.LinkIndexDistSum += distSum
-			th.TC.LinkIndexDistN += nl
-			// Private accumulation plus the zeroing traffic of the
-			// scratch array.
-			th.Compute(effLinks*(costs.PerLink+2*costs.PerUpdate) +
-				(float64(contacts)+float64(contactsHalo)*hw)*costs.PerContact +
-				float64(words)*costs.ReductionWord)
-			epotPer[th.ID] = epot
-
-			u.reduce(th, tm, ps, words, d, priv)
-		})
+		u.args.words = ps.Len() * ps.D
+		u.args.priv = u.ensurePriv(tm.T, u.args.words)
+		u.reduceB.u = u
+		tm.RunRegion(&u.reduceB)
 
 	default:
 		panic(fmt.Sprintf("shm: unknown update method %v", u.Method))
 	}
 
 	epot := 0.0
-	for _, e := range epotPer {
+	for _, e := range u.epotPer {
 		epot += e
 	}
 	return epot
+}
+
+// scalarThread is one thread's share of the per-update protection
+// methods.
+func (u *Updater) scalarThread(th *Thread) {
+	a := &u.args
+	tm := th.team
+	costs := tm.Costs
+	d := a.ps.D
+	n := len(a.links)
+	lo, hi := chunk(n, tm.T, th.ID)
+	epot := 0.0
+	var taken, avoided, distSum, contacts, contactsHalo int64
+	pos, vel, frc, ids := a.ps.Pos, a.ps.Vel, a.ps.Frc, a.ps.ID
+	for li := lo; li < hi; li++ {
+		l := a.links[li]
+		disp := a.box.Disp(pos[l.I], pos[l.J])
+		rel := geom.Sub(vel[l.J], vel[l.I], d)
+		fi, e, contact := a.sp.PairID(ids[l.I], ids[l.J], disp, rel, d)
+		if a.hook != nil {
+			fi = a.hook(u.Method, ids[l.I], ids[l.J], fi)
+		}
+		if li < a.nCoreLinks {
+			if contact {
+				contacts++
+			}
+			epot += e
+		} else {
+			if contact {
+				contactsHalo++
+			}
+			epot += 0.5 * e
+		}
+		u.applyProtected(th, frc, l.I, fi, +1, d, &taken, &avoided)
+		if int(l.J) < a.nCore {
+			u.applyProtected(th, frc, l.J, fi, -1, d, &taken, &avoided)
+		}
+		di := int64(l.I) - int64(l.J)
+		if di < 0 {
+			di = -di
+		}
+		distSum += di
+	}
+	nl := int64(hi - lo)
+	coreN, haloN := splitLinks(lo, hi, a.nCoreLinks)
+	hw := costs.haloWork()
+	th.TC.ForceEvals += nl
+	th.TC.LinkVisits += nl
+	th.TC.Contacts += contacts + contactsHalo
+	th.TC.ForceUpdates += taken + avoided
+	th.TC.AtomicsTaken += taken
+	th.TC.AtomicsAvoided += avoided
+	th.TC.LinkIndexDistSum += distSum
+	th.TC.LinkIndexDistN += nl
+	th.Compute((float64(coreN)+float64(haloN)*hw)*costs.PerLink +
+		(float64(contacts)+float64(contactsHalo)*hw)*costs.PerContact +
+		float64(avoided)*costs.PerUpdate +
+		float64(taken)*(costs.PerUpdate+costs.AtomicTaken))
+	u.epotPer[th.ID] = epot
+}
+
+// reduceThread is one thread's share of the array-reduction methods:
+// private accumulation followed by the method's merge.
+func (u *Updater) reduceThread(th *Thread) {
+	a := &u.args
+	tm := th.team
+	costs := tm.Costs
+	d := a.ps.D
+	n := len(a.links)
+	lo, hi := chunk(n, tm.T, th.ID)
+	epot := 0.0
+	var distSum, contacts, contactsHalo int64
+	pos, vel, ids := a.ps.Pos, a.ps.Vel, a.ps.ID
+	mine := a.priv[th.ID]
+	for li := lo; li < hi; li++ {
+		l := a.links[li]
+		disp := a.box.Disp(pos[l.I], pos[l.J])
+		rel := geom.Sub(vel[l.J], vel[l.I], d)
+		fi, e, contact := a.sp.PairID(ids[l.I], ids[l.J], disp, rel, d)
+		if a.hook != nil {
+			fi = a.hook(u.Method, ids[l.I], ids[l.J], fi)
+		}
+		if li < a.nCoreLinks {
+			if contact {
+				contacts++
+			}
+			epot += e
+		} else {
+			if contact {
+				contactsHalo++
+			}
+			epot += 0.5 * e
+		}
+		for k := 0; k < d; k++ {
+			mine[int(l.I)*d+k] += fi[k]
+		}
+		if int(l.J) < a.nCore {
+			for k := 0; k < d; k++ {
+				mine[int(l.J)*d+k] -= fi[k]
+			}
+		}
+		di := int64(l.I) - int64(l.J)
+		if di < 0 {
+			di = -di
+		}
+		distSum += di
+	}
+	nl := int64(hi - lo)
+	coreN, haloN := splitLinks(lo, hi, a.nCoreLinks)
+	hw := costs.haloWork()
+	effLinks := float64(coreN) + float64(haloN)*hw
+	th.TC.ForceEvals += nl
+	th.TC.LinkVisits += nl
+	th.TC.Contacts += contacts + contactsHalo
+	th.TC.ForceUpdates += 2 * nl
+	th.TC.LinkIndexDistSum += distSum
+	th.TC.LinkIndexDistN += nl
+	// Private accumulation plus the zeroing traffic of the scratch
+	// array.
+	th.Compute(effLinks*(costs.PerLink+2*costs.PerUpdate) +
+		(float64(contacts)+float64(contactsHalo)*hw)*costs.PerContact +
+		float64(a.words)*costs.ReductionWord)
+	u.epotPer[th.ID] = epot
+
+	u.reduce(th, tm, a.ps, a.words, d, a.priv)
 }
 
 // splitLinks returns how many of the links in [lo, hi) fall before
@@ -377,13 +496,17 @@ func (u *Updater) reduce(th *Thread, tm *Team, ps *particle.Store, words, d int,
 		// clock models the serialisation by staggering completion in
 		// thread order, so the modelled region time grows as T times
 		// the reduction work — the paper's "extremely poor" result.
+		// The critical section is entered inline (not via
+		// tm.Critical) so the hot path needs no closure.
 		th.Barrier() // all private arrays complete
-		tm.Critical(th, func() {
-			mine := priv[th.ID]
-			for i := 0; i < words; i++ {
-				frc[i/d][i%d] += mine[i]
-			}
-		})
+		tm.mu.Lock()
+		mine := priv[th.ID]
+		for i := 0; i < words; i++ {
+			frc[i/d][i%d] += mine[i]
+		}
+		tm.mu.Unlock()
+		th.Compute(tm.Costs.Critical)
+		th.TC.CriticalEnters++
 		th.TC.ReductionWords += int64(words)
 		th.Compute(float64(th.ID+1) * float64(words) * tm.Costs.ReductionWord)
 		th.Barrier()
