@@ -40,6 +40,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		n       = fs.Int("n", 0, "particle count (default 40000)")
 		iters   = fs.Int("iters", 0, "measured iterations per run (default 8/4 for D=2/3)")
 		seed    = fs.Int64("seed", 1, "random seed")
+		overlap = fs.Bool("overlap", true, "split-phase halo exchange (false = the paper's synchronous swap)")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = fs.String("memprofile", "", "write a heap profile to this file at exit")
 		aStats  = fs.Bool("allocstats", false, "print allocation statistics to stderr at exit")
@@ -66,7 +67,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	opts := bench.Options{N: *n, Iters: *iters, Seed: *seed, Full: *full}
+	opts := bench.Options{N: *n, Iters: *iters, Seed: *seed, Full: *full, NoOverlap: !*overlap}
 
 	var exps []bench.Experiment
 	if *expList == "" {

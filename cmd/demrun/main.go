@@ -48,6 +48,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		warmup   = fs.Int("warmup", 2, "warm-up iterations")
 		seed     = fs.Int64("seed", 1, "random seed")
 		noreord  = fs.Bool("noreorder", false, "disable cache particle reordering")
+		overlap  = fs.Bool("overlap", true, "split-phase halo exchange overlapping communication with the core-link pass")
 		walls    = fs.Bool("walls", false, "reflecting walls instead of periodic boundaries")
 		gravity  = fs.Float64("gravity", 0, "gravity along the last dimension")
 		fill     = fs.Float64("fill", 0, "cluster particles into the bottom fraction of the box (0 = uniform)")
@@ -83,6 +84,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.RCFactor = *rc
 	cfg.Seed = *seed
 	cfg.Reorder = !*noreord
+	cfg.Overlap = *overlap
 	cfg.P, cfg.T = *p, *t
 	cfg.BlocksPerProc = *bpp
 	cfg.Fused = *fused

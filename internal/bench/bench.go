@@ -30,6 +30,12 @@ type Options struct {
 	Warmup int   // warm-up iterations; 0 -> 1
 	Seed   int64 // 0 -> 1
 	Full   bool  // paper scale: 10^6 particles, 40/20 iterations
+
+	// NoOverlap disables the split-phase halo exchange, running every
+	// experiment with the synchronous protocol (the paper's original
+	// formulation). X7 ignores it: that experiment sweeps both settings
+	// by construction.
+	NoOverlap bool
 }
 
 func (o Options) withDefaults() Options {
@@ -91,6 +97,7 @@ func (o Options) config(d int, rcFactor float64, pf *machine.Platform, reorder b
 	cfg.Platform = pf
 	cfg.ModelN = o.ModelN
 	cfg.Warmup = o.Warmup
+	cfg.Overlap = !o.NoOverlap
 	return cfg
 }
 
@@ -187,6 +194,7 @@ var All = []Experiment{
 	{"X4", "Section 11: fused single-region hybrid force loop", ExtraFusedRegions},
 	{"X5", "halo machinery ablations: indexed datatypes and the same-rank fast path", ExtraHaloMachinery},
 	{"X6", "extension: the clustered workload run directly (granularity vs hybrid balance)", ExtraClusteredWorkload},
+	{"X7", "extension: split-phase halo exchange — communication hidden by the core-link pass", ExtraOverlap},
 }
 
 // ByID finds an experiment.

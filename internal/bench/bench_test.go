@@ -331,6 +331,27 @@ func TestClusteredWorkloadShape(t *testing.T) {
 	}
 }
 
+// TestOverlapHidesCommunication: X7's acceptance property — at P >= 4
+// and coarse granularity the split-phase exchange must hide a strictly
+// positive amount of communication behind the core-link pass, and the
+// overlapped step must never be slower than the synchronous one on the
+// same shape.
+func TestOverlapHidesCommunication(t *testing.T) {
+	rep := ExtraOverlap(tiny())
+	rows := []string{"mpi/P=4/BP=1", "mpi/P=8/BP=1", "mpi/P=16/BP=1", "hybrid/P=4xT=4/BP=1"}
+	for _, key := range rows {
+		hidden := cellFloat(t, rep, key, "hidden")
+		if hidden <= 0 {
+			t.Errorf("%s: no communication hidden (%g)", key, hidden)
+		}
+		ts := cellFloat(t, rep, key, "t(sync)")
+		to := cellFloat(t, rep, key, "t(overlap)")
+		if to > ts+1e-9 {
+			t.Errorf("%s: overlapped step slower than synchronous (%g > %g)", key, to, ts)
+		}
+	}
+}
+
 // TestSyncOverheadReportShape: X1 must report positive per-block sync
 // costs that fall per block as granularity rises (amortised fused
 // regions) while total sync grows.

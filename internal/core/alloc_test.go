@@ -132,6 +132,22 @@ func TestStepSteadyStateZeroAllocDistributed(t *testing.T) {
 			cfg.Fused = true
 			return cfg
 		}},
+		// Synchronous-exchange variants: the default cases above run
+		// the split-phase path (Overlap is on in Default), these pin
+		// the legacy path so neither protocol regresses.
+		{"mpi-sync", func() Config {
+			cfg := allocConfig(MPI)
+			cfg.P = 4
+			cfg.Overlap = false
+			return cfg
+		}},
+		{"hybrid-sync", func() Config {
+			cfg := allocConfig(Hybrid)
+			cfg.P = 2
+			cfg.T = 3
+			cfg.Overlap = false
+			return cfg
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

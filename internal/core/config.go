@@ -108,6 +108,16 @@ type Config struct {
 	Method        shm.Method // force-update protection (OpenMP/Hybrid)
 	Fused         bool       // single fused region over all blocks (Section 11 further work)
 
+	// Overlap enables the split-phase halo exchange in the distributed
+	// modes: the step posts the exchange, accumulates core-link forces
+	// while the messages are in flight, then completes the exchange and
+	// accumulates halo-link forces; the end-of-step energy allreduce is
+	// likewise overlapped with the rebuild vote. Trajectories are
+	// bit-identical to the synchronous exchange — only the modelled
+	// timeline changes, charging max(comm, core compute) instead of
+	// their sum. Ignored by the serial and pure-OpenMP modes.
+	Overlap bool
+
 	// Platform supplies the virtual cost model; nil runs with free
 	// (zero-cost) modelling, which correctness tests use.
 	Platform *machine.Platform
@@ -167,6 +177,7 @@ func Default(d, n int) Config {
 		RCFactor: 1.5,
 		Dt:       5e-5,
 		Reorder:  true,
+		Overlap:  true,
 		Mode:     Serial,
 		P:        1,
 		T:        1,

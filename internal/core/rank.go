@@ -27,11 +27,16 @@ type rankSim struct {
 
 	// Per-step scratch, refreshed at rebuild so the step loop itself
 	// allocates nothing: block views for the team kernels, the fused
-	// piece list, and the two-element energy reduction buffer.
+	// piece list, the two-element energy reduction buffer, the
+	// rebuild-vote buffer of the overlapped path, and the gate that
+	// holds hybrid threads at the core/halo link boundary until the
+	// split-phase exchange lands.
 	stores []*shm.BlockStore
 	cores  []int
 	pieces []shm.FusedPiece
 	energy [2]float64
+	vote   [1]float64
+	gate   *shm.HaloGate // hybrid overlap only
 
 	linkCost, contactCost, updCost, partCost float64
 
@@ -91,6 +96,7 @@ func newRankSim(cfg *Config, c *mp.Comm, l *decomp.Layout) *rankSim {
 	}
 	if cfg.Mode == Hybrid {
 		r.team = shm.NewTeam(cfg.T, shm.Costs{})
+		r.gate = shm.NewHaloGate()
 		if cfg.Fused {
 			r.fused = shm.NewFusedUpdater(cfg.Method)
 		} else {
@@ -225,6 +231,16 @@ func (r *rankSim) syncClocks() {
 // step advances one iteration and returns the modelled seconds of the
 // timed window (halo swap + force + energy + update).
 func (r *rankSim) step() float64 {
+	if r.cfg.Overlap {
+		return r.stepOverlap()
+	}
+	return r.stepSync()
+}
+
+// stepSync is the synchronous baseline: complete the halo swap, then
+// run the whole force loop, then the blocking energy allreduce and the
+// blocking rebuild vote. The modelled step time is comm + compute.
+func (r *rankSim) stepSync() float64 {
 	cfg := r.cfg
 	dm := r.dm
 	box := cfg.Box()
@@ -284,19 +300,7 @@ func (r *rankSim) step() float64 {
 
 	// Update phase: integrate core particles of every block.
 	u0 := r.clock()
-	ekin := 0.0
-	if r.team == nil {
-		for _, b := range dm.Blocks {
-			force.Integrate(b.PS, b.NCore, cfg.Dt, box, force.WrapDeferred, &dm.TC)
-			r.c.Compute(float64(b.NCore) * r.partCost)
-			ekin += force.KineticEnergy(b.PS, b.NCore)
-		}
-	} else {
-		shm.IntegrateAllBlocks(r.team, r.stores, r.cores, cfg.Dt, box, force.WrapDeferred)
-		for _, b := range dm.Blocks {
-			ekin += force.KineticEnergy(b.PS, b.NCore)
-		}
-	}
+	ekin := r.integrate(box)
 	r.syncClocks()
 
 	// Energy: reduced within the team by the region join, over blocks
@@ -320,6 +324,268 @@ func (r *rankSim) step() float64 {
 	}
 	r.syncClocks()
 	return elapsed
+}
+
+// stepOverlap is the split-phase step: post the halo exchange, run the
+// core-link force pass while the messages are in flight, complete the
+// exchange, then the halo-link pass; the energy allreduce is posted
+// together with the rebuild vote so the two collectives overlap. The
+// per-particle accumulation order is identical to stepSync (zero, core
+// links in list order, halo links in list order, gravity), so the
+// trajectory is bit-identical — only the modelled timeline changes,
+// charging max(comm, core compute) where the synchronous step pays the
+// sum.
+func (r *rankSim) stepOverlap() float64 {
+	cfg := r.cfg
+	dm := r.dm
+	box := cfg.Box()
+	plain := dm.PlainBox()
+	r.syncClocks()
+	t0 := r.clock()
+
+	r.iter++
+
+	// Split-phase halo swap wrapped around the force phase.
+	var epot float64
+	switch {
+	case r.team == nil:
+		epot = r.overlapForceMPI(plain)
+	case r.fused != nil:
+		epot = r.overlapForceFused(plain)
+	default:
+		epot = r.overlapForceBlocks(plain)
+	}
+
+	// Update phase: integrate core particles of every block.
+	u0 := r.clock()
+	ekin := r.integrate(box)
+	r.syncClocks()
+
+	// Post the energy allreduce and the rebuild vote back to back;
+	// waiting the energy covers most of the vote's latency, hiding the
+	// second collective behind the first.
+	r.energy[0], r.energy[1] = epot, ekin
+	eReq := r.c.IAllreduceInPlace(r.energy[:], mp.Sum)
+	r.vote[0] = dm.MaxCoreDisp2()
+	vReq := r.c.IAllreduceInPlace(r.vote[:], mp.Max)
+	eReq.Wait()
+	r.epot, r.ekin = r.energy[0], r.energy[1]
+	r.syncClocks()
+	r.updateTime += r.clock() - u0
+	r.span("update", u0, r.clock())
+
+	elapsed := r.clock() - t0
+
+	// The rebuild vote completes outside the timed window, exactly
+	// like stepSync's ListsValid.
+	b0 := r.clock()
+	vReq.Wait()
+	r.syncClocks()
+	if skin := cfg.Skin(); r.vote[0] >= skin*skin {
+		r.rebuild()
+		r.syncClocks()
+		r.span("rebuild", b0, r.clock())
+	}
+	r.syncClocks()
+	return elapsed
+}
+
+// overlapForceMPI is the split-phase force pass of a single-threaded
+// rank: post the exchange, then run the core-link pass (it touches no
+// halo storage) in D stages, draining one exchange dimension between
+// stages so each leg's flight time is covered by the next stage's
+// compute. Draining mid-pass matters beyond hiding the first leg: a
+// later dimension's sends cannot depart before the earlier halos land,
+// so a rank that drained only after its full core pass would hold up
+// its neighbours' later legs — the progressive drain posts each
+// dimension after roughly 1/D of the pass instead. The core links of
+// each block still run in list order across the stages, so the
+// trajectory stays bit-identical to stepSync. Exposed waits and
+// pack/unpack charges are attributed to comm, the stages to force, and
+// "overlap" spans mark the windows the in-flight messages hide behind.
+func (r *rankSim) overlapForceMPI(plain geom.Box) float64 {
+	cfg := r.cfg
+	dm := r.dm
+	d := cfg.D
+	hw := cfg.surfScale() / cfg.workScale()
+	epot := 0.0
+
+	c0 := r.clock()
+	dm.BeginRefreshHalos()
+	c1 := r.clock() // post cost: dimension 0's packs + sends
+	r.commTime += c1 - c0
+	r.span("comm", c0, c1)
+
+	for _, b := range dm.Blocks {
+		b.PS.ZeroForces()
+	}
+
+	// Staged core-link pass interleaved with the progressive drain.
+	// The refresh has exactly d dimensions, so the final stage's drain
+	// completes it.
+	for s := 0; s < d; s++ {
+		f0 := r.clock()
+		for _, b := range dm.Blocks {
+			links := b.List.CoreLinks()
+			lo, hi := len(links)*s/d, len(links)*(s+1)/d
+			cc0 := dm.TC.Contacts
+			epot += cfg.Spring.Accumulate(b.PS, links[lo:hi], b.NCore, plain, 1, &dm.TC)
+			cc := dm.TC.Contacts - cc0
+			n := float64(hi - lo)
+			r.c.Compute(n*r.linkCost + float64(cc)*r.contactCost + 2*n*r.updCost)
+		}
+		f1 := r.clock()
+		r.forceTime += f1 - f0
+		r.span("force", f0, f1)
+		r.span("overlap", f0, f1)
+		w0 := r.clock()
+		dm.FinishRefreshDim()
+		w1 := r.clock()
+		r.commTime += w1 - w0
+		r.span("comm", w0, w1)
+	}
+
+	// Halo-link pass: only now are the halo positions current.
+	h0 := r.clock()
+	for _, b := range dm.Blocks {
+		cc0 := dm.TC.Contacts
+		epot += cfg.Spring.Accumulate(b.PS, b.List.HaloLinks(), b.NCore, plain, 0.5, &dm.TC)
+		cHalo := dm.TC.Contacts - cc0
+		nHalo := float64(len(b.List.Links) - b.List.NCore)
+		r.c.Compute(nHalo*hw*r.linkCost + float64(cHalo)*hw*r.contactCost + 2*nHalo*hw*r.updCost)
+		if cfg.Gravity != 0 {
+			force.ApplyGravity(b.PS, b.NCore, cfg.D-1, cfg.Gravity)
+		}
+	}
+	h1 := r.clock()
+	r.forceTime += h1 - h0
+	r.span("force", h0, h1)
+	return epot
+}
+
+// overlapForceBlocks is the split-phase force pass of a hybrid rank
+// with per-block updaters: the first block's region is dispatched to
+// the workers with StartRegion, the master drains the exchange while
+// they chew through the core links (threads reaching the core/halo
+// boundary of their chunk park on the gate), then the gate opens at
+// the communication clock, the master joins the region, and the
+// remaining blocks run with halos already in place.
+func (r *rankSim) overlapForceBlocks(plain geom.Box) float64 {
+	cfg := r.cfg
+	dm := r.dm
+
+	c0 := r.clock()
+	dm.BeginRefreshHalos()
+	r.syncClocks()
+	c1 := r.clock() // post cost folded into the team clock
+
+	shm.ZeroForcesAllBlocks(r.team, r.stores)
+	r.syncClocks() // comm clock to the region join: the master zeroes too
+
+	r.gate.Reset()
+	b0 := dm.Blocks[0]
+	r.upds[0].AccumulateStart(r.team, cfg.Spring, b0.PS, b0.List.Links, b0.List.NCore, b0.NCore, plain, r.gate)
+
+	d0 := r.c.Clock()
+	r.drainExchange()
+	d1 := r.c.Clock()
+	r.gate.Open(d1)
+
+	epot := r.upds[0].AccumulateFinish(r.team, d1)
+	for i := 1; i < len(dm.Blocks); i++ {
+		b := dm.Blocks[i]
+		epot += r.upds[i].Accumulate(r.team, cfg.Spring, b.PS, b.List.Links, b.List.NCore, b.NCore, plain)
+	}
+	r.applyGravityBlocks()
+	r.syncClocks()
+	fEnd := r.clock()
+
+	r.accountHybridOverlap(c0, c1, d0, d1, fEnd)
+	return epot
+}
+
+// overlapForceFused is overlapForceBlocks for the fused updater: one
+// region covers every block's links, so the whole force loop overlaps
+// the drain.
+func (r *rankSim) overlapForceFused(plain geom.Box) float64 {
+	cfg := r.cfg
+
+	c0 := r.clock()
+	r.dm.BeginRefreshHalos()
+	r.syncClocks()
+	c1 := r.clock()
+
+	shm.ZeroForcesAllBlocks(r.team, r.stores)
+	r.syncClocks()
+
+	r.gate.Reset()
+	r.fused.AccumulateStart(r.team, cfg.Spring, plain, r.gate)
+
+	d0 := r.c.Clock()
+	r.drainExchange()
+	d1 := r.c.Clock()
+	r.gate.Open(d1)
+
+	epot := r.fused.AccumulateFinish(r.team, d1)
+	r.applyGravityBlocks()
+	r.syncClocks()
+	fEnd := r.clock()
+
+	r.accountHybridOverlap(c0, c1, d0, d1, fEnd)
+	return epot
+}
+
+// drainExchange completes the posted halo exchange on the master; if
+// the drain panics the gate is aborted first so parked region threads
+// unblock instead of deadlocking the join.
+func (r *rankSim) drainExchange() {
+	defer func() {
+		if e := recover(); e != nil {
+			r.gate.Abort()
+			panic(e)
+		}
+	}()
+	r.dm.FinishRefreshHalos()
+}
+
+// accountHybridOverlap attributes the hybrid split-phase intervals:
+// the post (c0-c1) and the exposed gate stall count as communication,
+// the rest of the force window as compute; the drain (d0-d1) is marked
+// as the overlap span — comm hidden under the workers' core links.
+func (r *rankSim) accountHybridOverlap(c0, c1, d0, d1, fEnd float64) {
+	stall := r.gate.MaxStall()
+	r.commTime += (c1 - c0) + stall
+	ft := (fEnd - c1) - stall
+	if ft < 0 {
+		ft = 0
+	}
+	r.forceTime += ft
+	r.span("comm", c0, c1)
+	r.span("force", c1, fEnd)
+	if d1 > d0 {
+		r.span("overlap", d0, d1)
+	}
+}
+
+// integrate advances every block's core particles and returns the
+// rank's kinetic energy.
+func (r *rankSim) integrate(box geom.Box) float64 {
+	cfg := r.cfg
+	dm := r.dm
+	ekin := 0.0
+	if r.team == nil {
+		for _, b := range dm.Blocks {
+			force.Integrate(b.PS, b.NCore, cfg.Dt, box, force.WrapDeferred, &dm.TC)
+			r.c.Compute(float64(b.NCore) * r.partCost)
+			ekin += force.KineticEnergy(b.PS, b.NCore)
+		}
+	} else {
+		shm.IntegrateAllBlocks(r.team, r.stores, r.cores, cfg.Dt, box, force.WrapDeferred)
+		for _, b := range dm.Blocks {
+			ekin += force.KineticEnergy(b.PS, b.NCore)
+		}
+	}
+	return ekin
 }
 
 func (r *rankSim) applyGravityBlocks() {

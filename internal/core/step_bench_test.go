@@ -89,3 +89,22 @@ func BenchmarkStepHybridFused(b *testing.B) {
 	cfg.Fused = true
 	benchDistributed(b, cfg)
 }
+
+// The NoOverlap variants pin the synchronous exchange so the
+// split-phase default can be compared against it (host time and
+// allocations) from the same benchmark run.
+
+func BenchmarkStepMPINoOverlap(b *testing.B) {
+	cfg := allocConfig(MPI)
+	cfg.P = 4
+	cfg.Overlap = false
+	benchDistributed(b, cfg)
+}
+
+func BenchmarkStepHybridNoOverlap(b *testing.B) {
+	cfg := allocConfig(Hybrid)
+	cfg.P = 2
+	cfg.T = 2
+	cfg.Overlap = false
+	benchDistributed(b, cfg)
+}

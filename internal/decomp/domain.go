@@ -61,11 +61,14 @@ type Domain struct {
 	// block's self-contained extended region.
 	plainBox geom.Box
 
-	// Reused exchange scratch: same-rank leg staging and the
-	// per-destination migration buffers.
-	locals []localLeg
-	migF   [][]float64
-	migI   [][]int32
+	// Reused exchange scratch: same-rank leg staging, the in-flight
+	// receive legs of a split-phase refresh, and the per-destination
+	// migration buffers.
+	locals     []localLeg
+	pending    []pendingLeg
+	refreshDim int // next dimension FinishRefreshHalos must drain; -1 when idle
+	migF       [][]float64
+	migI       [][]int32
 }
 
 // NewDomain builds the rank-local domain over an existing layout.
@@ -73,7 +76,7 @@ func NewDomain(l *Layout, c *mp.Comm, withVel bool) *Domain {
 	if c.Size() != l.P {
 		panic(fmt.Sprintf("decomp: layout for %d ranks on a %d-rank comm", l.P, c.Size()))
 	}
-	dm := &Domain{L: l, C: c, WithVel: withVel, slot: make(map[int]int)}
+	dm := &Domain{L: l, C: c, WithVel: withVel, slot: make(map[int]int), refreshDim: -1}
 	for _, id := range l.BlocksOfRank(c.Rank()) {
 		dm.slot[id] = len(dm.Blocks)
 		dm.Blocks = append(dm.Blocks, newBlock(l, id))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hybriddem/internal/geom"
+	"hybriddem/internal/mp"
 )
 
 // boolToInt converts for payload arithmetic.
@@ -143,60 +144,137 @@ func (dm *Domain) appendHalo(dst *Block, srcBlock, srcRank, dim, side int, shift
 	dm.C.Compute(float64(n) * dm.packCost())
 }
 
+// pendingLeg is one in-flight receive of a split-phase halo refresh:
+// the posted request plus the segment it will overwrite.
+type pendingLeg struct {
+	req *mp.Request
+	b   *Block
+	seg haloSeg
+}
+
 // RefreshHalos re-sends every halo template and overwrites the halo
 // segments in place — the per-iteration halo swap. "The same MPI types
 // can be used for many iterations until the list of links becomes
-// invalid."
+// invalid." It is exactly BeginRefreshHalos followed immediately by
+// FinishRefreshHalos; drivers that overlap communication with the
+// core-link force loop call the two halves themselves.
 func (dm *Domain) RefreshHalos() {
+	dm.BeginRefreshHalos()
+	dm.FinishRefreshHalos()
+}
+
+// BeginRefreshHalos starts a split-phase halo refresh: it packs and
+// sends the first dimension's legs and posts the matching receives,
+// then returns so the caller can compute on core data while the
+// messages are in flight. Only dimension 0 can be posted here — later
+// dimensions' send templates include halo particles received in
+// earlier dimensions (corner data propagates through faces), so
+// FinishRefreshHalos stages them leg by leg as each dimension lands.
+// Core positions are read (packed) only inside Begin and inside the
+// per-dimension posting, never concurrently with the caller's force
+// loop; halo storage is written only by FinishRefreshHalos.
+func (dm *Domain) BeginRefreshHalos() {
+	if dm.refreshDim >= 0 {
+		panic("decomp: BeginRefreshHalos with a refresh already in flight")
+	}
+	dm.postRefreshDim(0)
+	dm.refreshDim = 0
+}
+
+// FinishRefreshHalos drains an in-flight refresh to completion: each
+// dimension in order waits its posted receives, overwrites the halo
+// segments, and posts the next dimension. On return every halo
+// position (and velocity) is current.
+func (dm *Domain) FinishRefreshHalos() {
+	if dm.refreshDim < 0 {
+		panic("decomp: FinishRefreshHalos without BeginRefreshHalos")
+	}
+	for dm.FinishRefreshDim() {
+	}
+}
+
+// FinishRefreshDim drains exactly one dimension of an in-flight
+// refresh: it waits that dimension's posted receives (in the same
+// deterministic block/segment order as the blocking swap), overwrites
+// the halo segments, applies the staged same-rank legs, and posts the
+// next dimension's legs. It returns true while later dimensions
+// remain, so a driver can interleave the drain stages with compute
+// that reads no halo data — posting each dimension as early as its
+// inputs exist keeps a neighbour's wait on this rank short.
+func (dm *Domain) FinishRefreshDim() bool {
+	if dm.refreshDim < 0 {
+		panic("decomp: FinishRefreshDim without BeginRefreshHalos")
+	}
 	d := dm.L.D
 	per := d
 	if dm.WithVel {
 		per = 2 * d
 	}
-	for dim := 0; dim < d; dim++ {
-		locals := dm.locals[:0]
-		for _, b := range dm.Blocks {
-			for side := 0; side < 2; side++ {
-				dir := 2*side - 1
-				nb, _, ok := dm.L.Neighbor(b.ID, dim, dir)
-				if !ok {
-					continue
-				}
-				idx := b.sendIdx[dim][side]
-				dstSide := 1 - side
-				f := appendParticles(b.packBuf[dim][side][:0], b, idx, d, dm.WithVel)
-				b.packBuf[dim][side] = f
-				dm.C.Compute(float64(len(idx)) * dm.packCost())
-				dstRank := dm.L.RankOfBlock(nb)
-				if dstRank == dm.C.Rank() {
-					dst := dm.Blocks[dm.slot[nb]]
-					locals = append(locals, localLeg{dst: dst, dim: dim, side: dstSide, src: b, f: f})
-				} else {
-					dm.C.Send(dstRank, dm.tagFor(phaseRefresh, nb, dim, dstSide), f, nil)
-				}
+	dim := dm.refreshDim
+	for i := range dm.pending {
+		pl := &dm.pending[i]
+		f, ids := pl.req.Wait()
+		dm.overwriteSeg(pl.b, pl.seg, f, per)
+		dm.C.FreeBuffers(f, ids)
+		pl.req.Release()
+		*pl = pendingLeg{}
+	}
+	dm.pending = dm.pending[:0]
+	for _, leg := range dm.locals {
+		dst := leg.dst
+		dm.chargeSelf(len(leg.f)/per, per)
+		for _, seg := range dst.segs {
+			if seg.dim == dim && seg.side == leg.side && seg.srcBlock == leg.src.ID && seg.srcRank == dm.C.Rank() {
+				dm.overwriteSeg(dst, seg, leg.f, per)
+				break
 			}
 		}
-		for _, b := range dm.Blocks {
-			for _, seg := range b.segs {
-				if seg.dim != dim || seg.srcRank == dm.C.Rank() {
-					continue
-				}
-				f, ids := dm.C.Recv(seg.srcRank, dm.tagFor(phaseRefresh, b.ID, seg.dim, seg.side))
-				dm.overwriteSeg(b, seg, f, per)
-				dm.C.FreeBuffers(f, ids)
+	}
+	dm.locals = dm.locals[:0]
+	if dim+1 < d {
+		dm.postRefreshDim(dim + 1)
+		dm.refreshDim = dim + 1
+		return true
+	}
+	dm.refreshDim = -1
+	return false
+}
+
+// postRefreshDim packs and sends both faces of every owned block for
+// one dimension (staging same-rank legs in dm.locals) and posts the
+// receives for that dimension's remote segments in the deterministic
+// order FinishRefreshHalos will wait on them.
+func (dm *Domain) postRefreshDim(dim int) {
+	d := dm.L.D
+	for _, b := range dm.Blocks {
+		for side := 0; side < 2; side++ {
+			dir := 2*side - 1
+			nb, _, ok := dm.L.Neighbor(b.ID, dim, dir)
+			if !ok {
+				continue
+			}
+			idx := b.sendIdx[dim][side]
+			dstSide := 1 - side
+			f := appendParticles(b.packBuf[dim][side][:0], b, idx, d, dm.WithVel)
+			b.packBuf[dim][side] = f
+			dm.C.Compute(float64(len(idx)) * dm.packCost())
+			dstRank := dm.L.RankOfBlock(nb)
+			if dstRank == dm.C.Rank() {
+				dst := dm.Blocks[dm.slot[nb]]
+				dm.locals = append(dm.locals, localLeg{dst: dst, dim: dim, side: dstSide, src: b, f: f})
+			} else {
+				dm.C.ISend(dstRank, dm.tagFor(phaseRefresh, nb, dim, dstSide), f, nil).Release()
 			}
 		}
-		for _, leg := range locals {
-			dst := leg.dst
-			dm.chargeSelf(len(leg.f)/per, per)
-			for _, seg := range dst.segs {
-				if seg.dim == dim && seg.side == leg.side && seg.srcBlock == leg.src.ID && seg.srcRank == dm.C.Rank() {
-					dm.overwriteSeg(dst, seg, leg.f, per)
-					break
-				}
+	}
+	for _, b := range dm.Blocks {
+		for _, seg := range b.segs {
+			if seg.dim != dim || seg.srcRank == dm.C.Rank() {
+				continue
 			}
+			req := dm.C.IRecv(seg.srcRank, dm.tagFor(phaseRefresh, b.ID, seg.dim, seg.side))
+			dm.pending = append(dm.pending, pendingLeg{req: req, b: b, seg: seg})
 		}
-		dm.locals = locals[:0]
 	}
 }
 

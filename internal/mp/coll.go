@@ -101,6 +101,18 @@ func combineInto(st *collState, op Op, size, n int) {
 	}
 }
 
+// nextColl claims this rank's next collective generation. Every rank
+// must enter collectives in the same order (the usual MPI contract),
+// so per-rank counters agree on which generation each entry belongs
+// to. Counting per rank rather than globally lets a rank post a
+// split-phase collective (IAllreduceInPlace) and enter further
+// collectives before waiting on it. Must be called under collMu.
+func (c *Comm) nextColl() int {
+	g := c.collSeq
+	c.collSeq++
+	return g
+}
+
 // rendezvous runs one collective: every rank deposits contrib (may be
 // nil), the last arriver combines all contributions in rank order with
 // combine (receiving the per-rank slice), and every rank leaves with a
@@ -113,7 +125,7 @@ func (c *Comm) rendezvous(contrib []float64, combine func(per [][]float64) []flo
 	w.collMu.Lock()
 	defer w.collMu.Unlock()
 
-	gen := w.collGen
+	gen := c.nextColl()
 	st := w.collAt(gen)
 	st.per[c.rank] = contrib
 	if c.clock > st.clock {
@@ -123,7 +135,6 @@ func (c *Comm) rendezvous(contrib []float64, combine func(per [][]float64) []flo
 	if st.arrived == w.size {
 		st.result = combine(st.per)
 		st.done = true
-		w.collGen++ // open the next generation
 		w.collCond.Broadcast()
 	} else {
 		for !st.done {
@@ -149,7 +160,7 @@ func (c *Comm) Barrier() {
 	w := c.w
 	w.collMu.Lock()
 	defer w.collMu.Unlock()
-	gen := w.collGen
+	gen := c.nextColl()
 	st := w.collAt(gen)
 	if c.clock > st.clock {
 		st.clock = c.clock
@@ -157,7 +168,6 @@ func (c *Comm) Barrier() {
 	st.arrived++
 	if st.arrived == w.size {
 		st.done = true
-		w.collGen++
 		w.collCond.Broadcast()
 	} else {
 		for !st.done {
@@ -185,7 +195,7 @@ func (c *Comm) AllreduceInPlace(v []float64, op Op) {
 	w.collMu.Lock()
 	defer w.collMu.Unlock()
 
-	gen := w.collGen
+	gen := c.nextColl()
 	st := w.collAt(gen)
 	st.per[c.rank] = v
 	if c.clock > st.clock {
@@ -195,7 +205,6 @@ func (c *Comm) AllreduceInPlace(v []float64, op Op) {
 	if st.arrived == w.size {
 		combineInto(st, op, w.size, len(v))
 		st.done = true
-		w.collGen++
 		w.collCond.Broadcast()
 	} else {
 		for !st.done {
@@ -232,6 +241,83 @@ func (c *Comm) AllreduceScalar(x float64, op Op) float64 {
 	c.scalar[0] = x
 	c.AllreduceInPlace(c.scalar[:], op)
 	return c.scalar[0]
+}
+
+// CollRequest is a handle on a split-phase (nonblocking) collective.
+// Complete it with Wait; the handle is recycled by Wait and must not
+// be touched afterwards.
+type CollRequest struct {
+	c     *Comm
+	st    *collState
+	gen   int
+	v     []float64
+	bytes int
+}
+
+// IAllreduceInPlace posts the allocation-free allreduce without
+// blocking: the rank's contribution (and its clock at posting time)
+// are deposited immediately, and the combine happens whenever the last
+// rank posts. The caller must not touch v until Wait returns, and
+// every rank must enter its collectives — posted or blocking — in the
+// same order. Compute performed between the post and the Wait runs
+// "during" the collective on the virtual timeline: Wait advances the
+// clock to max(own clock, completion time) rather than adding the
+// collective cost on top, which is how the drivers overlap the
+// end-of-step energy reduction with the rebuild vote.
+func (c *Comm) IAllreduceInPlace(v []float64, op Op) *CollRequest {
+	w := c.w
+	w.collMu.Lock()
+	gen := c.nextColl()
+	st := w.collAt(gen)
+	st.per[c.rank] = v
+	if c.clock > st.clock {
+		st.clock = c.clock
+	}
+	st.arrived++
+	if st.arrived == w.size {
+		combineInto(st, op, w.size, len(v))
+		st.done = true
+		w.collCond.Broadcast()
+	}
+	w.collMu.Unlock()
+	r := w.getCollReq()
+	r.c, r.st, r.gen, r.v, r.bytes = c, st, gen, v, 8*len(v)
+	return r
+}
+
+// Wait blocks until the posted collective completes, copies the
+// combined result into the posted vector and recycles the request. A
+// CollRequest is single-use: the handle returns to the world's pool
+// inside Wait, so the caller must drop it immediately after.
+func (r *CollRequest) Wait() {
+	c, st, gen, v := r.c, r.st, r.gen, r.v
+	w := c.w
+	func() {
+		w.collMu.Lock()
+		defer w.collMu.Unlock()
+		for !st.done {
+			if w.anyPanic {
+				panic("mp: collective abandoned by a panicked rank")
+			}
+			w.collCond.Wait()
+		}
+		if len(st.result) != len(v) {
+			panic(fmt.Sprintf("mp: allreduce length mismatch: combined %d, rank %d has %d", len(st.result), c.rank, len(v)))
+		}
+		copy(v, st.result)
+		if t := st.clock + w.net.CollectiveCost(w.size, r.bytes); t > c.clock {
+			c.clock = t
+		}
+		st.readers++
+		if st.readers == w.size {
+			w.recycleColl(gen, st)
+		}
+	}()
+	c.TC.Collectives++
+	*r = CollRequest{}
+	w.poolMu.Lock()
+	w.freeCollReq = append(w.freeCollReq, r)
+	w.poolMu.Unlock()
 }
 
 // Bcast distributes root's vector to every rank.

@@ -83,6 +83,56 @@ func TestRaceNonblockingOverlapsCollectives(t *testing.T) {
 	})
 }
 
+func TestRaceSplitPhaseExchangeWithSplitCollectives(t *testing.T) {
+	// The split-phase step shape: post receives and eager sends, spawn
+	// a worker goroutine that computes while the master drains the
+	// in-flight requests (the hybrid driver's StartRegion/drain split),
+	// then post TWO back-to-back in-place allreduces and wait them in
+	// order. Request and collective handles are pooled and released, so
+	// this also hammers the world's free lists under -race.
+	const P, reps = 6, 12
+	Run(P, nil, func(c *Comm) {
+		right := (c.Rank() + 1) % P
+		left := (c.Rank() + P - 1) % P
+		energy := make([]float64, 2)
+		vote := make([]float64, 1)
+		for r := 0; r < reps; r++ {
+			rq := c.IRecv(left, r)
+			c.ISend(right, r, []float64{float64(c.Rank()*1000 + r)}, nil).Release()
+
+			// Concurrent "core compute" on a worker while the master
+			// drains, mirroring the overlapped force region.
+			done := make(chan float64)
+			go func() {
+				s := 0.0
+				for i := 0; i < 1000; i++ {
+					s += float64(i % 7)
+				}
+				done <- s
+			}()
+			f, _ := rq.Wait()
+			if int(f[0]) != left*1000+r {
+				panic("split-phase payload wrong")
+			}
+			rq.Release()
+			<-done
+
+			energy[0], energy[1] = float64(c.Rank()), float64(r)
+			eReq := c.IAllreduceInPlace(energy, Sum)
+			vote[0] = float64(c.Rank() * (r + 1))
+			vReq := c.IAllreduceInPlace(vote, Max)
+			eReq.Wait()
+			if int(energy[0]) != P*(P-1)/2 || int(energy[1]) != P*r {
+				panic("split energy allreduce wrong")
+			}
+			vReq.Wait()
+			if int(vote[0]) != (P-1)*(r+1) {
+				panic("split vote allreduce wrong")
+			}
+		}
+	})
+}
+
 func TestRaceConcurrentWorlds(t *testing.T) {
 	// Several independent worlds run at once in one process; their
 	// mailboxes and collectives must not interfere.

@@ -79,7 +79,6 @@ type world struct {
 
 	collMu   sync.Mutex
 	collCond *sync.Cond
-	collGen  int
 	colls    map[int]*collState
 	freeColl []*collState // recycled collective states
 	anyPanic bool
@@ -88,10 +87,42 @@ type world struct {
 	// from here; receivers hand them back with Comm.FreeBuffers. The
 	// pool's buffer count is bounded by the in-flight high-water mark,
 	// and capacities ratchet up to the largest message seen, so the
-	// steady-state exchange allocates nothing.
-	poolMu sync.Mutex
-	poolF  [][]float64
-	poolI  [][]int32
+	// steady-state exchange allocates nothing. Request handles are
+	// pooled the same way (ISend/IRecv draw, Release / CollRequest.Wait
+	// return), so the split-phase exchange allocates nothing either.
+	poolMu      sync.Mutex
+	poolF       [][]float64
+	poolI       [][]int32
+	freeReq     []*Request
+	freeCollReq []*CollRequest
+}
+
+// getReq draws a point-to-point request handle from the pool.
+func (w *world) getReq() *Request {
+	w.poolMu.Lock()
+	if k := len(w.freeReq); k > 0 {
+		r := w.freeReq[k-1]
+		w.freeReq[k-1] = nil
+		w.freeReq = w.freeReq[:k-1]
+		w.poolMu.Unlock()
+		return r
+	}
+	w.poolMu.Unlock()
+	return new(Request)
+}
+
+// getCollReq draws a collective request handle from the pool.
+func (w *world) getCollReq() *CollRequest {
+	w.poolMu.Lock()
+	if k := len(w.freeCollReq); k > 0 {
+		r := w.freeCollReq[k-1]
+		w.freeCollReq[k-1] = nil
+		w.freeCollReq = w.freeCollReq[:k-1]
+		w.poolMu.Unlock()
+		return r
+	}
+	w.poolMu.Unlock()
+	return new(CollRequest)
 }
 
 // getF draws a float64 buffer of length n from the pool (any pooled
@@ -153,6 +184,7 @@ type Comm struct {
 	rank, size int
 	w          *world
 	clock      float64
+	collSeq    int        // this rank's next collective generation
 	byteScale  float64    // multiplier on modelled payload sizes (1 = off)
 	scalar     [1]float64 // AllreduceScalar scratch
 	TC         trace.Counters

@@ -114,6 +114,7 @@ type FusedUpdater struct {
 	sp      force.Spring
 	box     geom.Box
 	hook    func(m Method, idI, idJ int32, fi geom.Vec) geom.Vec
+	gate    *HaloGate
 	body    fusedBody
 }
 
@@ -224,14 +225,40 @@ func (b *fusedBody) RunThread(th *Thread) { b.fu.runThread(th) }
 // Accumulate runs the fused force loop in one parallel region and
 // returns the total potential energy (halo links at half weight).
 func (fu *FusedUpdater) Accumulate(tm *Team, sp force.Spring, box geom.Box) float64 {
+	fu.setupRegion(tm, sp, box, nil)
+	tm.RunRegion(&fu.body)
+	return fu.sumEpot()
+}
+
+// AccumulateStart dispatches the fused force region to the worker
+// threads and returns immediately so the rank goroutine can drain its
+// split-phase halo exchange; threads block on gate at the core/halo
+// boundary of their chunk. Complete with AccumulateFinish.
+func (fu *FusedUpdater) AccumulateStart(tm *Team, sp force.Spring, box geom.Box, gate *HaloGate) {
+	fu.setupRegion(tm, sp, box, gate)
+	tm.StartRegion(&fu.body)
+}
+
+// AccumulateFinish runs the master's share of a region begun with
+// AccumulateStart (starting no earlier than masterAt), joins the team,
+// and returns the potential energy.
+func (fu *FusedUpdater) AccumulateFinish(tm *Team, masterAt float64) float64 {
+	tm.FinishRegion(masterAt)
+	return fu.sumEpot()
+}
+
+func (fu *FusedUpdater) setupRegion(tm *Team, sp force.Spring, box geom.Box, gate *HaloGate) {
 	if tm.T != fu.T {
 		panic(fmt.Sprintf("shm: fused updater prepared for T=%d, run with T=%d", fu.T, tm.T))
 	}
 	fu.sp = sp
 	fu.box = box
 	fu.hook = PairForceHook
+	fu.gate = gate
 	fu.body.fu = fu
-	tm.RunRegion(&fu.body)
+}
+
+func (fu *FusedUpdater) sumEpot() float64 {
 	epot := 0.0
 	for _, e := range fu.epotPer {
 		epot += e
@@ -248,6 +275,10 @@ func (fu *FusedUpdater) runThread(th *Thread) {
 	var taken, avoided, nl, distSum, contacts, contactsHalo int64
 	var effLinks float64
 	hw := costs.haloWork()
+	// One gate wait suffices: the exchange delivers every block's halo
+	// before the gate opens, so after the first wait the remaining
+	// pieces' halo links are safe too.
+	gate := fu.gate
 	for pi := range fu.pieces {
 		p := &fu.pieces[pi]
 		lo := glo - fu.offsets[pi]
@@ -268,7 +299,15 @@ func (fu *FusedUpdater) runThread(th *Thread) {
 		if fu.Method == SelectedAtomic {
 			shared = fu.tables[pi].shared
 		}
+		if gate != nil && lo >= p.NCoreLinks {
+			gate.Wait(th)
+			gate = nil
+		}
 		for li := lo; li < hi; li++ {
+			if gate != nil && li == p.NCoreLinks {
+				gate.Wait(th)
+				gate = nil
+			}
 			l := p.Links[li]
 			disp := fu.box.Disp(pos[l.I], pos[l.J])
 			rel := geom.Sub(vel[l.J], vel[l.I], d)

@@ -1,0 +1,94 @@
+package shm
+
+import "sync"
+
+// HaloGate synchronises a force region's threads with the rank's
+// in-flight halo exchange. The force loop runs the block's single link
+// list (core links first) in one statically scheduled pass; a thread
+// that reaches the core/halo boundary of its chunk calls Wait and
+// blocks until the master — which dispatched the region with
+// Team.StartRegion and is draining the exchange meanwhile — calls Open
+// with the communication clock. Core links touch only core particles
+// and the exchange writes only halo storage, so threads on the core
+// side of the boundary never need the gate.
+//
+// On the virtual timeline Wait advances the thread clock to at least
+// the opening communication clock: halo data cannot be consumed before
+// it has arrived. The largest such advance is recorded as the region's
+// exposed communication time (MaxStall) — the part of the exchange the
+// core-link computation failed to hide.
+type HaloGate struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	open     bool
+	aborted  bool
+	openAt   float64
+	maxStall float64
+}
+
+// NewHaloGate returns a closed gate.
+func NewHaloGate() *HaloGate {
+	g := &HaloGate{}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Reset closes the gate for the next region. Must not race with
+// waiters (call it before StartRegion).
+func (g *HaloGate) Reset() {
+	g.mu.Lock()
+	g.open = false
+	g.aborted = false
+	g.openAt = 0
+	g.maxStall = 0
+	g.mu.Unlock()
+}
+
+// Open releases all waiting threads, stamping the communication clock
+// at which the halo data became available.
+func (g *HaloGate) Open(commClock float64) {
+	g.mu.Lock()
+	g.open = true
+	g.openAt = commClock
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// Abort releases all waiting threads with a panic; the master calls it
+// when the exchange drain dies so the region's threads cannot block
+// forever on a gate that will never open.
+func (g *HaloGate) Abort() {
+	g.mu.Lock()
+	g.aborted = true
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// Wait blocks the calling thread until the gate opens and advances its
+// virtual clock to at least the opening communication clock.
+func (g *HaloGate) Wait(th *Thread) {
+	g.mu.Lock()
+	for !g.open && !g.aborted {
+		g.cond.Wait()
+	}
+	if g.aborted {
+		g.mu.Unlock()
+		panic("shm: halo gate abandoned by a failed exchange")
+	}
+	if g.openAt > th.clock {
+		if s := g.openAt - th.clock; s > g.maxStall {
+			g.maxStall = s
+		}
+		th.clock = g.openAt
+	}
+	g.mu.Unlock()
+}
+
+// MaxStall returns the largest clock advance any thread paid at the
+// gate since the last Reset — the exposed (un-hidden) communication
+// time of the overlapped region. Call after the region joins.
+func (g *HaloGate) MaxStall() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.maxStall
+}

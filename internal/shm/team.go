@@ -147,6 +147,10 @@ type Team struct {
 	started bool       // workers spawned
 	closed  bool
 
+	// pendingBody is the body dispatched by StartRegion, held until
+	// FinishRegion runs the master's share and joins.
+	pendingBody RegionBody
+
 	// Reused bodies for the allocation-free kernel entry points
 	// (kernels.go, fused.go).
 	kZero   zeroForcesBody
@@ -218,6 +222,17 @@ func (tm *Team) Region(body func(th *Thread)) { tm.RunRegion(funcBody(body)) }
 // resets the barrier and the per-particle lock owners are re-zeroed by
 // the updaters' Prepare.
 func (tm *Team) RunRegion(body RegionBody) {
+	tm.StartRegion(body)
+	tm.FinishRegion(tm.clock)
+}
+
+// StartRegion dispatches body to the worker threads (1..T-1) but does
+// NOT run the master's share: the caller returns immediately to do
+// other work — draining a halo exchange while the workers run the
+// core-link part of the force loop — and must call FinishRegion to run
+// thread 0's share and join. Between the two calls the master must not
+// enter another region.
+func (tm *Team) StartRegion(body RegionBody) {
 	start := tm.clock
 	tm.bar.reset()
 	for _, th := range tm.threads {
@@ -244,6 +259,26 @@ func (tm *Team) RunRegion(body RegionBody) {
 		tm.gen++
 		tm.runC.Broadcast()
 		tm.runMu.Unlock()
+	}
+	tm.pendingBody = body
+}
+
+// FinishRegion completes a region begun with StartRegion: the master
+// runs thread 0's share starting no earlier than masterAt on the
+// virtual timeline (the communication clock after an overlapped
+// drain — the master CPU was busy with the exchange until then), waits
+// for the workers, merges clocks and counters, and re-raises any
+// thread panic. RunRegion passes the region start, making the pair
+// equivalent to the former inline form.
+func (tm *Team) FinishRegion(masterAt float64) {
+	body := tm.pendingBody
+	if body == nil {
+		panic("shm: FinishRegion without StartRegion")
+	}
+	tm.pendingBody = nil
+	start := tm.threads[0].clock
+	if masterAt > start {
+		tm.threads[0].clock = masterAt
 	}
 	tm.runBody(body, tm.threads[0])
 	if tm.T > 1 {

@@ -261,6 +261,13 @@ type accArgs struct {
 	hook       func(m Method, idI, idJ int32, fi geom.Vec) geom.Vec
 	priv       [][]float64
 	words      int
+
+	// gate, when non-nil, blocks each thread at the core/halo link
+	// boundary of its chunk until the rank's split-phase halo exchange
+	// has landed (overlapped force path). Iteration order is unchanged:
+	// the gate is a pause inside the same single loop, so the conflict
+	// table and the accumulation order stay valid.
+	gate *HaloGate
 }
 
 // scalarBody runs the per-update protection methods (atomic,
@@ -286,6 +293,31 @@ func (b *reduceBody) RunThread(th *Thread) { b.u.reduceThread(th) }
 // over threads and invalidate the table, which is why Accumulate
 // panics when the team size or link count differs from Prepare's.
 func (u *Updater) Accumulate(tm *Team, sp force.Spring, ps *particle.Store, links []cell.Link, nCoreLinks, nCore int, box geom.Box) float64 {
+	tm.RunRegion(u.setupRegion(tm, sp, ps, links, nCoreLinks, nCore, box, nil))
+	return u.sumEpot()
+}
+
+// AccumulateStart dispatches the force region to the worker threads
+// and returns without running the master's share: the rank goroutine
+// is free to drain its split-phase halo exchange while threads 1..T-1
+// chew through the core links. Threads reaching the core/halo boundary
+// block on gate until the caller opens it; the caller then completes
+// the region with AccumulateFinish.
+func (u *Updater) AccumulateStart(tm *Team, sp force.Spring, ps *particle.Store, links []cell.Link, nCoreLinks, nCore int, box geom.Box, gate *HaloGate) {
+	tm.StartRegion(u.setupRegion(tm, sp, ps, links, nCoreLinks, nCore, box, gate))
+}
+
+// AccumulateFinish runs the master's share of a region begun with
+// AccumulateStart — starting no earlier than masterAt on the virtual
+// timeline — joins the team, and returns the potential energy.
+func (u *Updater) AccumulateFinish(tm *Team, masterAt float64) float64 {
+	tm.FinishRegion(masterAt)
+	return u.sumEpot()
+}
+
+// setupRegion validates the call against Prepare, stores the region
+// inputs, and returns the reused body for the updater's method.
+func (u *Updater) setupRegion(tm *Team, sp force.Spring, ps *particle.Store, links []cell.Link, nCoreLinks, nCore int, box geom.Box, gate *HaloGate) RegionBody {
 	if tm.T != u.preparedT || len(links) != u.preparedLinks {
 		panic(fmt.Sprintf("shm: updater prepared for T=%d over %d links, run with T=%d over %d links",
 			u.preparedT, u.preparedLinks, tm.T, len(links)))
@@ -298,23 +330,27 @@ func (u *Updater) Accumulate(tm *Team, sp force.Spring, ps *particle.Store, link
 		nCore:      nCore,
 		box:        box,
 		hook:       PairForceHook,
+		gate:       gate,
 	}
 
 	switch u.Method {
 	case Atomic, SelectedAtomic, Unprotected:
 		u.scalarB.u = u
-		tm.RunRegion(&u.scalarB)
+		return &u.scalarB
 
 	case CriticalReduction, Stripe, Transpose:
 		u.args.words = ps.Len() * ps.D
 		u.args.priv = u.ensurePriv(tm.T, u.args.words)
 		u.reduceB.u = u
-		tm.RunRegion(&u.reduceB)
+		return &u.reduceB
 
 	default:
 		panic(fmt.Sprintf("shm: unknown update method %v", u.Method))
 	}
+}
 
+// sumEpot folds the per-thread potential-energy partials.
+func (u *Updater) sumEpot() float64 {
 	epot := 0.0
 	for _, e := range u.epotPer {
 		epot += e
@@ -334,7 +370,16 @@ func (u *Updater) scalarThread(th *Thread) {
 	epot := 0.0
 	var taken, avoided, distSum, contacts, contactsHalo int64
 	pos, vel, frc, ids := a.ps.Pos, a.ps.Vel, a.ps.Frc, a.ps.ID
+	gate := a.gate
+	if gate != nil && lo >= a.nCoreLinks {
+		gate.Wait(th)
+		gate = nil
+	}
 	for li := lo; li < hi; li++ {
+		if gate != nil && li == a.nCoreLinks {
+			gate.Wait(th)
+			gate = nil
+		}
 		l := a.links[li]
 		disp := a.box.Disp(pos[l.I], pos[l.J])
 		rel := geom.Sub(vel[l.J], vel[l.I], d)
@@ -394,7 +439,16 @@ func (u *Updater) reduceThread(th *Thread) {
 	var distSum, contacts, contactsHalo int64
 	pos, vel, ids := a.ps.Pos, a.ps.Vel, a.ps.ID
 	mine := a.priv[th.ID]
+	gate := a.gate
+	if gate != nil && lo >= a.nCoreLinks {
+		gate.Wait(th)
+		gate = nil
+	}
 	for li := lo; li < hi; li++ {
+		if gate != nil && li == a.nCoreLinks {
+			gate.Wait(th)
+			gate = nil
+		}
 		l := a.links[li]
 		disp := a.box.Disp(pos[l.I], pos[l.J])
 		rel := geom.Sub(vel[l.J], vel[l.I], d)

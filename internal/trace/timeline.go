@@ -95,6 +95,7 @@ var phaseGlyphs = map[string]byte{
 	"force":   '#',
 	"update":  '+',
 	"rebuild": 'R',
+	"overlap": 'o',
 }
 
 // Render draws an ASCII Gantt chart of the first maxSpansPerRank
@@ -142,7 +143,7 @@ func (tl *Timeline) Render(width int) string {
 		}
 	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "virtual time %.6fs .. %.6fs  (~ comm, # force, + update, R rebuild)\n", tmin, tmax)
+	fmt.Fprintf(&sb, "virtual time %.6fs .. %.6fs  (~ comm, # force, + update, R rebuild, o overlapped comm)\n", tmin, tmax)
 	for r, row := range rows {
 		fmt.Fprintf(&sb, "rank %2d |%s|\n", r, row)
 	}

@@ -19,9 +19,12 @@ type Variant struct {
 // matrix: serial, OpenMP under all five force-update strategies, MPI,
 // and hybrid under all five strategies — each with reordering both on
 // and off — plus the fused hybrid loop for the two strategies it
-// supports. The base's physics (box, springs, bonds, gravity, initial
-// state) is preserved; mode, P, T, B/P, Method, Fused and Reorder are
-// overridden per variant.
+// supports. The distributed variants run with the split-phase
+// (overlapped) halo exchange, the production default; a "/sync" row
+// per distributed shape repeats the run with the synchronous exchange
+// so both protocols face the serial oracle. The base's physics (box,
+// springs, bonds, gravity, initial state) is preserved; mode, P, T,
+// B/P, Method, Fused, Reorder and Overlap are overridden per variant.
 func Matrix(base core.Config) []Variant {
 	var out []Variant
 	add := func(name string, mutate func(*core.Config)) {
@@ -30,6 +33,7 @@ func Matrix(base core.Config) []Variant {
 		cfg.P, cfg.T = 1, 1
 		cfg.BlocksPerProc = 1
 		cfg.Fused = false
+		cfg.Overlap = true
 		mutate(&cfg)
 		out = append(out, Variant{Name: name, Cfg: cfg})
 	}
@@ -67,16 +71,44 @@ func Matrix(base core.Config) []Variant {
 			})
 		}
 	}
-	for _, m := range []shm.Method{shm.Atomic, shm.SelectedAtomic} {
+	// Synchronous-exchange baselines of the distributed shapes (one
+	// reorder setting suffices: the exchange protocol is orthogonal to
+	// the reorder pass).
+	add("mpi/sync", func(c *core.Config) {
+		c.Mode = core.MPI
+		c.P = 2
+		c.BlocksPerProc = 2
+		c.Reorder = true
+		c.Overlap = false
+	})
+	for _, m := range shm.Methods {
 		m := m
-		add("hybrid/"+m.String()+"/fused", func(c *core.Config) {
+		add("hybrid/"+m.String()+"/sync", func(c *core.Config) {
 			c.Mode = core.Hybrid
 			c.P, c.T = 2, 2
 			c.BlocksPerProc = 2
 			c.Method = m
-			c.Fused = true
 			c.Reorder = true
+			c.Overlap = false
 		})
+	}
+	for _, sync := range []bool{false, true} {
+		suffix := ""
+		if sync {
+			suffix = "/sync"
+		}
+		for _, m := range []shm.Method{shm.Atomic, shm.SelectedAtomic} {
+			m := m
+			add("hybrid/"+m.String()+"/fused"+suffix, func(c *core.Config) {
+				c.Mode = core.Hybrid
+				c.P, c.T = 2, 2
+				c.BlocksPerProc = 2
+				c.Method = m
+				c.Fused = true
+				c.Reorder = true
+				c.Overlap = !sync
+			})
+		}
 	}
 	return out
 }

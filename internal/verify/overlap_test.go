@@ -1,0 +1,81 @@
+package verify
+
+import (
+	"testing"
+
+	"hybriddem/internal/core"
+	"hybriddem/internal/shm"
+)
+
+// TestOverlapBitIdenticalToSync is the acceptance oracle of the
+// split-phase halo exchange: overlapping communication with the
+// core-link force pass reschedules work but reassociates no
+// floating-point operation, so the trajectory must match the
+// synchronous exchange bit for bit — not merely within tolerance.
+// Shapes cover MPI at two decompositions, both deterministic hybrid
+// reductions at T=2, the lock-based strategies at T=1 (their lock
+// acquisition order is only deterministic single-threaded), the fused
+// loop, and a damped system whose halos carry velocities.
+func TestOverlapBitIdenticalToSync(t *testing.T) {
+	type shape struct {
+		name   string
+		kind   Kind
+		mutate func(*core.Config)
+	}
+	shapes := []shape{
+		{"mpi/p2-bpp2", Uniform, func(c *core.Config) {
+			c.Mode = core.MPI
+			c.P, c.BlocksPerProc = 2, 2
+		}},
+		{"mpi/p4", Uniform, func(c *core.Config) {
+			c.Mode = core.MPI
+			c.P = 4
+		}},
+		{"mpi/p2-damped", Clustered, func(c *core.Config) {
+			c.Mode = core.MPI
+			c.P, c.BlocksPerProc = 2, 2
+			c.Spring.Damp = 2
+		}},
+		{"hybrid/stripe-t2", Uniform, func(c *core.Config) {
+			c.Mode = core.Hybrid
+			c.P, c.T, c.BlocksPerProc = 2, 2, 2
+			c.Method = shm.Stripe
+		}},
+		{"hybrid/transpose-t2", Uniform, func(c *core.Config) {
+			c.Mode = core.Hybrid
+			c.P, c.T, c.BlocksPerProc = 2, 2, 2
+			c.Method = shm.Transpose
+		}},
+		{"hybrid/selected-atomic-t1", Uniform, func(c *core.Config) {
+			c.Mode = core.Hybrid
+			c.P, c.T, c.BlocksPerProc = 2, 1, 2
+			c.Method = shm.SelectedAtomic
+		}},
+		{"hybrid/fused-selected-atomic-t1", Uniform, func(c *core.Config) {
+			c.Mode = core.Hybrid
+			c.P, c.T, c.BlocksPerProc = 2, 1, 2
+			c.Method = shm.SelectedAtomic
+			c.Fused = true
+		}},
+	}
+	for _, s := range shapes {
+		s := s
+		t.Run(s.name, func(t *testing.T) {
+			cfg := testScenario(t, s.kind, 2, 200, 17)
+			s.mutate(&cfg)
+			cfg.Overlap = false
+			sync, err := Capture(cfg, 20)
+			if err != nil {
+				t.Fatalf("sync run: %v", err)
+			}
+			cfg.Overlap = true
+			ovl, err := Capture(cfg, 20)
+			if err != nil {
+				t.Fatalf("overlap run: %v", err)
+			}
+			if div := CompareExact(sync, ovl); div != nil {
+				t.Fatalf("overlap trajectory differs from synchronous: %s", div)
+			}
+		})
+	}
+}

@@ -124,6 +124,39 @@ func Compare(box geom.Box, a, b *Trajectory, tol float64) (*Divergence, float64)
 	return first, maxDev
 }
 
+// CompareExact demands bitwise equality of two trajectories: every
+// position and velocity component of every particle at every step must
+// be the identical float64. It is the oracle for transformations that
+// only reschedule work without reassociating any floating-point
+// operation — the split-phase halo exchange must pass it against the
+// synchronous exchange, since overlapping communication with the
+// core-link pass changes when data moves, never what is computed.
+func CompareExact(a, b *Trajectory) *Divergence {
+	if len(a.Steps) != len(b.Steps) {
+		return &Divergence{Step: min(len(a.Steps), len(b.Steps)), Field: "length",
+			Dev: math.Abs(float64(len(a.Steps) - len(b.Steps)))}
+	}
+	for s := range a.Steps {
+		sa, sb := a.Steps[s], b.Steps[s]
+		if len(sa.Pos) != len(sb.Pos) {
+			return &Divergence{Step: s, Field: "length"}
+		}
+		for i := range sa.Pos {
+			for k := 0; k < geom.MaxD; k++ {
+				if sa.Pos[i][k] != sb.Pos[i][k] {
+					return &Divergence{Step: s, Particle: i, Field: "pos", Component: k,
+						A: sa.Pos[i][k], B: sb.Pos[i][k], Dev: math.Abs(sa.Pos[i][k] - sb.Pos[i][k])}
+				}
+				if sa.Vel[i][k] != sb.Vel[i][k] {
+					return &Divergence{Step: s, Particle: i, Field: "vel", Component: k,
+						A: sa.Vel[i][k], B: sb.Vel[i][k], Dev: math.Abs(sa.Vel[i][k] - sb.Vel[i][k])}
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // localize pins the divergence at (step s, particle i) to the worse of
 // the two fields and its largest component.
 func localize(box geom.Box, sa, sb Step, s, i int, dp, dv float64) *Divergence {
