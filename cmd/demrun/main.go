@@ -43,8 +43,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rc       = fs.Float64("rc", 1.5, "cutoff factor rc/rmax")
 		method   = fs.String("method", "selected-atomic", "atomic | selected-atomic | critical-reduction | stripe | transpose")
 		fused    = fs.Bool("fused", false, "fuse the hybrid force loop into one region (Section 11)")
+		rebal    = fs.Bool("rebalance", false, "dynamic block-to-rank load balancing at list rebuilds (MPI/hybrid)")
 		platform = fs.String("platform", "CPQ", "virtual platform: Sun | T3E | CPQ | none")
-		iters    = fs.Int("iters", 10, "measured iterations")
+		iters    = fs.Int("iters", 10, "measured iterations (cumulative total when resuming with -load)")
 		warmup   = fs.Int("warmup", 2, "warm-up iterations")
 		seed     = fs.Int64("seed", 1, "random seed")
 		noreord  = fs.Bool("noreorder", false, "disable cache particle reordering")
@@ -88,6 +89,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.P, cfg.T = *p, *t
 	cfg.BlocksPerProc = *bpp
 	cfg.Fused = *fused
+	cfg.Rebalance = *rebal
 	cfg.Warmup = *warmup
 	cfg.Gravity = *gravity
 	cfg.FillHeight = *fill
@@ -154,21 +156,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *save != "" || *export != "" {
 		cfg.CollectState = true
 	}
+	// -iters counts cumulative iterations: a resumed run executes only
+	// the remainder, so "run N; save; load; run to N+M" reproduces one
+	// unbroken N+M run. The saved state already includes the original
+	// warm-up, so a resume must not warm up again — extra unmeasured
+	// steps would silently advance the physics past the requested total.
+	done := 0
+	runIters := *iters
 	if *load != "" {
-		if _, err := hybriddem.LoadCheckpoint(*load, &cfg); err != nil {
+		snap, err := hybriddem.LoadCheckpoint(*load, &cfg)
+		if err != nil {
 			fmt.Fprintln(stderr, "demrun:", err)
 			return 1
 		}
+		done = snap.Iters
+		runIters = *iters - done
+		if runIters <= 0 {
+			fmt.Fprintf(stderr, "demrun: checkpoint %s already holds %d iterations; -iters %d leaves nothing to run\n",
+				*load, done, *iters)
+			return 2
+		}
+		cfg.Warmup = 0
 	}
 
-	res, err := hybriddem.Run(cfg, *iters)
+	res, err := hybriddem.Run(cfg, runIters)
 	if err != nil {
 		fmt.Fprintln(stderr, "demrun:", err)
 		return 1
 	}
 
 	if *save != "" {
-		if err := hybriddem.SaveCheckpoint(*save, &cfg, res, *iters); err != nil {
+		if err := hybriddem.SaveCheckpoint(*save, &cfg, res, done+res.Iters); err != nil {
 			fmt.Fprintln(stderr, "demrun:", err)
 			return 1
 		}
@@ -182,14 +200,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "exported       %s\n", *export)
 	}
 
-	fmt.Fprintf(stdout, "mode            %v (P=%d, T=%d, B/P=%d)\n", cfg.Mode, cfg.P, cfg.T, cfg.BlocksPerProc)
+	balance := ""
+	if cfg.Rebalance {
+		balance = ", rebalance"
+	}
+	fmt.Fprintf(stdout, "mode            %v (P=%d, T=%d, B/P=%d%s)\n", cfg.Mode, cfg.P, cfg.T, cfg.BlocksPerProc, balance)
 	fmt.Fprintf(stdout, "system          D=%d, N=%d, L=%.4g, rc=%.3g, %v\n", cfg.D, cfg.N, cfg.L, cfg.RC(), cfg.BC)
 	if cfg.Platform != nil {
 		fmt.Fprintf(stdout, "platform        %s (%d nodes x %d CPUs)\n", cfg.Platform.Name, cfg.Platform.Nodes, cfg.Platform.CPUsPerNode)
 	}
-	fmt.Fprintf(stdout, "iterations      %d measured after %d warm-up\n", res.Iters, cfg.Warmup)
-	fmt.Fprintf(stdout, "model time/iter %.6f s  (force %.6f, update %.6f, comm %.6f)\n",
-		res.PerIter, res.ForceTime, res.UpdateTime, res.CommTime)
+	if done > 0 {
+		fmt.Fprintf(stdout, "iterations      %d cumulative (%d restored + %d new)\n", done+res.Iters, done, res.Iters)
+	} else {
+		fmt.Fprintf(stdout, "iterations      %d measured after %d warm-up\n", res.Iters, cfg.Warmup)
+	}
+	fmt.Fprintf(stdout, "model time/iter %.6f s  (force %.6f, update %.6f, comm %.6f, coll %.6f)\n",
+		res.PerIter, res.ForceTime, res.UpdateTime, res.CommTime, res.CollTime)
 	fmt.Fprintf(stdout, "wall time/iter  %.6f s\n", res.Wall.Seconds()/float64(res.Iters))
 	fmt.Fprintf(stdout, "energy          potential %.6g, kinetic %.6g\n", res.Epot, res.Ekin)
 	fmt.Fprintf(stdout, "links           %d (mean index distance %.0f)\n", res.NLinks, res.MeanLinkDist)

@@ -2,9 +2,13 @@ package main
 
 import (
 	"bytes"
+	"math"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"hybriddem/internal/checkpoint"
+	"hybriddem/internal/geom"
 )
 
 func TestRunSerialSmoke(t *testing.T) {
@@ -26,6 +30,8 @@ func TestRunAllModesSmoke(t *testing.T) {
 		{"-d", "2", "-n", "400", "-mode", "mpi", "-p", "2", "-bpp", "2", "-iters", "2"},
 		{"-d", "2", "-n", "400", "-mode", "hybrid", "-p", "2", "-t", "2", "-iters", "2", "-method", "stripe"},
 		{"-d", "2", "-n", "400", "-mode", "serial", "-walls", "-gravity", "-10", "-fill", "0.3", "-iters", "2"},
+		{"-d", "2", "-n", "400", "-mode", "mpi", "-p", "2", "-bpp", "4", "-iters", "2",
+			"-rebalance", "-walls", "-gravity", "-10", "-fill", "0.3"},
 	} {
 		var out, errb bytes.Buffer
 		if code := run(args, &out, &errb); code != 0 {
@@ -40,7 +46,7 @@ func TestRunVerifyFlag(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-verify exit %d, stderr: %s\nstdout: %s", code, errb.String(), out.String())
 	}
-	if !strings.Contains(out.String(), "all 34 variants agree") {
+	if !strings.Contains(out.String(), "all 38 variants agree") {
 		t.Errorf("conformance report missing verdict:\n%s", out.String())
 	}
 }
@@ -53,8 +59,66 @@ func TestRunCheckpointRoundTrip(t *testing.T) {
 	}
 	out.Reset()
 	errb.Reset()
-	if code := run([]string{"-d", "2", "-n", "400", "-iters", "2", "-load", ck}, &out, &errb); code != 0 {
+	// -iters is cumulative: the checkpoint holds 2 iterations, so
+	// resuming towards a total of 4 runs 2 more.
+	if code := run([]string{"-d", "2", "-n", "400", "-iters", "4", "-load", ck}, &out, &errb); code != 0 {
 		t.Fatalf("load exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "4 cumulative (2 restored + 2 new)") {
+		t.Errorf("resume did not report cumulative iterations:\n%s", out.String())
+	}
+	out.Reset()
+	errb.Reset()
+	// A total at or below the checkpoint's progress leaves nothing to
+	// run and must be refused.
+	if code := run([]string{"-d", "2", "-n", "400", "-iters", "2", "-load", ck}, &out, &errb); code != 2 {
+		t.Errorf("exhausted resume exit %d, want 2: %s", code, errb.String())
+	}
+}
+
+// TestRunResumeMatchesUnbrokenRun: "run 3, save, load, run to 6" must
+// land on the same state as one unbroken 6-iteration run. This guards
+// the -load accounting: before -iters became cumulative, the resumed
+// leg re-ran the full count (and re-warmed), overshooting the
+// requested trajectory.
+func TestRunResumeMatchesUnbrokenRun(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.gob")
+	half := filepath.Join(dir, "half.gob")
+	resumed := filepath.Join(dir, "resumed.gob")
+	base := []string{"-d", "2", "-n", "300", "-warmup", "1", "-vel", "1"}
+	runOK := func(extra ...string) string {
+		t.Helper()
+		var out, errb bytes.Buffer
+		if code := run(append(append([]string{}, base...), extra...), &out, &errb); code != 0 {
+			t.Fatalf("%v: exit %d: %s", extra, code, errb.String())
+		}
+		return out.String()
+	}
+	runOK("-iters", "6", "-save", full)
+	runOK("-iters", "3", "-save", half)
+	runOK("-iters", "6", "-load", half, "-save", resumed)
+
+	want, err := checkpoint.LoadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := checkpoint.LoadFile(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Iters != 6 || got.Iters != 6 {
+		t.Fatalf("cumulative iteration counts: unbroken %d, resumed %d, want 6", want.Iters, got.Iters)
+	}
+	box := geom.NewBox(2, want.L, want.BC)
+	maxd := 0.0
+	for i := range want.Pos {
+		if d := math.Sqrt(box.Dist2(want.Pos[i], got.Pos[i])); d > maxd {
+			maxd = d
+		}
+	}
+	if maxd > 1e-8 {
+		t.Errorf("resumed run deviates from the unbroken run by %g", maxd)
 	}
 }
 

@@ -36,6 +36,12 @@ type Options struct {
 	// formulation). X7 ignores it: that experiment sweeps both settings
 	// by construction.
 	NoOverlap bool
+
+	// Rebalance enables dynamic block→rank load balancing in every
+	// distributed run. X8 ignores it: that experiment sweeps both
+	// settings by construction. Off by default, keeping the suite's
+	// output identical to the static deal.
+	Rebalance bool
 }
 
 func (o Options) withDefaults() Options {
@@ -98,6 +104,7 @@ func (o Options) config(d int, rcFactor float64, pf *machine.Platform, reorder b
 	cfg.ModelN = o.ModelN
 	cfg.Warmup = o.Warmup
 	cfg.Overlap = !o.NoOverlap
+	cfg.Rebalance = o.Rebalance
 	return cfg
 }
 
@@ -195,6 +202,7 @@ var All = []Experiment{
 	{"X5", "halo machinery ablations: indexed datatypes and the same-rank fast path", ExtraHaloMachinery},
 	{"X6", "extension: the clustered workload run directly (granularity vs hybrid balance)", ExtraClusteredWorkload},
 	{"X7", "extension: split-phase halo exchange — communication hidden by the core-link pass", ExtraOverlap},
+	{"X8", "extension: dynamic block→rank load balancing on the clustered bed", ExtraRebalance},
 }
 
 // ByID finds an experiment.

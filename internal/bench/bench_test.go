@@ -366,3 +366,54 @@ func TestSyncOverheadReportShape(t *testing.T) {
 		t.Errorf("total sync not growing with B/P: %g -> %g", firstTotal, lastTotal)
 	}
 }
+
+// TestRebalanceGates: X8's acceptance properties. On the clustered bed
+// the dynamic balancer at coarse granularity (B/P <= 4) must reach a
+// modelled time at least as good as the best static configuration at
+// any granularity, and at every swept granularity where whole-block
+// migration can act (B > P) the per-rank load imbalance must drop
+// relative to the static deal at the same B/P. At B/P=1 each rank owns
+// exactly one block, so any re-deal is a permutation: the rebalanced
+// run must match the static one exactly (and in particular must not
+// churn blocks for no gain).
+func TestRebalanceGates(t *testing.T) {
+	rep := ExtraRebalance(tiny())
+
+	cols := []string{"B/P=1", "2", "4", "8", "16", "32"}
+	bestStatic, bestRebal := 0.0, 0.0
+	for _, col := range cols {
+		if v := cellFloat(t, rep, "static", col); v > bestStatic {
+			bestStatic = v
+		}
+	}
+	for _, row := range []string{"rebalance", "imbalance-rebalance"} {
+		statRow := map[string]string{"rebalance": "static", "imbalance-rebalance": "imbalance-static"}[row]
+		s, _ := rep.Cell(statRow, "B/P=1")
+		r, _ := rep.Cell(row, "B/P=1")
+		if r != s {
+			t.Errorf("B/P=1: rebalanced run diverged from static (%s %q vs %s %q) — one block per rank leaves nothing to move", row, r, statRow, s)
+		}
+	}
+	for _, col := range cols[:3] {
+		if v := cellFloat(t, rep, "rebalance", col); v > bestRebal {
+			bestRebal = v
+		}
+		si := cellFloat(t, rep, "imbalance-static", col)
+		ri := cellFloat(t, rep, "imbalance-rebalance", col)
+		if col != "B/P=1" && ri >= si {
+			t.Errorf("%s: rebalancing did not reduce the load imbalance (static %.2f, rebalance %.2f)", col, si, ri)
+		}
+		if ri < 1 {
+			t.Errorf("%s: impossible imbalance ratio %.2f (max/mean < 1)", col, ri)
+		}
+	}
+	// Speedups are printed to 2 decimals; allow that rounding.
+	if bestRebal < bestStatic-0.01 {
+		t.Errorf("best rebalanced time (%.2fx at B/P<=4) worse than best static (%.2fx)", bestRebal, bestStatic)
+	}
+	for _, col := range cols[3:] {
+		if s, ok := rep.Cell("rebalance", col); !ok || s != "-" {
+			t.Errorf("rebalance row should not sweep %s (got %q)", col, s)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+
+	"hybriddem/internal/core"
+	"hybriddem/internal/geom"
+	"hybriddem/internal/machine"
+	"hybriddem/internal/shm"
+)
+
+// ExtraRebalance extends X6's clustered bed with the dynamic
+// block→rank load balancer. The static block-cyclic deal can only fix
+// the idle top-of-box processes by refining B/P until the granularity
+// overheads of Figure 3 take over; the rebalancer instead measures
+// per-block cost at every list rebuild and re-deals whole blocks to
+// ranks with an LPT heuristic, so a coarse decomposition reaches the
+// balance that the static map needs many more, smaller blocks to
+// approximate. Two row groups:
+//
+//   - speedup over the naive static decomposition (B/P=1), for the
+//     static sweep of X6 and the rebalanced sweep at coarse
+//     granularity (B/P <= 4 — beyond that the static map is already
+//     fine enough to balance and the sweeps converge);
+//   - the per-rank load imbalance ratio max/mean of the same runs,
+//     the quantity the rebalancer actually drives down.
+//
+// Unlike X1–X7 this figure models the measured system at its own
+// scale (ModelN = N) instead of extrapolating to the 10^6-particle
+// target. The extrapolation scales all surface quantities by
+// (ModelN/N)^((D-1)/D)/(ModelN/N) < 1, so cutting a core link at a
+// new block boundary — one pair computation becoming two halo-link
+// computations, the defining cost of granularity refinement — would
+// be charged *less* than the single core link it replaces, and the
+// granularity/balance trade-off this figure studies would be decided
+// by the rescale rather than by the decomposition. At the measured
+// scale a split pair honestly costs two.
+func ExtraRebalance(o Options) *Report {
+	o = o.lockSensitive().withDefaults()
+	o.ModelN = o.N
+	pf := machine.CompaqES40()
+	const d = 2
+	const p = 16
+	staticSweep := []int{1, 2, 4, 8, 16, 32}
+	rebalSweep := []int{1, 2, 4}
+	rep := &Report{
+		ID:     "X8",
+		Title:  "dynamic load balancing on the clustered bed (bottom 25%), Compaq cluster, MPI P=16, D=2",
+		Header: []string{"series", "B/P=1", "2", "4", "8", "16", "32", "best"},
+	}
+
+	build := func(bpp int, rebalance bool) core.Config {
+		cfg := o.config(d, 1.5, pf, true)
+		cfg.BC = geom.Reflecting
+		cfg.FillHeight = 0.25
+		cfg.Gravity = -20
+		cfg.Mode = core.MPI
+		cfg.P = p
+		cfg.BlocksPerProc = bpp
+		cfg.Method = shm.SelectedAtomic
+		cfg.Rebalance = rebalance
+		return cfg
+	}
+
+	type run struct {
+		t, imb float64
+	}
+	measure := func(sweep []int, rebalance bool) map[int]run {
+		out := make(map[int]run, len(sweep))
+		for _, bpp := range sweep {
+			res := mustRun(build(bpp, rebalance), o.iters(d))
+			out[bpp] = run{t: res.PerIter, imb: res.Imbalance}
+		}
+		return out
+	}
+	static := measure(staticSweep, false)
+	rebal := measure(rebalSweep, true)
+	tRef := static[1].t
+
+	speedupRow := func(name string, runs map[int]run) {
+		row := []string{name}
+		bestBpp, bestT := 0, 0.0
+		for _, bpp := range staticSweep {
+			r, ok := runs[bpp]
+			if !ok {
+				row = append(row, "-")
+				continue
+			}
+			if bestT == 0 || r.t < bestT {
+				bestBpp, bestT = bpp, r.t
+			}
+			row = append(row, f2(tRef/r.t))
+		}
+		row = append(row, fmt.Sprintf("B/P=%d (%.2fx)", bestBpp, tRef/bestT))
+		rep.Rows = append(rep.Rows, row)
+	}
+	imbalanceRow := func(name string, runs map[int]run) {
+		row := []string{name}
+		for _, bpp := range staticSweep {
+			if r, ok := runs[bpp]; ok {
+				row = append(row, f2(r.imb))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rep.Rows = append(rep.Rows, append(row, "-"))
+	}
+	speedupRow("static", static)
+	speedupRow("rebalance", rebal)
+	imbalanceRow("imbalance-static", static)
+	imbalanceRow("imbalance-rebalance", rebal)
+
+	rep.Notes = append(rep.Notes,
+		"speedup rows are relative to the naive static decomposition (B/P=1); imbalance rows are max/mean per-rank load (1.00 = perfect)",
+		"the rebalancer sweeps only B/P <= 4: its point is reaching balance at coarse granularity, where whole-block migration has room to work",
+		"at B/P=1 every rank owns a single block, which whole-block migration cannot split, so the rebalanced run matches the static one exactly",
+		"modelled at the measured scale (ModelN = N): the 10^6-target rescale of X1-X7 discounts the duplicated boundary-pair work that granularity refinement costs, the very overhead this figure trades against balance",
+		"trajectories are bit-identical to the static deal — the balancer moves bookkeeping, not physics")
+	return rep
+}

@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"hybriddem/internal/core"
+	"hybriddem/internal/force"
 	"hybriddem/internal/geom"
 )
 
@@ -24,6 +25,21 @@ type Snapshot struct {
 	L        float64
 	BC       geom.Boundary
 	Diameter float64
+
+	// Full force law and integration parameters: a resumed run must
+	// not silently continue under different physics, so Apply rejects
+	// any mismatch against the restoring configuration.
+	K          float64 // contact spring stiffness
+	Damp       float64 // contact normal damping
+	Hertz      bool    // Hertzian contact law instead of the linear spring
+	Dt         float64 // time step
+	Gravity    float64 // body force along the last dimension
+	FillHeight float64 // initial-bed fill fraction (provenance of Init)
+
+	// Bonds carries the composite-grain bond table, nil for runs of
+	// free particles. It is keyed by persistent particle ID, so it
+	// survives reordering and migration unchanged.
+	Bonds *force.BondTable
 
 	// Progress bookkeeping.
 	Iters int // iterations completed when the snapshot was taken
@@ -41,10 +57,17 @@ func FromResult(cfg *core.Config, res *core.Result, itersDone int) (*Snapshot, e
 	}
 	return &Snapshot{
 		D: cfg.D, N: cfg.N, L: cfg.L, BC: cfg.BC,
-		Diameter: cfg.Spring.Diameter,
-		Iters:    itersDone,
-		Pos:      res.Pos,
-		Vel:      res.Vel,
+		Diameter:   cfg.Spring.Diameter,
+		K:          cfg.Spring.K,
+		Damp:       cfg.Spring.Damp,
+		Hertz:      cfg.Spring.Hertz,
+		Dt:         cfg.Dt,
+		Gravity:    cfg.Gravity,
+		FillHeight: cfg.FillHeight,
+		Bonds:      cfg.Spring.Bonds,
+		Iters:      itersDone,
+		Pos:        res.Pos,
+		Vel:        res.Vel,
 	}, nil
 }
 
@@ -59,6 +82,32 @@ func (s *Snapshot) Apply(cfg *core.Config) error {
 	}
 	if cfg.Spring.Diameter != s.Diameter {
 		return fmt.Errorf("checkpoint: particle diameter %g does not match config %g", s.Diameter, cfg.Spring.Diameter)
+	}
+	if cfg.Spring.K != s.K || cfg.Spring.Damp != s.Damp {
+		return fmt.Errorf("checkpoint: snapshot spring (K=%g, damp=%g) does not match config (K=%g, damp=%g)",
+			s.K, s.Damp, cfg.Spring.K, cfg.Spring.Damp)
+	}
+	if cfg.Spring.Hertz != s.Hertz {
+		return fmt.Errorf("checkpoint: snapshot Hertz=%v does not match config Hertz=%v", s.Hertz, cfg.Spring.Hertz)
+	}
+	if cfg.Dt != s.Dt {
+		return fmt.Errorf("checkpoint: snapshot time step %g does not match config %g", s.Dt, cfg.Dt)
+	}
+	if cfg.Gravity != s.Gravity {
+		return fmt.Errorf("checkpoint: snapshot gravity %g does not match config %g", s.Gravity, cfg.Gravity)
+	}
+	if cfg.FillHeight != s.FillHeight {
+		return fmt.Errorf("checkpoint: snapshot fill height %g does not match config %g", s.FillHeight, cfg.FillHeight)
+	}
+	switch {
+	case s.Bonds == nil && cfg.Spring.Bonds != nil:
+		return fmt.Errorf("checkpoint: config has a bond table but the snapshot carries none")
+	case s.Bonds != nil && cfg.Spring.Bonds == nil:
+		// The snapshot is the authority on the grain topology: a bare
+		// config resuming a grains run inherits the saved table.
+		cfg.Spring.Bonds = s.Bonds
+	case s.Bonds != nil && !s.Bonds.Equal(cfg.Spring.Bonds):
+		return fmt.Errorf("checkpoint: snapshot bond table does not match the config's")
 	}
 	if len(s.Pos) != s.N || len(s.Vel) != s.N {
 		return fmt.Errorf("checkpoint: snapshot holds %d positions and %d velocities for N=%d", len(s.Pos), len(s.Vel), s.N)

@@ -9,6 +9,7 @@ import (
 
 	"hybriddem/internal/core"
 	"hybriddem/internal/geom"
+	"hybriddem/internal/grain"
 )
 
 func runCfg(n int) core.Config {
@@ -141,6 +142,176 @@ func TestApplyValidation(t *testing.T) {
 	good := runCfg(50)
 	if err := snap.Apply(&good); err != nil {
 		t.Errorf("valid apply rejected: %v", err)
+	}
+}
+
+// TestSnapshotCapturesForceLaw: every force-law and integration
+// parameter must survive the gob round trip with a non-default value,
+// and a restoring configuration differing in that one parameter must
+// be rejected by Apply. A snapshot that validated only geometry would
+// happily resume a run under different physics.
+func TestSnapshotCapturesForceLaw(t *testing.T) {
+	base := func() core.Config {
+		cfg := runCfg(80)
+		cfg.Spring.K = 750
+		cfg.Spring.Damp = 2.5
+		cfg.Spring.Hertz = true
+		cfg.Dt = 3e-5
+		cfg.Gravity = -15
+		cfg.FillHeight = 0.4
+		return cfg
+	}
+	cfg := base()
+	res, err := core.Run(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := FromResult(&cfg, res, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fields := []struct {
+		name   string
+		read   func(*Snapshot) float64
+		want   float64
+		mutate func(*core.Config)
+	}{
+		{"K", func(s *Snapshot) float64 { return s.K }, 750,
+			func(c *core.Config) { c.Spring.K = 500 }},
+		{"Damp", func(s *Snapshot) float64 { return s.Damp }, 2.5,
+			func(c *core.Config) { c.Spring.Damp = 0 }},
+		{"Hertz", func(s *Snapshot) float64 { return b2f(s.Hertz) }, 1,
+			func(c *core.Config) { c.Spring.Hertz = false }},
+		{"Dt", func(s *Snapshot) float64 { return s.Dt }, 3e-5,
+			func(c *core.Config) { c.Dt = 5e-5 }},
+		{"Gravity", func(s *Snapshot) float64 { return s.Gravity }, -15,
+			func(c *core.Config) { c.Gravity = 0 }},
+		{"FillHeight", func(s *Snapshot) float64 { return s.FillHeight }, 0.4,
+			func(c *core.Config) { c.FillHeight = 0.25 }},
+	}
+	for _, f := range fields {
+		if got := f.read(loaded); got != f.want {
+			t.Errorf("%s did not survive the round trip: got %g, want %g", f.name, got, f.want)
+		}
+		bad := base()
+		f.mutate(&bad)
+		if err := loaded.Apply(&bad); err == nil {
+			t.Errorf("%s mismatch accepted", f.name)
+		}
+	}
+	good := base()
+	if err := loaded.Apply(&good); err != nil {
+		t.Errorf("matching force law rejected: %v", err)
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// grainsCfg builds a small composite-grain run: trimers settling under
+// gravity with dissipative bonds.
+func grainsCfg(t *testing.T) core.Config {
+	t.Helper()
+	cfg := core.Default(2, 90)
+	cfg.BC = geom.Reflecting
+	cfg.Gravity = -10
+	cfg.Seed = 13
+	cfg.CollectState = true
+	st, bt, err := grain.Build(grain.Config{
+		D: 2, Shape: grain.Trimer, Grains: 30,
+		Diameter: cfg.Spring.Diameter,
+		Box:      cfg.Box(), Height: 0.5,
+		BondK: 400, BondDamp: 1, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Init = &core.State{Pos: st.Pos, Vel: st.Vel}
+	cfg.Spring.Bonds = bt
+	return cfg
+}
+
+// TestGrainsSaveResume: a composite-grain run saved and resumed must
+// track the unbroken run — which only works if the snapshot carries
+// the bond table, since the bond springs are the glue holding every
+// grain together. Also exercises resuming into a configuration with no
+// table of its own (the snapshot supplies it) and rejecting a
+// configuration whose table disagrees.
+func TestGrainsSaveResume(t *testing.T) {
+	full := grainsCfg(t)
+	fullRes, err := core.Run(full, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first := grainsCfg(t)
+	firstRes, err := core.Run(first, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := FromResult(&first, firstRes, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Bonds == nil || snap.Bonds.NumBonds() != first.Spring.Bonds.NumBonds() {
+		t.Fatal("snapshot did not capture the bond table")
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Bonds.Equal(first.Spring.Bonds) {
+		t.Fatal("bond table changed across the gob round trip")
+	}
+
+	// Resume into a config that never built a table: the snapshot's
+	// must be installed.
+	second := grainsCfg(t)
+	second.Spring.Bonds = nil
+	if err := loaded.Apply(&second); err != nil {
+		t.Fatal(err)
+	}
+	if second.Spring.Bonds == nil {
+		t.Fatal("Apply did not install the snapshot's bond table")
+	}
+	secondRes, err := core.Run(second, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	box := full.Box()
+	maxd := 0.0
+	for i := range fullRes.Pos {
+		if d := math.Sqrt(box.Dist2(fullRes.Pos[i], secondRes.Pos[i])); d > maxd {
+			maxd = d
+		}
+	}
+	if maxd > 1e-8 {
+		t.Errorf("resumed grain trajectory deviates by %g from the unbroken run", maxd)
+	}
+
+	// A config with a conflicting table must be rejected.
+	conflict := grainsCfg(t)
+	conflict.Spring.Bonds.K *= 2
+	if err := loaded.Apply(&conflict); err == nil {
+		t.Error("conflicting bond table accepted")
 	}
 }
 

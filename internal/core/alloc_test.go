@@ -141,6 +141,25 @@ func TestStepSteadyStateZeroAllocDistributed(t *testing.T) {
 			cfg.Overlap = false
 			return cfg
 		}},
+		// Rebalance-enabled variants: the dynamic load balancer runs at
+		// the initial rebuild (and would run again at any rebuild in
+		// the window); the steady-state step itself must stay
+		// allocation-free with the knob on.
+		{"mpi-rebalance", func() Config {
+			cfg := allocConfig(MPI)
+			cfg.P = 4
+			cfg.BlocksPerProc = 4
+			cfg.Rebalance = true
+			return cfg
+		}},
+		{"hybrid-rebalance", func() Config {
+			cfg := allocConfig(Hybrid)
+			cfg.P = 2
+			cfg.T = 3
+			cfg.BlocksPerProc = 4
+			cfg.Rebalance = true
+			return cfg
+		}},
 		{"hybrid-sync", func() Config {
 			cfg := allocConfig(Hybrid)
 			cfg.P = 2

@@ -108,6 +108,17 @@ type Config struct {
 	Method        shm.Method // force-update protection (OpenMP/Hybrid)
 	Fused         bool       // single fused region over all blocks (Section 11 further work)
 
+	// Rebalance enables dynamic block→rank load balancing in the
+	// distributed modes: at every list rebuild the ranks exchange a
+	// per-block cost vector (links + core particles, EWMA-smoothed), a
+	// deterministic LPT repartitioner computes a new ownership map, and
+	// whole blocks migrate to their new ranks (hysteresis keeps
+	// near-balanced maps stable). Trajectories are bit-identical to the
+	// static block-cyclic layout — ownership is bookkeeping, only the
+	// modelled per-rank load changes. Ignored by the serial and
+	// pure-OpenMP modes. Off by default.
+	Rebalance bool
+
 	// Overlap enables the split-phase halo exchange in the distributed
 	// modes: the step posts the exchange, accumulates core-link forces
 	// while the messages are in flight, then completes the exchange and
@@ -316,8 +327,12 @@ type Result struct {
 	// Wall is the real host time for the measured iterations.
 	Wall time.Duration
 
-	// Phase breakdown of PerIter (rank-0 attribution).
-	ForceTime, UpdateTime, CommTime float64
+	// Phase breakdown of PerIter (rank-0 attribution). CommTime is the
+	// halo exchange alone; CollTime is the end-of-step energy/vote
+	// collective, kept separate because a rank blocked there is waiting
+	// out the slowest rank — on imbalanced systems it is the imbalance
+	// itself, not message traffic.
+	ForceTime, UpdateTime, CommTime, CollTime float64
 
 	Epot, Ekin float64 // final energies
 	NLinks     int64   // links at last rebuild (global)
@@ -325,6 +340,12 @@ type Result struct {
 
 	MeanLinkDist   float64 // locality metric of the final list
 	AtomicFraction float64 // protected fraction under selected-atomic
+
+	// Imbalance is the per-rank load imbalance ratio of the measured
+	// window: max over ranks of (force + update time) divided by the
+	// mean over ranks. 1 is perfect balance; only distributed modes set
+	// it (serial and pure-OpenMP report 0).
+	Imbalance float64
 
 	TC trace.Counters // aggregated counters (all ranks and threads)
 

@@ -46,7 +46,7 @@ type rankSim struct {
 	ekin     float64
 	iter     int
 
-	forceTime, updateTime, commTime float64
+	forceTime, updateTime, commTime, collTime float64
 }
 
 // span records a phase interval on the configured timeline.
@@ -78,6 +78,7 @@ func activePerNode(cfg *Config, pf *machine.Platform) int {
 func newRankSim(cfg *Config, c *mp.Comm, l *decomp.Layout) *rankSim {
 	r := &rankSim{cfg: cfg, c: c}
 	r.dm = decomp.NewDomain(l, c, cfg.needsHaloVel())
+	r.dm.Rebalance = cfg.Rebalance
 	if pf := cfg.Platform; pf != nil {
 		// Exchange traffic is surface-proportional: both the pack
 		// work and the modelled wire bytes scale with
@@ -114,6 +115,9 @@ func (r *rankSim) rebuild() {
 	cfg := r.cfg
 	r.dm.Rebuild(cfg.Reorder)
 	r.rebuilds++
+	if t0, t1, moved := r.dm.LastRebalance(); moved {
+		r.span("rebalance", t0, t1)
+	}
 
 	// Locality metric across this rank's blocks.
 	var sum int64
@@ -170,6 +174,11 @@ func (r *rankSim) rebuild() {
 			}
 			r.fused.Prepare(r.pieces, cfg.T)
 		} else {
+			// The rebalancer can grow this rank's block count past what
+			// newRankSim saw.
+			for len(r.upds) < len(r.dm.Blocks) {
+				r.upds = append(r.upds, shm.NewUpdater(cfg.Method))
+			}
 			for i, b := range r.dm.Blocks {
 				r.upds[i].Prepare(b.List.Links, b.PS.Len(), b.NCore, cfg.T)
 			}
@@ -302,16 +311,25 @@ func (r *rankSim) stepSync() float64 {
 	u0 := r.clock()
 	ekin := r.integrate(box)
 	r.syncClocks()
+	r.updateTime += r.clock() - u0
+	r.span("update", u0, r.clock())
 
 	// Energy: reduced within the team by the region join, over blocks
 	// by the rank, and over ranks by the collective (in place, into
-	// the rank's persistent two-element buffer).
+	// the rank's persistent two-element buffer). The collective gets
+	// its own phase bucket, not update's: a rank blocked here is
+	// waiting on the slowest rank, and folding that wait into the
+	// update phase would hide exactly the per-rank load imbalance the
+	// phase split (and Result.Imbalance) exists to expose. It is kept
+	// out of comm too, so the comm column stays a pure halo-exchange
+	// measure (what the overlap figures difference).
+	e0 := r.clock()
 	r.energy[0], r.energy[1] = epot, ekin
 	r.c.AllreduceInPlace(r.energy[:], mp.Sum)
 	r.epot, r.ekin = r.energy[0], r.energy[1]
 	r.syncClocks()
-	r.updateTime += r.clock() - u0
-	r.span("update", u0, r.clock())
+	r.collTime += r.clock() - e0
+	r.span("coll", e0, r.clock())
 
 	elapsed := r.clock() - t0
 
@@ -360,10 +378,15 @@ func (r *rankSim) stepOverlap() float64 {
 	u0 := r.clock()
 	ekin := r.integrate(box)
 	r.syncClocks()
+	r.updateTime += r.clock() - u0
+	r.span("update", u0, r.clock())
 
 	// Post the energy allreduce and the rebuild vote back to back;
 	// waiting the energy covers most of the vote's latency, hiding the
-	// second collective behind the first.
+	// second collective behind the first. As in stepSync the wait is
+	// charged to the collective bucket, not update — it is the
+	// imbalance wait on the slowest rank.
+	e0 := r.clock()
 	r.energy[0], r.energy[1] = epot, ekin
 	eReq := r.c.IAllreduceInPlace(r.energy[:], mp.Sum)
 	r.vote[0] = dm.MaxCoreDisp2()
@@ -371,8 +394,8 @@ func (r *rankSim) stepOverlap() float64 {
 	eReq.Wait()
 	r.epot, r.ekin = r.energy[0], r.energy[1]
 	r.syncClocks()
-	r.updateTime += r.clock() - u0
-	r.span("update", u0, r.clock())
+	r.collTime += r.clock() - e0
+	r.span("coll", e0, r.clock())
 
 	elapsed := r.clock() - t0
 
@@ -483,6 +506,17 @@ func (r *rankSim) overlapForceBlocks(plain geom.Box) float64 {
 	r.syncClocks() // comm clock to the region join: the master zeroes too
 
 	r.gate.Reset()
+	if len(dm.Blocks) == 0 {
+		// The rebalancer can leave a rank briefly blockless; just drain
+		// the exchange.
+		d0 := r.c.Clock()
+		r.drainExchange()
+		d1 := r.c.Clock()
+		r.gate.Open(d1)
+		r.syncClocks()
+		r.accountHybridOverlap(c0, c1, d0, d1, r.clock())
+		return 0
+	}
 	b0 := dm.Blocks[0]
 	r.upds[0].AccumulateStart(r.team, cfg.Spring, b0.PS, b0.List.Links, b0.List.NCore, b0.NCore, plain, r.gate)
 
@@ -641,7 +675,7 @@ func RunDistributed(cfg Config, iters int) (*Result, error) {
 		if r.team != nil {
 			r.team.SetClock(0)
 		}
-		r.forceTime, r.updateTime, r.commTime = 0, 0, 0
+		r.forceTime, r.updateTime, r.commTime, r.collTime = 0, 0, 0, 0
 		rebuilds0 := r.rebuilds
 
 		total := 0.0
@@ -661,6 +695,17 @@ func RunDistributed(cfg Config, iters int) (*Result, error) {
 
 		nlinks := c.AllreduceScalar(float64(r.dm.NumLinks()), mp.Sum)
 
+		// Per-rank load imbalance of the measured window: compute time
+		// (force + update) only, since a waiting rank's comm time is
+		// exactly the imbalance showing up elsewhere.
+		load := r.forceTime + r.updateTime
+		maxLoad := c.AllreduceScalar(load, mp.Max)
+		meanLoad := c.AllreduceScalar(load, mp.Sum) / float64(cfg.P)
+		imb := 1.0
+		if meanLoad > 0 {
+			imb = maxLoad / meanLoad
+		}
+
 		res := &Result{
 			Mode:       cfg.Mode,
 			Iters:      iters,
@@ -672,8 +717,10 @@ func RunDistributed(cfg Config, iters int) (*Result, error) {
 			ForceTime:  r.forceTime / float64(iters),
 			UpdateTime: r.updateTime / float64(iters),
 			CommTime:   r.commTime / float64(iters),
+			CollTime:   r.collTime / float64(iters),
 
 			MeanLinkDist: r.meanDist,
+			Imbalance:    imb,
 		}
 		res.TC = r.dm.TC
 		if r.team != nil {

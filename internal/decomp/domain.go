@@ -15,6 +15,7 @@ const (
 	phaseBuild = iota
 	phaseRefresh
 	phaseMigrate
+	phaseXfer // whole-block transfer during a rebalance
 )
 
 // tagFor builds the unique tag of one halo leg from the receiving
@@ -57,25 +58,59 @@ type Domain struct {
 	// TC accumulates structural (non-message) event counts.
 	TC trace.Counters
 
+	// Rebalance enables the dynamic load balancer: at every Rebuild the
+	// ranks exchange a per-block cost vector, a deterministic LPT
+	// repartitioner computes a new block→rank map, and whole blocks
+	// migrate to their new owners. Off by default for bit-compat with
+	// the static block-cyclic deal.
+	Rebalance bool
+
+	// RebalanceHyst is the migration-hysteresis threshold: the current
+	// map is kept unless the new map improves the peak load by more
+	// than this relative margin. 0 means DefaultRebalanceHyst.
+	RebalanceHyst float64
+
 	// plainBox performs unwrapped displacement arithmetic inside a
 	// block's self-contained extended region.
 	plainBox geom.Box
 
 	// Reused exchange scratch: same-rank leg staging, the in-flight
 	// receive legs of a split-phase refresh, and the per-destination
-	// migration buffers.
+	// migration buffers plus staged receives for the source-block merge.
 	locals     []localLeg
 	pending    []pendingLeg
 	refreshDim int // next dimension FinishRefreshHalos must drain; -1 when idle
 	migF       [][]float64
 	migI       [][]int32
+	recvF      [][]float64
+	recvI      [][]int32
+	recvAt     []int
+
+	// Rebalancer state and scratch (persistent, so migration epochs
+	// allocate only while the pools grow).
+	costVec      []float64
+	costEWMA     []float64
+	lptOrder     []int
+	rankLoad     []float64
+	newOwnerVec  []int
+	prevOwner    []int
+	retired      map[int]*Block // blocks sent away, cached for reuse
+	blockScratch []*Block
+	xferF        []float64
+	xferI        []int32
+	rebalT0      float64
+	rebalT1      float64
+	rebalanced   bool
 }
 
-// NewDomain builds the rank-local domain over an existing layout.
+// NewDomain builds the rank-local domain over an existing layout. The
+// layout is cloned: callers share one *Layout across all rank
+// goroutines, and the rebalancer mutates the ownership table.
 func NewDomain(l *Layout, c *mp.Comm, withVel bool) *Domain {
 	if c.Size() != l.P {
 		panic(fmt.Sprintf("decomp: layout for %d ranks on a %d-rank comm", l.P, c.Size()))
 	}
+	l = l.Clone()
 	dm := &Domain{L: l, C: c, WithVel: withVel, slot: make(map[int]int), refreshDim: -1}
 	for _, id := range l.BlocksOfRank(c.Rank()) {
 		dm.slot[id] = len(dm.Blocks)
@@ -209,6 +244,11 @@ func (dm *Domain) ListsValid(skin float64) bool {
 // grid and link list and snapshot reference positions.
 func (dm *Domain) Rebuild(reorder bool) {
 	dm.migrate()
+	if dm.Rebalance {
+		dm.rebalance()
+	} else {
+		dm.rebalanced = false
+	}
 	if reorder {
 		dm.reorderCores()
 	}

@@ -86,8 +86,13 @@ func (dm *Domain) buildHalos() {
 				}
 			}
 		}
-		// Receive + append for both faces of every owned block, lower
-		// side first for a deterministic halo layout.
+		// Append both faces of every owned block in one deterministic
+		// (block, side) order, interleaving remote receives with the
+		// staged same-rank legs. A block's halo layout is then a pure
+		// function of (block id, dim, side) — independent of which
+		// rank happens to own each neighbour — which is what lets the
+		// dynamic rebalancer keep trajectories bit-identical to the
+		// static block-cyclic layout.
 		for _, b := range dm.Blocks {
 			for side := 0; side < 2; side++ {
 				dir := 2*side - 1
@@ -97,16 +102,19 @@ func (dm *Domain) buildHalos() {
 				}
 				srcRank := dm.L.RankOfBlock(nb)
 				if srcRank == dm.C.Rank() {
-					continue // staged locally; appended below
+					for _, leg := range locals {
+						if leg.dst == b && leg.side == side {
+							dm.chargeSelf(len(leg.ids), d+boolToInt(dm.WithVel)*d)
+							dm.appendHalo(b, leg.src.ID, srcRank, dim, side, leg.shift, leg.f, leg.ids)
+							break
+						}
+					}
+				} else {
+					f, ids := dm.C.Recv(srcRank, dm.tagFor(phaseBuild, b.ID, dim, side))
+					dm.appendHalo(b, nb, srcRank, dim, side, shift, f, ids)
+					dm.C.FreeBuffers(f, ids)
 				}
-				f, ids := dm.C.Recv(srcRank, dm.tagFor(phaseBuild, b.ID, dim, side))
-				dm.appendHalo(b, nb, srcRank, dim, side, shift, f, ids)
-				dm.C.FreeBuffers(f, ids)
 			}
-		}
-		for _, leg := range locals {
-			dm.chargeSelf(len(leg.ids), d+boolToInt(dm.WithVel)*d)
-			dm.appendHalo(leg.dst, leg.src.ID, dm.C.Rank(), leg.dim, leg.side, leg.shift, leg.f, leg.ids)
 		}
 		dm.locals = locals[:0]
 	}
@@ -302,7 +310,7 @@ func (dm *Domain) overwriteSeg(b *Block, seg haloSeg, f []float64, per int) {
 // migrate wraps core positions into the global box and moves particles
 // whose home block changed, then clears halos. Movers travel in one
 // all-to-all round of (possibly empty) per-rank messages carrying
-// (dstBlock, pos, vel, id) tuples.
+// (srcBlock, dstBlock, id) triples plus pos+vel floats.
 func (dm *Domain) migrate() {
 	l := dm.L
 	d := l.D
@@ -334,7 +342,7 @@ func (dm *Domain) migrate() {
 				continue
 			}
 			dst := l.RankOfBlock(home)
-			outI[dst] = append(outI[dst], int32(home), b.PS.ID[i])
+			outI[dst] = append(outI[dst], int32(b.ID), int32(home), b.PS.ID[i])
 			v := b.PS.Vel[i]
 			buf := outF[dst]
 			for k := 0; k < d; k++ {
@@ -359,29 +367,73 @@ func (dm *Domain) migrate() {
 		}
 		dm.C.Send(r, dm.tagFor(phaseMigrate, 0, 0, 0), outF[r], outI[r])
 	}
-	dm.deliverMigrants(outF[me], outI[me], perF)
+
+	// Stage every rank's payload, then deliver grouped by *source*
+	// block id ascending. Each rank's payload is already sorted by
+	// source block (the scan above walks blocks in ascending order), so
+	// a P-way cursor merge visits migrants in (srcBlock, position in
+	// source store) order — a delivery order independent of which rank
+	// owned which source block, the same canonicalisation the halo
+	// build applies, needed for rebalanced runs to stay bit-identical
+	// to the static layout. Source blocks are disjoint across ranks, so
+	// there are no merge ties.
+	if dm.recvF == nil {
+		dm.recvF = make([][]float64, l.P)
+		dm.recvI = make([][]int32, l.P)
+		dm.recvAt = make([]int, l.P)
+	}
+	recvF, recvI, at := dm.recvF, dm.recvI, dm.recvAt
 	for r := 0; r < l.P; r++ {
 		if r == me {
-			continue
+			recvF[r], recvI[r] = outF[me], outI[me]
+		} else {
+			recvF[r], recvI[r] = dm.C.Recv(r, dm.tagFor(phaseMigrate, 0, 0, 0))
 		}
-		f, ints := dm.C.Recv(r, dm.tagFor(phaseMigrate, 0, 0, 0))
-		dm.deliverMigrants(f, ints, perF)
-		dm.C.FreeBuffers(f, ints)
+		at[r] = 0
+	}
+	for {
+		src := -1
+		best := int32(0)
+		for r := 0; r < l.P; r++ {
+			if at[r] >= len(recvI[r]) {
+				continue
+			}
+			if blk := recvI[r][at[r]]; src < 0 || blk < best {
+				src, best = r, blk
+			}
+		}
+		if src < 0 {
+			break
+		}
+		// Deliver the full run of entries from this source block.
+		i0 := at[src]
+		i := i0
+		for i < len(recvI[src]) && recvI[src][i] == best {
+			i += 3
+		}
+		dm.deliverMigrants(recvF[src][i0/3*perF:i/3*perF], recvI[src][i0:i], perF)
+		at[src] = i
+	}
+	for r := 0; r < l.P; r++ {
+		if r != me {
+			dm.C.FreeBuffers(recvF[r], recvI[r])
+		}
+		recvF[r], recvI[r] = nil, nil
 	}
 }
 
 // deliverMigrants appends a migration payload's particles to their
 // home blocks. Halos are empty during migration, so appending grows
-// the cores directly.
+// the cores directly. ints carries (srcBlock, dstBlock, id) triples.
 func (dm *Domain) deliverMigrants(f []float64, ints []int32, perF int) {
 	d := dm.L.D
-	n := len(ints) / 2
+	n := len(ints) / 3
 	if len(f) != perF*n {
 		panic(fmt.Sprintf("decomp: migrate payload %d floats for %d particles", len(f), n))
 	}
 	for i := 0; i < n; i++ {
-		home := int(ints[2*i])
-		id := ints[2*i+1]
+		home := int(ints[3*i+1])
+		id := ints[3*i+2]
 		s, ok := dm.slot[home]
 		if !ok {
 			panic(fmt.Sprintf("decomp: rank %d received migrant for foreign block %d", dm.C.Rank(), home))

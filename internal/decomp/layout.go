@@ -28,6 +28,12 @@ type Layout struct {
 	BlockDims [geom.MaxD]int
 	P         int // total processes
 	B         int // total blocks
+
+	// owner maps block id -> owning rank. NewLayout initialises it to
+	// the block-cyclic deal; the dynamic rebalancer may overwrite it
+	// (always on a rank-private Clone — the layout passed to a driver
+	// is shared across rank goroutines and must stay immutable).
+	owner []int
 }
 
 // NewLayout builds a layout for p processes with blocksPerProc blocks
@@ -61,8 +67,25 @@ func NewLayout(box geom.Box, rc float64, p, blocksPerProc int) (*Layout, error) 
 		l.ProcDims[i] = 1
 		l.BlockDims[i] = 1
 	}
+	l.owner = make([]int, l.B)
+	for id := range l.owner {
+		l.owner[id] = l.CyclicRankOfBlock(id)
+	}
 	return l, nil
 }
+
+// Clone returns a copy of the layout with a private ownership table,
+// so one rank's rebalancer can remap blocks without racing the other
+// ranks' reads of the shared original.
+func (l *Layout) Clone() *Layout {
+	cp := *l
+	cp.owner = append([]int(nil), l.owner...)
+	return &cp
+}
+
+// SetOwner reassigns a block to a rank. Only the rebalancer calls it,
+// and only on a Clone.
+func (l *Layout) SetOwner(id, rank int) { l.owner[id] = rank }
 
 // BlocksPerProc returns B/P, the paper's granularity measure.
 func (l *Layout) BlocksPerProc() int { return l.B / l.P }
@@ -86,9 +109,14 @@ func (l *Layout) blockCoords(id int) [geom.MaxD]int {
 	return c
 }
 
-// RankOfBlock returns the owning process of a block: coordinate-wise
-// modulo onto the process grid (the cyclic deal), flattened row-major.
-func (l *Layout) RankOfBlock(id int) int {
+// RankOfBlock returns the block's current owner. With rebalancing off
+// this is the static cyclic deal; the rebalancer may move it.
+func (l *Layout) RankOfBlock(id int) int { return l.owner[id] }
+
+// CyclicRankOfBlock returns the static block-cyclic owner of a block:
+// coordinate-wise modulo onto the process grid, flattened row-major.
+// This is the initial deal every layout starts from.
+func (l *Layout) CyclicRankOfBlock(id int) int {
 	c := l.blockCoords(id)
 	r := 0
 	for i := 0; i < l.D; i++ {

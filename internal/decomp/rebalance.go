@@ -1,0 +1,278 @@
+package decomp
+
+import (
+	"fmt"
+
+	"hybriddem/internal/geom"
+	"hybriddem/internal/mp"
+)
+
+// Dynamic block→rank load balancing.
+//
+// The paper's static block-cyclic deal balances clustered systems only
+// by refining granularity (large B), paying surface overhead on every
+// block. The rebalancer instead keeps B coarse and moves whole blocks
+// between ranks when the measured load drifts: at every list rebuild
+// each rank prices its blocks (links + core particles, EWMA-smoothed
+// across epochs), the cost vector is combined across ranks, and every
+// rank runs the same deterministic longest-processing-time-first
+// repartition over it. A hysteresis threshold keeps near-balanced maps
+// from churning. Because the halo build and migration delivery orders
+// are canonicalised to be ownership-independent, a rebalanced run is
+// bit-identical to the static layout — ownership is bookkeeping, the
+// physics never notices.
+
+// DefaultRebalanceHyst is the relative peak-load improvement a new map
+// must offer before blocks are moved.
+const DefaultRebalanceHyst = 0.05
+
+// rebalanceEWMA is the smoothing weight of the newest cost sample.
+const rebalanceEWMA = 0.5
+
+// blockCost prices one block for the repartitioner: its link count
+// from the last list build plus its core particle count, plus a unit
+// floor for the fixed per-block overhead. The floor keeps every cost
+// positive, so with B >= P the LPT deal leaves no rank without blocks.
+func blockCost(b *Block) float64 {
+	c := float64(b.NCore) + 1
+	if b.List != nil {
+		c += float64(len(b.List.Links))
+	}
+	return c
+}
+
+// rebalance runs one load-balancing epoch. It is collective: every
+// rank calls it at the same point of its communication schedule
+// (inside Rebuild, between migration and the halo build, while halos
+// are empty). On return the ownership table is identical on all ranks
+// and every block's core particles live on its owner.
+func (dm *Domain) rebalance() {
+	l := dm.L
+	t0 := dm.C.Clock()
+	dm.rebalanced = false
+
+	if dm.costVec == nil {
+		dm.costVec = make([]float64, l.B)
+		dm.costEWMA = make([]float64, l.B)
+		dm.lptOrder = make([]int, l.B)
+		dm.rankLoad = make([]float64, l.P)
+		dm.newOwnerVec = make([]int, l.B)
+		dm.prevOwner = make([]int, l.B)
+		dm.retired = make(map[int]*Block)
+	}
+
+	// 1. Price owned blocks and combine: each block has exactly one
+	// owner, so the rank-ordered sum is a concatenation, identical on
+	// every rank (this is the allocation-free stand-in for an
+	// allgather of per-rank cost slices).
+	for i := range dm.costVec {
+		dm.costVec[i] = 0
+	}
+	for _, b := range dm.Blocks {
+		dm.costVec[b.ID] = blockCost(b)
+	}
+	dm.C.AllreduceInPlace(dm.costVec, mp.Sum)
+	for id, c := range dm.costVec {
+		if dm.costEWMA[id] > 0 {
+			dm.costEWMA[id] = rebalanceEWMA*c + (1-rebalanceEWMA)*dm.costEWMA[id]
+		} else {
+			dm.costEWMA[id] = c
+		}
+	}
+
+	// 2. Repartition (identical deterministic computation everywhere,
+	// no further communication) with hysteresis.
+	if !dm.repartition() {
+		dm.rebalT0, dm.rebalT1 = t0, dm.C.Clock()
+		return
+	}
+
+	// 3. Move whole blocks to their new owners: eager sends first,
+	// then receives, both in ascending block id order, so the protocol
+	// cannot deadlock and matches deterministically.
+	dm.transferBlocks()
+
+	dm.rebalT0, dm.rebalT1 = t0, dm.C.Clock()
+	dm.rebalanced = true
+}
+
+// repartition computes the LPT deal over the smoothed costs: blocks
+// sorted by cost descending (ties: lower id first) are assigned
+// greedily to the least-loaded rank (ties: lowest rank). The new map
+// is adopted only when its peak load beats the current map's by more
+// than the hysteresis margin (total cost — hence mean load — is the
+// same under both maps, so comparing peaks compares imbalance ratios).
+// Returns whether the ownership table changed.
+func (dm *Domain) repartition() bool {
+	l := dm.L
+	cost := dm.costEWMA
+
+	order := dm.lptOrder
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort: B is small and sort.Slice would allocate.
+	for i := 1; i < len(order); i++ {
+		v := order[i]
+		j := i - 1
+		for j >= 0 && (cost[v] > cost[order[j]] || (cost[v] == cost[order[j]] && v < order[j])) {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = v
+	}
+
+	load := dm.rankLoad
+	for r := range load {
+		load[r] = 0
+	}
+	curMax := 0.0
+	for id := 0; id < l.B; id++ {
+		load[l.RankOfBlock(id)] += cost[id]
+	}
+	for _, ld := range load {
+		if ld > curMax {
+			curMax = ld
+		}
+	}
+
+	for r := range load {
+		load[r] = 0
+	}
+	newOwner := dm.newOwnerVec
+	for _, id := range order {
+		r := 0
+		for q := 1; q < l.P; q++ {
+			if load[q] < load[r] {
+				r = q
+			}
+		}
+		newOwner[id] = r
+		load[r] += cost[id]
+	}
+	newMax := 0.0
+	for _, ld := range load {
+		if ld > newMax {
+			newMax = ld
+		}
+	}
+
+	hyst := dm.RebalanceHyst
+	if hyst <= 0 {
+		hyst = DefaultRebalanceHyst
+	}
+	if curMax <= newMax*(1+hyst) {
+		return false
+	}
+
+	changed := false
+	for id := 0; id < l.B; id++ {
+		dm.prevOwner[id] = l.RankOfBlock(id)
+		if dm.prevOwner[id] != newOwner[id] {
+			changed = true
+		}
+		l.SetOwner(id, newOwner[id])
+	}
+	return changed
+}
+
+// transferBlocks ships every block whose owner changed from its old
+// owner to its new one (positions, velocities, ids of the core
+// particles — halos are empty here) and re-slots dm.Blocks to the new
+// ownership, keeping it sorted by ascending block id. Block structures
+// sent away are retired to a cache and revived when a block returns,
+// so repeated rebalances recycle their storage.
+func (dm *Domain) transferBlocks() {
+	l := dm.L
+	d := l.D
+	me := dm.C.Rank()
+	perF := 2 * d
+
+	sent := 0
+	for id := 0; id < l.B; id++ {
+		if dm.prevOwner[id] != me || l.RankOfBlock(id) == me {
+			continue
+		}
+		b := dm.Blocks[dm.slot[id]]
+		f := dm.xferF[:0]
+		ids := dm.xferI[:0]
+		for i := 0; i < b.NCore; i++ {
+			p := b.PS.Pos[i]
+			v := b.PS.Vel[i]
+			for k := 0; k < d; k++ {
+				f = append(f, p[k])
+			}
+			for k := 0; k < d; k++ {
+				f = append(f, v[k])
+			}
+			ids = append(ids, b.PS.ID[i])
+		}
+		dm.xferF, dm.xferI = f, ids
+		dm.C.Compute(float64(b.NCore) * dm.packCost())
+		dm.C.Send(l.RankOfBlock(id), dm.tagFor(phaseXfer, id, 0, 0), f, ids)
+		b.NCore = 0
+		b.resetHalo()
+		dm.retired[id] = b
+		sent++
+	}
+
+	// Re-slot: rebuild the owned-block list in ascending id order,
+	// reviving retired structures where possible.
+	blocks := dm.blockScratch[:0]
+	for id := 0; id < l.B; id++ {
+		if l.RankOfBlock(id) != me {
+			continue
+		}
+		if dm.prevOwner[id] == me {
+			blocks = append(blocks, dm.Blocks[dm.slot[id]])
+		} else if b, ok := dm.retired[id]; ok {
+			delete(dm.retired, id)
+			blocks = append(blocks, b)
+		} else {
+			blocks = append(blocks, newBlock(l, id))
+		}
+	}
+	dm.blockScratch = dm.Blocks[:0]
+	dm.Blocks = blocks
+	for id := range dm.slot {
+		delete(dm.slot, id)
+	}
+	for s, b := range dm.Blocks {
+		dm.slot[b.ID] = s
+	}
+
+	for id := 0; id < l.B; id++ {
+		if l.RankOfBlock(id) != me || dm.prevOwner[id] == me {
+			continue
+		}
+		f, ids := dm.C.Recv(dm.prevOwner[id], dm.tagFor(phaseXfer, id, 0, 0))
+		n := len(ids)
+		if len(f) != perF*n {
+			panic(fmt.Sprintf("decomp: block transfer payload %d floats for %d particles", len(f), n))
+		}
+		b := dm.Blocks[dm.slot[id]]
+		b.NCore = 0
+		b.resetHalo()
+		for i := 0; i < n; i++ {
+			var p, v geom.Vec
+			for k := 0; k < d; k++ {
+				p[k] = f[perF*i+k]
+				v[k] = f[perF*i+d+k]
+			}
+			b.PS.Append(p, v, ids[i])
+		}
+		b.NCore = n
+		dm.C.Compute(float64(n) * dm.packCost())
+		dm.C.FreeBuffers(f, ids)
+	}
+
+	dm.TC.Rebalances++
+	dm.TC.BlocksMoved += int64(sent)
+}
+
+// LastRebalance reports the virtual-time interval the most recent
+// Rebuild spent in the rebalancer and whether ownership changed. With
+// Rebalance off it reports a moved=false, zero-width interval.
+func (dm *Domain) LastRebalance() (t0, t1 float64, moved bool) {
+	return dm.rebalT0, dm.rebalT1, dm.rebalanced
+}

@@ -1,0 +1,228 @@
+package decomp
+
+import (
+	"sync"
+	"testing"
+
+	"hybriddem/internal/geom"
+	"hybriddem/internal/mp"
+)
+
+// gatherGlobal reconstructs the global position array (indexed by ID)
+// from one rank's owned blocks into the shared slice; ranks own
+// disjoint IDs and mp.Run joins before the caller reads, so the writes
+// never race.
+func gatherGlobal(dm *Domain, global []geom.Vec) {
+	for _, b := range dm.Blocks {
+		for i := 0; i < b.NCore; i++ {
+			global[b.PS.ID[i]] = b.PS.Pos[i]
+		}
+	}
+}
+
+// TestRebalanceOwnershipInvariants: after a rebalanced Rebuild of a
+// clustered bed, every rank must hold the identical ownership table,
+// the blocks must still partition [0, B), no rank may be left without
+// a block, every particle must live on its owner, and the halos must
+// satisfy the full replication oracle.
+func TestRebalanceOwnershipInvariants(t *testing.T) {
+	const n = 600
+	const p = 4
+	const bpp = 4
+	box := geom.NewBox(2, 10, geom.Periodic)
+	l := mustLayout(t, box, 0.5, p, bpp)
+
+	owners := make([][]int, p)
+	counts := make([]int, p)
+	blocks := make([]int, p)
+	global := make([]geom.Vec, n)
+	errs := make([]error, p)
+	var mu sync.Mutex
+	moved := int64(0)
+	mp.Run(p, nil, func(c *mp.Comm) {
+		dm := NewDomain(l, c, false)
+		dm.Rebalance = true
+		// Bottom quarter of the box: the cyclic deal leaves ranks
+		// owning only top blocks nearly idle.
+		dm.FillClustered(n, 11, 0.5, 0.25)
+		gatherGlobal(dm, global)
+		dm.Rebuild(true)
+
+		own := make([]int, l.B)
+		for id := 0; id < l.B; id++ {
+			own[id] = dm.L.RankOfBlock(id)
+		}
+		owners[c.Rank()] = own
+		for _, b := range dm.Blocks {
+			counts[c.Rank()] += b.NCore
+			for i := 0; i < b.NCore; i++ {
+				if l.BlockOfPos(b.PS.Pos[i]) != b.ID {
+					t.Errorf("rank %d: particle %d in wrong block", c.Rank(), b.PS.ID[i])
+				}
+			}
+		}
+		blocks[c.Rank()] = len(dm.Blocks)
+		errs[c.Rank()] = dm.VerifyHalos(global, nil, 0)
+		mu.Lock()
+		moved += dm.TC.BlocksMoved
+		mu.Unlock()
+	})
+
+	for r := 1; r < p; r++ {
+		for id := 0; id < l.B; id++ {
+			if owners[r][id] != owners[0][id] {
+				t.Fatalf("rank %d disagrees with rank 0 on owner of block %d: %d vs %d",
+					r, id, owners[r][id], owners[0][id])
+			}
+		}
+	}
+	perRank := make([]int, p)
+	for id := 0; id < l.B; id++ {
+		o := owners[0][id]
+		if o < 0 || o >= p {
+			t.Fatalf("block %d owned by invalid rank %d", id, o)
+		}
+		perRank[o]++
+	}
+	total := 0
+	for r := 0; r < p; r++ {
+		if perRank[r] == 0 {
+			t.Errorf("rank %d left without blocks", r)
+		}
+		if blocks[r] != perRank[r] {
+			t.Errorf("rank %d holds %d blocks but owns %d", r, blocks[r], perRank[r])
+		}
+		total += counts[r]
+		if errs[r] != nil {
+			t.Errorf("rank %d halo oracle: %v", r, errs[r])
+		}
+	}
+	if total != n {
+		t.Fatalf("rebalance lost particles: %d of %d", total, n)
+	}
+	if moved == 0 {
+		t.Fatalf("clustered bed moved no blocks; the repartitioner never fired")
+	}
+}
+
+// TestRebalanceReducesPeakCoreCount: on the clustered bed the LPT deal
+// must strictly reduce the most-loaded rank's core-particle count
+// relative to the static cyclic map.
+func TestRebalanceReducesPeakCoreCount(t *testing.T) {
+	const n = 800
+	const p = 4
+	const bpp = 4
+	box := geom.NewBox(2, 10, geom.Periodic)
+	l := mustLayout(t, box, 0.5, p, bpp)
+
+	peak := func(rebalance bool) int {
+		counts := make([]int, p)
+		mp.Run(p, nil, func(c *mp.Comm) {
+			dm := NewDomain(l, c, false)
+			dm.Rebalance = rebalance
+			dm.FillClustered(n, 3, 0.5, 0.25)
+			dm.Rebuild(true)
+			counts[c.Rank()] = dm.NumCore()
+		})
+		m := 0
+		for _, v := range counts {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+
+	static := peak(false)
+	dynamic := peak(true)
+	if dynamic >= static {
+		t.Fatalf("rebalance did not reduce the peak core count: static %d, dynamic %d", static, dynamic)
+	}
+}
+
+// TestRebalanceHysteresisHoldsMap: with an effectively infinite
+// hysteresis threshold the repartitioner must never move a block, even
+// on a badly imbalanced bed.
+func TestRebalanceHysteresisHoldsMap(t *testing.T) {
+	const n = 400
+	const p = 4
+	box := geom.NewBox(2, 10, geom.Periodic)
+	l := mustLayout(t, box, 0.5, p, 4)
+	mp.Run(p, nil, func(c *mp.Comm) {
+		dm := NewDomain(l, c, false)
+		dm.Rebalance = true
+		dm.RebalanceHyst = 1e12
+		dm.FillClustered(n, 5, 0.5, 0.25)
+		dm.Rebuild(true)
+		for id := 0; id < l.B; id++ {
+			if dm.L.RankOfBlock(id) != l.CyclicRankOfBlock(id) {
+				t.Errorf("rank %d: block %d moved despite infinite hysteresis", c.Rank(), id)
+			}
+		}
+		if dm.TC.BlocksMoved != 0 {
+			t.Errorf("rank %d: %d blocks moved despite infinite hysteresis", c.Rank(), dm.TC.BlocksMoved)
+		}
+	})
+}
+
+// TestRebalanceLayoutIsolation: the rebalancer must mutate only its
+// rank-private clone — the layout handed to NewDomain stays on the
+// static cyclic deal.
+func TestRebalanceLayoutIsolation(t *testing.T) {
+	const n = 400
+	const p = 4
+	box := geom.NewBox(2, 10, geom.Periodic)
+	l := mustLayout(t, box, 0.5, p, 4)
+	mp.Run(p, nil, func(c *mp.Comm) {
+		dm := NewDomain(l, c, false)
+		dm.Rebalance = true
+		dm.FillClustered(n, 11, 0.5, 0.25)
+		dm.Rebuild(true)
+	})
+	for id := 0; id < l.B; id++ {
+		if l.RankOfBlock(id) != l.CyclicRankOfBlock(id) {
+			t.Fatalf("shared layout mutated: block %d now on rank %d", id, l.RankOfBlock(id))
+		}
+	}
+}
+
+// TestRebalanceRepeatedEpochsStress drives many rebalanced rebuilds
+// with particles shuffled between epochs, exercising block retirement
+// and revival, re-slotting, and the transfer protocol under the race
+// detector (decomp is in CI's race list). Conservation is asserted
+// after every epoch.
+func TestRebalanceRepeatedEpochsStress(t *testing.T) {
+	const n = 500
+	const p = 4
+	const epochs = 8
+	box := geom.NewBox(2, 10, geom.Periodic)
+	l := mustLayout(t, box, 0.5, p, 4)
+	counts := make([]int, p)
+	mp.Run(p, nil, func(c *mp.Comm) {
+		dm := NewDomain(l, c, false)
+		dm.Rebalance = true
+		dm.RebalanceHyst = 0.01 // eager: maximise churn
+		dm.FillClustered(n, 29, 1, 0.25)
+		for e := 0; e < epochs; e++ {
+			dm.Rebuild(e%2 == 0)
+			counts[c.Rank()] = dm.NumCore()
+			got := dm.C.AllreduceScalar(float64(dm.NumCore()), mp.Sum)
+			if int(got) != n {
+				t.Errorf("epoch %d: %d particles, want %d", e, int(got), n)
+			}
+			// Shove every core particle by a pseudo-random kick keyed
+			// by its ID so migration and the next cost vector change
+			// each epoch (identical regardless of which rank computes
+			// it).
+			for _, b := range dm.Blocks {
+				for i := 0; i < b.NCore; i++ {
+					id := b.PS.ID[i]
+					for k := 0; k < l.D; k++ {
+						kick := 0.3 * float64((int(id)*131+k*17+e*29)%200-100) / 100
+						b.PS.Pos[i][k] += kick
+					}
+				}
+			}
+		}
+	})
+}

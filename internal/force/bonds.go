@@ -1,6 +1,8 @@
 package force
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"math"
 
@@ -119,6 +121,79 @@ func (bt *BondTable) BondsOf(a int32) []int32 {
 		}
 	}
 	return out
+}
+
+// bondTableWire is the gob wire form of a BondTable. The slot arrays
+// are keyed by persistent particle ID, so a decoded table is valid
+// regardless of how the run reordered or migrated particles since.
+type bondTableWire struct {
+	K, Damp  float64
+	MaxBonds int
+	Partner  []int32
+	Rest     []float64
+	Count    int
+}
+
+// GobEncode serialises the table, private slot arrays included, so
+// snapshots can carry the full grain topology.
+func (bt *BondTable) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(bondTableWire{
+		K: bt.K, Damp: bt.Damp,
+		MaxBonds: bt.maxBonds,
+		Partner:  bt.partner,
+		Rest:     bt.rest,
+		Count:    bt.count,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode restores a table written by GobEncode.
+func (bt *BondTable) GobDecode(p []byte) error {
+	var w bondTableWire
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&w); err != nil {
+		return err
+	}
+	if w.MaxBonds < 1 || len(w.Partner) != len(w.Rest) || len(w.Partner)%w.MaxBonds != 0 {
+		return fmt.Errorf("force: corrupt bond table: maxBonds=%d, %d partners, %d rests",
+			w.MaxBonds, len(w.Partner), len(w.Rest))
+	}
+	bt.K, bt.Damp = w.K, w.Damp
+	bt.maxBonds = w.MaxBonds
+	bt.partner = w.Partner
+	bt.rest = w.Rest
+	bt.count = w.Count
+	return nil
+}
+
+// Equal reports whether two tables bind the same particle pairs at the
+// same rest lengths under the same spring constants. The comparison is
+// by bond set, not slot layout, so tables built in different insertion
+// orders (or with different per-particle capacities) still compare
+// equal.
+func (bt *BondTable) Equal(o *BondTable) bool {
+	if bt == nil || o == nil {
+		return bt == o
+	}
+	if bt.K != o.K || bt.Damp != o.Damp || bt.count != o.count {
+		return false
+	}
+	for id := 0; id < len(bt.partner)/bt.maxBonds; id++ {
+		base := id * bt.maxBonds
+		for k := 0; k < bt.maxBonds; k++ {
+			p := bt.partner[base+k]
+			if p < 0 {
+				continue
+			}
+			rest, ok := o.Bonded(int32(id), p)
+			if !ok || rest != bt.rest[base+k] {
+				return false
+			}
+		}
+	}
+	// Equal pair counts plus every bond of bt present in o with the
+	// same rest length implies the sets coincide.
+	return true
 }
 
 // pairBond computes the bond force on the first particle of a bonded

@@ -1,6 +1,8 @@
 package force
 
 import (
+	"bytes"
+	"encoding/gob"
 	"math"
 	"testing"
 
@@ -131,5 +133,67 @@ func TestPairIDWithoutBondsEqualsPair(t *testing.T) {
 	f2, e2, c2 := sp.PairID(3, 7, disp, geom.Vec{}, 3)
 	if f1 != f2 || e1 != e2 || c1 != c2 {
 		t.Error("PairID without bonds diverges from Pair")
+	}
+}
+
+func TestBondTableGobRoundTrip(t *testing.T) {
+	bt := NewBondTable(6, 3, 25, 0.5)
+	for _, b := range [][2]int32{{0, 1}, {1, 2}, {3, 5}} {
+		if err := bt.Add(b[0], b[1], 0.04); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(bt); err != nil {
+		t.Fatal(err)
+	}
+	var got BondTable
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(bt) {
+		t.Fatal("decoded table differs from the original")
+	}
+	if got.NumBonds() != 3 || got.K != 25 || got.Damp != 0.5 {
+		t.Errorf("decoded constants wrong: %d bonds, K=%g, damp=%g", got.NumBonds(), got.K, got.Damp)
+	}
+	if rest, ok := got.Bonded(3, 5); !ok || rest != 0.04 {
+		t.Errorf("bond 3-5 lost in transit: rest=%g ok=%v", rest, ok)
+	}
+	if err := got.GobDecode([]byte("not a table")); err == nil {
+		t.Error("garbage decoded without error")
+	}
+}
+
+func TestBondTableEqualIgnoresSlotLayout(t *testing.T) {
+	a := NewBondTable(4, 2, 10, 0)
+	b := NewBondTable(4, 3, 10, 0) // different capacity
+	// Same bond set added in different orders.
+	for _, p := range [][2]int32{{0, 1}, {2, 3}} {
+		if err := a.Add(p[0], p[1], 0.05); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range [][2]int32{{2, 3}, {0, 1}} {
+		if err := b.Add(p[0], p[1], 0.05); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("equal bond sets compared unequal")
+	}
+	c := NewBondTable(4, 2, 10, 0)
+	if err := c.Add(0, 1, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(2, 3, 0.06); err != nil { // different rest
+		t.Fatal(err)
+	}
+	if a.Equal(c) {
+		t.Error("different rest lengths compared equal")
+	}
+	var nilT *BondTable
+	if nilT.Equal(a) || a.Equal(nilT) || !nilT.Equal(nil) {
+		t.Error("nil comparisons wrong")
 	}
 }

@@ -320,6 +320,27 @@ func (r *CollRequest) Wait() {
 	w.poolMu.Unlock()
 }
 
+// Allgather concatenates every rank's contribution in rank order and
+// returns the identical result on every rank as a fresh slice.
+// Contributions may differ in length. The cost model charges one
+// collective sized as if every rank contributed this rank's share
+// (the cost argument must be known before the last rank arrives, when
+// only the local length is).
+func (c *Comm) Allgather(v []float64) []float64 {
+	contrib := append([]float64(nil), v...)
+	return c.rendezvous(contrib, func(per [][]float64) []float64 {
+		n := 0
+		for _, p := range per {
+			n += len(p)
+		}
+		out := make([]float64, 0, n)
+		for _, p := range per {
+			out = append(out, p...)
+		}
+		return out
+	}, 8*len(v)*c.w.size)
+}
+
 // Bcast distributes root's vector to every rank.
 func (c *Comm) Bcast(root int, v []float64) []float64 {
 	var contrib []float64

@@ -127,6 +127,30 @@ func TestAllreduceDeterministicOrder(t *testing.T) {
 	}
 }
 
+func TestAllgather(t *testing.T) {
+	// Variable-length contributions concatenate in rank order on every
+	// rank; the caller's buffer must not be aliased by the result.
+	Run(3, nil, func(c *Comm) {
+		mine := make([]float64, c.Rank()+1)
+		for i := range mine {
+			mine[i] = float64(10*c.Rank() + i)
+		}
+		got := c.Allgather(mine)
+		want := []float64{0, 10, 11, 20, 21, 22}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("rank %d allgather got %v, want %v", c.Rank(), got, want)
+		}
+		mine[0] = -1 // mutate after the gather: result must hold a copy
+		if got[0] != 0 || got[1] != 10 || got[3] != 20 {
+			t.Errorf("allgather result aliases the contribution buffer: %v", got)
+		}
+		got2 := c.Allgather([]float64{float64(100 + c.Rank())})
+		if want2 := []float64{100, 101, 102}; !reflect.DeepEqual(got2, want2) {
+			t.Errorf("rank %d second allgather got %v, want %v", c.Rank(), got2, want2)
+		}
+	})
+}
+
 func TestBcast(t *testing.T) {
 	Run(3, nil, func(c *Comm) {
 		var v []float64

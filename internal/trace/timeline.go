@@ -91,11 +91,13 @@ func (tl *Timeline) Imbalance() map[string]float64 {
 
 // phaseGlyphs assigns stable single-character glyphs for rendering.
 var phaseGlyphs = map[string]byte{
-	"comm":    '~',
-	"force":   '#',
-	"update":  '+',
-	"rebuild": 'R',
-	"overlap": 'o',
+	"comm":      '~',
+	"coll":      '=',
+	"force":     '#',
+	"update":    '+',
+	"rebuild":   'R',
+	"overlap":   'o',
+	"rebalance": 'B',
 }
 
 // Render draws an ASCII Gantt chart of the first maxSpansPerRank
@@ -143,7 +145,7 @@ func (tl *Timeline) Render(width int) string {
 		}
 	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "virtual time %.6fs .. %.6fs  (~ comm, # force, + update, R rebuild, o overlapped comm)\n", tmin, tmax)
+	fmt.Fprintf(&sb, "virtual time %.6fs .. %.6fs  (~ comm, = collective, # force, + update, R rebuild, o overlapped comm, B rebalance)\n", tmin, tmax)
 	for r, row := range rows {
 		fmt.Fprintf(&sb, "rank %2d |%s|\n", r, row)
 	}

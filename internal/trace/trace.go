@@ -27,6 +27,10 @@ type Counters struct {
 	ReorderMoves  int64 // particles permuted by cache reordering
 	MigratedParts int64 // particles moved to a new home block/rank
 
+	// Dynamic load balancing.
+	Rebalances  int64 // rebalance epochs that moved at least one block
+	BlocksMoved int64 // whole blocks shipped to a new rank
+
 	// Message passing.
 	MsgsSent    int64 // point-to-point messages sent
 	BytesSent   int64 // payload bytes sent
@@ -63,6 +67,8 @@ func (c *Counters) Add(other *Counters) {
 	c.PairChecks += other.PairChecks
 	c.ReorderMoves += other.ReorderMoves
 	c.MigratedParts += other.MigratedParts
+	c.Rebalances += other.Rebalances
+	c.BlocksMoved += other.BlocksMoved
 	c.MsgsSent += other.MsgsSent
 	c.BytesSent += other.BytesSent
 	c.MsgsIntra += other.MsgsIntra

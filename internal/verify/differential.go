@@ -21,10 +21,12 @@ type Variant struct {
 // and off — plus the fused hybrid loop for the two strategies it
 // supports. The distributed variants run with the split-phase
 // (overlapped) halo exchange, the production default; a "/sync" row
-// per distributed shape repeats the run with the synchronous exchange
-// so both protocols face the serial oracle. The base's physics (box,
-// springs, bonds, gravity, initial state) is preserved; mode, P, T,
-// B/P, Method, Fused, Reorder and Overlap are overridden per variant.
+// per distributed shape repeats the run with the synchronous exchange,
+// and "/rebalance" rows run with dynamic block→rank load balancing at
+// B/P 1 and 4, so every protocol faces the serial oracle. The base's
+// physics (box, springs, bonds, gravity, initial state) is preserved;
+// mode, P, T, B/P, Method, Fused, Reorder, Overlap and Rebalance are
+// overridden per variant.
 func Matrix(base core.Config) []Variant {
 	var out []Variant
 	add := func(name string, mutate func(*core.Config)) {
@@ -34,6 +36,7 @@ func Matrix(base core.Config) []Variant {
 		cfg.BlocksPerProc = 1
 		cfg.Fused = false
 		cfg.Overlap = true
+		cfg.Rebalance = false
 		mutate(&cfg)
 		out = append(out, Variant{Name: name, Cfg: cfg})
 	}
@@ -110,6 +113,35 @@ func Matrix(base core.Config) []Variant {
 			})
 		}
 	}
+	// Dynamic load balancing at coarse and fine granularity: ownership
+	// is bookkeeping, the physics must still face the serial oracle.
+	for _, bpp := range []int{1, 4} {
+		bpp := bpp
+		add(fmt.Sprintf("mpi/rebalance/bpp%d", bpp), func(c *core.Config) {
+			c.Mode = core.MPI
+			c.P = 2
+			c.BlocksPerProc = bpp
+			c.Reorder = true
+			c.Rebalance = true
+		})
+	}
+	add("hybrid/selected-atomic/rebalance", func(c *core.Config) {
+		c.Mode = core.Hybrid
+		c.P, c.T = 2, 2
+		c.BlocksPerProc = 4
+		c.Method = shm.SelectedAtomic
+		c.Reorder = true
+		c.Rebalance = true
+	})
+	add("hybrid/selected-atomic/fused/rebalance", func(c *core.Config) {
+		c.Mode = core.Hybrid
+		c.P, c.T = 2, 2
+		c.BlocksPerProc = 4
+		c.Method = shm.SelectedAtomic
+		c.Fused = true
+		c.Reorder = true
+		c.Rebalance = true
+	})
 	return out
 }
 
