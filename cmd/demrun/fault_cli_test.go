@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hybriddem/internal/checkpoint"
+	"hybriddem/internal/geom"
+)
+
+// TestRunPeriodicCheckpointMatchesUnbroken: -checkpoint-every chains
+// chunked runs through the checkpoint file; the final state must match
+// one unbroken run of the same total length, and the file must hold
+// the cumulative iteration count.
+func TestRunPeriodicCheckpointMatchesUnbroken(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.ck")
+	periodic := filepath.Join(dir, "periodic.ck")
+	base := []string{"-d", "2", "-n", "300", "-warmup", "1", "-vel", "1"}
+	runOK := func(extra ...string) string {
+		t.Helper()
+		var out, errb bytes.Buffer
+		if code := run(append(append([]string{}, base...), extra...), &out, &errb); code != 0 {
+			t.Fatalf("%v: exit %d: %s", extra, code, errb.String())
+		}
+		return out.String()
+	}
+	runOK("-iters", "6", "-save", full)
+	out := runOK("-iters", "6", "-save", periodic, "-checkpoint-every", "2")
+	if !strings.Contains(out, "(every 2 iterations)") {
+		t.Errorf("periodic run did not report its cadence:\n%s", out)
+	}
+
+	want, err := checkpoint.LoadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := checkpoint.LoadFile(periodic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Iters != 6 || got.Iters != 6 {
+		t.Fatalf("cumulative counts: unbroken %d, periodic %d, want 6", want.Iters, got.Iters)
+	}
+	box := geom.NewBox(2, want.L, want.BC)
+	maxd := 0.0
+	for i := range want.Pos {
+		if d := math.Sqrt(box.Dist2(want.Pos[i], got.Pos[i])); d > maxd {
+			maxd = d
+		}
+	}
+	if maxd > 1e-8 {
+		t.Errorf("periodically checkpointed run deviates by %g", maxd)
+	}
+}
+
+// TestRunPeriodicCheckpointResumes: -checkpoint-every composes with
+// -load — the resumed leg continues the cumulative count.
+func TestRunPeriodicCheckpointResumes(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "state.ck")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-d", "2", "-n", "300", "-iters", "4", "-save", ck, "-checkpoint-every", "2"}, &out, &errb); code != 0 {
+		t.Fatalf("first leg exit %d: %s", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-d", "2", "-n", "300", "-iters", "8", "-load", ck, "-save", ck, "-checkpoint-every", "3"}, &out, &errb); code != 0 {
+		t.Fatalf("resumed leg exit %d: %s", code, errb.String())
+	}
+	snap, err := checkpoint.LoadFile(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Iters != 8 {
+		t.Errorf("final checkpoint holds %d iterations, want the cumulative 8", snap.Iters)
+	}
+}
+
+func TestRunCheckpointEveryNeedsSave(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-d", "2", "-n", "300", "-iters", "4", "-checkpoint-every", "2"}, &out, &errb); code != 2 {
+		t.Errorf("exit %d, want usage error 2: %s", code, errb.String())
+	}
+}
+
+// TestRunChaosFaultExitsThree: an injected fault with no supervisor is
+// unrecoverable and must exit 3, distinct from plain errors.
+func TestRunChaosFaultExitsThree(t *testing.T) {
+	for _, extra := range [][]string{
+		{"-chaos-kill", "1@2"},
+		{"-chaos-corrupt", "1", "-chaos-max", "1"},
+	} {
+		args := append([]string{"-d", "2", "-n", "400", "-mode", "mpi", "-p", "2", "-iters", "4"}, extra...)
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 3 {
+			t.Errorf("%v: exit %d, want 3 (stderr: %s)", extra, code, errb.String())
+		}
+		if !strings.Contains(errb.String(), "fault:") {
+			t.Errorf("%v: stderr does not describe the fault: %s", extra, errb.String())
+		}
+	}
+}
+
+// TestRunSuperviseRecoversFromKill: the same kill under -supervise
+// recovers (exit 0) and the final state matches an unfaulted run.
+func TestRunSuperviseRecoversFromKill(t *testing.T) {
+	dir := t.TempDir()
+	clean := filepath.Join(dir, "clean.ck")
+	chaos := filepath.Join(dir, "chaos.ck")
+	base := []string{"-d", "2", "-n", "400", "-mode", "mpi", "-p", "2", "-iters", "6"}
+	var out, errb bytes.Buffer
+	if code := run(append(append([]string{}, base...), "-save", clean), &out, &errb); code != 0 {
+		t.Fatalf("clean run exit %d: %s", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run(append(append([]string{}, base...),
+		"-save", chaos, "-supervise", "-chaos-kill", "1@3"), &out, &errb); code != 0 {
+		t.Fatalf("supervised chaos run exit %d: %s", code, errb.String())
+	}
+	want, err := checkpoint.LoadFile(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := checkpoint.LoadFile(chaos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Pos {
+		if want.Pos[i] != got.Pos[i] || want.Vel[i] != got.Vel[i] {
+			t.Fatalf("particle %d differs after recovery: %v vs %v", i, want.Pos[i], got.Pos[i])
+		}
+	}
+}
+
+func TestRunBadChaosKillExitsTwo(t *testing.T) {
+	for _, kill := range []string{"nope", "1@", "@2", "-1@3", "1@-3"} {
+		var out, errb bytes.Buffer
+		args := []string{"-d", "2", "-n", "300", "-mode", "mpi", "-p", "2", "-chaos-kill", kill}
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("-chaos-kill %q: exit %d, want 2", kill, code)
+		}
+	}
+}

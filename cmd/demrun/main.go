@@ -13,6 +13,19 @@
 // strategy and reordering setting, and each trajectory is compared
 // step by step against the serial baseline. The exit status is nonzero
 // when any variant diverges.
+//
+// Fault tolerance: -supervise runs MPI/hybrid configurations under a
+// supervisor that snapshots at list rebuilds and recovers from
+// detected faults by rolling back (and, after a rank kill, degrading
+// to P-1 ranks); the -chaos-* flags inject deterministic faults for
+// testing it. -checkpoint-every N writes crash-safe on-disk
+// checkpoints to the -save path every N measured iterations.
+//
+// Exit codes: 0 success; 1 run or configuration error; 2 usage error
+// or nothing to do (the -load checkpoint already holds -iters
+// iterations); 3 unrecoverable fault (a detected kill, corruption or
+// watchdog timeout that supervision could not, or was not asked to,
+// recover from).
 package main
 
 import (
@@ -20,7 +33,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"hybriddem"
 	"hybriddem/internal/profiling"
@@ -59,6 +74,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		modelN   = fs.Int("modeln", 0, "model the cache behaviour of this many particles (0 = actual N)")
 		save     = fs.String("save", "", "write a checkpoint of the final state to this file")
 		load     = fs.String("load", "", "resume from a checkpoint file")
+		ckEvery  = fs.Int("checkpoint-every", 0, "also checkpoint to the -save file every N measured iterations (crash-safe atomic writes)")
+		supv     = fs.Bool("supervise", false, "run under fault supervision: snapshot, detect, roll back, degrade (MPI/hybrid)")
+		snapEv   = fs.Int("snapshot-every", 1, "with -supervise, take an in-memory snapshot at every k-th list rebuild")
+		maxRetry = fs.Int("max-retries", 3, "with -supervise, recovery attempts before giving up (exit 3)")
+		watchdog = fs.Duration("watchdog", 0, "deadline for blocking receives/collectives; stalls surface as faults (0 = off)")
+		cKill    = fs.String("chaos-kill", "", "inject a rank failure, as rank@step (e.g. 1@9)")
+		cCorrupt = fs.Float64("chaos-corrupt", 0, "per-message probability of flipping one payload bit")
+		cDup     = fs.Float64("chaos-dup", 0, "per-message probability of duplicating the message")
+		cDelayP  = fs.Float64("chaos-delay-prob", 0, "per-message probability of delaying delivery")
+		cDelay   = fs.Duration("chaos-delay", time.Millisecond, "wall-clock delay applied to delayed messages")
+		cMax     = fs.Int("chaos-max", 0, "total injection budget across corrupt/dup/delay (0 = unlimited)")
+		cSeed    = fs.Int64("chaos-seed", 1, "seed for the deterministic fault plan")
 		export   = fs.String("export", "", "write the final state for visualisation (.vtk, .xyz or .csv)")
 		verify   = fs.Bool("verify", false, "run the differential conformance matrix instead of a timing run")
 		verTol   = fs.Float64("verify-tol", 0, "conformance tolerance (0 = default 1e-7)")
@@ -140,6 +167,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.Platform = pf
 	}
 
+	if *cKill != "" || *cCorrupt > 0 || *cDup > 0 || *cDelayP > 0 {
+		plan := hybriddem.NewFaultPlan(*cSeed)
+		plan.CorruptProb = *cCorrupt
+		plan.DuplicateProb = *cDup
+		plan.DelayProb = *cDelayP
+		plan.DelayWall = *cDelay
+		plan.MaxFaults = *cMax
+		if *cKill != "" {
+			rank, step, err := parseKill(*cKill)
+			if err != nil {
+				fmt.Fprintln(stderr, "demrun:", err)
+				return 2
+			}
+			plan.ArmKill(rank, step)
+		}
+		cfg.Faults = plan
+	}
+	cfg.Watchdog = *watchdog
+
 	if *verify {
 		c, err := hybriddem.RunConformance(cfg, *iters, *verTol)
 		if err != nil {
@@ -153,6 +199,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	if *ckEvery < 0 {
+		fmt.Fprintln(stderr, "demrun: -checkpoint-every must be >= 0")
+		return 2
+	}
+	if *ckEvery > 0 && *save == "" {
+		fmt.Fprintln(stderr, "demrun: -checkpoint-every needs -save for the checkpoint path")
+		return 2
+	}
 	if *save != "" || *export != "" {
 		cfg.CollectState = true
 	}
@@ -179,18 +233,62 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.Warmup = 0
 	}
 
-	res, err := hybriddem.Run(cfg, runIters)
-	if err != nil {
+	runSim := func(c hybriddem.Config, n int) (*hybriddem.Result, error) {
+		if *supv {
+			return hybriddem.Supervise(c, n, hybriddem.FTConfig{SnapshotEvery: *snapEv, MaxRetries: *maxRetry})
+		}
+		return hybriddem.Run(c, n)
+	}
+	// Unrecoverable faults — a detected kill, corruption or timeout
+	// with no supervisor, or one that survived every retry — exit 3 so
+	// scripts can tell them from plain configuration errors (1).
+	fail := func(err error) int {
 		fmt.Fprintln(stderr, "demrun:", err)
+		if hybriddem.AsFaultError(err) != nil {
+			return 3
+		}
 		return 1
 	}
 
-	if *save != "" {
-		if err := hybriddem.SaveCheckpoint(*save, &cfg, res, done+res.Iters); err != nil {
-			fmt.Fprintln(stderr, "demrun:", err)
-			return 1
+	var res *hybriddem.Result
+	if *ckEvery > 0 {
+		// Periodic on-disk checkpointing: run in chunks of N measured
+		// iterations, checkpointing (atomically) after each, chaining
+		// the state so the pieces reproduce one unbroken run.
+		for left := runIters; left > 0; {
+			chunk := *ckEvery
+			if chunk > left {
+				chunk = left
+			}
+			r, err := runSim(cfg, chunk)
+			if err != nil {
+				return fail(err)
+			}
+			done += r.Iters
+			left -= r.Iters
+			if err := hybriddem.SaveCheckpoint(*save, &cfg, r, done); err != nil {
+				fmt.Fprintln(stderr, "demrun:", err)
+				return 1
+			}
+			cfg.Init = &hybriddem.State{Pos: r.Pos, Vel: r.Vel}
+			cfg.Warmup = 0
+			res = r
 		}
-		fmt.Fprintf(stdout, "checkpoint     %s\n", *save)
+		done -= res.Iters // reporting: earlier chunks count as restored
+		fmt.Fprintf(stdout, "checkpoint     %s (every %d iterations)\n", *save, *ckEvery)
+	} else {
+		r, err := runSim(cfg, runIters)
+		if err != nil {
+			return fail(err)
+		}
+		res = r
+		if *save != "" {
+			if err := hybriddem.SaveCheckpoint(*save, &cfg, res, done+res.Iters); err != nil {
+				fmt.Fprintln(stderr, "demrun:", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "checkpoint     %s\n", *save)
+		}
 	}
 	if *export != "" {
 		if err := hybriddem.ExportState(*export, &cfg, res); err != nil {
@@ -227,4 +325,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "counters        %d force evals, %d contacts, %d msgs (%d bytes), %d regions\n",
 		tc.ForceEvals, tc.Contacts, tc.MsgsSent, tc.BytesSent, tc.ParallelRegions)
 	return 0
+}
+
+// parseKill parses the -chaos-kill argument "rank@step".
+func parseKill(s string) (rank, step int, err error) {
+	at := strings.IndexByte(s, '@')
+	if at < 0 {
+		return 0, 0, fmt.Errorf("-chaos-kill %q: want rank@step", s)
+	}
+	rank, err = strconv.Atoi(s[:at])
+	if err == nil {
+		step, err = strconv.Atoi(s[at+1:])
+	}
+	if err != nil || rank < 0 || step < 0 {
+		return 0, 0, fmt.Errorf("-chaos-kill %q: want nonnegative rank@step", s)
+	}
+	return rank, step, nil
 }

@@ -41,11 +41,13 @@ import (
 	"hybriddem/internal/checkpoint"
 	"hybriddem/internal/core"
 	"hybriddem/internal/export"
+	"hybriddem/internal/fault"
 	"hybriddem/internal/force"
 	"hybriddem/internal/geom"
 	"hybriddem/internal/grain"
 	"hybriddem/internal/machine"
 	"hybriddem/internal/measure"
+	"hybriddem/internal/mp"
 	"hybriddem/internal/particle"
 	"hybriddem/internal/shm"
 	"hybriddem/internal/trace"
@@ -285,6 +287,45 @@ const (
 // the given family: a ready-to-run Config with an explicit Init state.
 func Scenario(k ScenarioKind, d, n int, seed int64) (Config, error) {
 	return verify.Scenario(k, d, n, seed)
+}
+
+// FaultPlan is a seeded, deterministic fault-injection plan for
+// distributed runs: it can kill a rank at a chosen step and corrupt,
+// duplicate or delay point-to-point messages (Config.Faults).
+type FaultPlan = mp.FaultPlan
+
+// FaultStats counts the injections a plan actually applied.
+type FaultStats = mp.FaultStats
+
+// NewFaultPlan returns an empty plan drawing its decisions from seed;
+// set the probability fields and ArmKill to arm it.
+func NewFaultPlan(seed int64) *FaultPlan { return mp.NewFaultPlan(seed) }
+
+// FaultError is the typed error every detected fault surfaces as:
+// killed ranks, corrupted or out-of-sequence messages, watchdog
+// timeouts, abandoned collectives.
+type FaultError = fault.Error
+
+// AsFaultError extracts the typed fault from an error chain, or nil
+// when the error is not fault-related.
+func AsFaultError(err error) *FaultError {
+	if err == nil {
+		return nil
+	}
+	return fault.From(err)
+}
+
+// FTConfig tunes Supervise's snapshot cadence and retry policy.
+type FTConfig = core.FTConfig
+
+// Supervise executes a distributed (MPI or Hybrid) run under fault
+// supervision: periodic in-memory snapshots at link-rebuild
+// boundaries, and on a detected fault a rollback to the last snapshot
+// — after a rank kill, on a degraded layout spreading the dead rank's
+// blocks over the P-1 survivors. Recovery is bit-exact with respect to
+// an unfaulted run.
+func Supervise(cfg Config, iters int, ft FTConfig) (*Result, error) {
+	return core.Supervise(cfg, iters, ft)
 }
 
 // Experiment regenerates one of the paper's tables or figures.

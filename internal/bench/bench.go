@@ -203,6 +203,7 @@ var All = []Experiment{
 	{"X6", "extension: the clustered workload run directly (granularity vs hybrid balance)", ExtraClusteredWorkload},
 	{"X7", "extension: split-phase halo exchange — communication hidden by the core-link pass", ExtraOverlap},
 	{"X8", "extension: dynamic block→rank load balancing on the clustered bed", ExtraRebalance},
+	{"X9", "extension: fault tolerance — replay depth vs snapshot cadence, integrity overhead", ExtraChaos},
 }
 
 // ByID finds an experiment.

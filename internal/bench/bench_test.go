@@ -417,3 +417,38 @@ func TestRebalanceGates(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosGates: X9's acceptance properties. Every supervised run in
+// the grid must recover from its injected rank kill with a final state
+// bit-identical to the unfaulted baseline ("exact" drift row); the
+// replay depth must never exceed the run length; and for a fixed kill
+// step it must be monotonically non-decreasing in the snapshot cadence
+// — taking snapshots less often can only force deeper rollbacks.
+func TestChaosGates(t *testing.T) {
+	o := tiny()
+	o.N, o.Iters = 8000, 6 // 12 X9 iterations: room for several rebuild boundaries
+	rep := ExtraChaos(o)
+
+	if len(rep.Header) != 4 {
+		t.Fatalf("X9 header %v", rep.Header)
+	}
+	for _, col := range rep.Header[1:] {
+		if s, ok := rep.Cell("final-state drift vs unfaulted run", col); !ok || s != "exact" {
+			t.Errorf("%s: recovery not bit-exact (drift %q)", col, s)
+		}
+		prev := -1.0
+		for _, every := range []string{"1", "2", "4", "8"} {
+			v := cellFloat(t, rep, "replay depth, snapshot every "+every+" rebuilds", col)
+			if v < 1 || v > 12 {
+				t.Errorf("%s every=%s: replay depth %g outside (0, iters]", col, every, v)
+			}
+			if v < prev {
+				t.Errorf("%s: sparser snapshots shrank the replay depth (%g -> %g at every=%s)", col, prev, v, every)
+			}
+			prev = v
+		}
+	}
+	if len(rep.Notes) != 2 {
+		t.Fatalf("X9 notes: %v", rep.Notes)
+	}
+}

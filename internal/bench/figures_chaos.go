@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hybriddem/internal/core"
+	"hybriddem/internal/machine"
+	"hybriddem/internal/mp"
+)
+
+// ExtraChaos measures what fault tolerance costs. The central
+// trade-off of checkpoint-rollback recovery is snapshot cadence
+// against mean time to failure: sparse snapshots are cheap until a
+// fault forces a deep replay, frequent ones bound the replay but pay
+// on every rebuild. The grid reports the replay depth — measured
+// iterations re-executed after a rank kill — for snapshot cadences of
+// every 1st..8th list rebuild against kills at 25%, 50% and 75% of
+// the run (the kill step is the experiment's proxy for MTTF: the
+// later the failure, the more work is at risk).
+//
+// Every cell is one supervised run that loses a rank, degrades to
+// P-1, rolls back and completes; the final-state row proves each
+// recovery is bit-exact against the unfaulted baseline, which is the
+// property that makes the replay-depth accounting trustworthy. The
+// notes report the two steady-state overheads of the machinery: the
+// wall-clock cost of sequence/checksum integrity on every message
+// (modelled time is identical by construction — the checks are host
+// bookkeeping, not physics), and the duplicate-rejection counters
+// under message duplication.
+func ExtraChaos(o Options) *Report {
+	o = o.withDefaults()
+	pf := machine.CompaqES40()
+	const d = 2
+	const p = 4
+	iters := 2 * o.iters(d)
+
+	build := func() core.Config {
+		cfg := o.config(d, 1.5, pf, true)
+		cfg.Mode = core.MPI
+		cfg.P = p
+		cfg.InitVel = 150 // hot gas: rebuilds recur every iteration or two, giving the cadence sweep its range
+		cfg.CollectState = true
+		return cfg
+	}
+
+	clean := mustRun(build(), iters)
+
+	// stateDrift is the max |Δ| of any final position or velocity
+	// component against the unfaulted baseline; recovery is bit-exact,
+	// so anything but zero is a gate failure.
+	stateDrift := func(res *core.Result) float64 {
+		m := 0.0
+		for i := range clean.Pos {
+			for c := 0; c < d; c++ {
+				if v := math.Abs(res.Pos[i][c] - clean.Pos[i][c]); v > m {
+					m = v
+				}
+				if v := math.Abs(res.Vel[i][c] - clean.Vel[i][c]); v > m {
+					m = v
+				}
+			}
+		}
+		return m
+	}
+
+	cadences := []int{1, 2, 4, 8}
+	killAt := []int{iters / 4, iters / 2, 3 * iters / 4}
+
+	rep := &Report{
+		ID:    "X9",
+		Title: fmt.Sprintf("fault tolerance: replay depth vs snapshot cadence and kill step, MPI P=%d, D=2, %d iters", p, iters),
+		Header: []string{"series",
+			fmt.Sprintf("kill@%d", killAt[0]),
+			fmt.Sprintf("kill@%d", killAt[1]),
+			fmt.Sprintf("kill@%d", killAt[2])},
+	}
+
+	maxDrift := 0.0
+	recoverRun := func(every, kill int) int {
+		cfg := build()
+		plan := mp.NewFaultPlan(o.Seed)
+		plan.ArmKill(1, cfg.Warmup+kill)
+		cfg.Faults = plan
+		replay := iters // from-scratch unless a snapshot shortened it
+		res, err := core.Supervise(cfg, iters, core.FTConfig{
+			SnapshotEvery: every,
+			MaxRetries:    3,
+			OnRetry:       func(attempt, restart int) { replay = iters - restart },
+		})
+		if err != nil {
+			panic(fmt.Sprintf("bench: X9 recovery failed (every=%d kill=%d): %v", every, kill, err))
+		}
+		if v := stateDrift(res); v > maxDrift {
+			maxDrift = v
+		}
+		return replay
+	}
+
+	for _, every := range cadences {
+		row := []string{fmt.Sprintf("replay depth, snapshot every %d rebuilds", every)}
+		for _, kill := range killAt {
+			row = append(row, fmt.Sprintf("%d", recoverRun(every, kill)))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	drift := "exact"
+	if maxDrift > 0 {
+		drift = fmt.Sprintf("%.3g", maxDrift)
+	}
+	rep.Rows = append(rep.Rows, []string{"final-state drift vs unfaulted run", drift, drift, drift})
+
+	// Integrity overhead: identical physics with and without the
+	// per-message sequence/checksum verification, compared on wall
+	// clock (virtual time cannot see host-side bookkeeping).
+	wall := func(noIntegrity bool) time.Duration {
+		cfg := build()
+		cfg.NoIntegrity = noIntegrity
+		return mustRun(cfg, iters).Wall
+	}
+	wOn, wOff := wall(false), wall(true)
+	rep.Notes = append(rep.Notes, fmt.Sprintf(
+		"integrity checks: wall %.2f ms with, %.2f ms without (%+.1f%%); modelled time identical by construction",
+		float64(wOn.Microseconds())/1e3, float64(wOff.Microseconds())/1e3,
+		100*(float64(wOn)-float64(wOff))/float64(wOff)))
+
+	// Duplicate suppression: flood the wire with copies; the sequence
+	// check must discard them without touching the trajectory.
+	dupCfg := build()
+	dupPlan := mp.NewFaultPlan(o.Seed)
+	dupPlan.DuplicateProb = 0.1
+	dupCfg.Faults = dupPlan
+	dupRes := mustRun(dupCfg, iters)
+	rep.Notes = append(rep.Notes, fmt.Sprintf(
+		"duplicate injection: %d applied, %d rejected at receives, state drift %g",
+		dupPlan.Stats().Duplicated, dupRes.TC.MsgsRejected, stateDrift(dupRes)))
+	return rep
+}

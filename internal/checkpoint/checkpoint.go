@@ -7,10 +7,13 @@
 package checkpoint
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"hybriddem/internal/core"
 	"hybriddem/internal/force"
@@ -116,31 +119,119 @@ func (s *Snapshot) Apply(cfg *core.Config) error {
 	return nil
 }
 
-// Save writes the snapshot in gob encoding.
-func Save(w io.Writer, s *Snapshot) error {
-	return gob.NewEncoder(w).Encode(s)
-}
+// The on-disk format frames the gob payload so Load can tell a valid
+// checkpoint from a torn write or bit rot before handing bytes to the
+// decoder:
+//
+//	[8] magic "HYDEMCK1"
+//	[8] payload length, big-endian
+//	[8] FNV-1a over the payload, big-endian
+//	[n] gob-encoded Snapshot
+//
+// A file that is truncated anywhere — inside the header or the
+// payload — fails the length read; a file with any flipped bit fails
+// the checksum. Either way Load returns an error and never panics.
+var magic = [8]byte{'H', 'Y', 'D', 'E', 'M', 'C', 'K', '1'}
 
-// Load reads a snapshot written by Save.
-func Load(r io.Reader) (*Snapshot, error) {
-	var s Snapshot
-	if err := gob.NewDecoder(r).Decode(&s); err != nil {
-		return nil, fmt.Errorf("checkpoint: %w", err)
+const headerLen = 24
+
+// maxPayload bounds the length field so a corrupted header cannot make
+// Load attempt a multi-terabyte allocation.
+const maxPayload = 1 << 33 // 8 GiB
+
+func fnv1a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * 1099511628211
 	}
-	return &s, nil
+	return h
 }
 
-// SaveFile writes the snapshot to a file.
-func SaveFile(path string, s *Snapshot) error {
-	f, err := os.Create(path)
+// Save writes the snapshot in the framed format.
+func Save(w io.Writer, s *Snapshot) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(s); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	var hdr [headerLen]byte
+	copy(hdr[:8], magic[:])
+	binary.BigEndian.PutUint64(hdr[8:16], uint64(payload.Len()))
+	binary.BigEndian.PutUint64(hdr[16:24], fnv1a(payload.Bytes()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot written by Save. It validates the frame —
+// magic, length, checksum — before decoding, so torn writes and
+// corrupted bytes come back as errors, never panics or silently wrong
+// state.
+func Load(r io.Reader) (s *Snapshot, err error) {
+	var hdr [headerLen]byte
+	if _, rerr := io.ReadFull(r, hdr[:]); rerr != nil {
+		return nil, fmt.Errorf("checkpoint: short header: %w", rerr)
+	}
+	if !bytes.Equal(hdr[:8], magic[:]) {
+		return nil, fmt.Errorf("checkpoint: bad magic %q (not a checkpoint file?)", hdr[:8])
+	}
+	n := binary.BigEndian.Uint64(hdr[8:16])
+	if n > maxPayload {
+		return nil, fmt.Errorf("checkpoint: implausible payload length %d (corrupt header)", n)
+	}
+	payload := make([]byte, n)
+	if _, rerr := io.ReadFull(r, payload); rerr != nil {
+		return nil, fmt.Errorf("checkpoint: truncated payload: %w", rerr)
+	}
+	want := binary.BigEndian.Uint64(hdr[16:24])
+	if got := fnv1a(payload); got != want {
+		return nil, fmt.Errorf("checkpoint: checksum mismatch (file corrupted)")
+	}
+	// The checksum guards the gob stream, but a decoder panic on
+	// adversarial input must still surface as an error.
+	defer func() {
+		if p := recover(); p != nil {
+			s, err = nil, fmt.Errorf("checkpoint: decode panic: %v", p)
+		}
+	}()
+	var snap Snapshot
+	if derr := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); derr != nil {
+		return nil, fmt.Errorf("checkpoint: %w", derr)
+	}
+	return &snap, nil
+}
+
+// SaveFile writes the snapshot to a file crash-safely: the bytes go to
+// a temporary file in the same directory, are fsynced, and only then
+// renamed over the target. A crash mid-save leaves the previous
+// checkpoint (if any) intact — the target path never holds a partial
+// write.
+func SaveFile(path string, s *Snapshot) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := Save(f, s); err != nil {
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = Save(f, s); err != nil {
 		return err
 	}
-	return f.Sync()
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // LoadFile reads a snapshot from a file.

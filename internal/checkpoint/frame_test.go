@@ -1,0 +1,130 @@
+package checkpoint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hybriddem/internal/core"
+)
+
+// validBytes returns one framed checkpoint as raw bytes.
+func validBytes(t *testing.T) []byte {
+	t.Helper()
+	cfg := runCfg(40)
+	res, err := core.Run(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := FromResult(&cfg, res, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLoadRejectsTornWrite: a checkpoint truncated at any boundary —
+// inside the magic, inside the header, inside the payload — must come
+// back as an error, never a panic or a silently short snapshot.
+func TestLoadRejectsTornWrite(t *testing.T) {
+	full := validBytes(t)
+	cuts := []int{0, 3, 7, 8, 15, 23, headerLen, headerLen + 1, len(full) / 2, len(full) - 1}
+	for _, n := range cuts {
+		if _, err := Load(bytes.NewReader(full[:n])); err == nil {
+			t.Errorf("truncation at %d of %d bytes loaded successfully", n, len(full))
+		}
+	}
+	if _, err := Load(bytes.NewReader(full)); err != nil {
+		t.Fatalf("untruncated bytes rejected: %v", err)
+	}
+}
+
+// TestLoadRejectsBitFlips: any single flipped bit — in the length, the
+// checksum, or the payload — must be detected.
+func TestLoadRejectsBitFlips(t *testing.T) {
+	full := validBytes(t)
+	offsets := []int{8, 16, headerLen, headerLen + 17, len(full) - 1}
+	for _, off := range offsets {
+		mut := append([]byte(nil), full...)
+		mut[off] ^= 0x40
+		if _, err := Load(bytes.NewReader(mut)); err == nil {
+			t.Errorf("bit flip at offset %d went undetected", off)
+		}
+	}
+}
+
+func TestLoadRejectsForeignBytes(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":      nil,
+		"not-magic":  []byte("this is definitely not a checkpoint file, sorry"),
+		"near-magic": append([]byte("HYDEMCK2"), make([]byte, 64)...),
+	}
+	for name, b := range cases {
+		if _, err := Load(bytes.NewReader(b)); err == nil {
+			t.Errorf("%s: foreign bytes loaded successfully", name)
+		}
+	}
+}
+
+// TestSaveFileAtomic: SaveFile must leave exactly the finished file —
+// no temp litter — and replace an existing checkpoint in one step so a
+// reader never observes a partial write at the target path.
+func TestSaveFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.ck")
+
+	cfg := runCfg(40)
+	res, err := core.Run(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := FromResult(&cfg, res, 3)
+	if err := SaveFile(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a later snapshot; the target must stay loadable
+	// throughout and end up holding the new state.
+	snap2, _ := FromResult(&cfg, res, 7)
+	if err := SaveFile(path, snap2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iters != 7 {
+		t.Errorf("loaded Iters = %d, want the overwriting snapshot's 7", got.Iters)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("temp file %q left behind", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory holds %d entries, want just the checkpoint", len(entries))
+	}
+}
+
+// TestLoadFileRejectsLegacyPartial: a file that is only the first half
+// of a checkpoint (what a crash mid-write would leave without the
+// atomic rename) must be rejected by LoadFile.
+func TestLoadFileRejectsLegacyPartial(t *testing.T) {
+	full := validBytes(t)
+	path := filepath.Join(t.TempDir(), "torn.ck")
+	if err := os.WriteFile(path, full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil {
+		t.Error("torn file loaded successfully")
+	}
+}

@@ -1,0 +1,57 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+
+	"hybriddem/internal/core"
+)
+
+// FuzzLoad: Load must never panic, whatever bytes it is handed — torn
+// writes, bit rot, adversarial headers, random garbage. The seed
+// corpus covers a valid checkpoint, systematic truncations and bit
+// flips of it, and structurally hostile inputs (huge length field,
+// wrong magic).
+func FuzzLoad(f *testing.F) {
+	cfg := core.Default(2, 30)
+	cfg.Seed = 5
+	cfg.CollectState = true
+	res, err := core.Run(cfg, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	snap, err := FromResult(&cfg, res, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, snap); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:headerLen-1])
+	f.Add(valid[:headerLen])
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("HYDEMCK1\xff\xff\xff\xff\xff\xff\xff\xff\x00\x00\x00\x00\x00\x00\x00\x00"))
+	f.Add([]byte("not a checkpoint at all"))
+	for _, off := range []int{0, 9, 17, headerLen + 3} {
+		if off < len(valid) {
+			mut := append([]byte(nil), valid...)
+			mut[off] ^= 1
+			f.Add(mut)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Load(bytes.NewReader(data))
+		if err != nil && s != nil {
+			t.Fatal("Load returned both a snapshot and an error")
+		}
+		if err == nil && s == nil {
+			t.Fatal("Load returned neither a snapshot nor an error")
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"runtime"
+	"runtime/debug"
+	"testing"
+	"time"
+
+	"hybriddem/internal/decomp"
+	"hybriddem/internal/mp"
+	"hybriddem/internal/raceflag"
+)
+
+// TestStepSteadyStateZeroAllocChaos gates the cost of the
+// fault-tolerance machinery: with a FaultPlan installed (probabilities
+// zero, so the injection draws run but never fire), sequence/checksum
+// integrity on every message, and the watchdog armed, the steady-state
+// distributed step must still allocate nothing. The per-(peer,tag)
+// sequence maps only grow on first use, which warm-up covers.
+func TestStepSteadyStateZeroAllocChaos(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"mpi", func(cfg *Config) { cfg.P = 4 }},
+		{"hybrid", func(cfg *Config) { cfg.Mode = Hybrid; cfg.P = 2; cfg.T = 3 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := allocConfig(MPI)
+			tc.mutate(&cfg)
+			if err := cfg.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			l, err := decomp.NewLayout(cfg.Box(), cfg.RC(), cfg.P, cfg.BlocksPerProc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan := mp.NewFaultPlan(1) // armed but silent: probs all zero
+			defer debug.SetGCPercent(debug.SetGCPercent(-1))
+			var mallocs uint64
+			const iters = 20
+			opt := mp.RunOptions{Net: mp.ZeroNetwork{}, Faults: plan, Watchdog: time.Minute}
+			if _, err := mp.RunOpts(cfg.P, opt, func(c *mp.Comm) {
+				r := newRankSim(&cfg, c, l)
+				defer r.close()
+				r.dm.FillClustered(cfg.N, cfg.Seed, cfg.InitVel, cfg.FillHeight)
+				r.rebuild()
+				for i := 0; i < 5; i++ {
+					c.FaultPoint(i)
+					r.step()
+				}
+				var m1, m2 runtime.MemStats
+				c.Barrier()
+				if c.Rank() == 0 {
+					runtime.GC()
+					runtime.ReadMemStats(&m1)
+				}
+				c.Barrier()
+				for i := 0; i < iters; i++ {
+					c.FaultPoint(5 + i)
+					r.step()
+				}
+				c.Barrier()
+				if c.Rank() == 0 {
+					runtime.ReadMemStats(&m2)
+					mallocs = m2.Mallocs - m1.Mallocs
+				}
+				c.Barrier()
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if avg := mallocs / iters; avg != 0 {
+				t.Errorf("steady-state step with integrity + fault plan allocates %d times per iteration, want 0", avg)
+			}
+		})
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"hybriddem/internal/force"
 	"hybriddem/internal/geom"
 	"hybriddem/internal/machine"
+	"hybriddem/internal/mp"
 	"hybriddem/internal/shm"
 	"hybriddem/internal/trace"
 )
@@ -154,6 +155,29 @@ type Config struct {
 	// particle ID) into the Result; used by equivalence tests and the
 	// examples, off for benchmarks.
 	CollectState bool
+
+	// Faults installs a chaos schedule on the distributed modes'
+	// message runtime: an injected rank kill at a chosen step, plus
+	// probabilistic corruption, duplication and delay of point-to-point
+	// payloads. Detected faults surface from Run as *fault.Error;
+	// Supervise recovers from them. Ignored by the serial and
+	// pure-OpenMP modes. nil injects nothing.
+	Faults *mp.FaultPlan
+
+	// Watchdog bounds every blocking receive, collective wait and halo
+	// gate drain in the distributed modes: an operation blocked longer
+	// surfaces as a typed Timeout fault instead of a hang. It also
+	// makes an injected kill silent (peers discover the death only
+	// through their deadlines, as with a real node loss). 0 disables
+	// the watchdog; faults then fail fast by aborting all ranks.
+	Watchdog time.Duration
+
+	// NoIntegrity disables the per-message sequence numbers and
+	// checksums on the distributed modes' point-to-point traffic.
+	// Integrity is on by default; this exists for the X9 overhead
+	// ablation and cannot be combined with corruption/duplication
+	// injection.
+	NoIntegrity bool
 }
 
 // Default returns the paper's benchmark configuration scaled to n

@@ -98,6 +98,9 @@ func newRankSim(cfg *Config, c *mp.Comm, l *decomp.Layout) *rankSim {
 	if cfg.Mode == Hybrid {
 		r.team = shm.NewTeam(cfg.T, shm.Costs{})
 		r.gate = shm.NewHaloGate()
+		if cfg.Watchdog > 0 {
+			r.gate.SetDeadline(cfg.Watchdog)
+		}
 		if cfg.Fused {
 			r.fused = shm.NewFusedUpdater(cfg.Method)
 		} else {
@@ -631,19 +634,42 @@ func (r *rankSim) applyGravityBlocks() {
 	}
 }
 
+// segment parameterises one supervised execution attempt of
+// runDistributed: which layout to run on (possibly degraded after a
+// rank loss), which measured iteration to resume from, the original
+// timeline's warm-up length (so global fault-point step numbers stay
+// stable across attempts), the rebuild-boundary snapshot to restore
+// instead of the initial fill, and the collector that receives new
+// snapshots. The zero value is a plain unsupervised run.
+type segment struct {
+	layout  *decomp.Layout
+	start   int
+	warmup0 int
+	restore *epochState
+	sink    *snapCollector
+}
+
 // RunDistributed executes an MPI or Hybrid run and returns the merged
 // result (rank 0's phase attribution, max-over-ranks timing, summed
 // counters).
 func RunDistributed(cfg Config, iters int) (*Result, error) {
+	return runDistributed(cfg, iters, segment{warmup0: cfg.Warmup})
+}
+
+func runDistributed(cfg Config, iters int, seg segment) (*Result, error) {
 	if cfg.Mode != MPI && cfg.Mode != Hybrid {
 		return nil, fmt.Errorf("core: RunDistributed with mode %v", cfg.Mode)
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	l, err := decomp.NewLayout(cfg.Box(), cfg.RC(), cfg.P, cfg.BlocksPerProc)
-	if err != nil {
-		return nil, err
+	l := seg.layout
+	if l == nil {
+		var err error
+		l, err = decomp.NewLayout(cfg.Box(), cfg.RC(), cfg.P, cfg.BlocksPerProc)
+		if err != nil {
+			return nil, err
+		}
 	}
 	var net mp.Network = mp.ZeroNetwork{}
 	if cfg.Platform != nil {
@@ -653,21 +679,47 @@ func RunDistributed(cfg Config, iters int) (*Result, error) {
 			net = cfg.Platform.Network()
 		}
 	}
+	measured := iters - seg.start
+	if measured <= 0 {
+		return nil, fmt.Errorf("core: segment start %d leaves no iterations of %d", seg.start, iters)
+	}
 
 	results := make([]*Result, cfg.P)
 	start := time.Now()
-	comms := mp.Run(cfg.P, net, func(c *mp.Comm) {
+	comms, err := mp.RunOpts(cfg.P, mp.RunOptions{
+		Net:         net,
+		Faults:      cfg.Faults,
+		Watchdog:    cfg.Watchdog,
+		NoIntegrity: cfg.NoIntegrity,
+	}, func(c *mp.Comm) {
 		r := newRankSim(&cfg, c, l)
 		defer r.close()
-		if cfg.Init != nil {
+		switch {
+		case seg.restore != nil:
+			// Rollback: repopulate each owned block from the snapshot's
+			// canonical (post-rebuild) core arrays. The rebuild below is
+			// then an identity on the particle arrangement — positions
+			// are already wrapped and home, stores already cell-ordered —
+			// so the restored trajectory is bit-identical to an
+			// uninterrupted run, whatever rank now owns the block.
+			for _, b := range r.dm.Blocks {
+				if snap := seg.restore.blocks[b.ID]; snap != nil {
+					for i := range snap.ids {
+						b.PS.Append(snap.pos[i], snap.vel[i], snap.ids[i])
+					}
+					b.NCore = len(snap.ids)
+				}
+			}
+		case cfg.Init != nil:
 			for i := 0; i < cfg.N; i++ {
 				r.dm.Place(cfg.Init.Pos[i], cfg.Init.Vel[i], int32(i))
 			}
-		} else {
+		default:
 			r.dm.FillClustered(cfg.N, cfg.Seed, cfg.InitVel, cfg.FillHeight)
 		}
 		r.rebuild()
 		for i := 0; i < cfg.Warmup; i++ {
+			c.FaultPoint(i)
 			r.step()
 		}
 		c.Barrier()
@@ -679,7 +731,9 @@ func RunDistributed(cfg Config, iters int) (*Result, error) {
 		rebuilds0 := r.rebuilds
 
 		total := 0.0
-		for i := 0; i < iters; i++ {
+		rb := r.rebuilds
+		for i := seg.start; i < iters; i++ {
+			c.FaultPoint(seg.warmup0 + i)
 			total += r.step()
 			if cfg.Probe != nil {
 				pos, vel := gather(&cfg, c, r)
@@ -687,8 +741,16 @@ func RunDistributed(cfg Config, iters int) (*Result, error) {
 					cfg.Probe(i, pos, vel)
 				}
 			}
+			if seg.sink != nil && r.rebuilds > rb && i+1 < iters {
+				// The step ended in a rebuild, so the store is in its
+				// canonical arrangement — the only state a bit-exact
+				// rollback can restart from. Offer it as the state at
+				// the start of iteration i+1.
+				seg.sink.offer(i+1, r.dm)
+			}
+			rb = r.rebuilds
 		}
-		perIter := total / float64(iters)
+		perIter := total / float64(measured)
 		// Timing is the slowest rank's (the paper's t is the global
 		// iteration time).
 		perIter = c.AllreduceScalar(perIter, mp.Max)
@@ -708,16 +770,16 @@ func RunDistributed(cfg Config, iters int) (*Result, error) {
 
 		res := &Result{
 			Mode:       cfg.Mode,
-			Iters:      iters,
+			Iters:      measured,
 			PerIter:    perIter,
 			Epot:       r.epot,
 			Ekin:       r.ekin,
 			NLinks:     int64(nlinks),
 			Rebuilds:   r.rebuilds - rebuilds0,
-			ForceTime:  r.forceTime / float64(iters),
-			UpdateTime: r.updateTime / float64(iters),
-			CommTime:   r.commTime / float64(iters),
-			CollTime:   r.collTime / float64(iters),
+			ForceTime:  r.forceTime / float64(measured),
+			UpdateTime: r.updateTime / float64(measured),
+			CommTime:   r.commTime / float64(measured),
+			CollTime:   r.collTime / float64(measured),
 
 			MeanLinkDist: r.meanDist,
 			Imbalance:    imb,
@@ -733,6 +795,9 @@ func RunDistributed(cfg Config, iters int) (*Result, error) {
 		results[c.Rank()] = res
 	})
 	wall := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
 
 	out := results[0]
 	out.Wall = wall

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hybriddem/internal/decomp"
+	"hybriddem/internal/fault"
+	"hybriddem/internal/geom"
+)
+
+// blockSnap is one block's core particles in canonical (post-rebuild)
+// store order: positions wrapped into the box, particles in their home
+// block, cores cell-ordered. Restoring these arrays verbatim and
+// running a rebuild reproduces the exact arrangement an uninterrupted
+// run would have, which is what makes rollback bit-exact.
+type blockSnap struct {
+	pos, vel []geom.Vec
+	ids      []int32
+}
+
+// epochState is one complete rebuild-boundary snapshot: the state at
+// the start of measured iteration iter, keyed by block id. Keying by
+// block (not rank) is what lets a degraded layout restore it — blocks
+// keep their identity and geometry when ownership moves.
+type epochState struct {
+	iter   int
+	blocks map[int]*blockSnap
+}
+
+// snapCollector assembles per-block snapshot offers into complete
+// epochs. It models the stable storage of a checkpointing system: it
+// lives outside the world of rank goroutines, so a snapshot taken
+// before a fault survives the fault.
+//
+// Within one attempt, offers are globally ordered by epoch — a
+// rank's offer of epoch X happens before it enters iteration X's
+// collectives, which every other rank must complete before finishing
+// any later iteration — so a single current buffer suffices: a new
+// epoch's first offer retires the previous buffer (complete or not),
+// and a buffer is promoted to stable only once all `need` blocks have
+// arrived. A fault mid-epoch leaves the stable snapshot untouched.
+//
+// The ordering does NOT hold across attempts: a failed attempt can
+// die with a half-filled buffer for the very epoch its retry will
+// offer again (the rollback replays the same boundaries bit-exactly,
+// and a degraded layout offers them with different blocks-per-rank
+// groupings). Supervise therefore calls reset before every retry so
+// the two attempts' offers never merge.
+type snapCollector struct {
+	mu      sync.Mutex
+	need    int // blocks per complete epoch (layout.B)
+	every   int // take every k-th rebuild boundary (>=1)
+	seen    int // rebuild boundaries seen
+	curIter int // epoch currently assembling (-1 = none)
+	taking  bool
+	cur     *epochState
+	stable  *epochState
+}
+
+func newSnapCollector(need, every int) *snapCollector {
+	if every < 1 {
+		every = 1
+	}
+	return &snapCollector{need: need, every: every, curIter: -1}
+}
+
+// offer deposits one rank's blocks for the epoch starting at iter.
+// The first offer of a new epoch decides (from the shared boundary
+// counter) whether this epoch is taken, so every rank's offer of the
+// same epoch agrees.
+func (sc *snapCollector) offer(iter int, dm *decomp.Domain) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if iter != sc.curIter {
+		sc.curIter = iter
+		sc.seen++
+		sc.taking = (sc.seen-1)%sc.every == 0
+		if sc.taking {
+			sc.cur = &epochState{iter: iter, blocks: make(map[int]*blockSnap)}
+		} else {
+			sc.cur = nil
+		}
+	}
+	if !sc.taking || sc.cur == nil {
+		// cur == nil with taking set means this epoch already promoted;
+		// a duplicate offer (only possible if the per-attempt ordering
+		// were violated) has nothing to add, and dropping it degrades to
+		// "no newer snapshot" rather than crashing a rank.
+		return
+	}
+	for _, b := range dm.Blocks {
+		sc.cur.blocks[b.ID] = &blockSnap{
+			pos: append([]geom.Vec(nil), b.PS.Pos[:b.NCore]...),
+			vel: append([]geom.Vec(nil), b.PS.Vel[:b.NCore]...),
+			ids: append([]int32(nil), b.PS.ID[:b.NCore]...),
+		}
+	}
+	if len(sc.cur.blocks) == sc.need {
+		sc.stable = sc.cur
+		sc.cur = nil
+	}
+}
+
+// reset abandons any partially assembled epoch and restarts the
+// cadence counter, keeping the stable snapshot. Called before each
+// recovery attempt: the failed attempt may have left a half-filled
+// buffer for an epoch the retry offers again, and merging the two
+// would promote on a mixed block count. Restarting the cadence also
+// means the first boundary after a rollback is always taken, so a
+// fresh snapshot is re-established promptly.
+func (sc *snapCollector) reset() {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.seen = 0
+	sc.curIter = -1
+	sc.taking = false
+	sc.cur = nil
+}
+
+// snapshot returns the newest complete epoch, or nil.
+func (sc *snapCollector) snapshot() *epochState {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.stable
+}
+
+// FTConfig tunes Supervise's fault-tolerance policy.
+type FTConfig struct {
+	// SnapshotEvery takes an in-memory snapshot at every k-th rebuild
+	// boundary (1 = every boundary; 0 defaults to 1). Rebuild
+	// boundaries are the only states a bit-exact rollback can restart
+	// from, so the cadence is counted in boundaries, not iterations.
+	SnapshotEvery int
+	// MaxRetries bounds recovery attempts (0 defaults to 3). Each
+	// detected fault consumes one retry; exceeding the bound returns
+	// the last fault as an unrecoverable error.
+	MaxRetries int
+	// Backoff is the sleep before the first retry, doubling on each
+	// subsequent one. 0 disables backoff (tests).
+	Backoff time.Duration
+	// OnFault, when non-nil, observes every detected fault before the
+	// recovery attempt (attempt counts from 1).
+	OnFault func(attempt int, fe *fault.Error)
+	// OnRetry, when non-nil, observes each recovery attempt as it
+	// launches: restart is the measured iteration the rollback resumes
+	// from (0 = from scratch), so iters-restart is the replay depth
+	// the benchmark experiments report.
+	OnRetry func(attempt, restart int)
+}
+
+// Supervise executes a distributed run under fault supervision: it
+// takes periodic in-memory snapshots at rebuild boundaries, and on a
+// detected fault (injected kill, corrupted message, watchdog timeout)
+// rolls the simulation back to the last complete snapshot and re-runs
+// it — after a rank kill, on a degraded layout that redistributes the
+// dead rank's blocks over the surviving P-1 ranks. Recovery is
+// bit-exact: the re-executed trajectory, and every Probe delivery, is
+// bit-identical to an unfaulted run's.
+//
+// The returned Result is the final successful segment's, with Iters
+// patched to the full measured count. Retries exhausted (or a
+// single-rank layout losing its only rank) return the fault as an
+// unrecoverable error; demrun maps that to exit code 3.
+func Supervise(cfg Config, iters int, ft FTConfig) (*Result, error) {
+	if cfg.Mode != MPI && cfg.Mode != Hybrid {
+		return nil, fmt.Errorf("core: Supervise with mode %v", cfg.Mode)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if iters < 1 {
+		return nil, fmt.Errorf("core: Supervise with %d iterations", iters)
+	}
+	layout, err := decomp.NewLayout(cfg.Box(), cfg.RC(), cfg.P, cfg.BlocksPerProc)
+	if err != nil {
+		return nil, err
+	}
+	maxRetries := ft.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = 3
+	}
+	sink := newSnapCollector(layout.B, ft.SnapshotEvery)
+
+	// Each measured iteration is delivered to the caller's probe
+	// exactly once: a rollback re-executes iterations the caller has
+	// already seen, and redelivering them (even bit-identically) would
+	// corrupt trajectory captures.
+	probe := cfg.Probe
+	delivered := 0
+	if probe != nil {
+		cfg.Probe = func(iter int, pos, vel []geom.Vec) {
+			if iter == delivered {
+				probe(iter, pos, vel)
+				delivered++
+			}
+		}
+	}
+
+	backoff := ft.Backoff
+	warmup0 := cfg.Warmup
+	for attempt := 0; ; attempt++ {
+		segCfg := cfg
+		segCfg.P = layout.P
+		seg := segment{layout: layout, warmup0: warmup0, sink: sink}
+		if snap := sink.snapshot(); snap != nil {
+			seg.start = snap.iter
+			seg.restore = snap
+			segCfg.Warmup = 0
+		}
+		if attempt > 0 && ft.OnRetry != nil {
+			ft.OnRetry(attempt, seg.start)
+		}
+		res, err := runDistributed(segCfg, iters, seg)
+		if err == nil {
+			res.Iters = iters
+			return res, nil
+		}
+		fe := fault.From(err)
+		if fe == nil {
+			return nil, err // config error, not a fault
+		}
+		if ft.OnFault != nil {
+			ft.OnFault(attempt+1, fe)
+		}
+		if attempt+1 > maxRetries {
+			return nil, fmt.Errorf("core: unrecoverable after %d recovery attempts: %w", maxRetries, fe)
+		}
+		sink.reset()
+		if fe.Kind == fault.Killed {
+			degraded, derr := layout.Degrade(fe.Rank)
+			if derr != nil {
+				return nil, fmt.Errorf("core: cannot recover from %w: %v", fe, derr)
+			}
+			layout = degraded
+		}
+		if backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"hybriddem/internal/fault"
+	"hybriddem/internal/mp"
+)
+
+func chaosCfg(p int) Config {
+	cfg := Default(2, 200)
+	cfg.Mode = MPI
+	cfg.P = p
+	cfg.Seed = 17
+	cfg.Warmup = 2
+	return cfg
+}
+
+// TestSuperviseCleanRunMatchesPlain: without any faults, Supervise
+// must reproduce Run exactly — the snapshot plumbing alone must not
+// perturb the trajectory or the result bookkeeping.
+func TestSuperviseCleanRunMatchesPlain(t *testing.T) {
+	cfg := chaosCfg(2)
+	cfg.CollectState = true
+	plain, err := Run(cfg, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := Supervise(cfg, 12, FTConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sup.Iters != 12 {
+		t.Errorf("supervised Iters = %d, want 12", sup.Iters)
+	}
+	for i := range plain.Pos {
+		if plain.Pos[i] != sup.Pos[i] || plain.Vel[i] != sup.Vel[i] {
+			t.Fatalf("particle %d diverged under supervision: %v vs %v", i, plain.Pos[i], sup.Pos[i])
+		}
+	}
+}
+
+// TestSuperviseSnapshotCadence: a sparse snapshot cadence must still
+// recover bit-exactly — the rollback just replays more iterations. The
+// kill fires late so at least one boundary has passed since the last
+// taken snapshot.
+func TestSuperviseSnapshotCadence(t *testing.T) {
+	cfg := chaosCfg(2)
+	cfg.CollectState = true
+	base, err := Run(cfg, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, every := range []int{1, 3, 100} {
+		plan := mp.NewFaultPlan(21)
+		plan.ArmKill(1, 12)
+		faulted := cfg
+		faulted.Faults = plan
+		got, err := Supervise(faulted, 16, FTConfig{SnapshotEvery: every, MaxRetries: 3})
+		if err != nil {
+			t.Fatalf("every=%d: %v", every, err)
+		}
+		if plan.Stats().Killed != 1 {
+			t.Fatalf("every=%d: kill stats %+v", every, plan.Stats())
+		}
+		for i := range base.Pos {
+			if base.Pos[i] != got.Pos[i] {
+				t.Fatalf("every=%d: particle %d diverged after recovery", every, i)
+			}
+		}
+	}
+}
+
+// TestSuperviseDegradesToSingleRank: killing one of two ranks leaves a
+// single survivor, which must finish the run alone.
+func TestSuperviseDegradesToSingleRank(t *testing.T) {
+	cfg := chaosCfg(2)
+	cfg.CollectState = true
+	plan := mp.NewFaultPlan(8)
+	plan.ArmKill(0, 5)
+	cfg.Faults = plan
+	res, err := Supervise(cfg, 10, FTConfig{SnapshotEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters != 10 {
+		t.Errorf("Iters = %d, want 10", res.Iters)
+	}
+}
+
+// TestSuperviseCannotDegradeLastRank: losing the only rank is
+// unrecoverable and must say so, wrapping the kill fault.
+func TestSuperviseCannotDegradeLastRank(t *testing.T) {
+	cfg := chaosCfg(1)
+	plan := mp.NewFaultPlan(8)
+	plan.ArmKill(0, 2)
+	cfg.Faults = plan
+	_, err := Supervise(cfg, 8, FTConfig{})
+	if err == nil {
+		t.Fatal("single-rank kill recovered impossibly")
+	}
+	var fe *fault.Error
+	if !errors.As(err, &fe) || fe.Kind != fault.Killed {
+		t.Fatalf("error %v does not wrap the kill fault", err)
+	}
+}
+
+// TestSuperviseRejectsSharedModes: supervision is a distributed-run
+// facility; Serial and OpenMP configs must be rejected up front.
+func TestSuperviseRejectsSharedModes(t *testing.T) {
+	for _, m := range []Mode{Serial, OpenMP} {
+		cfg := Default(2, 100)
+		cfg.Mode = m
+		if _, err := Supervise(cfg, 5, FTConfig{}); err == nil {
+			t.Errorf("mode %v accepted", m)
+		}
+	}
+}

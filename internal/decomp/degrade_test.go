@@ -1,0 +1,135 @@
+package decomp
+
+import (
+	"reflect"
+	"testing"
+
+	"hybriddem/internal/geom"
+)
+
+// TestDegradeCoversAllBlocks: after a rank failure every block must
+// still have exactly one owner, drawn from the surviving 0..P-2 range,
+// and blocks of unaffected ranks must keep their (renumbered) owner.
+func TestDegradeCoversAllBlocks(t *testing.T) {
+	box := geom.NewBox(2, 10, geom.Periodic)
+	for _, p := range []int{2, 4, 6} {
+		for _, bpp := range []int{1, 2, 4} {
+			l := mustLayout(t, box, 0.5, p, bpp)
+			for failed := 0; failed < p; failed++ {
+				d, err := l.Degrade(failed)
+				if err != nil {
+					t.Fatalf("p=%d bpp=%d failed=%d: %v", p, bpp, failed, err)
+				}
+				if d.P != p-1 {
+					t.Fatalf("degraded P = %d, want %d", d.P, p-1)
+				}
+				counts := make([]int, d.P)
+				for id := 0; id < d.B; id++ {
+					r := d.RankOfBlock(id)
+					if r < 0 || r >= d.P {
+						t.Fatalf("block %d owned by out-of-range rank %d", id, r)
+					}
+					counts[r]++
+					// Survivors keep their blocks under the shifted
+					// numbering.
+					old := l.RankOfBlock(id)
+					if old != failed {
+						want := old
+						if old > failed {
+							want = old - 1
+						}
+						if r != want {
+							t.Fatalf("block %d moved from surviving rank %d to %d", id, want, r)
+						}
+					}
+				}
+				// The orphaned blocks are dealt least-loaded-first, so
+				// no survivor can end up more than one redistribution
+				// unit above the minimum.
+				min, max := counts[0], counts[0]
+				for _, c := range counts[1:] {
+					if c < min {
+						min = c
+					}
+					if c > max {
+						max = c
+					}
+				}
+				if max-min > bpp+1 {
+					t.Errorf("p=%d bpp=%d failed=%d: load spread %v too wide", p, bpp, failed, counts)
+				}
+			}
+		}
+	}
+}
+
+// TestDegradeDeterministic: two degrades of the same layout and rank
+// must produce identical ownership — recovery re-runs depend on every
+// retry computing the same layout.
+func TestDegradeDeterministic(t *testing.T) {
+	box := geom.NewBox(2, 10, geom.Periodic)
+	l := mustLayout(t, box, 0.5, 4, 3)
+	a, err := l.Degrade(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.Degrade(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.owner, b.owner) {
+		t.Fatalf("degrade not deterministic: %v vs %v", a.owner, b.owner)
+	}
+}
+
+// TestDegradeTiesToLowestRank: with all survivors equally loaded, the
+// orphans must go to the lowest-numbered least-loaded survivor first.
+func TestDegradeTiesToLowestRank(t *testing.T) {
+	box := geom.NewBox(2, 10, geom.Periodic)
+	l := mustLayout(t, box, 0.5, 4, 1) // one block per rank
+	d, err := l.Degrade(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 3's single block must land on rank 0 (all survivors hold 1
+	// block; ties break to the lowest rank).
+	orphan := -1
+	for id := 0; id < l.B; id++ {
+		if l.RankOfBlock(id) == 3 {
+			orphan = id
+		}
+	}
+	if orphan < 0 {
+		t.Fatal("no block owned by rank 3")
+	}
+	if got := d.RankOfBlock(orphan); got != 0 {
+		t.Errorf("orphan block %d went to rank %d, want tie-break to 0", orphan, got)
+	}
+}
+
+func TestDegradeLeavesOriginalUntouched(t *testing.T) {
+	box := geom.NewBox(2, 10, geom.Periodic)
+	l := mustLayout(t, box, 0.5, 3, 2)
+	before := append([]int(nil), l.owner...)
+	if _, err := l.Degrade(1); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, l.owner) {
+		t.Fatal("Degrade mutated the shared source layout")
+	}
+}
+
+func TestDegradeErrors(t *testing.T) {
+	box := geom.NewBox(2, 10, geom.Periodic)
+	single := mustLayout(t, box, 0.5, 1, 4)
+	if _, err := single.Degrade(0); err == nil {
+		t.Error("degrading a single-rank layout succeeded")
+	}
+	l := mustLayout(t, box, 0.5, 3, 1)
+	if _, err := l.Degrade(-1); err == nil {
+		t.Error("negative rank accepted")
+	}
+	if _, err := l.Degrade(3); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+}

@@ -87,6 +87,56 @@ func (l *Layout) Clone() *Layout {
 // and only on a Clone.
 func (l *Layout) SetOwner(id, rank int) { l.owner[id] = rank }
 
+// Degrade returns a new layout for the surviving P-1 ranks after the
+// given rank failed: survivors above the failed rank shift down one
+// index (preserving their relative order, so a survivor's blocks stay
+// together), and the failed rank's orphaned blocks are dealt, in
+// ascending id, each to the survivor owning the fewest blocks at that
+// moment (ties to the lowest rank). The deal is deterministic, so
+// every participant in a recovery derives the identical layout.
+//
+// The process-grid factorisation (ProcDims) is kept from the original
+// layout: it only seeds the static cyclic deal and the block-edge
+// validation, both already fixed, and re-factoring for P-1 could
+// violate the block-grid divisibility the halo templates assume. The
+// supervisor restarts ranks against the returned ownership table, so
+// ownership — not ProcDims — is what must be consistent.
+func (l *Layout) Degrade(failed int) (*Layout, error) {
+	if l.P <= 1 {
+		return nil, fmt.Errorf("decomp: cannot degrade a %d-rank layout", l.P)
+	}
+	if failed < 0 || failed >= l.P {
+		return nil, fmt.Errorf("decomp: degrade of invalid rank %d of %d", failed, l.P)
+	}
+	cp := l.Clone()
+	cp.P = l.P - 1
+	load := make([]int, cp.P)
+	var orphans []int
+	for id, r := range l.owner {
+		switch {
+		case r == failed:
+			cp.owner[id] = -1
+			orphans = append(orphans, id)
+		case r > failed:
+			cp.owner[id] = r - 1
+			load[r-1]++
+		default:
+			load[r]++
+		}
+	}
+	for _, id := range orphans {
+		best := 0
+		for r := 1; r < cp.P; r++ {
+			if load[r] < load[best] {
+				best = r
+			}
+		}
+		cp.owner[id] = best
+		load[best]++
+	}
+	return cp, nil
+}
+
 // BlocksPerProc returns B/P, the paper's granularity measure.
 func (l *Layout) BlocksPerProc() int { return l.B / l.P }
 

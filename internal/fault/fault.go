@@ -1,0 +1,96 @@
+// Package fault defines the typed error vocabulary shared by the
+// message-passing runtime (internal/mp), the thread-team layer
+// (internal/shm) and the supervisor (internal/core). It depends only
+// on the standard library so every layer can raise and inspect the
+// same types without import cycles.
+//
+// A fault is a detected abnormal condition: an injected rank failure,
+// a corrupted or out-of-order message, a watchdog deadline expiring on
+// a blocked receive/collective/gate, or a rank abandoned by a panicked
+// peer. Faults travel as panics inside a rank goroutine (the only way
+// to unwind a blocked driver) and are converted to ordinary errors at
+// the mp.RunOpts boundary, where the supervisor classifies and
+// recovers from them.
+package fault
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind classifies a detected fault.
+type Kind int
+
+const (
+	// Killed marks an injected rank failure (FaultPlan.ArmKill).
+	Killed Kind = iota
+	// Corrupt marks a message whose checksum did not match its payload.
+	Corrupt
+	// Sequence marks a message that arrived out of order (a gap in the
+	// per-(peer, tag) sequence numbers; exact duplicates are silently
+	// discarded and do not raise Sequence).
+	Sequence
+	// Timeout marks a watchdog deadline expiring on a blocked receive,
+	// collective or halo-gate drain.
+	Timeout
+	// Abandoned marks a rank unwound because a peer panicked first; it
+	// is a secondary casualty, never the root cause.
+	Abandoned
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Killed:
+		return "killed"
+	case Corrupt:
+		return "corrupt"
+	case Sequence:
+		return "sequence"
+	case Timeout:
+		return "timeout"
+	case Abandoned:
+		return "abandoned"
+	}
+	return fmt.Sprintf("fault.Kind(%d)", int(k))
+}
+
+// Error is a typed fault. Rank is the rank that detected (or suffered)
+// the fault, Step the global timestep it was detected at (-1 when
+// unknown), Op the blocked or failing operation, and Detail a
+// human-readable elaboration.
+type Error struct {
+	Kind   Kind
+	Rank   int
+	Step   int
+	Op     string
+	Detail string
+}
+
+func (e *Error) Error() string {
+	s := fmt.Sprintf("fault: %s at rank %d", e.Kind, e.Rank)
+	if e.Step >= 0 {
+		s += fmt.Sprintf(" step %d", e.Step)
+	}
+	if e.Op != "" {
+		s += " during " + e.Op
+	}
+	if e.Detail != "" {
+		s += ": " + e.Detail
+	}
+	return s
+}
+
+// From extracts a *Error from a recovered panic value or a wrapped
+// error chain, returning nil when v carries no typed fault.
+func From(v any) *Error {
+	switch x := v.(type) {
+	case *Error:
+		return x
+	case error:
+		var fe *Error
+		if errors.As(x, &fe) {
+			return fe
+		}
+	}
+	return nil
+}

@@ -1,6 +1,11 @@
 package mp
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+
+	"hybriddem/internal/fault"
+)
 
 // Op selects the combining operation of an Allreduce.
 type Op int
@@ -101,6 +106,32 @@ func combineInto(st *collState, op Op, size, n int) {
 	}
 }
 
+// collWait blocks (under collMu) until st completes. A panicked peer
+// surfaces as a typed Abandoned fault; with a watchdog armed, a wait
+// blocked past the deadline surfaces as a typed Timeout fault (the
+// run's ticker broadcasts collCond periodically so the deadline is
+// actually checked). Callers hold collMu via defer Unlock, so the
+// panic releases the lock.
+func (c *Comm) collWait(st *collState, op string) {
+	w := c.w
+	var start time.Time
+	for !st.done {
+		if w.anyPanic {
+			panic(&fault.Error{Kind: fault.Abandoned, Rank: c.rank, Step: c.step, Op: op,
+				Detail: op + " abandoned by a panicked rank"})
+		}
+		if w.wd > 0 {
+			if start.IsZero() {
+				start = time.Now()
+			} else if time.Since(start) > w.wd {
+				panic(&fault.Error{Kind: fault.Timeout, Rank: c.rank, Step: c.step, Op: op,
+					Detail: fmt.Sprintf("%s not completed within %v", op, w.wd)})
+			}
+		}
+		w.collCond.Wait()
+	}
+}
+
 // nextColl claims this rank's next collective generation. Every rank
 // must enter collectives in the same order (the usual MPI contract),
 // so per-rank counters agree on which generation each entry belongs
@@ -137,12 +168,7 @@ func (c *Comm) rendezvous(contrib []float64, combine func(per [][]float64) []flo
 		st.done = true
 		w.collCond.Broadcast()
 	} else {
-		for !st.done {
-			if w.anyPanic {
-				panic("mp: collective abandoned by a panicked rank")
-			}
-			w.collCond.Wait()
-		}
+		c.collWait(st, "collective")
 	}
 	res := append([]float64(nil), st.result...)
 	c.clock = st.clock + w.net.CollectiveCost(w.size, costBytes)
@@ -170,12 +196,7 @@ func (c *Comm) Barrier() {
 		st.done = true
 		w.collCond.Broadcast()
 	} else {
-		for !st.done {
-			if w.anyPanic {
-				panic("mp: barrier abandoned by a panicked rank")
-			}
-			w.collCond.Wait()
-		}
+		c.collWait(st, "barrier")
 	}
 	c.clock = st.clock + w.net.BarrierCost(w.size)
 	st.readers++
@@ -207,12 +228,7 @@ func (c *Comm) AllreduceInPlace(v []float64, op Op) {
 		st.done = true
 		w.collCond.Broadcast()
 	} else {
-		for !st.done {
-			if w.anyPanic {
-				panic("mp: collective abandoned by a panicked rank")
-			}
-			w.collCond.Wait()
-		}
+		c.collWait(st, "collective")
 	}
 	if len(st.result) != len(v) {
 		panic(fmt.Sprintf("mp: allreduce length mismatch: combined %d, rank %d has %d", len(st.result), c.rank, len(v)))
@@ -295,12 +311,7 @@ func (r *CollRequest) Wait() {
 	func() {
 		w.collMu.Lock()
 		defer w.collMu.Unlock()
-		for !st.done {
-			if w.anyPanic {
-				panic("mp: collective abandoned by a panicked rank")
-			}
-			w.collCond.Wait()
-		}
+		c.collWait(st, "collective")
 		if len(st.result) != len(v) {
 			panic(fmt.Sprintf("mp: allreduce length mismatch: combined %d, rank %d has %d", len(st.result), c.rank, len(v)))
 		}

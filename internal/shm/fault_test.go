@@ -1,0 +1,182 @@
+package shm
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hybriddem/internal/fault"
+)
+
+// expectFault runs f expecting a panic carrying a typed *fault.Error
+// of the given kind, and returns it.
+func expectFault(t *testing.T, kind fault.Kind, f func()) *fault.Error {
+	t.Helper()
+	var got *fault.Error
+	func() {
+		defer func() {
+			e := recover()
+			if e == nil {
+				t.Fatalf("no panic, want a %v fault", kind)
+			}
+			fe := fault.From(e)
+			if fe == nil {
+				t.Fatalf("untyped panic %v, want a %v fault", e, kind)
+			}
+			if fe.Kind != kind {
+				t.Fatalf("fault kind %v, want %v (%v)", fe.Kind, kind, fe)
+			}
+			got = fe
+		}()
+		f()
+	}()
+	return got
+}
+
+// TestSplitPhaseAbortThenReuse: a panic inside a split-phase region
+// must surface at FinishRegion, and the team must run further regions
+// — both split-phase and fused — without deadlock or stale state.
+func TestSplitPhaseAbortThenReuse(t *testing.T) {
+	tm := NewTeam(3, Costs{})
+	defer tm.Close()
+	for cycle := 0; cycle < 3; cycle++ {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("split-phase panic did not propagate")
+				}
+			}()
+			tm.StartRegion(funcBody(func(th *Thread) {
+				if th.ID == 1 {
+					panic("boom")
+				}
+				th.Barrier()
+			}))
+			tm.FinishRegion(tm.Clock())
+		}()
+		var mask int64
+		tm.StartRegion(funcBody(func(th *Thread) {
+			atomic.AddInt64(&mask, 1<<uint(th.ID))
+			th.Barrier()
+		}))
+		tm.FinishRegion(tm.Clock())
+		if mask != 7 {
+			t.Fatalf("cycle %d: post-abort region ran thread mask %b, want 111", cycle, mask)
+		}
+	}
+}
+
+// TestFinishRegionPrefersTypedFault: when one thread raises a typed
+// fault and its siblings die untyped on the abandoned barrier, the
+// typed fault must win regardless of thread order — the mp layer
+// classifies the run by it.
+func TestFinishRegionPrefersTypedFault(t *testing.T) {
+	tm := NewTeam(3, Costs{})
+	defer tm.Close()
+	fe := expectFault(t, fault.Timeout, func() {
+		tm.Region(func(th *Thread) {
+			// The highest thread ID raises the typed fault, so a scan
+			// that stops at the first recorded panic (thread 0's
+			// untyped barrier abandonment) would misreport.
+			if th.ID == 2 {
+				panic(&fault.Error{Kind: fault.Timeout, Rank: -1, Step: -1, Op: "test"})
+			}
+			th.Barrier()
+		})
+	})
+	if fe.Op != "test" {
+		t.Errorf("fault op %q, want the typed thread's", fe.Op)
+	}
+}
+
+// TestHaloGateAbortThenReuse: Abort must release every waiter with a
+// typed Abandoned fault, and after Reset the same gate must serve a
+// normal open cycle.
+func TestHaloGateAbortThenReuse(t *testing.T) {
+	tm := NewTeam(4, Costs{})
+	defer tm.Close()
+	g := NewHaloGate()
+
+	g.Reset()
+	tm.StartRegion(funcBody(func(th *Thread) {
+		g.Wait(th)
+	}))
+	time.Sleep(time.Millisecond) // let workers reach the gate
+	g.Abort()
+	expectFault(t, fault.Abandoned, func() { tm.FinishRegion(tm.Clock()) })
+
+	// Reused after reset: a normal open cycle with a clock advance.
+	g.Reset()
+	tm.StartRegion(funcBody(func(th *Thread) {
+		g.Wait(th)
+	}))
+	g.Open(tm.Clock() + 5)
+	tm.FinishRegion(tm.Clock() + 5)
+	if g.MaxStall() <= 0 {
+		t.Error("reused gate recorded no stall for a late open")
+	}
+}
+
+// TestHaloGateDeadlineTimeout: with a deadline armed, waiters on a
+// gate whose master never opens it must surface a typed Timeout —
+// bounded in wall time — instead of hanging the region forever.
+func TestHaloGateDeadlineTimeout(t *testing.T) {
+	const wd = 30 * time.Millisecond
+	tm := NewTeam(3, Costs{})
+	defer tm.Close()
+	g := NewHaloGate()
+	g.SetDeadline(wd)
+
+	g.Reset()
+	start := time.Now()
+	tm.StartRegion(funcBody(func(th *Thread) {
+		g.Wait(th)
+	}))
+	expectFault(t, fault.Timeout, func() { tm.FinishRegion(tm.Clock()) })
+	if elapsed := time.Since(start); elapsed > 50*wd {
+		t.Errorf("gate timeout took %v with a %v deadline", elapsed, wd)
+	}
+
+	// The deadline persists across Reset but an opened gate never
+	// trips it.
+	g.Reset()
+	tm.StartRegion(funcBody(func(th *Thread) {
+		g.Wait(th)
+	}))
+	g.Open(tm.Clock())
+	tm.FinishRegion(tm.Clock())
+}
+
+// TestRaceGateAbortOpenCycles stresses the gate's abort/open/reset and
+// watchdog-timer paths under the race detector: repeated cycles where
+// the master either opens or aborts while workers sit at the gate.
+func TestRaceGateAbortOpenCycles(t *testing.T) {
+	tm := NewTeam(4, Costs{})
+	defer tm.Close()
+	g := NewHaloGate()
+	g.SetDeadline(time.Second) // armed, but never meant to fire
+	for i := 0; i < 50; i++ {
+		g.Reset()
+		tm.StartRegion(funcBody(func(th *Thread) {
+			g.Wait(th)
+		}))
+		if i%3 == 0 {
+			g.Abort()
+			func() {
+				defer func() { recover() }()
+				tm.FinishRegion(tm.Clock())
+			}()
+		} else {
+			g.Open(tm.Clock() + float64(i))
+			tm.FinishRegion(tm.Clock())
+		}
+	}
+	// The team must still be healthy.
+	var mask int64
+	tm.Region(func(th *Thread) {
+		atomic.AddInt64(&mask, 1<<uint(th.ID))
+	})
+	if mask != 15 {
+		t.Fatalf("final region ran thread mask %b, want 1111", mask)
+	}
+}

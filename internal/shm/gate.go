@@ -1,6 +1,12 @@
 package shm
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hybriddem/internal/fault"
+)
 
 // HaloGate synchronises a force region's threads with the rank's
 // in-flight halo exchange. The force loop runs the block's single link
@@ -24,6 +30,14 @@ type HaloGate struct {
 	aborted  bool
 	openAt   float64
 	maxStall float64
+
+	// Watchdog state: with a deadline set, a Wait blocked longer
+	// panics with a typed Timeout fault instead of hanging on a master
+	// that died without aborting. The single timer is created lazily
+	// and re-armed while the gate is closed; it only broadcasts, so a
+	// stale firing after Open/Reset is harmless.
+	deadline time.Duration
+	timer    *time.Timer
 }
 
 // NewHaloGate returns a closed gate.
@@ -64,16 +78,61 @@ func (g *HaloGate) Abort() {
 	g.mu.Unlock()
 }
 
+// SetDeadline arms a watchdog on the gate: any Wait blocked longer
+// than d panics with a typed *fault.Error of Kind Timeout. d == 0
+// disables the watchdog. Call it before the first region; the setting
+// persists across Reset.
+func (g *HaloGate) SetDeadline(d time.Duration) {
+	g.mu.Lock()
+	g.deadline = d
+	g.mu.Unlock()
+}
+
+// rearm schedules a broadcast so blocked waiters re-check their
+// deadlines even when the master will never call Open. Must be called
+// under mu.
+func (g *HaloGate) rearm() {
+	period := g.deadline / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	if g.timer == nil {
+		g.timer = time.AfterFunc(period, func() {
+			g.mu.Lock()
+			if !g.open && !g.aborted && g.deadline > 0 {
+				g.rearm()
+			}
+			g.mu.Unlock()
+			g.cond.Broadcast()
+		})
+		return
+	}
+	g.timer.Reset(period)
+}
+
 // Wait blocks the calling thread until the gate opens and advances its
 // virtual clock to at least the opening communication clock.
 func (g *HaloGate) Wait(th *Thread) {
 	g.mu.Lock()
+	var start time.Time
 	for !g.open && !g.aborted {
+		if g.deadline > 0 {
+			if start.IsZero() {
+				start = time.Now()
+				g.rearm()
+			} else if time.Since(start) > g.deadline {
+				d := g.deadline
+				g.mu.Unlock()
+				panic(&fault.Error{Kind: fault.Timeout, Rank: -1, Step: -1, Op: "halo-gate",
+					Detail: fmt.Sprintf("thread %d blocked at the halo gate for more than %v", th.ID, d)})
+			}
+		}
 		g.cond.Wait()
 	}
 	if g.aborted {
 		g.mu.Unlock()
-		panic("shm: halo gate abandoned by a failed exchange")
+		panic(&fault.Error{Kind: fault.Abandoned, Rank: -1, Step: -1, Op: "halo-gate",
+			Detail: "halo gate abandoned by a failed exchange"})
 	}
 	if g.openAt > th.clock {
 		if s := g.openAt - th.clock; s > g.maxStall {

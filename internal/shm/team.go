@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sync"
 
+	"hybriddem/internal/fault"
 	"hybriddem/internal/trace"
 )
 
@@ -288,6 +289,15 @@ func (tm *Team) FinishRegion(masterAt float64) {
 		}
 		tm.body = nil
 		tm.runMu.Unlock()
+	}
+	// Typed faults (watchdog timeouts, abandoned gates) travel
+	// unchanged — and outrank untyped sibling casualties, whichever
+	// thread raised them — so the mp layer can classify the root
+	// cause; anything else is a bug and keeps the legacy wrapping.
+	for _, e := range tm.panics {
+		if fe := fault.From(e); fe != nil {
+			panic(fe)
+		}
 	}
 	for t, e := range tm.panics {
 		if e != nil {

@@ -32,12 +32,13 @@ type Counters struct {
 	BlocksMoved int64 // whole blocks shipped to a new rank
 
 	// Message passing.
-	MsgsSent    int64 // point-to-point messages sent
-	BytesSent   int64 // payload bytes sent
-	MsgsIntra   int64 // messages whose endpoints share an SMP node
-	BytesIntra  int64 // bytes on intra-node messages
-	Collectives int64 // collective operations joined
-	Barriers    int64 // message-passing barriers joined
+	MsgsSent     int64 // point-to-point messages sent
+	BytesSent    int64 // payload bytes sent
+	MsgsRejected int64 // duplicate messages discarded by integrity checks
+	MsgsIntra    int64 // messages whose endpoints share an SMP node
+	BytesIntra   int64 // bytes on intra-node messages
+	Collectives  int64 // collective operations joined
+	Barriers     int64 // message-passing barriers joined
 
 	// Shared memory.
 	ParallelRegions int64 // fork/join regions entered
@@ -71,6 +72,7 @@ func (c *Counters) Add(other *Counters) {
 	c.BlocksMoved += other.BlocksMoved
 	c.MsgsSent += other.MsgsSent
 	c.BytesSent += other.BytesSent
+	c.MsgsRejected += other.MsgsRejected
 	c.MsgsIntra += other.MsgsIntra
 	c.BytesIntra += other.BytesIntra
 	c.Collectives += other.Collectives

@@ -1,0 +1,27 @@
+package verify
+
+import (
+	"hybriddem/internal/core"
+	"hybriddem/internal/geom"
+)
+
+// CaptureSupervised runs a distributed configuration under fault
+// supervision (core.Supervise) and records the trajectory of every
+// measured iteration, exactly like Capture. The supervisor delivers
+// each iteration to the probe exactly once even when a rollback
+// re-executes it, so the captured trajectory is directly comparable —
+// bit for bit — against an unfaulted Capture of the same
+// configuration.
+func CaptureSupervised(cfg core.Config, iters int, ft core.FTConfig) (*Trajectory, error) {
+	tr := &Trajectory{Box: cfg.Box()}
+	cfg.CollectState = true
+	cfg.Probe = func(iter int, pos, vel []geom.Vec) {
+		tr.Steps = append(tr.Steps, Step{Pos: pos, Vel: vel})
+	}
+	res, err := core.Supervise(cfg, iters, ft)
+	if err != nil {
+		return nil, err
+	}
+	tr.Res = res
+	return tr, nil
+}
