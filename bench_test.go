@@ -78,10 +78,10 @@ func benchSystem(b *testing.B, d, n int, rcFactor float64) (*particle.Store, *ce
 	particle.FillUniform(ps, n, box, 0, rng)
 	rc := rcFactor * cfg.Spring.Diameter
 	g := cell.NewGrid(d, geom.Vec{}, box.Len, rc, true)
-	g.Bin(ps.Pos, n, nil)
+	g.Bin(&ps.Pos, n, nil)
 	ps.Permute(g.Order())
-	g.Bin(ps.Pos, n, nil)
-	list := g.BuildLinks(ps.Pos, n, n, rc*rc, box, nil)
+	g.Bin(&ps.Pos, n, nil)
+	list := g.BuildLinks(&ps.Pos, n, n, rc*rc, box, nil)
 	return ps, list, box, cfg.Spring
 }
 
@@ -132,8 +132,8 @@ func BenchmarkLinkListBuild3D(b *testing.B) {
 	g := cell.NewGrid(3, geom.Vec{}, box.Len, rc, true)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		g.Bin(ps.Pos, cfg.N, nil)
-		g.BuildLinks(ps.Pos, cfg.N, cfg.N, rc*rc, box, nil)
+		g.Bin(&ps.Pos, cfg.N, nil)
+		g.BuildLinks(&ps.Pos, cfg.N, cfg.N, rc*rc, box, nil)
 	}
 }
 

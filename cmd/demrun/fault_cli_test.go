@@ -47,8 +47,8 @@ func TestRunPeriodicCheckpointMatchesUnbroken(t *testing.T) {
 	}
 	box := geom.NewBox(2, want.L, want.BC)
 	maxd := 0.0
-	for i := range want.Pos {
-		if d := math.Sqrt(box.Dist2(want.Pos[i], got.Pos[i])); d > maxd {
+	for i := 0; i < want.N; i++ {
+		if d := math.Sqrt(box.Dist2(want.Pos.At(i, want.D), got.Pos.At(i, want.D))); d > maxd {
 			maxd = d
 		}
 	}
@@ -129,9 +129,9 @@ func TestRunSuperviseRecoversFromKill(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range want.Pos {
-		if want.Pos[i] != got.Pos[i] || want.Vel[i] != got.Vel[i] {
-			t.Fatalf("particle %d differs after recovery: %v vs %v", i, want.Pos[i], got.Pos[i])
+	for i := 0; i < want.N; i++ {
+		if want.Pos.At(i, want.D) != got.Pos.At(i, want.D) || want.Vel.At(i, want.D) != got.Vel.At(i, want.D) {
+			t.Fatalf("particle %d differs after recovery: %v vs %v", i, want.Pos.At(i, want.D), got.Pos.At(i, want.D))
 		}
 	}
 }

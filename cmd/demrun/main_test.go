@@ -112,8 +112,8 @@ func TestRunResumeMatchesUnbrokenRun(t *testing.T) {
 	}
 	box := geom.NewBox(2, want.L, want.BC)
 	maxd := 0.0
-	for i := range want.Pos {
-		if d := math.Sqrt(box.Dist2(want.Pos[i], got.Pos[i])); d > maxd {
+	for i := 0; i < want.N; i++ {
+		if d := math.Sqrt(box.Dist2(want.Pos.At(i, want.D), got.Pos.At(i, want.D))); d > maxd {
 			maxd = d
 		}
 	}

@@ -237,8 +237,8 @@ func Measure(cfg *Config, res *Result) (*Observables, error) {
 	box := cfg.Box()
 	rc := cfg.RC()
 	g := cell.NewGrid(cfg.D, geom.Vec{}, box.Len, rc, box.BC == geom.Periodic)
-	g.Bin(ps.Pos, cfg.N, nil)
-	list := g.BuildLinks(ps.Pos, cfg.N, cfg.N, rc*rc, box, nil)
+	g.Bin(&ps.Pos, cfg.N, nil)
+	list := g.BuildLinks(&ps.Pos, cfg.N, cfg.N, rc*rc, box, nil)
 
 	const rdfBins = 24
 	rdf := measure.PairCorrelation(ps, list.Links, cfg.N, box, rc, rdfBins)

@@ -10,17 +10,17 @@ import (
 // core-core link and one core-halo link.
 func buildSplitList(buf *ListBuffer) (*Grid, *List) {
 	box := geom.NewBox(2, 1.0, geom.Reflecting)
-	pos := []geom.Vec{
+	pos := geom.CoordsFromVecs([]geom.Vec{
 		{0.10, 0.10}, // core
 		{0.15, 0.10}, // core: links to 0
 		{0.60, 0.60}, // core
 		{0.65, 0.60}, // halo: links to 2
-	}
+	}, 2)
 	const nCore = 3
 	rc := 0.12
 	g := NewGrid(2, geom.Vec{}, box.Len, rc, false)
-	g.Bin(pos, len(pos), nil)
-	return g, g.BuildLinksInto(buf, pos, len(pos), nCore, rc*rc, box, nil)
+	g.Bin(&pos, pos.Len(), nil)
+	return g, g.BuildLinksInto(buf, &pos, pos.Len(), nCore, rc*rc, box, nil)
 }
 
 // TestCoreLinksAppendCannotClobberHalo is the regression test for the

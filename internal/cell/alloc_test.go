@@ -21,8 +21,8 @@ func TestWarmRebuildZeroAlloc(t *testing.T) {
 	g := NewGrid(2, geom.Vec{}, box.Len, rc, true)
 	var buf ListBuffer
 	rebuild := func() {
-		g.Bin(pos, len(pos), nil)
-		g.BuildLinksInto(&buf, pos, len(pos), len(pos), rc*rc, box, nil)
+		g.Bin(&pos, pos.Len(), nil)
+		g.BuildLinksInto(&buf, &pos, pos.Len(), pos.Len(), rc*rc, box, nil)
 	}
 	for i := 0; i < 3; i++ {
 		rebuild()

@@ -19,11 +19,11 @@ func pairKey(i, j int32) string {
 }
 
 // bruteForcePairs returns the set of pairs within rc under box.
-func bruteForcePairs(pos []geom.Vec, n int, rc2 float64, box geom.Box) map[string]bool {
+func bruteForcePairs(pos *geom.Coords, n int, rc2 float64, box geom.Box) map[string]bool {
 	out := make(map[string]bool)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			if box.Dist2(pos[i], pos[j]) < rc2 {
+			if box.Dist2At(pos, int32(i), int32(j)) < rc2 {
 				out[pairKey(int32(i), int32(j))] = true
 			}
 		}
@@ -43,13 +43,15 @@ func linkSet(list *List) map[string]bool {
 	return out
 }
 
-func randomPositions(n, d int, box geom.Box, seed int64) []geom.Vec {
+func randomPositions(n, d int, box geom.Box, seed int64) geom.Coords {
 	rng := rand.New(rand.NewSource(seed))
-	pos := make([]geom.Vec, n)
-	for i := range pos {
+	pos := geom.MakeCoords(d, n)
+	for i := 0; i < n; i++ {
+		var v geom.Vec
 		for k := 0; k < d; k++ {
-			pos[i][k] = rng.Float64() * box.Len[k]
+			v[k] = rng.Float64() * box.Len[k]
 		}
+		pos.Append(v, d)
 	}
 	return pos
 }
@@ -66,10 +68,10 @@ func TestLinksMatchBruteForce(t *testing.T) {
 				pos := randomPositions(120, d, box, int64(d*100)+int64(rc*1000))
 				g := NewGrid(d, geom.Vec{}, box.Len, rc, bc == geom.Periodic)
 				var tc trace.Counters
-				g.Bin(pos, len(pos), &tc)
-				list := g.BuildLinks(pos, len(pos), len(pos), rc*rc, box, &tc)
+				g.Bin(&pos, pos.Len(), &tc)
+				list := g.BuildLinks(&pos, pos.Len(), pos.Len(), rc*rc, box, &tc)
 				got := linkSet(list)
-				want := bruteForcePairs(pos, len(pos), rc*rc, box)
+				want := bruteForcePairs(&pos, pos.Len(), rc*rc, box)
 				if len(got) != len(want) {
 					t.Errorf("D=%d %v rc=%g: %d links, want %d", d, bc, rc, len(got), len(want))
 					continue
@@ -94,10 +96,10 @@ func TestLinksQuickProperty(t *testing.T) {
 		box := geom.NewBox(d, 1.0, geom.Periodic)
 		pos := randomPositions(n, d, box, seed)
 		g := NewGrid(d, geom.Vec{}, box.Len, rc, true)
-		g.Bin(pos, n, nil)
-		list := g.BuildLinks(pos, n, n, rc*rc, box, nil)
+		g.Bin(&pos, n, nil)
+		list := g.BuildLinks(&pos, n, n, rc*rc, box, nil)
 		got := linkSet(list)
-		want := bruteForcePairs(pos, n, rc*rc, box)
+		want := bruteForcePairs(&pos, n, rc*rc, box)
 		if len(got) != len(want) {
 			t.Fatalf("seed %d (d=%d n=%d rc=%g): %d links, want %d", seed, d, n, rc, len(got), len(want))
 		}
@@ -113,9 +115,9 @@ func TestDegenerateGridFallback(t *testing.T) {
 		t.Fatal("expected degenerate grid for 2.5 cells per edge")
 	}
 	pos := randomPositions(60, 2, box, 3)
-	g.Bin(pos, len(pos), nil)
-	list := g.BuildLinks(pos, len(pos), len(pos), 0.16, box, nil)
-	want := bruteForcePairs(pos, len(pos), 0.16, box)
+	g.Bin(&pos, pos.Len(), nil)
+	list := g.BuildLinks(&pos, pos.Len(), pos.Len(), 0.16, box, nil)
+	want := bruteForcePairs(&pos, pos.Len(), 0.16, box)
 	if len(linkSet(list)) != len(want) {
 		t.Errorf("degenerate path: %d links, want %d", len(list.Links), len(want))
 	}
@@ -125,12 +127,12 @@ func TestCellOrderIsPermutation(t *testing.T) {
 	box := geom.NewBox(3, 1.0, geom.Periodic)
 	pos := randomPositions(500, 3, box, 9)
 	g := NewGrid(3, geom.Vec{}, box.Len, 0.1, true)
-	g.Bin(pos, len(pos), nil)
+	g.Bin(&pos, pos.Len(), nil)
 	order := g.Order()
-	if len(order) != len(pos) {
+	if len(order) != pos.Len() {
 		t.Fatalf("order length %d", len(order))
 	}
-	seen := make([]bool, len(pos))
+	seen := make([]bool, pos.Len())
 	for _, i := range order {
 		if seen[i] {
 			t.Fatalf("index %d appears twice", i)
@@ -143,11 +145,11 @@ func TestCellOrderGroupsByCell(t *testing.T) {
 	box := geom.NewBox(2, 1.0, geom.Periodic)
 	pos := randomPositions(300, 2, box, 5)
 	g := NewGrid(2, geom.Vec{}, box.Len, 0.13, true)
-	g.Bin(pos, len(pos), nil)
+	g.Bin(&pos, pos.Len(), nil)
 	// Walking Order must visit cells in nondecreasing cell index.
 	last := int32(-1)
 	for _, i := range g.Order() {
-		c := g.cellIndex(pos[i])
+		c := g.cellIndexAt(&pos, int(i))
 		if c < last {
 			t.Fatalf("order not grouped: cell %d after %d", c, last)
 		}
@@ -159,7 +161,7 @@ func TestCellParticlesSortedAscending(t *testing.T) {
 	box := geom.NewBox(2, 1.0, geom.Periodic)
 	pos := randomPositions(200, 2, box, 6)
 	g := NewGrid(2, geom.Vec{}, box.Len, 0.2, true)
-	g.Bin(pos, len(pos), nil)
+	g.Bin(&pos, pos.Len(), nil)
 	for c := int32(0); c < int32(g.NumCells()); c++ {
 		ps := g.CellParticles(c)
 		if !sort.SliceIsSorted(ps, func(a, b int) bool { return ps[a] < ps[b] }) {
@@ -172,12 +174,12 @@ func TestHaloLinkSplit(t *testing.T) {
 	// Three particles: two core, one "halo" (index >= nCore). The
 	// core-core pair must precede the core-halo pair, and halo-halo
 	// pairs must be dropped.
-	pos := []geom.Vec{{0.10, 0.10}, {0.12, 0.10}, {0.14, 0.10}, {0.16, 0.10}}
+	pos := geom.CoordsFromVecs([]geom.Vec{{0.10, 0.10}, {0.12, 0.10}, {0.14, 0.10}, {0.16, 0.10}}, 2)
 	box := geom.NewBox(2, 1.0, geom.Reflecting)
 	g := NewGrid(2, geom.Vec{}, box.Len, 0.05, false)
-	g.Bin(pos, 4, nil)
+	g.Bin(&pos, 4, nil)
 	nCore := 2
-	list := g.BuildLinks(pos, 4, nCore, 0.0009, box, nil) // rc = 0.03
+	list := g.BuildLinks(&pos, 4, nCore, 0.0009, box, nil) // rc = 0.03
 	for _, l := range list.CoreLinks() {
 		if int(l.I) >= nCore || int(l.J) >= nCore {
 			t.Errorf("core link touches halo: %+v", l)
@@ -221,9 +223,9 @@ func TestBinClampsOutOfRange(t *testing.T) {
 	// Positions slightly outside the region (rounding during halo
 	// exchange) must clamp to edge cells, not panic.
 	g := NewGrid(1, geom.Vec{}, geom.Vec{1, 0, 0}, 0.1, false)
-	pos := []geom.Vec{{-0.001}, {1.0001}, {0.5}}
-	g.Bin(pos, 3, nil)
-	list := g.BuildLinks(pos, 3, 3, 0.01, geom.NewBox(1, 1, geom.Reflecting), nil)
+	pos := geom.CoordsFromVecs([]geom.Vec{{-0.001}, {1.0001}, {0.5}}, 1)
+	g.Bin(&pos, 3, nil)
+	list := g.BuildLinks(&pos, 3, 3, 0.01, geom.NewBox(1, 1, geom.Reflecting), nil)
 	_ = list // must simply not panic
 }
 
@@ -233,7 +235,7 @@ func BenchmarkBinAndBuild2D(b *testing.B) {
 	g := NewGrid(2, geom.Vec{}, box.Len, 0.02, true)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		g.Bin(pos, len(pos), nil)
-		g.BuildLinks(pos, len(pos), len(pos), 0.0004, box, nil)
+		g.Bin(&pos, pos.Len(), nil)
+		g.BuildLinks(&pos, pos.Len(), pos.Len(), 0.0004, box, nil)
 	}
 }

@@ -124,6 +124,23 @@ func (g *Grid) cellIndex(p geom.Vec) int32 {
 	return int32(idx)
 }
 
+// cellIndexAt is cellIndex reading particle i straight out of
+// component-major storage; same clamping, same arithmetic.
+func (g *Grid) cellIndexAt(pos *geom.Coords, i int) int32 {
+	idx := 0
+	for k := 0; k < g.D; k++ {
+		c := int((pos[k][i] - g.Origin[k]) / g.CellLen[k])
+		if c < 0 {
+			c = 0
+		}
+		if c >= g.N[k] {
+			c = g.N[k] - 1
+		}
+		idx = idx*g.N[k] + c
+	}
+	return int32(idx)
+}
+
 // coords expands a flattened cell index back to per-dimension indices.
 func (g *Grid) coords(idx int32) [geom.MaxD]int {
 	var c [geom.MaxD]int
@@ -147,7 +164,7 @@ func (g *Grid) flatten(c [geom.MaxD]int) int32 {
 // Bin assigns the first n entries of pos to cells and builds the
 // cell-ordered index list. It must be called before Links. Counters may
 // be nil.
-func (g *Grid) Bin(pos []geom.Vec, n int, tc *trace.Counters) {
+func (g *Grid) Bin(pos *geom.Coords, n int, tc *trace.Counters) {
 	nc := g.NumCells()
 	if cap(g.cellOf) < n {
 		g.cellOf = make([]int32, n)
@@ -163,7 +180,7 @@ func (g *Grid) Bin(pos []geom.Vec, n int, tc *trace.Counters) {
 		g.count[i] = 0
 	}
 	for i := 0; i < n; i++ {
-		c := g.cellIndex(pos[i])
+		c := g.cellIndexAt(pos, i)
 		g.cellOf[i] = c
 		g.count[c]++
 	}

@@ -9,6 +9,13 @@ import (
 // particle store; the builder guarantees I < J for intra-cell links and
 // a deterministic orientation for inter-cell links, so each pair
 // appears exactly once ("the minimal number of force evaluations").
+//
+// A []Link is deliberately a flat array of sorted index pairs — eight
+// bytes per link, generated in cell-major order so consecutive links
+// touch nearby particle indices. Combined with the component-major
+// particle store this is the streaming-access layout the pair kernel
+// wants: the link stream is read once, sequentially, and the particle
+// loads it induces stay within a few cache lines of each other.
 type Link struct {
 	I, J int32
 }
@@ -47,7 +54,7 @@ type ListBuffer struct {
 // slices. It is a plain struct with pointer-receiver methods (rather
 // than a closure) so the hot rebuild path does not allocate.
 type linkBuilder struct {
-	pos    []geom.Vec
+	pos    *geom.Coords
 	nCore  int32
 	rc2    float64
 	box    geom.Box
@@ -66,7 +73,7 @@ func (lb *linkBuilder) add(i, j int32) {
 		return // halo-halo: some neighbouring block owns this pair
 	}
 	lb.checks++
-	if lb.box.Dist2(lb.pos[i], lb.pos[j]) >= lb.rc2 {
+	if lb.box.Dist2At(lb.pos, i, j) >= lb.rc2 {
 		return
 	}
 	if i >= lb.nCore || j >= lb.nCore {
@@ -137,7 +144,7 @@ func (g *Grid) addCellPairs(lb *linkBuilder, c int32, stencil [][geom.MaxD]int) 
 //
 // BuildLinks allocates a fresh buffer per call; steady-state callers
 // should hold a ListBuffer and use BuildLinksInto instead.
-func (g *Grid) BuildLinks(pos []geom.Vec, n, nCore int, rc2 float64, box geom.Box, tc *trace.Counters) *List {
+func (g *Grid) BuildLinks(pos *geom.Coords, n, nCore int, rc2 float64, box geom.Box, tc *trace.Counters) *List {
 	return g.BuildLinksInto(new(ListBuffer), pos, n, nCore, rc2, box, tc)
 }
 
@@ -147,7 +154,7 @@ func (g *Grid) BuildLinks(pos []geom.Vec, n, nCore int, rc2 float64, box geom.Bo
 // list's backing array is distinct from the core/halo staging areas, so
 // retaining CoreLinks/HaloLinks sub-slices can never alias the staging
 // buffers of a later build.
-func (g *Grid) BuildLinksInto(buf *ListBuffer, pos []geom.Vec, n, nCore int, rc2 float64, box geom.Box, tc *trace.Counters) *List {
+func (g *Grid) BuildLinksInto(buf *ListBuffer, pos *geom.Coords, n, nCore int, rc2 float64, box geom.Box, tc *trace.Counters) *List {
 	lb := linkBuilder{
 		pos:   pos,
 		nCore: int32(nCore),

@@ -40,7 +40,7 @@ func (g *Grid) ensureThreadScratch(T, nc int) {
 // thread counts into a private array, the counts are merged, and a
 // second parallel pass scatters particles using per-thread per-cell
 // cursors. The result is bit-identical to the serial Bin.
-func (g *Grid) BinParallel(pos []geom.Vec, n int, pool Pool, tc *trace.Counters) {
+func (g *Grid) BinParallel(pos *geom.Coords, n int, pool Pool, tc *trace.Counters) {
 	T := pool.Threads()
 	if T <= 1 {
 		g.Bin(pos, n, tc)
@@ -72,7 +72,7 @@ func (g *Grid) BinParallel(pos []geom.Vec, n int, pool Pool, tc *trace.Counters)
 			counts[c] = 0
 		}
 		for i := lo; i < hi; i++ {
-			c := g.cellIndex(pos[i])
+			c := g.cellIndexAt(pos, i)
 			g.cellOf[i] = c
 			counts[c]++
 		}
@@ -131,7 +131,7 @@ func (g *Grid) BinParallel(pos []geom.Vec, n int, pool Pool, tc *trace.Counters)
 // list's backing array are grid-owned and reused across rebuilds, so
 // steady-state rebuilds are allocation-free; the returned List is
 // invalidated by the next build on the same grid.
-func (g *Grid) BuildLinksParallel(pos []geom.Vec, n, nCore int, rc2 float64, box geom.Box, pool Pool, tc *trace.Counters) *List {
+func (g *Grid) BuildLinksParallel(pos *geom.Coords, n, nCore int, rc2 float64, box geom.Box, pool Pool, tc *trace.Counters) *List {
 	T := pool.Threads()
 	if T <= 1 || g.degenerate {
 		return g.BuildLinks(pos, n, nCore, rc2, box, tc)

@@ -36,10 +36,10 @@ func TestBinParallelMatchesSerial(t *testing.T) {
 			box := geom.NewBox(2, 1.0, geom.Periodic)
 			pos := randomPositions(n, 2, box, int64(n+T))
 			ser := NewGrid(2, geom.Vec{}, box.Len, 0.07, true)
-			ser.Bin(pos, n, nil)
+			ser.Bin(&pos, n, nil)
 			par := NewGrid(2, geom.Vec{}, box.Len, 0.07, true)
 			var tc trace.Counters
-			par.BinParallel(pos, n, fakePool{T}, &tc)
+			par.BinParallel(&pos, n, fakePool{T}, &tc)
 			if !reflect.DeepEqual(ser.Order(), par.Order()) {
 				t.Fatalf("n=%d T=%d: parallel binning diverges", n, T)
 			}
@@ -60,9 +60,9 @@ func TestBuildLinksParallelMatchesSerial(t *testing.T) {
 			rc := 0.12
 			nCore := 350 // treat the tail as halo copies
 			g := NewGrid(d, geom.Vec{}, box.Len, rc, true)
-			g.Bin(pos, len(pos), nil)
-			ser := g.BuildLinks(pos, len(pos), nCore, rc*rc, box, nil)
-			par := g.BuildLinksParallel(pos, len(pos), nCore, rc*rc, box, fakePool{T}, nil)
+			g.Bin(&pos, pos.Len(), nil)
+			ser := g.BuildLinks(&pos, pos.Len(), nCore, rc*rc, box, nil)
+			par := g.BuildLinksParallel(&pos, pos.Len(), nCore, rc*rc, box, fakePool{T}, nil)
 			if ser.NCore != par.NCore {
 				t.Fatalf("d=%d T=%d: core split %d vs %d", d, T, par.NCore, ser.NCore)
 			}
@@ -82,9 +82,9 @@ func TestBuildLinksParallelDegenerateFallsBack(t *testing.T) {
 	if !g.Degenerate() {
 		t.Fatal("expected degenerate grid")
 	}
-	g.Bin(pos, len(pos), nil)
-	ser := g.BuildLinks(pos, len(pos), len(pos), 0.16, box, nil)
-	par := g.BuildLinksParallel(pos, len(pos), len(pos), 0.16, box, fakePool{4}, nil)
+	g.Bin(&pos, pos.Len(), nil)
+	ser := g.BuildLinks(&pos, pos.Len(), pos.Len(), 0.16, box, nil)
+	par := g.BuildLinksParallel(&pos, pos.Len(), pos.Len(), 0.16, box, fakePool{4}, nil)
 	if !reflect.DeepEqual(ser.Links, par.Links) {
 		t.Error("degenerate fallback diverges")
 	}

@@ -47,9 +47,13 @@ type Snapshot struct {
 	// Progress bookkeeping.
 	Iters int // iterations completed when the snapshot was taken
 
-	// Physical state indexed by particle ID.
-	Pos []geom.Vec
-	Vel []geom.Vec
+	// Physical state indexed by particle ID, stored component-major to
+	// mirror the structure-of-arrays particle store: Pos[k][id] is
+	// component k of particle id. Only the first D component slices are
+	// populated; a snapshot therefore costs 2*D*N floats regardless of
+	// geom.MaxD.
+	Pos geom.Coords
+	Vel geom.Coords
 }
 
 // FromResult builds a snapshot from a finished run; the run must have
@@ -69,8 +73,8 @@ func FromResult(cfg *core.Config, res *core.Result, itersDone int) (*Snapshot, e
 		FillHeight: cfg.FillHeight,
 		Bonds:      cfg.Spring.Bonds,
 		Iters:      itersDone,
-		Pos:        res.Pos,
-		Vel:        res.Vel,
+		Pos:        geom.CoordsFromVecs(res.Pos, cfg.D),
+		Vel:        geom.CoordsFromVecs(res.Vel, cfg.D),
 	}, nil
 }
 
@@ -112,10 +116,16 @@ func (s *Snapshot) Apply(cfg *core.Config) error {
 	case s.Bonds != nil && !s.Bonds.Equal(cfg.Spring.Bonds):
 		return fmt.Errorf("checkpoint: snapshot bond table does not match the config's")
 	}
-	if len(s.Pos) != s.N || len(s.Vel) != s.N {
-		return fmt.Errorf("checkpoint: snapshot holds %d positions and %d velocities for N=%d", len(s.Pos), len(s.Vel), s.N)
+	// A decoded gob can carry ragged component slices; every populated
+	// component must hold exactly N values (and the gather below would
+	// otherwise index out of range on adversarial input).
+	for k := 0; k < s.D; k++ {
+		if len(s.Pos[k]) != s.N || len(s.Vel[k]) != s.N {
+			return fmt.Errorf("checkpoint: component %d holds %d positions and %d velocities for N=%d",
+				k, len(s.Pos[k]), len(s.Vel[k]), s.N)
+		}
 	}
-	cfg.Init = &core.State{Pos: s.Pos, Vel: s.Vel}
+	cfg.Init = &core.State{Pos: s.Pos.Vecs(s.N, s.D), Vel: s.Vel.Vecs(s.N, s.D)}
 	return nil
 }
 

@@ -2,6 +2,7 @@ package checkpoint
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"hybriddem/internal/core"
@@ -52,6 +53,72 @@ func FuzzLoad(f *testing.F) {
 		}
 		if err == nil && s == nil {
 			t.Fatal("Load returned neither a snapshot nor an error")
+		}
+	})
+}
+
+// FuzzApplyDecodedSnapshot hardens the component-major state layout:
+// a gob payload that passes the frame checksum can still describe a
+// structurally invalid Snapshot — ragged component slices, a
+// dimension/length mismatch, populated components beyond D. Apply
+// must reject every such shape with an error; the gather into
+// cfg.Init must never index out of range. The fuzzer mutates the gob
+// payload of a valid checkpoint (reframing it so Load's checksum
+// passes) and replays Load+Apply.
+func FuzzApplyDecodedSnapshot(f *testing.F) {
+	cfg := core.Default(2, 24)
+	cfg.Seed = 11
+	cfg.CollectState = true
+	res, err := core.Run(cfg, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	snap, err := FromResult(&cfg, res, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, snap); err != nil {
+		f.Fatal(err)
+	}
+	payload := buf.Bytes()[headerLen:]
+
+	f.Add(append([]byte(nil), payload...))
+	// Seed a few structured mutations: truncated tails tear the state
+	// arrays mid-slice, single-byte flips corrupt slice lengths.
+	f.Add(payload[:len(payload)-9])
+	for _, off := range []int{len(payload) / 2, len(payload) - 40, 12} {
+		if off >= 0 && off < len(payload) {
+			mut := append([]byte(nil), payload...)
+			mut[off] ^= 0x40
+			f.Add(mut)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		// Reframe so the mutated gob reaches the decoder.
+		var file bytes.Buffer
+		var hdr [headerLen]byte
+		copy(hdr[:8], magic[:])
+		binary.BigEndian.PutUint64(hdr[8:16], uint64(len(body)))
+		binary.BigEndian.PutUint64(hdr[16:24], fnv1a(body))
+		file.Write(hdr[:])
+		file.Write(body)
+
+		s, err := Load(&file)
+		if err != nil {
+			return // frame or gob rejected the mutation, as designed
+		}
+		applyCfg := core.Default(2, 24)
+		applyCfg.Seed = 11
+		if err := s.Apply(&applyCfg); err != nil {
+			return // structural validation rejected it
+		}
+		// An accepted snapshot must have produced a full, well-formed
+		// initial state.
+		if applyCfg.Init == nil || len(applyCfg.Init.Pos) != applyCfg.N || len(applyCfg.Init.Vel) != applyCfg.N {
+			t.Fatalf("Apply accepted a snapshot but built state with %d/%d particles",
+				len(applyCfg.Init.Pos), len(applyCfg.Init.Vel))
 		}
 	})
 }

@@ -829,8 +829,8 @@ func gather(cfg *Config, c *mp.Comm, r *rankSim) (pos, vel []geom.Vec) {
 	var ids []int32
 	for _, b := range r.dm.Blocks {
 		for i := 0; i < b.NCore; i++ {
-			p, _ := box.Wrap(b.PS.Pos[i])
-			v := b.PS.Vel[i]
+			p, _ := box.Wrap(b.PS.PosAt(i))
+			v := b.PS.VelAt(i)
 			for k := 0; k < cfg.D; k++ {
 				f = append(f, p[k])
 			}

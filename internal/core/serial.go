@@ -24,10 +24,12 @@ type sharedSim struct {
 	grid    *cell.Grid
 	list    *cell.List
 	listBuf cell.ListBuffer // serial-path link storage, reused across rebuilds
-	ref     []geom.Vec      // position snapshot at last rebuild, reused
+	ref     geom.Coords     // position snapshot at last rebuild, reused
 
 	team *shm.Team // nil in Serial mode
 	upd  *shm.Updater
+
+	f32 force.F32Scratch // single-precision mirrors for the Float32 path
 
 	clock    float64 // serial-mode virtual clock
 	tc       trace.Counters
@@ -119,9 +121,9 @@ func (s *sharedSim) rebuild() {
 	// serial path.
 	bin := func() {
 		if s.team != nil {
-			s.grid.BinParallel(s.ps.Pos, cfg.N, shm.TeamPool{Team: s.team}, &s.tc)
+			s.grid.BinParallel(&s.ps.Pos, cfg.N, shm.TeamPool{Team: s.team}, &s.tc)
 		} else {
-			s.grid.Bin(s.ps.Pos, cfg.N, &s.tc)
+			s.grid.Bin(&s.ps.Pos, cfg.N, &s.tc)
 		}
 	}
 	bin()
@@ -131,11 +133,13 @@ func (s *sharedSim) rebuild() {
 		bin()
 	}
 	if s.team != nil {
-		s.list = s.grid.BuildLinksParallel(s.ps.Pos, cfg.N, cfg.N, rc*rc, s.box, shm.TeamPool{Team: s.team}, &s.tc)
+		s.list = s.grid.BuildLinksParallel(&s.ps.Pos, cfg.N, cfg.N, rc*rc, s.box, shm.TeamPool{Team: s.team}, &s.tc)
 	} else {
-		s.list = s.grid.BuildLinksInto(&s.listBuf, s.ps.Pos, cfg.N, cfg.N, rc*rc, s.box, &s.tc)
+		s.list = s.grid.BuildLinksInto(&s.listBuf, &s.ps.Pos, cfg.N, cfg.N, rc*rc, s.box, &s.tc)
 	}
-	s.ref = append(s.ref[:0], s.ps.Pos[:cfg.N]...)
+	for k := 0; k < cfg.D; k++ {
+		s.ref[k] = append(s.ref[k][:0], s.ps.Pos[k][:cfg.N]...)
+	}
 	s.meanDist = listMeanDist(s.list.Links)
 	s.rebuilds++
 
@@ -186,7 +190,11 @@ func (s *sharedSim) step() float64 {
 	if s.team == nil {
 		s.ps.ZeroForces()
 		c0 := s.tc.Contacts
-		s.epot = cfg.Spring.Accumulate(s.ps, s.list.Links, cfg.N, s.box, 1, &s.tc)
+		if cfg.Float32 {
+			s.epot = cfg.Spring.AccumulateF32(s.ps, s.list.Links, cfg.N, s.box, 1, &s.f32, &s.tc)
+		} else {
+			s.epot = cfg.Spring.Accumulate(s.ps, s.list.Links, cfg.N, s.box, 1, &s.tc)
+		}
 		n := int64(len(s.list.Links))
 		s.clock += float64(n)*s.linkCost +
 			float64(s.tc.Contacts-c0)*s.contactCost +
@@ -218,7 +226,7 @@ func (s *sharedSim) step() float64 {
 	// List validity (outside the timed window, like the paper's
 	// excluded link generation).
 	skin := cfg.Skin()
-	if s.ps.MaxDisp2(s.ref, cfg.N, s.box) >= skin*skin {
+	if s.ps.MaxDisp2(&s.ref, cfg.N, s.box) >= skin*skin {
 		b0 := s.nowClock()
 		s.rebuild()
 		s.span("rebuild", b0, s.nowClock())
@@ -232,8 +240,8 @@ func (s *sharedSim) collect() (pos, vel []geom.Vec) {
 	pos = make([]geom.Vec, n)
 	vel = make([]geom.Vec, n)
 	for i := 0; i < n; i++ {
-		pos[s.ps.ID[i]] = s.ps.Pos[i]
-		vel[s.ps.ID[i]] = s.ps.Vel[i]
+		pos[s.ps.ID[i]] = s.ps.PosAt(i)
+		vel[s.ps.ID[i]] = s.ps.VelAt(i)
 	}
 	return pos, vel
 }

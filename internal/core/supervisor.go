@@ -91,11 +91,16 @@ func (sc *snapCollector) offer(iter int, dm *decomp.Domain) {
 		return
 	}
 	for _, b := range dm.Blocks {
-		sc.cur.blocks[b.ID] = &blockSnap{
-			pos: append([]geom.Vec(nil), b.PS.Pos[:b.NCore]...),
-			vel: append([]geom.Vec(nil), b.PS.Vel[:b.NCore]...),
+		snap := &blockSnap{
+			pos: make([]geom.Vec, b.NCore),
+			vel: make([]geom.Vec, b.NCore),
 			ids: append([]int32(nil), b.PS.ID[:b.NCore]...),
 		}
+		for i := 0; i < b.NCore; i++ {
+			snap.pos[i] = b.PS.PosAt(i)
+			snap.vel[i] = b.PS.VelAt(i)
+		}
+		sc.cur.blocks[b.ID] = snap
 	}
 	if len(sc.cur.blocks) == sc.need {
 		sc.stable = sc.cur

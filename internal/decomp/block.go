@@ -41,8 +41,8 @@ type Block struct {
 	List *cell.List
 
 	// RefPos snapshots core positions at the last list build for the
-	// rebuild criterion.
-	RefPos []geom.Vec
+	// rebuild criterion (component-major, like the store).
+	RefPos geom.Coords
 
 	// sendIdx are the halo templates: for each dimension and face,
 	// the local particle indices whose data is sent each swap — the
@@ -89,8 +89,11 @@ func (b *Block) coreSlab(dim, side int, rc float64) []int32 {
 		lo = hi - rc
 	}
 	out := b.sendIdx[dim][side][:0]
-	for i, p := range b.PS.Pos {
-		if p[dim] >= lo && p[dim] < hi {
+	// One contiguous component stream: the slab test reads only the
+	// dim coordinate, so the SoA layout turns this scan into a single
+	// sequential sweep.
+	for i, x := range b.PS.Pos[dim] {
+		if x >= lo && x < hi {
 			out = append(out, int32(i))
 		}
 	}

@@ -163,7 +163,7 @@ func TestFillUniformPartitionsExactly(t *testing.T) {
 		for _, b := range dm.Blocks {
 			for i := 0; i < b.NCore; i++ {
 				seen[b.PS.ID[i]]++
-				if l.BlockOfPos(b.PS.Pos[i]) != b.ID {
+				if l.BlockOfPos(b.PS.PosAt(i)) != b.ID {
 					t.Errorf("particle %d in wrong block", b.PS.ID[i])
 				}
 			}
@@ -195,10 +195,10 @@ func TestHaloReplicationExact(t *testing.T) {
 				// (possibly wrapped) image lies inside the ext region.
 				want := map[int32]bool{}
 				for i := 0; i < n; i++ {
-					if l.BlockOfPos(ref.Pos[i]) == b.ID {
+					if l.BlockOfPos(ref.PosAt(i)) == b.ID {
 						continue
 					}
-					for _, img := range images(ref.Pos[i], box) {
+					for _, img := range images(ref.PosAt(i), box) {
 						inside := true
 						for k := 0; k < 2; k++ {
 							if img[k] < b.ExtOrigin[k] || img[k] >= b.ExtOrigin[k]+b.ExtSpan[k] {
@@ -266,8 +266,8 @@ func TestDecomposedEnergyMatchesSerial(t *testing.T) {
 			// Serial reference energy.
 			ref := globalSystem(n, 2, box, 5, 0)
 			g := cell.NewGrid(2, geom.Vec{}, box.Len, rc, true)
-			g.Bin(ref.Pos, n, nil)
-			list := g.BuildLinks(ref.Pos, n, n, rc*rc, box, nil)
+			g.Bin(&ref.Pos, n, nil)
+			list := g.BuildLinks(&ref.Pos, n, n, rc*rc, box, nil)
 			ref.ZeroForces()
 			eSerial := sp.Accumulate(ref, list.Links, n, box, 1, nil)
 
@@ -308,7 +308,7 @@ func TestRefreshHalosTracksMotion(t *testing.T) {
 		shift := func(id int32) float64 { return 1e-3 * float64(id%17) }
 		for _, b := range dm.Blocks {
 			for i := 0; i < b.NCore; i++ {
-				b.PS.Pos[i][0] += shift(b.PS.ID[i])
+				b.PS.Pos[0][i] += shift(b.PS.ID[i])
 			}
 		}
 		dm.RefreshHalos()
@@ -318,8 +318,8 @@ func TestRefreshHalosTracksMotion(t *testing.T) {
 		for _, b := range dm.Blocks {
 			for i := b.NCore; i < b.PS.Len(); i++ {
 				id := b.PS.ID[i]
-				wantX := ref.Pos[id][0] + shift(id)
-				gotX := b.PS.Pos[i][0]
+				wantX := ref.Pos[0][id] + shift(id)
+				gotX := b.PS.Pos[0][i]
 				// Remove any ±L ghost shift.
 				diff := math.Mod(math.Abs(gotX-wantX), box.Len[0])
 				if diff > 1e-9 && math.Abs(diff-box.Len[0]) > 1e-9 {
@@ -344,8 +344,8 @@ func TestMigrationConservesParticles(t *testing.T) {
 		rng := rand.New(rand.NewSource(int64(100)))
 		for _, b := range dm.Blocks {
 			for i := 0; i < b.NCore; i++ {
-				b.PS.Pos[i][0] += (rng.Float64() - 0.5) * 5
-				b.PS.Pos[i][1] += (rng.Float64() - 0.5) * 5
+				b.PS.Pos[0][i] += (rng.Float64() - 0.5) * 5
+				b.PS.Pos[1][i] += (rng.Float64() - 0.5) * 5
 			}
 		}
 		dm.Rebuild(false)
@@ -358,11 +358,11 @@ func TestMigrationConservesParticles(t *testing.T) {
 					t.Errorf("duplicate particle %d on rank %d", b.PS.ID[i], c.Rank())
 				}
 				ids[b.PS.ID[i]] = true
-				if l.BlockOfPos(b.PS.Pos[i]) != b.ID {
+				if l.BlockOfPos(b.PS.PosAt(i)) != b.ID {
 					t.Errorf("particle %d not in home block after migration", b.PS.ID[i])
 				}
-				if !box.Contains(b.PS.Pos[i]) {
-					t.Errorf("particle %d not wrapped: %v", b.PS.ID[i], b.PS.Pos[i])
+				if !box.Contains(b.PS.PosAt(i)) {
+					t.Errorf("particle %d not wrapped: %v", b.PS.ID[i], b.PS.PosAt(i))
 				}
 			}
 		}
@@ -388,14 +388,14 @@ func TestReorderPreservesIdentity(t *testing.T) {
 		before := map[int32]geom.Vec{}
 		for _, b := range dm.Blocks {
 			for i := 0; i < b.NCore; i++ {
-				before[b.PS.ID[i]] = b.PS.Pos[i]
+				before[b.PS.ID[i]] = b.PS.PosAt(i)
 			}
 		}
 		dm.Rebuild(true) // with reordering
 		after := map[int32]geom.Vec{}
 		for _, b := range dm.Blocks {
 			for i := 0; i < b.NCore; i++ {
-				after[b.PS.ID[i]] = b.PS.Pos[i]
+				after[b.PS.ID[i]] = b.PS.PosAt(i)
 			}
 		}
 		if len(before) != len(after) {
@@ -479,8 +479,8 @@ func TestSelfNeighborPeriodicSingleBlock(t *testing.T) {
 
 	ref := globalSystem(n, 2, box, 21, 0)
 	g := cell.NewGrid(2, geom.Vec{}, box.Len, rc, true)
-	g.Bin(ref.Pos, n, nil)
-	list := g.BuildLinks(ref.Pos, n, n, rc*rc, box, nil)
+	g.Bin(&ref.Pos, n, nil)
+	list := g.BuildLinks(&ref.Pos, n, n, rc*rc, box, nil)
 	eSerial := sp.Accumulate(ref, list.Links, n, box, 1, nil)
 
 	mp.Run(1, nil, func(c *mp.Comm) {

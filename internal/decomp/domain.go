@@ -220,7 +220,7 @@ func (dm *Domain) NumLinks() int {
 func (dm *Domain) MaxCoreDisp2() float64 {
 	maxd := 0.0
 	for _, b := range dm.Blocks {
-		d := b.PS.MaxDisp2(b.RefPos, b.NCore, dm.L.Box)
+		d := b.PS.MaxDisp2(&b.RefPos, b.NCore, dm.L.Box)
 		if d > maxd {
 			maxd = d
 		}
@@ -269,7 +269,7 @@ func (dm *Domain) reorderCores() {
 		// here and the list build that follows (buildLists re-bins it
 		// over core+halo).
 		g := b.Grid
-		g.Bin(b.PS.Pos, b.NCore, &dm.TC)
+		g.Bin(&b.PS.Pos, b.NCore, &dm.TC)
 		order := g.Order()
 		b.PS.Permute(order)
 		dm.TC.ReorderMoves += int64(b.NCore)
@@ -284,8 +284,10 @@ func (dm *Domain) buildLists() {
 	rc2 := rc * rc
 	for _, b := range dm.Blocks {
 		n := b.PS.Len()
-		b.Grid.Bin(b.PS.Pos, n, &dm.TC)
-		b.List = b.Grid.BuildLinksInto(&b.listBuf, b.PS.Pos, n, b.NCore, rc2, dm.plainBox, &dm.TC)
-		b.RefPos = append(b.RefPos[:0], b.PS.Pos[:b.NCore]...)
+		b.Grid.Bin(&b.PS.Pos, n, &dm.TC)
+		b.List = b.Grid.BuildLinksInto(&b.listBuf, &b.PS.Pos, n, b.NCore, rc2, dm.plainBox, &dm.TC)
+		for k := 0; k < dm.L.D; k++ {
+			b.RefPos[k] = append(b.RefPos[k][:0], b.PS.Pos[k][:b.NCore]...)
+		}
 	}
 }

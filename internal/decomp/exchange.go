@@ -22,14 +22,12 @@ func boolToInt(b bool) int {
 // the buffer grows towards its steady-state size.
 func appendParticles(dst []float64, b *Block, idx []int32, d int, withVel bool) []float64 {
 	for _, i := range idx {
-		p := b.PS.Pos[i]
 		for k := 0; k < d; k++ {
-			dst = append(dst, p[k])
+			dst = append(dst, b.PS.Pos[k][i])
 		}
 		if withVel {
-			v := b.PS.Vel[i]
 			for k := 0; k < d; k++ {
-				dst = append(dst, v[k])
+				dst = append(dst, b.PS.Vel[k][i])
 			}
 		}
 	}
@@ -296,11 +294,11 @@ func (dm *Domain) overwriteSeg(b *Block, seg haloSeg, f []float64, per int) {
 	for i := 0; i < seg.count; i++ {
 		at := seg.start + i
 		for k := 0; k < d; k++ {
-			b.PS.Pos[at][k] = f[per*i+k] + seg.shift[k]
+			b.PS.Pos[k][at] = f[per*i+k] + seg.shift[k]
 		}
 		if dm.WithVel {
 			for k := 0; k < d; k++ {
-				b.PS.Vel[at][k] = f[per*i+d+k]
+				b.PS.Vel[k][at] = f[per*i+d+k]
 			}
 		}
 	}
@@ -334,8 +332,8 @@ func (dm *Domain) migrate() {
 	moved := int64(0)
 	for _, b := range dm.Blocks {
 		for i := 0; i < b.NCore; {
-			p, _ := l.Box.Wrap(b.PS.Pos[i])
-			b.PS.Pos[i] = p
+			p, _ := l.Box.Wrap(b.PS.PosAt(i))
+			b.PS.SetPos(i, p)
 			home := l.BlockOfPos(p)
 			if home == b.ID {
 				i++
@@ -343,7 +341,7 @@ func (dm *Domain) migrate() {
 			}
 			dst := l.RankOfBlock(home)
 			outI[dst] = append(outI[dst], int32(b.ID), int32(home), b.PS.ID[i])
-			v := b.PS.Vel[i]
+			v := b.PS.VelAt(i)
 			buf := outF[dst]
 			for k := 0; k < d; k++ {
 				buf = append(buf, p[k])

@@ -26,9 +26,9 @@ func TestHaloCarriesVelocities(t *testing.T) {
 				for i := b.NCore; i < b.PS.Len(); i++ {
 					id := b.PS.ID[i]
 					for k := 0; k < 2; k++ {
-						if math.Abs(b.PS.Vel[i][k]-ref.Vel[id][k]) > 1e-12 {
+						if math.Abs(b.PS.Vel[k][i]-ref.Vel[k][id]) > 1e-12 {
 							t.Fatalf("%s: halo velocity of %d = %v, want %v",
-								stage, id, b.PS.Vel[i], ref.Vel[id])
+								stage, id, b.PS.VelAt(i), ref.VelAt(int(id)))
 						}
 					}
 				}
@@ -40,13 +40,13 @@ func TestHaloCarriesVelocities(t *testing.T) {
 		// refresh; the halo copies must follow.
 		for _, b := range dm.Blocks {
 			for i := 0; i < b.NCore; i++ {
-				b.PS.Vel[i][0] += 0.5
-				b.PS.Vel[i][1] -= 0.25
+				b.PS.Vel[0][i] += 0.5
+				b.PS.Vel[1][i] -= 0.25
 			}
 		}
 		for i := 0; i < n; i++ {
-			ref.Vel[i][0] += 0.5
-			ref.Vel[i][1] -= 0.25
+			ref.Vel[0][i] += 0.5
+			ref.Vel[1][i] -= 0.25
 		}
 		dm.RefreshHalos()
 		check("refresh")
@@ -65,8 +65,8 @@ func TestWithoutVelHaloVelocitiesZero(t *testing.T) {
 		dm.Rebuild(false)
 		for _, b := range dm.Blocks {
 			for i := b.NCore; i < b.PS.Len(); i++ {
-				if b.PS.Vel[i] != (geom.Vec{}) {
-					t.Fatalf("halo particle %d has velocity %v without WithVel", b.PS.ID[i], b.PS.Vel[i])
+				if b.PS.VelAt(i) != (geom.Vec{}) {
+					t.Fatalf("halo particle %d has velocity %v without WithVel", b.PS.ID[i], b.PS.VelAt(i))
 				}
 			}
 		}

@@ -197,8 +197,8 @@ func (dm *Domain) transferBlocks() {
 		f := dm.xferF[:0]
 		ids := dm.xferI[:0]
 		for i := 0; i < b.NCore; i++ {
-			p := b.PS.Pos[i]
-			v := b.PS.Vel[i]
+			p := b.PS.PosAt(i)
+			v := b.PS.VelAt(i)
 			for k := 0; k < d; k++ {
 				f = append(f, p[k])
 			}

@@ -15,7 +15,7 @@ import (
 func gatherGlobal(dm *Domain, global []geom.Vec) {
 	for _, b := range dm.Blocks {
 		for i := 0; i < b.NCore; i++ {
-			global[b.PS.ID[i]] = b.PS.Pos[i]
+			global[b.PS.ID[i]] = b.PS.PosAt(i)
 		}
 	}
 }
@@ -56,7 +56,7 @@ func TestRebalanceOwnershipInvariants(t *testing.T) {
 		for _, b := range dm.Blocks {
 			counts[c.Rank()] += b.NCore
 			for i := 0; i < b.NCore; i++ {
-				if l.BlockOfPos(b.PS.Pos[i]) != b.ID {
+				if l.BlockOfPos(b.PS.PosAt(i)) != b.ID {
 					t.Errorf("rank %d: particle %d in wrong block", c.Rank(), b.PS.ID[i])
 				}
 			}
@@ -219,7 +219,7 @@ func TestRebalanceRepeatedEpochsStress(t *testing.T) {
 					id := b.PS.ID[i]
 					for k := 0; k < l.D; k++ {
 						kick := 0.3 * float64((int(id)*131+k*17+e*29)%200-100) / 100
-						b.PS.Pos[i][k] += kick
+						b.PS.Pos[k][i] += kick
 					}
 				}
 			}

@@ -56,7 +56,7 @@ func (dm *Domain) verifyBlockHalos(b *Block, global, vel []geom.Vec, box geom.Bo
 	have := make([]image, 0, b.NumHalo())
 	for i := b.NCore; i < b.PS.Len(); i++ {
 		id := b.PS.ID[i]
-		p := b.PS.Pos[i]
+		p := b.PS.PosAt(i)
 		if id < 0 || int(id) >= len(global) {
 			return fmt.Errorf("halo entry %d has ID %d outside the %d global particles", i-b.NCore, id, len(global))
 		}
@@ -71,9 +71,9 @@ func (dm *Domain) verifyBlockHalos(b *Block, global, vel []geom.Vec, box geom.Bo
 			}
 		}
 		if vel != nil && dm.WithVel {
-			dv := geom.Sub(b.PS.Vel[i], vel[id], dim)
+			dv := geom.Sub(b.PS.VelAt(i), vel[id], dim)
 			if geom.Norm2(dv, dim) > tol2 {
-				return fmt.Errorf("halo copy of particle %d carries velocity %v, expected %v", id, b.PS.Vel[i], vel[id])
+				return fmt.Errorf("halo copy of particle %d carries velocity %v, expected %v", id, b.PS.VelAt(i), vel[id])
 			}
 		}
 		have = append(have, image{id: id, pos: p})

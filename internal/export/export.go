@@ -23,13 +23,13 @@ func WriteVTK(w io.Writer, ps *particle.Store, n int, title string) error {
 	fmt.Fprintln(bw, "DATASET POLYDATA")
 	fmt.Fprintf(bw, "POINTS %d double\n", n)
 	for i := 0; i < n; i++ {
-		p := ps.Pos[i]
+		p := ps.PosAt(i)
 		fmt.Fprintf(bw, "%g %g %g\n", p[0], dim(p, 1, d), dim(p, 2, d))
 	}
 	fmt.Fprintf(bw, "POINT_DATA %d\n", n)
 	fmt.Fprintln(bw, "VECTORS velocity double")
 	for i := 0; i < n; i++ {
-		v := ps.Vel[i]
+		v := ps.VelAt(i)
 		fmt.Fprintf(bw, "%g %g %g\n", v[0], dim(v, 1, d), dim(v, 2, d))
 	}
 	fmt.Fprintln(bw, "SCALARS id int 1")
@@ -58,7 +58,7 @@ func WriteXYZ(w io.Writer, ps *particle.Store, n int, boxLen [3]float64) error {
 		boxLen[0], boxLen[1], boxLen[2])
 	d := ps.D
 	for i := 0; i < n; i++ {
-		p, v := ps.Pos[i], ps.Vel[i]
+		p, v := ps.PosAt(i), ps.VelAt(i)
 		fmt.Fprintf(bw, "P %g %g %g %g %g %g %d\n",
 			p[0], dim(p, 1, d), dim(p, 2, d),
 			v[0], dim(v, 1, d), dim(v, 2, d), ps.ID[i])
@@ -81,10 +81,10 @@ func WriteCSV(w io.Writer, ps *particle.Store, n int) error {
 	for i := 0; i < n; i++ {
 		fmt.Fprintf(bw, "%d", ps.ID[i])
 		for k := 0; k < d; k++ {
-			fmt.Fprintf(bw, ",%g", ps.Pos[i][k])
+			fmt.Fprintf(bw, ",%g", ps.Pos[k][i])
 		}
 		for k := 0; k < d; k++ {
-			fmt.Fprintf(bw, ",%g", ps.Vel[i][k])
+			fmt.Fprintf(bw, ",%g", ps.Vel[k][i])
 		}
 		fmt.Fprintln(bw)
 	}

@@ -86,7 +86,7 @@ func TestWriteCSVParsesBack(t *testing.T) {
 			t.Errorf("row %d id %d", i, id)
 		}
 		x, _ := strconv.ParseFloat(rows[i][1], 64)
-		if x != ps.Pos[i-1][0] {
+		if x != ps.Pos[0][i-1] {
 			t.Errorf("row %d x %g", i, x)
 		}
 	}

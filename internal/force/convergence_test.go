@@ -25,7 +25,7 @@ func oscillatorError(dt float64) float64 {
 	ps.Append(geom.Vec{5 + (rest+A)/2}, geom.Vec{}, 1)
 	vhalf := A * omega * math.Sin(omega*dt/2) / 2
 	ps.Vel[0][0] = -vhalf
-	ps.Vel[1][0] = +vhalf
+	ps.Vel[0][1] = +vhalf
 	bt := NewBondTable(2, 1, K, 0)
 	if err := bt.Add(0, 1, rest); err != nil {
 		panic(err)
@@ -37,7 +37,7 @@ func oscillatorError(dt float64) float64 {
 	maxe := 0.0
 	for i := 0; i < steps; i++ {
 		t := float64(i) * dt
-		sep := ps.Pos[1][0] - ps.Pos[0][0]
+		sep := ps.Pos[0][1] - ps.Pos[0][0]
 		want := rest + A*math.Cos(omega*t)
 		if e := math.Abs(sep - want); e > maxe {
 			maxe = e

@@ -98,8 +98,8 @@ func buildSystem(t testing.TB, d, n int, bc geom.Boundary, seed int64) (*particl
 	sp := Spring{Diameter: 0.08, K: 50}
 	rc := 0.12
 	g := cell.NewGrid(d, geom.Vec{}, box.Len, rc, bc == geom.Periodic)
-	g.Bin(ps.Pos, n, nil)
-	list := g.BuildLinks(ps.Pos, n, n, rc*rc, box, nil)
+	g.Bin(&ps.Pos, n, nil)
+	list := g.BuildLinks(&ps.Pos, n, n, rc*rc, box, nil)
 	return ps, list, box, sp
 }
 
@@ -111,7 +111,7 @@ func TestNewtonThirdLaw(t *testing.T) {
 		sp.Accumulate(ps, list.Links, ps.Len(), box, 1, &tc)
 		var total geom.Vec
 		for i := 0; i < ps.Len(); i++ {
-			total = geom.Add(total, ps.Frc[i], d)
+			total = geom.Add(total, ps.FrcAt(i), d)
 		}
 		for k := 0; k < d; k++ {
 			if math.Abs(total[k]) > 1e-9 {
@@ -169,10 +169,10 @@ func TestHaloForceSkipsGhosts(t *testing.T) {
 	links := []cell.Link{{I: 0, J: 1}}
 	sp.Accumulate(ps, links, 1, box, 0.5, nil)
 	if ps.Frc[0][0] >= 0 {
-		t.Errorf("core force = %v, want repulsion in -x", ps.Frc[0])
+		t.Errorf("core force = %v, want repulsion in -x", ps.FrcAt(0))
 	}
-	if ps.Frc[1] != (geom.Vec{}) {
-		t.Errorf("ghost received force %v", ps.Frc[1])
+	if ps.FrcAt(1) != (geom.Vec{}) {
+		t.Errorf("ghost received force %v", ps.FrcAt(1))
 	}
 }
 
@@ -223,8 +223,8 @@ func TestApplyGravity(t *testing.T) {
 	ps.Append(geom.Vec{0.2, 0.2}, geom.Vec{}, 1)
 	ApplyGravity(ps, 2, 1, -9.8)
 	for i := 0; i < 2; i++ {
-		if ps.Frc[i][1] != -9.8 || ps.Frc[i][0] != 0 {
-			t.Errorf("gravity on %d = %v", i, ps.Frc[i])
+		if ps.Frc[1][i] != -9.8 || ps.Frc[0][i] != 0 {
+			t.Errorf("gravity on %d = %v", i, ps.FrcAt(i))
 		}
 	}
 }
@@ -234,15 +234,16 @@ func TestIntegrateRangeMatchesIntegrate(t *testing.T) {
 	a := particle.New(2, 10)
 	rng := rand.New(rand.NewSource(2))
 	particle.FillUniformVel(a, 10, box, 1, 0, rng)
-	for i := range a.Frc {
-		a.Frc[i] = geom.Vec{float64(i), -float64(i)}
+	for i := 0; i < 10; i++ {
+		a.Frc[0][i] = float64(i)
+		a.Frc[1][i] = -float64(i)
 	}
 	b := a.Clone()
 	Integrate(a, 10, 0.01, box, WrapGlobal, nil)
 	IntegrateRange(b, 0, 5, 0.01, box, WrapGlobal, nil)
 	IntegrateRange(b, 5, 10, 0.01, box, WrapGlobal, nil)
 	for i := 0; i < 10; i++ {
-		if a.Pos[i] != b.Pos[i] || a.Vel[i] != b.Vel[i] {
+		if a.PosAt(i) != b.PosAt(i) || a.VelAt(i) != b.VelAt(i) {
 			t.Fatalf("range split diverges at %d", i)
 		}
 	}

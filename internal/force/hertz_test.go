@@ -55,8 +55,8 @@ func TestHertzEnergyConservation(t *testing.T) {
 	sp := Spring{Diameter: 0.08, K: 50, Hertz: true}
 	rc := 0.12
 	g := cell.NewGrid(2, geom.Vec{}, box.Len, rc, true)
-	g.Bin(ps.Pos, 300, nil)
-	list := g.BuildLinks(ps.Pos, 300, 300, rc*rc, box, nil)
+	g.Bin(&ps.Pos, 300, nil)
+	list := g.BuildLinks(&ps.Pos, 300, 300, rc*rc, box, nil)
 
 	energy := func() float64 {
 		ps.ZeroForces()

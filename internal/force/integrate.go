@@ -1,6 +1,8 @@
 package force
 
 import (
+	"math"
+
 	"hybriddem/internal/geom"
 	"hybriddem/internal/particle"
 	"hybriddem/internal/trace"
@@ -27,54 +29,69 @@ const (
 // velocities as half-step values this is the leapfrog scheme, the
 // "standard second-order accurate" update of Section 4.1.
 func Integrate(ps *particle.Store, nCore int, dt float64, box geom.Box, mode WrapMode, tc *trace.Counters) {
-	d := ps.D
-	pos, vel, frc := ps.Pos, ps.Vel, ps.Frc
-	reflect := box.BC == geom.Reflecting
-	wrapNow := mode == WrapGlobal || reflect
-	for i := 0; i < nCore; i++ {
-		for k := 0; k < d; k++ {
-			vel[i][k] += frc[i][k] * dt
-			pos[i][k] += vel[i][k] * dt
-		}
-		if wrapNow {
-			p, flip := box.Wrap(pos[i])
-			pos[i] = p
-			if reflect {
-				for k := 0; k < d; k++ {
-					if flip[k] {
-						vel[i][k] = -vel[i][k]
-					}
-				}
-			}
-		}
-	}
-	if tc != nil {
-		tc.PosUpdates += int64(nCore)
-	}
+	IntegrateRange(ps, 0, nCore, dt, box, mode, tc)
 }
 
 // IntegrateRange is Integrate restricted to particles [lo, hi); the
 // thread-parallel position update decomposes over particles with a
 // static schedule, so each thread calls this on its own chunk.
+//
+// The update runs component-major: each spatial component is a
+// kick-drift-fold sweep over three contiguous float64 slices. The
+// boundary handling of geom.Box.Wrap is replicated inline per
+// component — it is independent across components by construction, so
+// the sweep order change cannot move a bit.
 func IntegrateRange(ps *particle.Store, lo, hi int, dt float64, box geom.Box, mode WrapMode, tc *trace.Counters) {
 	d := ps.D
-	pos, vel, frc := ps.Pos, ps.Vel, ps.Frc
 	reflect := box.BC == geom.Reflecting
 	wrapNow := mode == WrapGlobal || reflect
-	for i := lo; i < hi; i++ {
-		for k := 0; k < d; k++ {
-			vel[i][k] += frc[i][k] * dt
-			pos[i][k] += vel[i][k] * dt
-		}
-		if wrapNow {
-			p, flip := box.Wrap(pos[i])
-			pos[i] = p
-			if reflect {
-				for k := 0; k < d; k++ {
-					if flip[k] {
-						vel[i][k] = -vel[i][k]
-					}
+	for k := 0; k < d; k++ {
+		pos := ps.Pos[k][lo:hi]
+		vel := ps.Vel[k][lo:hi]
+		frc := ps.Frc[k][lo:hi]
+		l := box.Len[k]
+		switch {
+		case !wrapNow:
+			for i := range pos {
+				vel[i] += frc[i] * dt
+				pos[i] += vel[i] * dt
+			}
+		case reflect:
+			period := 2 * l
+			for i := range pos {
+				vel[i] += frc[i] * dt
+				x := pos[i] + vel[i]*dt
+				// Fold into [0, 2l) with period 2l, then reflect the
+				// upper half; an odd number of reflections negates the
+				// velocity component.
+				x = math.Mod(x, period)
+				if x < 0 {
+					x += period
 				}
+				if x >= l {
+					x = period - x
+					vel[i] = -vel[i]
+				}
+				// Guard against x == l from rounding at the fold point.
+				if x >= l {
+					x = math.Nextafter(l, 0)
+				}
+				pos[i] = x
+			}
+		default: // periodic wrap
+			for i := range pos {
+				vel[i] += frc[i] * dt
+				x := pos[i] + vel[i]*dt
+				x = math.Mod(x, l)
+				if x < 0 {
+					x += l
+				}
+				// math.Mod can return exactly l for x slightly below 0
+				// due to rounding; fold once more to stay half-open.
+				if x >= l {
+					x -= l
+				}
+				pos[i] = x
 			}
 		}
 	}
@@ -84,29 +101,53 @@ func IntegrateRange(ps *particle.Store, lo, hi int, dt float64, box geom.Box, mo
 }
 
 // ApplyGravity adds a constant acceleration g along axis (mass 1) to
-// the first nCore force accumulators. The sand-pile example deposits
+// the first nCore force accumulators.  The sand-pile example deposits
 // grains under gravity onto a reflecting floor.
 func ApplyGravity(ps *particle.Store, nCore int, axis int, g float64) {
-	for i := 0; i < nCore; i++ {
-		ps.Frc[i][axis] += g
+	frc := ps.Frc[axis][:nCore]
+	for i := range frc {
+		frc[i] += g
 	}
 }
 
 // KineticEnergy returns the total kinetic energy of the first n
-// particles (mass 1).
+// particles (mass 1). The sum stays particle-major — each particle's
+// speed squared is assembled across components before entering the
+// total, in the exact association of Norm2 — so the value is
+// bit-identical to the array-of-vectors formulation.
 func KineticEnergy(ps *particle.Store, n int) float64 {
 	e := 0.0
-	for i := 0; i < n; i++ {
-		e += 0.5 * geom.Norm2(ps.Vel[i], ps.D)
+	switch ps.D {
+	case 2:
+		v0, v1 := ps.Vel[0][:n], ps.Vel[1][:n]
+		for i := 0; i < n; i++ {
+			e += 0.5 * (v0[i]*v0[i] + v1[i]*v1[i])
+		}
+	case 3:
+		v0, v1, v2 := ps.Vel[0][:n], ps.Vel[1][:n], ps.Vel[2][:n]
+		for i := 0; i < n; i++ {
+			e += 0.5 * (v0[i]*v0[i] + v1[i]*v1[i] + v2[i]*v2[i])
+		}
+	default:
+		for i := 0; i < n; i++ {
+			e += 0.5 * geom.Norm2(ps.Vel.At(i, ps.D), ps.D)
+		}
 	}
 	return e
 }
 
 // Momentum returns the total momentum vector of the first n particles.
+// Each component accumulates independently in ascending particle
+// order, matching the per-component sums of the Vec formulation.
 func Momentum(ps *particle.Store, n int) geom.Vec {
 	var m geom.Vec
-	for i := 0; i < n; i++ {
-		m = geom.Add(m, ps.Vel[i], ps.D)
+	for k := 0; k < ps.D; k++ {
+		vel := ps.Vel[k][:n]
+		s := 0.0
+		for i := range vel {
+			s += vel[i]
+		}
+		m[k] = s
 	}
 	return m
 }

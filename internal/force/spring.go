@@ -86,6 +86,23 @@ func (s Spring) Pair(disp, relVel geom.Vec, d int) (fi geom.Vec, e float64, cont
 	return fi, epair, true
 }
 
+// halfLengths returns the minimum-image thresholds of box, one per
+// component: exactly Len[k]/2 for periodic boxes (the division by two
+// is exact, so comparing against the precomputed half is bit-identical
+// to comparing against l/2 inline) and +Inf otherwise, which disables
+// the image branches without a separate boundary-condition test in the
+// inner loop.
+func halfLengths(box geom.Box) (h geom.Vec) {
+	for k := 0; k < box.D; k++ {
+		if box.BC == geom.Periodic {
+			h[k] = box.Len[k] / 2
+		} else {
+			h[k] = math.Inf(1)
+		}
+	}
+	return h
+}
+
 // Accumulate walks links, adding pair forces into ps.Frc and returning
 // the accumulated potential energy scaled by energyScale (the paper
 // multiplies halo-link energy by one half to avoid double counting
@@ -94,33 +111,29 @@ func (s Spring) Pair(disp, relVel geom.Vec, d int) (fi geom.Vec, e float64, cont
 // since their home block computes the mirrored update itself.
 //
 // This is the serial kernel; the thread-parallel variants with their
-// five update-protection strategies live in internal/shm.
+// five update-protection strategies live in internal/shm. Without a
+// bond table it dispatches to dimension-specialised structure-of-arrays
+// loops whose inner bodies carry no function calls: the component
+// slices are re-sliced to the particle count once so the compiler
+// hoists the bounds checks, and the pair math runs in registers. The
+// float64 results are bit-identical to the straightforward
+// Disp/Sub/Pair formulation — the same operations in the same order —
+// which TestSoABitIdenticalToSeed enforces against pre-refactor golden
+// trajectories.
 func (s Spring) Accumulate(ps *particle.Store, links []cell.Link, nCore int, box geom.Box, energyScale float64, tc *trace.Counters) float64 {
-	d := ps.D
-	epot := 0.0
-	pos, vel, frc, ids := ps.Pos, ps.Vel, ps.Frc, ps.ID
+	var epot float64
 	var distSum, contacts int64
-	for _, l := range links {
-		disp := box.Disp(pos[l.I], pos[l.J])
-		rel := geom.Sub(vel[l.J], vel[l.I], d)
-		fi, e, contact := s.PairID(ids[l.I], ids[l.J], disp, rel, d)
-		if contact {
-			contacts++
+	if s.Bonds == nil {
+		switch ps.D {
+		case 2:
+			epot, contacts, distSum = s.accumulate2(ps, links, nCore, box)
+		case 3:
+			epot, contacts, distSum = s.accumulate3(ps, links, nCore, box)
+		default:
+			epot, contacts, distSum = s.accumulateSlow(ps, links, nCore, box)
 		}
-		epot += e
-		for k := 0; k < d; k++ {
-			frc[l.I][k] += fi[k]
-		}
-		if int(l.J) < nCore {
-			for k := 0; k < d; k++ {
-				frc[l.J][k] -= fi[k]
-			}
-		}
-		di := int64(l.I) - int64(l.J)
-		if di < 0 {
-			di = -di
-		}
-		distSum += di
+	} else {
+		epot, contacts, distSum = s.accumulateSlow(ps, links, nCore, box)
 	}
 	if tc != nil {
 		n := int64(len(links))
@@ -134,14 +147,190 @@ func (s Spring) Accumulate(ps *particle.Store, links []cell.Link, nCore int, box
 	return epot * energyScale
 }
 
+// accumulate2 is the d=2 contact kernel on component slices.
+//
+// Two deviations from the naive loop are exact and deliberate:
+// non-contact links skip their force writes (the skipped adds are all
+// ±0.0, and an accumulator seeded at +0.0 under IEEE-754
+// round-to-nearest can never become -0.0 through ±x adds, so skipping
+// never changes a bit), and the relative velocity loads only when the
+// spring is damped — the undamped law never reads them.
+func (s Spring) accumulate2(ps *particle.Store, links []cell.Link, nCore int, box geom.Box) (epot float64, contacts, distSum int64) {
+	n := ps.Len()
+	x0, x1 := ps.Pos[0][:n], ps.Pos[1][:n]
+	v0, v1 := ps.Vel[0][:n], ps.Vel[1][:n]
+	f0, f1 := ps.Frc[0][:n], ps.Frc[1][:n]
+	h := halfLengths(box)
+	l0, l1 := box.Len[0], box.Len[1]
+	h0, h1 := h[0], h[1]
+	diam2 := s.Diameter * s.Diameter
+	hertz, damp := s.Hertz, s.Damp
+	nc := int32(nCore)
+	for _, l := range links {
+		i, j := l.I, l.J
+		di := int64(i) - int64(j)
+		if di < 0 {
+			di = -di
+		}
+		distSum += di
+		dx := x0[j] - x0[i]
+		if dx > h0 {
+			dx -= l0
+		} else if dx < -h0 {
+			dx += l0
+		}
+		dy := x1[j] - x1[i]
+		if dy > h1 {
+			dy -= l1
+		} else if dy < -h1 {
+			dy += l1
+		}
+		r2 := dx*dx + dy*dy
+		if r2 >= diam2 || r2 == 0 {
+			continue
+		}
+		contacts++
+		r := math.Sqrt(r2)
+		inv := 1.0 / r
+		overlap := s.Diameter - r
+		var mag, epair float64
+		if hertz {
+			hh := overlap * math.Sqrt(overlap)
+			mag = s.K * hh
+			epair = 0.4 * s.K * hh * overlap
+		} else {
+			mag = s.K * overlap
+			epair = 0.5 * s.K * overlap * overlap
+		}
+		if damp > 0 {
+			vn := ((v0[j]-v0[i])*dx + (v1[j]-v1[i])*dy) * inv
+			mag -= damp * vn
+		}
+		epot += epair
+		fx := -mag * dx * inv
+		fy := -mag * dy * inv
+		f0[i] += fx
+		f1[i] += fy
+		if j < nc {
+			f0[j] -= fx
+			f1[j] -= fy
+		}
+	}
+	return epot, contacts, distSum
+}
+
+// accumulate3 is the d=3 contact kernel on component slices; see
+// accumulate2 for the exactness argument.
+func (s Spring) accumulate3(ps *particle.Store, links []cell.Link, nCore int, box geom.Box) (epot float64, contacts, distSum int64) {
+	n := ps.Len()
+	x0, x1, x2 := ps.Pos[0][:n], ps.Pos[1][:n], ps.Pos[2][:n]
+	v0, v1, v2 := ps.Vel[0][:n], ps.Vel[1][:n], ps.Vel[2][:n]
+	f0, f1, f2 := ps.Frc[0][:n], ps.Frc[1][:n], ps.Frc[2][:n]
+	h := halfLengths(box)
+	l0, l1, l2 := box.Len[0], box.Len[1], box.Len[2]
+	h0, h1, h2 := h[0], h[1], h[2]
+	diam2 := s.Diameter * s.Diameter
+	hertz, damp := s.Hertz, s.Damp
+	nc := int32(nCore)
+	for _, l := range links {
+		i, j := l.I, l.J
+		di := int64(i) - int64(j)
+		if di < 0 {
+			di = -di
+		}
+		distSum += di
+		dx := x0[j] - x0[i]
+		if dx > h0 {
+			dx -= l0
+		} else if dx < -h0 {
+			dx += l0
+		}
+		dy := x1[j] - x1[i]
+		if dy > h1 {
+			dy -= l1
+		} else if dy < -h1 {
+			dy += l1
+		}
+		dz := x2[j] - x2[i]
+		if dz > h2 {
+			dz -= l2
+		} else if dz < -h2 {
+			dz += l2
+		}
+		r2 := dx*dx + dy*dy + dz*dz
+		if r2 >= diam2 || r2 == 0 {
+			continue
+		}
+		contacts++
+		r := math.Sqrt(r2)
+		inv := 1.0 / r
+		overlap := s.Diameter - r
+		var mag, epair float64
+		if hertz {
+			hh := overlap * math.Sqrt(overlap)
+			mag = s.K * hh
+			epair = 0.4 * s.K * hh * overlap
+		} else {
+			mag = s.K * overlap
+			epair = 0.5 * s.K * overlap * overlap
+		}
+		if damp > 0 {
+			vn := ((v0[j]-v0[i])*dx + (v1[j]-v1[i])*dy + (v2[j]-v2[i])*dz) * inv
+			mag -= damp * vn
+		}
+		epot += epair
+		fx := -mag * dx * inv
+		fy := -mag * dy * inv
+		fz := -mag * dz * inv
+		f0[i] += fx
+		f1[i] += fy
+		f2[i] += fz
+		if j < nc {
+			f0[j] -= fx
+			f1[j] -= fy
+			f2[j] -= fz
+		}
+	}
+	return epot, contacts, distSum
+}
+
+// accumulateSlow is the generic kernel: it gathers Vec values from the
+// component slices and evaluates the bond-aware pair law, serving any
+// dimensionality and every bonded run.
+func (s Spring) accumulateSlow(ps *particle.Store, links []cell.Link, nCore int, box geom.Box) (epot float64, contacts, distSum int64) {
+	d := ps.D
+	pos, vel, frc, ids := &ps.Pos, &ps.Vel, &ps.Frc, ps.ID
+	for _, l := range links {
+		disp := box.DispAt(pos, l.I, l.J)
+		rel := geom.SubAt(vel, l.J, l.I, d)
+		fi, e, contact := s.PairID(ids[l.I], ids[l.J], disp, rel, d)
+		if contact {
+			contacts++
+		}
+		epot += e
+		for k := 0; k < d; k++ {
+			frc[k][l.I] += fi[k]
+		}
+		if int(l.J) < nCore {
+			for k := 0; k < d; k++ {
+				frc[k][l.J] -= fi[k]
+			}
+		}
+		di := int64(l.I) - int64(l.J)
+		if di < 0 {
+			di = -di
+		}
+		distSum += di
+	}
+	return epot, contacts, distSum
+}
+
 // PotentialOnly walks links summing pair potential energy without
 // touching the force array; used by invariant tests.
 func (s Spring) PotentialOnly(ps *particle.Store, links []cell.Link, box geom.Box, scale float64) float64 {
-	d := ps.D
 	epot := 0.0
 	for _, l := range links {
-		disp := box.Disp(ps.Pos[l.I], ps.Pos[l.J])
-		r2 := geom.Norm2(disp, d)
+		r2 := box.Dist2At(&ps.Pos, l.I, l.J)
 		if r2 < s.Diameter*s.Diameter {
 			epot += s.PairEnergy(math.Sqrt(r2))
 		}

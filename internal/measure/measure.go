@@ -61,7 +61,7 @@ func Coordination(ps *particle.Store, links []cell.Link, nCore int, diameter flo
 	d2 := diameter * diameter
 	contacts := 0
 	for _, l := range links {
-		if box.Dist2(ps.Pos[l.I], ps.Pos[l.J]) < d2 {
+		if box.Dist2At(&ps.Pos, l.I, l.J) < d2 {
 			contacts++ // every link touches at least one core particle
 			if int(l.J) < nCore && int(l.I) < nCore {
 				contacts++ // both ends core: the contact counts for each
@@ -99,7 +99,7 @@ func PairCorrelation(ps *particle.Store, links []cell.Link, nCore int, box geom.
 	h := make([]float64, bins)
 	dr := rmax / float64(bins)
 	for _, l := range links {
-		r := math.Sqrt(box.Dist2(ps.Pos[l.I], ps.Pos[l.J]))
+		r := math.Sqrt(box.Dist2At(&ps.Pos, l.I, l.J))
 		if r >= rmax {
 			continue
 		}
@@ -144,15 +144,15 @@ func Stress(ps *particle.Store, links []cell.Link, nCore int, sp force.Spring, b
 	for i := 0; i < nCore; i++ {
 		for a := 0; a < d; a++ {
 			for b := 0; b < d; b++ {
-				s[a*d+b] += ps.Vel[i][a] * ps.Vel[i][b]
+				s[a*d+b] += ps.Vel[a][i] * ps.Vel[b][i]
 			}
 		}
 	}
 	// Virial part: sum over pairs of r_ab f_ab. Halo pairs count half
 	// (the neighbouring block holds the mirror).
 	for _, l := range links {
-		disp := box.Disp(ps.Pos[l.I], ps.Pos[l.J])
-		rel := geom.Sub(ps.Vel[l.J], ps.Vel[l.I], d)
+		disp := box.DispAt(&ps.Pos, l.I, l.J)
+		rel := geom.SubAt(&ps.Vel, l.J, l.I, d)
 		fi, _, contact := sp.PairID(ps.ID[l.I], ps.ID[l.J], disp, rel, d)
 		if !contact {
 			continue

@@ -95,8 +95,8 @@ func denseSystem(t *testing.T, n int) (*particle.Store, *cell.List, geom.Box, fo
 	sp := force.Spring{Diameter: 0.04, K: 100}
 	rc := 0.06
 	g := cell.NewGrid(2, geom.Vec{}, box.Len, rc, true)
-	g.Bin(ps.Pos, n, nil)
-	list := g.BuildLinks(ps.Pos, n, n, rc*rc, box, nil)
+	g.Bin(&ps.Pos, n, nil)
+	list := g.BuildLinks(&ps.Pos, n, n, rc*rc, box, nil)
 	return ps, list, box, sp
 }
 
@@ -139,8 +139,8 @@ func TestStressSymmetricAndPressurePositive(t *testing.T) {
 	sp := force.Spring{Diameter: 0.04, K: 100} // overlapping at this density
 	rc := 0.06
 	g := cell.NewGrid(2, geom.Vec{}, box.Len, rc, true)
-	g.Bin(ps.Pos, 3000, nil)
-	list := g.BuildLinks(ps.Pos, 3000, 3000, rc*rc, box, nil)
+	g.Bin(&ps.Pos, 3000, nil)
+	list := g.BuildLinks(&ps.Pos, 3000, 3000, rc*rc, box, nil)
 
 	s := Stress(ps, list.Links, 3000, sp, box)
 	if math.Abs(s[1]-s[2]) > 1e-9*(math.Abs(s[1])+math.Abs(s[2])+1e-30) {

@@ -1,0 +1,172 @@
+package particle
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hybriddem/internal/geom"
+)
+
+// TestCoordsRoundTripProperty: the AoS↔SoA conversion is lossless —
+// any []Vec gathered back out of component-major storage is the
+// identical value sequence, bit for bit.
+func TestCoordsRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(geom.MaxD)
+		n := rng.Intn(80)
+		vs := make([]geom.Vec, n)
+		for i := range vs {
+			for k := 0; k < d; k++ {
+				vs[i][k] = rng.NormFloat64()
+			}
+		}
+		c := geom.CoordsFromVecs(vs, d)
+		if c.Len() != n {
+			return false
+		}
+		back := c.Vecs(n, d)
+		for i := range vs {
+			if back[i] != vs[i] {
+				return false
+			}
+			if c.At(i, d) != vs[i] {
+				return false
+			}
+		}
+		// Component slices must really be component-major.
+		for k := 0; k < d; k++ {
+			for i := 0; i < n; i++ {
+				if c[k][i] != vs[i][k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// aosModel is a straightforward array-of-structures reference
+// implementation of the store's mutation API. The property test
+// drives it and the SoA store with the same operation sequence and
+// demands identical observable state throughout.
+type aosModel struct {
+	d   int
+	pos []geom.Vec
+	vel []geom.Vec
+	id  []int32
+}
+
+func (m *aosModel) append_(p, v geom.Vec, id int32) {
+	m.pos = append(m.pos, p)
+	m.vel = append(m.vel, v)
+	m.id = append(m.id, id)
+}
+
+func (m *aosModel) remove(i int) {
+	last := len(m.id) - 1
+	m.pos[i], m.vel[i], m.id[i] = m.pos[last], m.vel[last], m.id[last]
+	m.pos, m.vel, m.id = m.pos[:last], m.vel[:last], m.id[:last]
+}
+
+func (m *aosModel) truncate(n int) {
+	m.pos, m.vel, m.id = m.pos[:n], m.vel[:n], m.id[:n]
+}
+
+func (m *aosModel) permute(perm []int32) {
+	np, nv, ni := make([]geom.Vec, len(m.pos)), make([]geom.Vec, len(m.vel)), make([]int32, len(m.id))
+	copy(np, m.pos)
+	copy(nv, m.vel)
+	copy(ni, m.id)
+	for i, p := range perm {
+		np[i], nv[i], ni[i] = m.pos[p], m.vel[p], m.id[p]
+	}
+	m.pos, m.vel, m.id = np, nv, ni
+}
+
+func matches(s *Store, m *aosModel) bool {
+	if s.Len() != len(m.id) {
+		return false
+	}
+	for i := 0; i < s.Len(); i++ {
+		if s.PosAt(i) != m.pos[i] || s.VelAt(i) != m.vel[i] || s.ID[i] != m.id[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestStoreMatchesAoSModelProperty drives random operation sequences
+// — append, swap-delete remove, truncate (compact), permute, point
+// writes — through the SoA store and the AoS reference model. Every
+// intermediate state must agree exactly: the storage layout is an
+// implementation detail with no observable consequence.
+func TestStoreMatchesAoSModelProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(2)
+		s := New(d, 8)
+		m := &aosModel{d: d}
+		nextID := int32(0)
+		randVec := func() geom.Vec {
+			var v geom.Vec
+			for k := 0; k < d; k++ {
+				v[k] = rng.NormFloat64()
+			}
+			return v
+		}
+		for op := 0; op < 60; op++ {
+			n := s.Len()
+			switch c := rng.Intn(6); {
+			case c <= 1 || n == 0: // append, biased so the store grows
+				p, v := randVec(), randVec()
+				s.Append(p, v, nextID)
+				m.append_(p, v, nextID)
+				nextID++
+			case c == 2: // swap-delete
+				i := rng.Intn(n)
+				s.Remove(i)
+				m.remove(i)
+			case c == 3: // compact to a prefix
+				k := rng.Intn(n + 1)
+				s.Truncate(k)
+				m.truncate(k)
+			case c == 4: // cache-order style permutation
+				perm := make([]int32, n)
+				for i, p := range rng.Perm(n) {
+					perm[i] = int32(p)
+				}
+				s.Permute(perm)
+				m.permute(perm)
+			default: // point writes through the Vec accessors
+				i := rng.Intn(n)
+				p, v := randVec(), randVec()
+				s.SetPos(i, p)
+				s.SetVel(i, v)
+				m.pos[i], m.vel[i] = p, v
+			}
+			if !matches(s, m) {
+				return false
+			}
+		}
+		// Clone must be deep and identical.
+		c := s.Clone()
+		if !matches(c, m) {
+			return false
+		}
+		if s.Len() > 0 {
+			c.SetPos(0, geom.Vec{99, 99, 99})
+			if s.PosAt(0) == (geom.Vec{99, 99, 99}) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

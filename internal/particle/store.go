@@ -2,6 +2,15 @@
 // used by every execution mode, plus the cell-order reordering that the
 // paper identifies as the key cache optimisation (Section 6.3).
 //
+// Storage is component-major (geom.Coords): all x coordinates are one
+// contiguous []float64, all y coordinates another, and so on for
+// velocities and force accumulators. The force kernel therefore streams
+// d tight float64 arrays instead of striding through per-particle
+// structs — the memory-order effect the paper measures as the largest
+// serial lever. Accessor methods gather and scatter geom.Vec values at
+// the boundaries (exchange packing, export, probes); hot loops index
+// the component slices directly.
+//
 // A Store holds positions, velocities, forces and persistent global
 // identities. In decomposed runs each block owns one Store whose first
 // NCore entries are core particles and whose tail is halo copies; the
@@ -16,17 +25,17 @@ import (
 	"hybriddem/internal/geom"
 )
 
-// Store is a structure-of-arrays collection of particles. All slices
-// always have equal length.
+// Store is a structure-of-arrays collection of particles. All component
+// slices always have equal length.
 type Store struct {
-	D   int        // spatial dimensionality
-	Pos []geom.Vec // positions
-	Vel []geom.Vec // velocities
-	Frc []geom.Vec // force accumulators
-	ID  []int32    // persistent global identity, stable across moves
+	D   int         // spatial dimensionality
+	Pos geom.Coords // positions, component-major
+	Vel geom.Coords // velocities, component-major
+	Frc geom.Coords // force accumulators, component-major
+	ID  []int32     // persistent global identity, stable across moves
 
 	// Reused gather scratch for Permute; never copied by Clone.
-	permPos, permVel, permFrc []geom.Vec
+	permPos, permVel, permFrc geom.Coords
 	permID                    []int32
 }
 
@@ -34,34 +43,49 @@ type Store struct {
 func New(d, n int) *Store {
 	return &Store{
 		D:   d,
-		Pos: make([]geom.Vec, 0, n),
-		Vel: make([]geom.Vec, 0, n),
-		Frc: make([]geom.Vec, 0, n),
+		Pos: geom.MakeCoords(d, n),
+		Vel: geom.MakeCoords(d, n),
+		Frc: geom.MakeCoords(d, n),
 		ID:  make([]int32, 0, n),
 	}
 }
 
 // Len returns the number of particles currently stored.
-func (s *Store) Len() int { return len(s.Pos) }
+func (s *Store) Len() int { return len(s.ID) }
+
+// PosAt gathers the position of particle i into a Vec.
+func (s *Store) PosAt(i int) geom.Vec { return s.Pos.At(i, s.D) }
+
+// VelAt gathers the velocity of particle i into a Vec.
+func (s *Store) VelAt(i int) geom.Vec { return s.Vel.At(i, s.D) }
+
+// FrcAt gathers the force accumulator of particle i into a Vec.
+func (s *Store) FrcAt(i int) geom.Vec { return s.Frc.At(i, s.D) }
+
+// SetPos scatters p into particle i's position.
+func (s *Store) SetPos(i int, p geom.Vec) { s.Pos.Set(i, p, s.D) }
+
+// SetVel scatters v into particle i's velocity.
+func (s *Store) SetVel(i int, v geom.Vec) { s.Vel.Set(i, v, s.D) }
 
 // Append adds one particle and returns its index.
 func (s *Store) Append(pos, vel geom.Vec, id int32) int {
-	s.Pos = append(s.Pos, pos)
-	s.Vel = append(s.Vel, vel)
-	s.Frc = append(s.Frc, geom.Vec{})
+	s.Pos.Append(pos, s.D)
+	s.Vel.Append(vel, s.D)
+	s.Frc.Append(geom.Vec{}, s.D)
 	s.ID = append(s.ID, id)
-	return len(s.Pos) - 1
+	return len(s.ID) - 1
 }
 
 // Truncate shrinks the store to n particles. It is used to drop halo
 // copies before a fresh halo exchange.
 func (s *Store) Truncate(n int) {
-	if n < 0 || n > len(s.Pos) {
-		panic(fmt.Sprintf("particle: truncate %d out of range [0,%d]", n, len(s.Pos)))
+	if n < 0 || n > len(s.ID) {
+		panic(fmt.Sprintf("particle: truncate %d out of range [0,%d]", n, len(s.ID)))
 	}
-	s.Pos = s.Pos[:n]
-	s.Vel = s.Vel[:n]
-	s.Frc = s.Frc[:n]
+	s.Pos.Truncate(n, s.D)
+	s.Vel.Truncate(n, s.D)
+	s.Frc.Truncate(n, s.D)
 	s.ID = s.ID[:n]
 }
 
@@ -72,10 +96,10 @@ func (s *Store) Clear() { s.Truncate(0) }
 // slot. Order is not preserved; callers that care (the link list) must
 // rebuild afterwards, which is exactly when removals happen.
 func (s *Store) Remove(i int) {
-	last := len(s.Pos) - 1
-	s.Pos[i] = s.Pos[last]
-	s.Vel[i] = s.Vel[last]
-	s.Frc[i] = s.Frc[last]
+	last := len(s.ID) - 1
+	s.Pos.CopyWithin(i, last, s.D)
+	s.Vel.CopyWithin(i, last, s.D)
+	s.Frc.CopyWithin(i, last, s.D)
 	s.ID[i] = s.ID[last]
 	s.Truncate(last)
 }
@@ -83,17 +107,20 @@ func (s *Store) Remove(i int) {
 // Clone returns a deep copy of the store.
 func (s *Store) Clone() *Store {
 	c := New(s.D, s.Len())
-	c.Pos = append(c.Pos, s.Pos...)
-	c.Vel = append(c.Vel, s.Vel...)
-	c.Frc = append(c.Frc, s.Frc...)
+	c.Pos.AppendCoords(&s.Pos, s.Len(), s.D)
+	c.Vel.AppendCoords(&s.Vel, s.Len(), s.D)
+	c.Frc.AppendCoords(&s.Frc, s.Len(), s.D)
 	c.ID = append(c.ID, s.ID...)
 	return c
 }
 
 // ZeroForces clears every force accumulator.
 func (s *Store) ZeroForces() {
-	for i := range s.Frc {
-		s.Frc[i] = geom.Vec{}
+	for k := 0; k < s.D; k++ {
+		f := s.Frc[k]
+		for i := range f {
+			f[i] = 0
+		}
 	}
 }
 
@@ -106,44 +133,53 @@ func (s *Store) Permute(perm []int32) {
 		panic(fmt.Sprintf("particle: permutation of %d over %d particles", n, s.Len()))
 	}
 	// Gather through store-owned scratch buffers, reused across
-	// rebuilds so the cache reordering allocates only on growth.
-	if cap(s.permPos) < n {
-		s.permPos = make([]geom.Vec, n)
-		s.permVel = make([]geom.Vec, n)
-		s.permFrc = make([]geom.Vec, n)
+	// rebuilds so the cache reordering allocates only on growth. Each
+	// component gathers independently: the permutation moves the same
+	// float64 values, so the reorder stays bit-exact by construction.
+	if cap(s.permID) < n {
+		for k := 0; k < s.D; k++ {
+			s.permPos[k] = make([]float64, n)
+			s.permVel[k] = make([]float64, n)
+			s.permFrc[k] = make([]float64, n)
+		}
 		s.permID = make([]int32, n)
 	}
-	pos := s.permPos[:n]
-	vel := s.permVel[:n]
-	frc := s.permFrc[:n]
+	for k := 0; k < s.D; k++ {
+		pos := s.permPos[k][:n]
+		vel := s.permVel[k][:n]
+		frc := s.permFrc[k][:n]
+		sp, sv, sf := s.Pos[k], s.Vel[k], s.Frc[k]
+		for i, p := range perm {
+			pos[i] = sp[p]
+			vel[i] = sv[p]
+			frc[i] = sf[p]
+		}
+		copy(sp, pos)
+		copy(sv, vel)
+		copy(sf, frc)
+	}
 	id := s.permID[:n]
 	for i, p := range perm {
-		pos[i] = s.Pos[p]
-		vel[i] = s.Vel[p]
-		frc[i] = s.Frc[p]
 		id[i] = s.ID[p]
 	}
-	copy(s.Pos, pos)
-	copy(s.Vel, vel)
-	copy(s.Frc, frc)
 	copy(s.ID, id)
 }
 
 // SnapshotPos returns a copy of the current positions; the rebuild
 // criterion compares against the snapshot taken at list-build time.
-func (s *Store) SnapshotPos() []geom.Vec {
-	out := make([]geom.Vec, s.Len())
-	copy(out, s.Pos)
+func (s *Store) SnapshotPos() geom.Coords {
+	out := geom.MakeCoords(s.D, s.Len())
+	out.AppendCoords(&s.Pos, s.Len(), s.D)
 	return out
 }
 
 // MaxDisp2 returns the maximum squared displacement of the first n
 // particles relative to ref, using box displacement (minimum image for
-// periodic boxes). ref must have at least n entries.
-func (s *Store) MaxDisp2(ref []geom.Vec, n int, box geom.Box) float64 {
+// periodic boxes). ref must have at least n entries per component.
+func (s *Store) MaxDisp2(ref *geom.Coords, n int, box geom.Box) float64 {
 	maxd := 0.0
 	for i := 0; i < n; i++ {
-		d := box.Dist2(ref[i], s.Pos[i])
+		d := box.Dist2To(ref, &s.Pos, i)
 		if d > maxd {
 			maxd = d
 		}

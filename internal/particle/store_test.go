@@ -25,10 +25,10 @@ func TestAppendTruncateLen(t *testing.T) {
 	if i != 0 || s.Len() != 1 {
 		t.Fatalf("append index %d len %d", i, s.Len())
 	}
-	if s.Pos[0] != (geom.Vec{1, 2, 3}) || s.Vel[0] != (geom.Vec{4, 5, 6}) || s.ID[0] != 7 {
+	if s.PosAt(0) != (geom.Vec{1, 2, 3}) || s.VelAt(0) != (geom.Vec{4, 5, 6}) || s.ID[0] != 7 {
 		t.Error("appended fields mismatch")
 	}
-	if s.Frc[0] != (geom.Vec{}) {
+	if s.FrcAt(0) != (geom.Vec{}) {
 		t.Error("fresh particle has nonzero force")
 	}
 	s.Append(geom.Vec{9}, geom.Vec{}, 8)
@@ -75,12 +75,12 @@ func TestCloneIsDeep(t *testing.T) {
 
 func TestZeroForces(t *testing.T) {
 	s := filled(4)
-	for i := range s.Frc {
-		s.Frc[i] = geom.Vec{1, 1, 1}
+	for i := 0; i < s.Len(); i++ {
+		s.Frc[0][i], s.Frc[1][i] = 1, 1
 	}
 	s.ZeroForces()
-	for i := range s.Frc {
-		if s.Frc[i] != (geom.Vec{}) {
+	for i := 0; i < s.Len(); i++ {
+		if s.FrcAt(i) != (geom.Vec{}) {
 			t.Fatalf("force %d not cleared", i)
 		}
 	}
@@ -106,13 +106,13 @@ func TestPermuteProperty(t *testing.T) {
 		s.Permute(p32)
 		// Core particles: s[i] == before[perm[i]].
 		for i := 0; i < n; i++ {
-			if s.ID[i] != before.ID[perm[i]] || s.Pos[i] != before.Pos[perm[i]] {
+			if s.ID[i] != before.ID[perm[i]] || s.PosAt(i) != before.PosAt(int(perm[i])) {
 				return false
 			}
 		}
 		// Halo untouched.
 		for i := n; i < n+halo; i++ {
-			if s.ID[i] != before.ID[i] || s.Pos[i] != before.Pos[i] {
+			if s.ID[i] != before.ID[i] || s.PosAt(i) != before.PosAt(i) {
 				return false
 			}
 		}
@@ -139,9 +139,9 @@ func TestMaxDisp2(t *testing.T) {
 	s.Append(geom.Vec{0.9, 0.9}, geom.Vec{}, 1)
 	ref := s.SnapshotPos()
 	box := geom.NewBox(2, 1, geom.Periodic)
-	s.Pos[0][0] = 0.15 // moved 0.05
-	s.Pos[1][0] = 0.05 // moved 0.15 across the wrap
-	got := s.MaxDisp2(ref, 2, box)
+	s.Pos[0][0] = 0.15 // particle 0 moved 0.05 in x
+	s.Pos[0][1] = 0.05 // particle 1 moved 0.15 across the wrap
+	got := s.MaxDisp2(&ref, 2, box)
 	want := 0.15 * 0.15
 	if got < want-1e-12 || got > want+1e-12 {
 		t.Errorf("MaxDisp2 = %g, want %g", got, want)
@@ -155,11 +155,11 @@ func TestFillUniformDeterminism(t *testing.T) {
 	FillUniform(a, 10, box, 0, rand.New(rand.NewSource(5)))
 	FillUniform(b, 10, box, 0, rand.New(rand.NewSource(5)))
 	for i := 0; i < 10; i++ {
-		if a.Pos[i] != b.Pos[i] {
+		if a.PosAt(i) != b.PosAt(i) {
 			t.Fatal("same seed produced different configurations")
 		}
-		if !box.Contains(a.Pos[i]) {
-			t.Fatalf("particle %d outside box: %v", i, a.Pos[i])
+		if !box.Contains(a.PosAt(i)) {
+			t.Fatalf("particle %d outside box: %v", i, a.PosAt(i))
 		}
 	}
 }
@@ -170,7 +170,7 @@ func TestFillUniformVelBounds(t *testing.T) {
 	FillUniformVel(s, 100, box, 0.5, 0, rand.New(rand.NewSource(9)))
 	for i := 0; i < 100; i++ {
 		for k := 0; k < 2; k++ {
-			if v := s.Vel[i][k]; v < -0.5 || v > 0.5 {
+			if v := s.Vel[k][i]; v < -0.5 || v > 0.5 {
 				t.Fatalf("velocity %g out of bounds", v)
 			}
 		}

@@ -59,7 +59,7 @@ func TestUnprotectedSingleThreadMatches(t *testing.T) {
 		t.Errorf("energies %g vs %g", e1, e2)
 	}
 	for i := 0; i < 200; i++ {
-		if work.Frc[i] != ref.Frc[i] {
+		if work.FrcAt(i) != ref.FrcAt(i) {
 			t.Fatalf("force mismatch at %d", i)
 		}
 	}

@@ -18,14 +18,14 @@ type BlockStore struct {
 	NCore int
 }
 
-// spinAdd accumulates sign*v into dst[p] under a per-particle
-// spinlock.
-func spinAdd(locks []int32, p int32, dst []geom.Vec, v geom.Vec, d int, sign float64) {
+// spinAdd accumulates sign*v into column p of the component-major dst
+// under a per-particle spinlock.
+func spinAdd(locks []int32, p int32, dst *geom.Coords, v geom.Vec, d int, sign float64) {
 	for !atomic.CompareAndSwapInt32(&locks[p], 0, 1) {
 		runtime.Gosched()
 	}
 	for k := 0; k < d; k++ {
-		dst[p][k] += sign * v[k]
+		dst[k][p] += sign * v[k]
 	}
 	atomic.StoreInt32(&locks[p], 0)
 }
@@ -39,9 +39,11 @@ func (b *zeroBlocksBody) RunThread(th *Thread) {
 	total := 0
 	for _, blk := range b.blocks {
 		lo, hi := chunk(blk.NCore, tm.T, th.ID)
-		frc := blk.PS.Frc
-		for i := lo; i < hi; i++ {
-			frc[i] = geom.Vec{}
+		for k := 0; k < blk.PS.D; k++ {
+			frc := blk.PS.Frc[k][lo:hi]
+			for i := range frc {
+				frc[i] = 0
+			}
 		}
 		total += hi - lo
 	}
@@ -293,7 +295,7 @@ func (fu *FusedUpdater) runThread(th *Thread) {
 			continue
 		}
 		d := p.PS.D
-		pos, vel, frc, ids := p.PS.Pos, p.PS.Vel, p.PS.Frc, p.PS.ID
+		pos, vel, frc, ids := &p.PS.Pos, &p.PS.Vel, &p.PS.Frc, p.PS.ID
 		locks := fu.locks[pi]
 		var shared []bool
 		if fu.Method == SelectedAtomic {
@@ -309,8 +311,8 @@ func (fu *FusedUpdater) runThread(th *Thread) {
 				gate = nil
 			}
 			l := p.Links[li]
-			disp := fu.box.Disp(pos[l.I], pos[l.J])
-			rel := geom.Sub(vel[l.J], vel[l.I], d)
+			disp := fu.box.DispAt(pos, l.I, l.J)
+			rel := geom.SubAt(vel, l.J, l.I, d)
 			fi, e, contact := fu.sp.PairID(ids[l.I], ids[l.J], disp, rel, d)
 			if fu.hook != nil {
 				fi = fu.hook(fu.Method, ids[l.I], ids[l.J], fi)
@@ -355,7 +357,7 @@ func (fu *FusedUpdater) runThread(th *Thread) {
 	fu.epotPer[th.ID] = epot
 }
 
-func (fu *FusedUpdater) apply(th *Thread, locks []int32, shared []bool, frc []geom.Vec, p int32, v geom.Vec, sign float64, d int, taken, avoided *int64) {
+func (fu *FusedUpdater) apply(th *Thread, locks []int32, shared []bool, frc *geom.Coords, p int32, v geom.Vec, sign float64, d int, taken, avoided *int64) {
 	switch fu.Method {
 	case Atomic:
 		spinAdd(locks, p, frc, v, d, sign)
@@ -366,13 +368,13 @@ func (fu *FusedUpdater) apply(th *Thread, locks []int32, shared []bool, frc []ge
 			*taken++
 		} else {
 			for k := 0; k < d; k++ {
-				frc[p][k] += sign * v[k]
+				frc[k][p] += sign * v[k]
 			}
 			*avoided++
 		}
 	case Unprotected:
 		for k := 0; k < d; k++ {
-			frc[p][k] += sign * v[k]
+			frc[k][p] += sign * v[k]
 		}
 		*avoided++
 	}

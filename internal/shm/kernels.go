@@ -43,9 +43,11 @@ type zeroForcesBody struct {
 func (b *zeroForcesBody) RunThread(th *Thread) {
 	tm := th.team
 	lo, hi := chunk(b.n, tm.T, th.ID)
-	frc := b.ps.Frc
-	for i := lo; i < hi; i++ {
-		frc[i] = geom.Vec{}
+	for k := 0; k < b.ps.D; k++ {
+		frc := b.ps.Frc[k][lo:hi]
+		for i := range frc {
+			frc[i] = 0
+		}
 	}
 	th.Compute(float64(hi-lo) * tm.Costs.PerParticle / 4)
 }

@@ -51,7 +51,7 @@ func TestRaceAllMethodsUnderContention(t *testing.T) {
 				t.Fatalf("%v rep %d: energy %g vs serial %g", m, r, e, eref)
 			}
 			for i := 0; i < n; i++ {
-				if geom.Norm2(geom.Sub(work.Frc[i], ref.Frc[i], 2), 2) > 1e-18 {
+				if geom.Norm2(geom.Sub(work.FrcAt(i), ref.FrcAt(i), 2), 2) > 1e-18 {
 					t.Fatalf("%v rep %d: force mismatch at particle %d", m, r, i)
 				}
 			}
@@ -83,8 +83,8 @@ func TestRaceFusedUnderContention(t *testing.T) {
 				t.Fatalf("fused %v rep %d: energy %g vs serial %g", m, r, e, eref)
 			}
 			for i := 0; i < n; i++ {
-				if geom.Norm2(geom.Sub(workA.Frc[i], refA.Frc[i], 2), 2) > 1e-18 ||
-					geom.Norm2(geom.Sub(workB.Frc[i], refB.Frc[i], 2), 2) > 1e-18 {
+				if geom.Norm2(geom.Sub(workA.FrcAt(i), refA.FrcAt(i), 2), 2) > 1e-18 ||
+					geom.Norm2(geom.Sub(workB.FrcAt(i), refB.FrcAt(i), 2), 2) > 1e-18 {
 					t.Fatalf("fused %v rep %d: force mismatch at particle %d", m, r, i)
 				}
 			}
@@ -117,7 +117,7 @@ func TestRaceConcurrentTeamsAreIndependent(t *testing.T) {
 					return
 				}
 				for i := 0; i < n; i++ {
-					if geom.Norm2(geom.Sub(work.Frc[i], ref.Frc[i], 2), 2) > 1e-18 {
+					if geom.Norm2(geom.Sub(work.FrcAt(i), ref.FrcAt(i), 2), 2) > 1e-18 {
 						t.Errorf("team %d (%v): force mismatch at %d", w, m, i)
 						return
 					}
@@ -149,7 +149,7 @@ func TestRacePairForceHookConcurrent(t *testing.T) {
 			t.Fatalf("%v with identity hook: energy %g vs %g", m, e, eref)
 		}
 		for i := 0; i < n; i++ {
-			if geom.Norm2(geom.Sub(work.Frc[i], ref.Frc[i], 2), 2) > 1e-18 {
+			if geom.Norm2(geom.Sub(work.FrcAt(i), ref.FrcAt(i), 2), 2) > 1e-18 {
 				t.Fatalf("%v with identity hook: force mismatch at %d", m, i)
 			}
 		}
@@ -195,8 +195,8 @@ func TestRaceScheduleReuseAcrossIterations(t *testing.T) {
 	u := NewUpdater(SelectedAtomic)
 	for r := 0; r < reps; r++ {
 		g := cell.NewGrid(2, geom.Vec{}, box.Len, rc, true)
-		g.Bin(ps.Pos, n, nil)
-		list := g.BuildLinks(ps.Pos, n, n, rc*rc, box, nil)
+		g.Bin(&ps.Pos, n, nil)
+		list := g.BuildLinks(&ps.Pos, n, n, rc*rc, box, nil)
 		ref, eref := raceRef(ps, list, box, sp, n)
 		u.Prepare(list.Links, n, n, T)
 		work := ps.Clone()
@@ -206,16 +206,17 @@ func TestRaceScheduleReuseAcrossIterations(t *testing.T) {
 			t.Fatalf("rep %d: energy %g vs %g", r, e, eref)
 		}
 		for i := 0; i < n; i++ {
-			if geom.Norm2(geom.Sub(work.Frc[i], ref.Frc[i], 2), 2) > 1e-18 {
+			if geom.Norm2(geom.Sub(work.FrcAt(i), ref.FrcAt(i), 2), 2) > 1e-18 {
 				t.Fatalf("rep %d: force mismatch at %d", r, i)
 			}
 		}
 		// Drift the system so the next round bins differently.
 		for i := 0; i < n; i++ {
 			for k := 0; k < 2; k++ {
-				ps.Pos[i][k] += 0.01 * ps.Vel[i][k]
+				ps.Pos[k][i] += 0.01 * ps.Vel[k][i]
 			}
-			ps.Pos[i], _ = box.Wrap(ps.Pos[i])
+			p, _ := box.Wrap(ps.PosAt(i))
+			ps.SetPos(i, p)
 		}
 	}
 }

@@ -158,8 +158,8 @@ func buildForceSystem(seed int64, n, halo, d int) (*particle.Store, *cell.List, 
 	sp := force.Spring{Diameter: 0.09, K: 40, Damp: 0.5}
 	rc := 0.13
 	g := cell.NewGrid(d, geom.Vec{}, box.Len, rc, true)
-	g.Bin(ps.Pos, n+halo, nil)
-	list := g.BuildLinks(ps.Pos, n+halo, n, rc*rc, box, nil)
+	g.Bin(&ps.Pos, n+halo, nil)
+	list := g.BuildLinks(&ps.Pos, n+halo, n, rc*rc, box, nil)
 	return ps, list, box, sp
 }
 
@@ -199,14 +199,14 @@ func TestAllMethodsMatchSerial(t *testing.T) {
 				t.Errorf("%v T=%d: energy %g vs serial %g", m, T, e, eref)
 			}
 			for i := 0; i < n; i++ {
-				d := geom.Sub(work.Frc[i], ref.Frc[i], 2)
+				d := geom.Sub(work.FrcAt(i), ref.FrcAt(i), 2)
 				if geom.Norm2(d, 2) > 1e-18 {
-					t.Errorf("%v T=%d: force mismatch at %d: %v vs %v", m, T, i, work.Frc[i], ref.Frc[i])
+					t.Errorf("%v T=%d: force mismatch at %d: %v vs %v", m, T, i, work.FrcAt(i), ref.FrcAt(i))
 					break
 				}
 			}
 			for i := n; i < n+halo; i++ {
-				if work.Frc[i] != (geom.Vec{}) {
+				if work.FrcAt(i) != (geom.Vec{}) {
 					t.Errorf("%v T=%d: halo particle %d received force", m, T, i)
 					break
 				}
@@ -259,8 +259,8 @@ func TestSelectedAtomicCountsConflicts(t *testing.T) {
 	sp := force.Spring{Diameter: 0.04, K: 40}
 	rc := 0.06
 	g := cell.NewGrid(2, geom.Vec{}, box.Len, rc, true)
-	g.Bin(ps.Pos, n, nil)
-	list := g.BuildLinks(ps.Pos, n, n, rc*rc, box, nil)
+	g.Bin(&ps.Pos, n, nil)
+	list := g.BuildLinks(&ps.Pos, n, n, rc*rc, box, nil)
 
 	tm := NewTeam(4, Costs{})
 	u := NewUpdater(SelectedAtomic)
@@ -340,13 +340,13 @@ func TestFusedMatchesSerial(t *testing.T) {
 				t.Errorf("fused %v T=%d: energy %g vs %g", m, T, e, eref)
 			}
 			for i := 0; i < 200; i++ {
-				if geom.Norm2(geom.Sub(workA.Frc[i], refA.Frc[i], 2), 2) > 1e-18 {
+				if geom.Norm2(geom.Sub(workA.FrcAt(i), refA.FrcAt(i), 2), 2) > 1e-18 {
 					t.Errorf("fused %v T=%d: piece A force mismatch at %d", m, T, i)
 					break
 				}
 			}
 			for i := 0; i < 150; i++ {
-				if geom.Norm2(geom.Sub(workB.Frc[i], refB.Frc[i], 2), 2) > 1e-18 {
+				if geom.Norm2(geom.Sub(workB.FrcAt(i), refB.FrcAt(i), 2), 2) > 1e-18 {
 					t.Errorf("fused %v T=%d: piece B force mismatch at %d", m, T, i)
 					break
 				}
@@ -390,14 +390,14 @@ func TestIntegrateParallelMatchesSerial(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	particle.FillUniformVel(a, 100, box, 0.5, 0, rng)
 	for i := range a.Frc {
-		a.Frc[i] = geom.Vec{float64(i % 7), float64(i % 3)}
+		a.Frc[0][i], a.Frc[1][i] = float64(i%7), float64(i%3)
 	}
 	b := a.Clone()
 	force.Integrate(a, 100, 0.01, box, force.WrapGlobal, nil)
 	tm := NewTeam(3, Costs{})
 	IntegrateParallel(tm, b, 100, 0.01, box, force.WrapGlobal)
 	for i := 0; i < 100; i++ {
-		if a.Pos[i] != b.Pos[i] || a.Vel[i] != b.Vel[i] {
+		if a.PosAt(i) != b.PosAt(i) || a.VelAt(i) != b.VelAt(i) {
 			t.Fatalf("parallel integrate diverges at %d", i)
 		}
 	}
@@ -409,7 +409,7 @@ func TestZeroForcesAllBlocks(t *testing.T) {
 		ps := particle.New(2, 10)
 		for i := 0; i < 10; i++ {
 			ps.Append(geom.Vec{}, geom.Vec{}, int32(i))
-			ps.Frc[i] = geom.Vec{1, 2}
+			ps.Frc[0][i], ps.Frc[1][i] = 1, 2
 		}
 		blocks = append(blocks, &BlockStore{PS: ps, NCore: 8})
 	}
@@ -417,12 +417,12 @@ func TestZeroForcesAllBlocks(t *testing.T) {
 	ZeroForcesAllBlocks(tm, blocks)
 	for k, b := range blocks {
 		for i := 0; i < 8; i++ {
-			if b.PS.Frc[i] != (geom.Vec{}) {
+			if b.PS.FrcAt(i) != (geom.Vec{}) {
 				t.Fatalf("block %d core force %d not cleared", k, i)
 			}
 		}
 		// Halo force untouched (never read, never cleared).
-		if b.PS.Frc[9] == (geom.Vec{}) {
+		if b.PS.FrcAt(9) == (geom.Vec{}) {
 			t.Fatalf("block %d halo force cleared unexpectedly", k)
 		}
 	}

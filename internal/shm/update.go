@@ -218,13 +218,14 @@ func (u *Updater) Prepare(links []cell.Link, nParticles, nCore, T int) {
 // nil for methods that do not use one.
 func (u *Updater) Conflicts() *ConflictTable { return u.ct }
 
-// lockAdd accumulates v into dst[p] under the per-particle spinlock.
-func (u *Updater) lockAdd(p int32, dst []geom.Vec, v geom.Vec, d int, sign float64) {
+// lockAdd accumulates v into column p of the component-major dst
+// under the per-particle spinlock.
+func (u *Updater) lockAdd(p int32, dst *geom.Coords, v geom.Vec, d int, sign float64) {
 	for !atomic.CompareAndSwapInt32(&u.locks[p], 0, 1) {
 		runtime.Gosched()
 	}
 	for k := 0; k < d; k++ {
-		dst[p][k] += sign * v[k]
+		dst[k][p] += sign * v[k]
 	}
 	atomic.StoreInt32(&u.locks[p], 0)
 }
@@ -369,7 +370,7 @@ func (u *Updater) scalarThread(th *Thread) {
 	lo, hi := chunk(n, tm.T, th.ID)
 	epot := 0.0
 	var taken, avoided, distSum, contacts, contactsHalo int64
-	pos, vel, frc, ids := a.ps.Pos, a.ps.Vel, a.ps.Frc, a.ps.ID
+	pos, vel, frc, ids := &a.ps.Pos, &a.ps.Vel, &a.ps.Frc, a.ps.ID
 	gate := a.gate
 	if gate != nil && lo >= a.nCoreLinks {
 		gate.Wait(th)
@@ -381,8 +382,8 @@ func (u *Updater) scalarThread(th *Thread) {
 			gate = nil
 		}
 		l := a.links[li]
-		disp := a.box.Disp(pos[l.I], pos[l.J])
-		rel := geom.Sub(vel[l.J], vel[l.I], d)
+		disp := a.box.DispAt(pos, l.I, l.J)
+		rel := geom.SubAt(vel, l.J, l.I, d)
 		fi, e, contact := a.sp.PairID(ids[l.I], ids[l.J], disp, rel, d)
 		if a.hook != nil {
 			fi = a.hook(u.Method, ids[l.I], ids[l.J], fi)
@@ -437,7 +438,7 @@ func (u *Updater) reduceThread(th *Thread) {
 	lo, hi := chunk(n, tm.T, th.ID)
 	epot := 0.0
 	var distSum, contacts, contactsHalo int64
-	pos, vel, ids := a.ps.Pos, a.ps.Vel, a.ps.ID
+	pos, vel, ids := &a.ps.Pos, &a.ps.Vel, a.ps.ID
 	mine := a.priv[th.ID]
 	gate := a.gate
 	if gate != nil && lo >= a.nCoreLinks {
@@ -450,8 +451,8 @@ func (u *Updater) reduceThread(th *Thread) {
 			gate = nil
 		}
 		l := a.links[li]
-		disp := a.box.Disp(pos[l.I], pos[l.J])
-		rel := geom.Sub(vel[l.J], vel[l.I], d)
+		disp := a.box.DispAt(pos, l.I, l.J)
+		rel := geom.SubAt(vel, l.J, l.I, d)
 		fi, e, contact := a.sp.PairID(ids[l.I], ids[l.J], disp, rel, d)
 		if a.hook != nil {
 			fi = a.hook(u.Method, ids[l.I], ids[l.J], fi)
@@ -516,7 +517,7 @@ func splitLinks(lo, hi, nCoreLinks int) (core, halo int64) {
 
 // applyProtected performs one force accumulation under the updater's
 // protection policy.
-func (u *Updater) applyProtected(th *Thread, frc []geom.Vec, p int32, v geom.Vec, sign float64, d int, taken, avoided *int64) {
+func (u *Updater) applyProtected(th *Thread, frc *geom.Coords, p int32, v geom.Vec, sign float64, d int, taken, avoided *int64) {
 	switch u.Method {
 	case Atomic:
 		u.lockAdd(p, frc, v, d, sign)
@@ -527,13 +528,13 @@ func (u *Updater) applyProtected(th *Thread, frc []geom.Vec, p int32, v geom.Vec
 			*taken++
 		} else {
 			for k := 0; k < d; k++ {
-				frc[p][k] += sign * v[k]
+				frc[k][p] += sign * v[k]
 			}
 			*avoided++
 		}
 	case Unprotected:
 		for k := 0; k < d; k++ {
-			frc[p][k] += sign * v[k]
+			frc[k][p] += sign * v[k]
 		}
 		*avoided++
 	}
@@ -542,8 +543,13 @@ func (u *Updater) applyProtected(th *Thread, frc []geom.Vec, p int32, v geom.Vec
 // reduce merges the thread-private arrays into ps.Frc according to the
 // method. Called from within the region by every thread; contains the
 // barriers each strategy needs.
+// The private arrays keep their particle-major [i*d+k] word layout:
+// the stripe and transpose schedules assign words to threads and
+// rounds by word index, so changing the layout would reorder each
+// element's per-thread contributions and move bits. Only the final
+// destination changes: word i lands in component i%d of particle i/d.
 func (u *Updater) reduce(th *Thread, tm *Team, ps *particle.Store, words, d int, priv [][]float64) {
-	frc := ps.Frc
+	frc := &ps.Frc
 	switch u.Method {
 	case CriticalReduction:
 		// Threads serialise on the critical section; the virtual
@@ -556,7 +562,7 @@ func (u *Updater) reduce(th *Thread, tm *Team, ps *particle.Store, words, d int,
 		tm.mu.Lock()
 		mine := priv[th.ID]
 		for i := 0; i < words; i++ {
-			frc[i/d][i%d] += mine[i]
+			frc[i%d][i/d] += mine[i]
 		}
 		tm.mu.Unlock()
 		th.Compute(tm.Costs.Critical)
@@ -576,7 +582,7 @@ func (u *Updater) reduce(th *Thread, tm *Team, ps *particle.Store, words, d int,
 			s := (th.ID + r) % T
 			lo, hi := chunk(words, T, s)
 			for i := lo; i < hi; i++ {
-				frc[i/d][i%d] += mine[i]
+				frc[i%d][i/d] += mine[i]
 			}
 			th.TC.ReductionWords += int64(hi - lo)
 			th.Compute(float64(hi-lo) * tm.Costs.ReductionWord)
@@ -591,7 +597,7 @@ func (u *Updater) reduce(th *Thread, tm *Team, ps *particle.Store, words, d int,
 		for t := 0; t < tm.T; t++ {
 			mine := priv[t]
 			for i := lo; i < hi; i++ {
-				frc[i/d][i%d] += mine[i]
+				frc[i%d][i/d] += mine[i]
 			}
 		}
 		th.TC.ReductionWords += int64((hi - lo) * tm.T)

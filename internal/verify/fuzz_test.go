@@ -35,11 +35,11 @@ func FuzzLinkList(f *testing.F) {
 		}
 		box := cfg.Box()
 		rc := cfg.RC()
-		pos := cfg.Init.Pos
+		pos := geom.CoordsFromVecs(cfg.Init.Pos, d)
 		g := cell.NewGrid(d, geom.Zero(), box.Len, rc, box.BC == geom.Periodic)
-		g.Bin(pos, cfg.N, nil)
-		got := g.BuildLinks(pos, cfg.N, cfg.N, rc*rc, box, nil)
-		want := cell.BruteLinks(pos, cfg.N, cfg.N, rc*rc, box)
+		g.Bin(&pos, cfg.N, nil)
+		got := g.BuildLinks(&pos, cfg.N, cfg.N, rc*rc, box, nil)
+		want := cell.BruteLinks(cfg.Init.Pos, cfg.N, cfg.N, rc*rc, box)
 		gs, dup := cell.PairSet(got.Links)
 		if dup != nil {
 			t.Fatalf("%v d=%d n=%d seed=%d: duplicate link %v", k, d, n, seed, *dup)

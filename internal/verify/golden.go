@@ -1,0 +1,129 @@
+package verify
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"hybriddem/internal/geom"
+)
+
+// Golden trajectories pin the simulation's exact floating-point output
+// across refactors: a file written before an invasive change (such as
+// the SoA particle-store rewrite) is the executable definition of "the
+// physics did not move". The format is framed like a checkpoint —
+// magic, payload length, FNV-1a checksum, gob payload — so a torn or
+// corrupted file surfaces as an error, never as a bogus comparison.
+//
+// The wire form stores per-step positions and velocities indexed by
+// particle ID as plain []geom.Vec, deliberately independent of the
+// particle store's in-memory layout: the golden outlives layout
+// changes by construction.
+
+var goldenMagic = [8]byte{'H', 'Y', 'D', 'E', 'M', 'G', 'T', '1'}
+
+const goldenHeaderLen = 24
+
+// goldenMaxPayload bounds the length field so a corrupt header cannot
+// force a huge allocation.
+const goldenMaxPayload = 1 << 31 // 2 GiB
+
+func goldenFNV1a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return h
+}
+
+// goldenWire is the gob payload of a golden trajectory file.
+type goldenWire struct {
+	Box   geom.Box
+	Steps []Step
+}
+
+// SaveGolden writes tr in the framed golden format.
+func SaveGolden(w io.Writer, tr *Trajectory) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(goldenWire{Box: tr.Box, Steps: tr.Steps}); err != nil {
+		return fmt.Errorf("verify: golden encode: %w", err)
+	}
+	var hdr [goldenHeaderLen]byte
+	copy(hdr[:8], goldenMagic[:])
+	binary.BigEndian.PutUint64(hdr[8:16], uint64(payload.Len()))
+	binary.BigEndian.PutUint64(hdr[16:24], goldenFNV1a(payload.Bytes()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("verify: golden: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("verify: golden: %w", err)
+	}
+	return nil
+}
+
+// LoadGolden reads a trajectory written by SaveGolden, validating the
+// frame before decoding.
+func LoadGolden(r io.Reader) (*Trajectory, error) {
+	var hdr [goldenHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("verify: golden short header: %w", err)
+	}
+	if !bytes.Equal(hdr[:8], goldenMagic[:]) {
+		return nil, fmt.Errorf("verify: golden bad magic %q", hdr[:8])
+	}
+	n := binary.BigEndian.Uint64(hdr[8:16])
+	if n > goldenMaxPayload {
+		return nil, fmt.Errorf("verify: golden implausible payload length %d", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("verify: golden truncated payload: %w", err)
+	}
+	if got, want := goldenFNV1a(payload), binary.BigEndian.Uint64(hdr[16:24]); got != want {
+		return nil, fmt.Errorf("verify: golden checksum mismatch")
+	}
+	var wire goldenWire
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("verify: golden decode: %w", err)
+	}
+	return &Trajectory{Box: wire.Box, Steps: wire.Steps}, nil
+}
+
+// SaveGoldenFile writes tr to path atomically (temp file + rename).
+func SaveGoldenFile(path string, tr *Trajectory) (err error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = SaveGolden(f, tr); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadGoldenFile reads a golden trajectory from a file.
+func LoadGoldenFile(path string) (*Trajectory, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadGolden(f)
+}

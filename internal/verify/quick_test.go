@@ -32,11 +32,11 @@ func TestQuickLinkListMatchesBruteForce(t *testing.T) {
 		}
 		box := cfg.Box()
 		rc := cfg.RC()
-		pos := cfg.Init.Pos
+		pos := geom.CoordsFromVecs(cfg.Init.Pos, d)
 		g := cell.NewGrid(d, geom.Zero(), box.Len, rc, box.BC == geom.Periodic)
-		g.Bin(pos, cfg.N, nil)
-		got := g.BuildLinks(pos, cfg.N, cfg.N, rc*rc, box, nil)
-		want := cell.BruteLinks(pos, cfg.N, cfg.N, rc*rc, box)
+		g.Bin(&pos, cfg.N, nil)
+		got := g.BuildLinks(&pos, cfg.N, cfg.N, rc*rc, box, nil)
+		want := cell.BruteLinks(cfg.Init.Pos, cfg.N, cfg.N, rc*rc, box)
 		gs, gdup := cell.PairSet(got.Links)
 		ws, wdup := cell.PairSet(want.Links)
 		if gdup != nil {

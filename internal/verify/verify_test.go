@@ -238,7 +238,7 @@ func runHaloCheck(cfg core.Config, p, bpp int, reorder, corrupt bool) error {
 		if corrupt && c.Rank() == 0 {
 			for _, b := range dm.Blocks {
 				if b.NumHalo() > 0 {
-					b.PS.Pos[b.NCore][0] += 0.01 * cfg.L
+					b.PS.Pos[0][b.NCore] += 0.01 * cfg.L
 					break
 				}
 			}
