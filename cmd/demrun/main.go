@@ -51,7 +51,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		d        = fs.Int("d", 3, "spatial dimensions (1-3)")
 		n        = fs.Int("n", 20000, "particle count")
-		mode     = fs.String("mode", "serial", "serial | openmp | mpi | hybrid")
+		mode     = fs.String("mode", "serial", strings.Join(hybriddem.ModeNames(), " | "))
 		p        = fs.Int("p", 1, "MPI ranks")
 		t        = fs.Int("t", 1, "threads per rank")
 		bpp      = fs.Int("bpp", 1, "blocks per process (granularity B/P)")
@@ -130,19 +130,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.BC = hybriddem.Reflecting
 	}
 
-	switch strings.ToLower(*mode) {
-	case "serial":
-		cfg.Mode = hybriddem.Serial
-	case "openmp":
-		cfg.Mode = hybriddem.OpenMP
-	case "mpi":
-		cfg.Mode = hybriddem.MPI
-	case "hybrid":
-		cfg.Mode = hybriddem.Hybrid
-	default:
-		fmt.Fprintf(stderr, "demrun: unknown mode %q\n", *mode)
+	m, err := hybriddem.ModeByName(*mode)
+	if err != nil {
+		fmt.Fprintln(stderr, "demrun:", err)
 		return 2
 	}
+	cfg.Mode = m
 
 	switch strings.ToLower(*method) {
 	case "atomic":

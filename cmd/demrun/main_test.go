@@ -46,7 +46,7 @@ func TestRunVerifyFlag(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-verify exit %d, stderr: %s\nstdout: %s", code, errb.String(), out.String())
 	}
-	if !strings.Contains(out.String(), "all 38 variants agree") {
+	if !strings.Contains(out.String(), "all 43 variants agree") {
 		t.Errorf("conformance report missing verdict:\n%s", out.String())
 	}
 }

@@ -32,7 +32,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		d       = fs.Int("d", 2, "spatial dimensions")
 		n       = fs.Int("n", 20000, "particle count")
-		mode    = fs.String("mode", "mpi", "serial | openmp | mpi | hybrid")
+		mode    = fs.String("mode", "mpi", strings.Join(hybriddem.ModeNames(), " | "))
 		p       = fs.Int("p", 4, "MPI ranks")
 		t       = fs.Int("t", 1, "threads per rank")
 		bpp     = fs.Int("bpp", 1, "blocks per process")
@@ -55,23 +55,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *fill > 0 || *gravity != 0 {
 		cfg.BC = hybriddem.Reflecting
 	}
+	m, err := hybriddem.ModeByName(*mode)
+	if err != nil {
+		fmt.Fprintln(stderr, "demtrace:", err)
+		return 2
+	}
+	cfg.Mode = m
 	// The -p/-t defaults suit the distributed modes; collapse the
 	// counts the selected mode cannot use instead of erroring out.
-	switch strings.ToLower(*mode) {
-	case "serial":
-		cfg.Mode = hybriddem.Serial
+	switch cfg.Mode {
+	case hybriddem.Serial:
 		cfg.P, cfg.T = 1, 1
-	case "openmp":
-		cfg.Mode = hybriddem.OpenMP
+	case hybriddem.OpenMP:
 		cfg.P = 1
-	case "mpi":
-		cfg.Mode = hybriddem.MPI
+	case hybriddem.MPI, hybriddem.MPIsm:
 		cfg.T = 1
-	case "hybrid":
-		cfg.Mode = hybriddem.Hybrid
-	default:
-		fmt.Fprintf(stderr, "demtrace: unknown mode %q\n", *mode)
-		return 2
 	}
 
 	tl := &trace.Timeline{}

@@ -70,7 +70,16 @@ const (
 	OpenMP = core.OpenMP
 	MPI    = core.MPI
 	Hybrid = core.Hybrid
+	MPIsm  = core.MPIsm // MPI+MPI_sm: shared-memory windows within each node
 )
+
+// ModeByName resolves a command-line mode name (case-insensitive); the
+// error lists the valid names.
+func ModeByName(name string) (Mode, error) { return core.ModeByName(name) }
+
+// ModeNames returns the command-line names of all execution modes in
+// declaration order.
+func ModeNames() []string { return core.ModeNames() }
 
 // Method selects the shared-memory force-update protection strategy.
 type Method = shm.Method

@@ -204,6 +204,7 @@ var All = []Experiment{
 	{"X7", "extension: split-phase halo exchange — communication hidden by the core-link pass", ExtraOverlap},
 	{"X8", "extension: dynamic block→rank load balancing on the clustered bed", ExtraRebalance},
 	{"X9", "extension: fault tolerance — replay depth vs snapshot cadence, integrity overhead", ExtraChaos},
+	{"X10", "extension: MPI-3-style shared-memory windows (mpism) vs messages vs threads", ExtraMpism},
 }
 
 // ByID finds an experiment.

@@ -452,3 +452,49 @@ func TestChaosGates(t *testing.T) {
 		t.Fatalf("X9 notes: %v", rep.Notes)
 	}
 }
+
+// TestMpismGates: X10's acceptance properties. On the platforms with
+// multi-CPU nodes (CPQ, Sun) the windowed exchange must price the
+// intra-node halo traffic strictly below the message path — less
+// exposed communication and no more total time — while moving real
+// traffic out of messages and into window loads. On the T3E, whose
+// nodes hold a single CPU, mpism must degrade to the message path and
+// reproduce the MPI cells exactly.
+func TestMpismGates(t *testing.T) {
+	rep := ExtraMpism(tiny())
+
+	for _, pf := range []struct{ mpi, mpism string }{
+		{"CPQ/mpi/P=16", "CPQ/mpism/P=16"},
+		{"Sun/mpi/P=8", "Sun/mpism/P=8"},
+	} {
+		commMPI := cellFloat(t, rep, pf.mpi, "comm")
+		commSM := cellFloat(t, rep, pf.mpism, "comm")
+		if commSM >= commMPI {
+			t.Errorf("%s: windowed comm %g not below message comm %g", pf.mpism, commSM, commMPI)
+		}
+		tMPI := cellFloat(t, rep, pf.mpi, "t/iter")
+		tSM := cellFloat(t, rep, pf.mpism, "t/iter")
+		if tSM > tMPI+1e-9 {
+			t.Errorf("%s: windowed step %g slower than message step %g", pf.mpism, tSM, tMPI)
+		}
+		if v := cellFloat(t, rep, pf.mpism, "winMB"); v <= 0 {
+			t.Errorf("%s: no window traffic (%g MB)", pf.mpism, v)
+		}
+		if v := cellFloat(t, rep, pf.mpism, "fences"); v <= 0 {
+			t.Errorf("%s: no fences joined", pf.mpism)
+		}
+		msgMPI := cellFloat(t, rep, pf.mpi, "msgMB")
+		msgSM := cellFloat(t, rep, pf.mpism, "msgMB")
+		if msgSM >= msgMPI {
+			t.Errorf("%s: message traffic %g MB not below mpi's %g MB", pf.mpism, msgSM, msgMPI)
+		}
+	}
+	// Single-CPU nodes: every mpism cell equals the mpi cell verbatim.
+	for _, col := range rep.Header[1:] {
+		mpi, _ := rep.Cell("T3E/mpi/P=16", col)
+		sm, ok := rep.Cell("T3E/mpism/P=16", col)
+		if !ok || sm != mpi {
+			t.Errorf("T3E %s: mpism %q != mpi %q — windowless fallback not identical", col, sm, mpi)
+		}
+	}
+}

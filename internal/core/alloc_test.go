@@ -167,6 +167,28 @@ func TestStepSteadyStateZeroAllocDistributed(t *testing.T) {
 			cfg.Overlap = false
 			return cfg
 		}},
+		// Shared-window exchange: under ZeroNetwork every rank shares
+		// one node, so these run the fully windowed halo path — the
+		// owner-side pack into the window, the fence rendezvous and the
+		// fenced GetView/scatter must all recycle their state.
+		{"mpism", func() Config {
+			cfg := allocConfig(MPIsm)
+			cfg.P = 4
+			return cfg
+		}},
+		{"mpism-sync", func() Config {
+			cfg := allocConfig(MPIsm)
+			cfg.P = 4
+			cfg.Overlap = false
+			return cfg
+		}},
+		{"mpism-rebalance", func() Config {
+			cfg := allocConfig(MPIsm)
+			cfg.P = 4
+			cfg.BlocksPerProc = 4
+			cfg.Rebalance = true
+			return cfg
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"strings"
 	"time"
 
 	"hybriddem/internal/force"
@@ -28,21 +29,65 @@ const (
 	OpenMP
 	MPI
 	Hybrid
+	// MPIsm is the MPI-3 shared-memory hybrid (MPI+MPI_sm): one rank per
+	// CPU like MPI, but ranks sharing an SMP node serve each other's
+	// halo refresh through fenced shared-window loads instead of
+	// messages; only inter-node legs travel as messages.
+	MPIsm
 )
 
-func (m Mode) String() string {
-	switch m {
-	case Serial:
-		return "serial"
-	case OpenMP:
-		return "openmp"
-	case MPI:
-		return "mpi"
-	case Hybrid:
-		return "hybrid"
-	default:
-		return fmt.Sprintf("Mode(%d)", int(m))
+// modeNames is the single source of truth tying Mode constants to their
+// command-line names: String(), ModeByName and ModeNames all derive
+// from it, so adding a mode here is the only step needed to plumb it
+// through every front end's -mode flag.
+var modeNames = [...]struct {
+	mode Mode
+	name string
+}{
+	{Serial, "serial"},
+	{OpenMP, "openmp"},
+	{MPI, "mpi"},
+	{Hybrid, "hybrid"},
+	{MPIsm, "mpism"},
+}
+
+// Modes lists every declared execution mode in declaration order.
+func Modes() []Mode {
+	ms := make([]Mode, len(modeNames))
+	for i, e := range modeNames {
+		ms[i] = e.mode
 	}
+	return ms
+}
+
+// ModeNames returns the command-line names of all modes, in declaration
+// order — the canonical content of a -mode flag's help text.
+func ModeNames() []string {
+	ns := make([]string, len(modeNames))
+	for i, e := range modeNames {
+		ns[i] = e.name
+	}
+	return ns
+}
+
+// ModeByName resolves a command-line mode name (case-insensitive). The
+// error lists the valid names.
+func ModeByName(name string) (Mode, error) {
+	for _, e := range modeNames {
+		if strings.EqualFold(name, e.name) {
+			return e.mode, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown mode %q (valid: %s)", name, strings.Join(ModeNames(), " | "))
+}
+
+func (m Mode) String() string {
+	for _, e := range modeNames {
+		if e.mode == m {
+			return e.name
+		}
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
 }
 
 // Config describes one simulation run. The zero value is unusable;
@@ -278,10 +323,14 @@ func (c *Config) Validate() error {
 		if c.P != 1 {
 			return fmt.Errorf("core: openmp mode with P=%d", c.P)
 		}
-	case MPI:
+	case MPI, MPIsm:
 		if c.T != 1 {
-			return fmt.Errorf("core: mpi mode with T=%d", c.T)
+			return fmt.Errorf("core: %v mode with T=%d", c.Mode, c.T)
 		}
+	case Hybrid:
+		// any P, T combination
+	default:
+		return fmt.Errorf("core: unrecognised mode %v (valid: %s)", c.Mode, strings.Join(ModeNames(), " | "))
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"hybriddem/internal/geom"
@@ -278,6 +279,78 @@ func TestValidationErrors(t *testing.T) {
 	good := Default(3, 10)
 	if err := good.Validate(); err != nil {
 		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+// TestModeTableCoverage pins the single name<->Mode table: every
+// declared mode must round-trip through ModeByName (case-insensitively)
+// and validate under a legal shape, and anything outside the table —
+// an unknown name or an out-of-range Mode value — must be rejected by
+// name lookup, String and Validate alike. This is the regression test
+// for the flag-parsing drift where each command kept its own private
+// mode switch and silently fell back on a default.
+func TestModeTableCoverage(t *testing.T) {
+	if len(Modes()) != len(ModeNames()) {
+		t.Fatalf("Modes() has %d entries, ModeNames() %d", len(Modes()), len(ModeNames()))
+	}
+	shape := map[Mode]func(*Config){
+		Serial: func(c *Config) {},
+		OpenMP: func(c *Config) { c.T = 3 },
+		MPI:    func(c *Config) { c.P = 4 },
+		Hybrid: func(c *Config) { c.P, c.T = 2, 2 },
+		MPIsm:  func(c *Config) { c.P = 4 },
+	}
+	for i, m := range Modes() {
+		name := ModeNames()[i]
+		if m.String() != name {
+			t.Errorf("mode %d: String() = %q, table name %q", int(m), m.String(), name)
+		}
+		for _, spelled := range []string{name, strings.ToUpper(name)} {
+			got, err := ModeByName(spelled)
+			if err != nil || got != m {
+				t.Errorf("ModeByName(%q) = %v, %v; want %v", spelled, got, err, m)
+			}
+		}
+		mutate, ok := shape[m]
+		if !ok {
+			t.Fatalf("mode %v declared in the table but this test knows no legal shape for it — extend the shape map", m)
+		}
+		cfg := Default(2, 100)
+		cfg.Mode = m
+		mutate(&cfg)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("legal %v config rejected: %v", m, err)
+		}
+	}
+	if _, err := ModeByName("smpi"); err == nil {
+		t.Error("unknown mode name accepted")
+	}
+	bogus := Default(2, 100)
+	bogus.Mode = Mode(99)
+	if err := bogus.Validate(); err == nil {
+		t.Error("out-of-range mode validated")
+	} else if !strings.Contains(err.Error(), "unrecognised mode") {
+		t.Errorf("out-of-range mode error %q does not name the cause", err)
+	}
+	if s := Mode(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("Mode(99).String() = %q", s)
+	}
+}
+
+// TestMpismValidation pins mpism's own constraints: threads are the
+// node's other ranks, so T>1 is illegal, and the float32 halo
+// compression remains a serial-only experiment.
+func TestMpismValidation(t *testing.T) {
+	cfg := Default(2, 100)
+	cfg.Mode = MPIsm
+	cfg.P, cfg.T = 4, 2
+	if err := cfg.Validate(); err == nil {
+		t.Error("mpism with T=2 accepted")
+	}
+	cfg.T = 1
+	cfg.Float32 = true
+	if err := cfg.Validate(); err == nil {
+		t.Error("mpism with the Float32 fast path accepted")
 	}
 }
 

@@ -13,9 +13,10 @@ import (
 	"hybriddem/internal/trace"
 )
 
-// rankSim is one rank's state in an MPI or Hybrid run: its share of
-// the block-cyclic decomposition plus, in hybrid mode, the rank's
-// thread team — "one process per SMP ... one thread per CPU".
+// rankSim is one rank's state in an MPI, MPIsm or Hybrid run: its
+// share of the block-cyclic decomposition plus, in hybrid mode, the
+// rank's thread team — "one process per SMP ... one thread per CPU" —
+// or, in mpism mode, the rank's shared window over its node group.
 type rankSim struct {
 	cfg *Config
 	c   *mp.Comm
@@ -65,7 +66,7 @@ func activePerNode(cfg *Config, pf *machine.Platform) int {
 	switch cfg.Mode {
 	case Hybrid:
 		return cfg.T
-	case MPI:
+	case MPI, MPIsm:
 		if cfg.P < pf.CPUsPerNode {
 			return cfg.P
 		}
@@ -93,6 +94,19 @@ func newRankSim(cfg *Config, c *mp.Comm, l *decomp.Layout) *rankSim {
 			r.dm.SelfMsgCost = func(bytes int) float64 {
 				return pf.IntraLat + float64(bytes)*ss/pf.IntraBw
 			}
+		}
+	}
+	if cfg.Mode == MPIsm {
+		// MPI+MPI_sm: attach a shared window over this rank's node
+		// group so same-node halo legs travel as fenced window loads.
+		// A rank alone on its node (odd P, or single-CPU nodes like the
+		// T3E's) skips the window and keeps the pure message path.
+		if g := c.SplitNode(); g.Size() > 1 {
+			var wc mp.WinCosts
+			if pf := cfg.Platform; pf != nil {
+				wc = pf.WinCosts()
+			}
+			r.dm.SetWin(mp.NewWin(g, wc))
 		}
 	}
 	if cfg.Mode == Hybrid {
@@ -657,7 +671,7 @@ func RunDistributed(cfg Config, iters int) (*Result, error) {
 }
 
 func runDistributed(cfg Config, iters int, seg segment) (*Result, error) {
-	if cfg.Mode != MPI && cfg.Mode != Hybrid {
+	if cfg.Mode != MPI && cfg.Mode != Hybrid && cfg.Mode != MPIsm {
 		return nil, fmt.Errorf("core: RunDistributed with mode %v", cfg.Mode)
 	}
 	if err := cfg.Validate(); err != nil {
@@ -868,7 +882,7 @@ func Run(cfg Config, iters int) (*Result, error) {
 	switch cfg.Mode {
 	case Serial, OpenMP:
 		return RunShared(cfg, iters)
-	case MPI, Hybrid:
+	case MPI, Hybrid, MPIsm:
 		return RunDistributed(cfg, iters)
 	default:
 		return nil, fmt.Errorf("core: unknown mode %v", cfg.Mode)

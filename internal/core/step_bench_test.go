@@ -90,6 +90,15 @@ func BenchmarkStepHybridFused(b *testing.B) {
 	benchDistributed(b, cfg)
 }
 
+// BenchmarkStepMPIsm times the shared-window exchange; under
+// ZeroNetwork all four ranks share a node, so every halo leg is a
+// fenced load rather than a message.
+func BenchmarkStepMPIsm(b *testing.B) {
+	cfg := allocConfig(MPIsm)
+	cfg.P = 4
+	benchDistributed(b, cfg)
+}
+
 // The NoOverlap variants pin the synchronous exchange so the
 // split-phase default can be compared against it (host time and
 // allocations) from the same benchmark run.

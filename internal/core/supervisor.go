@@ -169,7 +169,7 @@ type FTConfig struct {
 // single-rank layout losing its only rank) return the fault as an
 // unrecoverable error; demrun maps that to exit code 3.
 func Supervise(cfg Config, iters int, ft FTConfig) (*Result, error) {
-	if cfg.Mode != MPI && cfg.Mode != Hybrid {
+	if cfg.Mode != MPI && cfg.Mode != Hybrid && cfg.Mode != MPIsm {
 		return nil, fmt.Errorf("core: Supervise with mode %v", cfg.Mode)
 	}
 	if err := cfg.Validate(); err != nil {

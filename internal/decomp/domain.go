@@ -15,7 +15,8 @@ const (
 	phaseBuild = iota
 	phaseRefresh
 	phaseMigrate
-	phaseXfer // whole-block transfer during a rebalance
+	phaseXfer   // whole-block transfer during a rebalance
+	phaseWinDir // shared-window layout directory (mpism)
 )
 
 // tagFor builds the unique tag of one halo leg from the receiving
@@ -85,6 +86,17 @@ type Domain struct {
 	recvF      [][]float64
 	recvI      [][]int32
 	recvAt     []int
+
+	// Shared-window exchange state (mpism, nil/empty otherwise): the
+	// node window, rank→group-index table, the owner-side window
+	// offsets per (block slot, dim, side) (-1 = not windowed), the
+	// reader-side legs bucketed per dimension, and the per-peer
+	// directory staging buffers. All persistent, rebuilt at rebuild.
+	win     *mp.Win
+	winIdx  []int
+	winOff  [][geom.MaxD][2]int
+	winLegs [geom.MaxD][]winLeg
+	dirOut  [][]int32
 
 	// Rebalancer state and scratch (persistent, so migration epochs
 	// allocate only while the pools grow).
@@ -253,6 +265,9 @@ func (dm *Domain) Rebuild(reorder bool) {
 		dm.reorderCores()
 	}
 	dm.buildHalos()
+	if dm.win != nil {
+		dm.buildWinExchange()
+	}
 	dm.buildLists()
 }
 

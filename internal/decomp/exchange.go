@@ -217,6 +217,18 @@ func (dm *Domain) FinishRefreshDim() bool {
 		per = 2 * d
 	}
 	dim := dm.refreshDim
+	if dm.win != nil {
+		// Close the write epoch: every node peer has packed its
+		// dimension-dim legs into its window (postRefreshDim runs before
+		// any blocking wait on this dimension), so after the fence the
+		// windowed legs are read directly from the owners' windows —
+		// same floats, same overwriteSeg unpack as the message path.
+		dm.win.Fence()
+		for _, wl := range dm.winLegs[dim] {
+			f := dm.win.GetView(wl.peer, wl.off, per*wl.seg.count)
+			dm.writeSeg(wl.b, wl.seg, f, per)
+		}
+	}
 	for i := range dm.pending {
 		pl := &dm.pending[i]
 		f, ids := pl.req.Wait()
@@ -252,7 +264,11 @@ func (dm *Domain) FinishRefreshDim() bool {
 // order FinishRefreshHalos will wait on them.
 func (dm *Domain) postRefreshDim(dim int) {
 	d := dm.L.D
-	for _, b := range dm.Blocks {
+	per := d
+	if dm.WithVel {
+		per = 2 * d
+	}
+	for bi, b := range dm.Blocks {
 		for side := 0; side < 2; side++ {
 			dir := 2*side - 1
 			nb, _, ok := dm.L.Neighbor(b.ID, dim, dir)
@@ -261,10 +277,20 @@ func (dm *Domain) postRefreshDim(dim int) {
 			}
 			idx := b.sendIdx[dim][side]
 			dstSide := 1 - side
+			dstRank := dm.L.RankOfBlock(nb)
+			if dstRank != dm.C.Rank() {
+				if off := dm.winOffFor(bi, dim, side); off >= 0 {
+					// Same-node neighbour: pack straight into this rank's
+					// shared window at the leg's reserved offset; the
+					// reader loads it after the dimension's fence.
+					packParticles(dm.win.Slice(off, per*len(idx)), b, idx, d, dm.WithVel)
+					dm.C.Compute(float64(len(idx)) * dm.packCost())
+					continue
+				}
+			}
 			f := appendParticles(b.packBuf[dim][side][:0], b, idx, d, dm.WithVel)
 			b.packBuf[dim][side] = f
 			dm.C.Compute(float64(len(idx)) * dm.packCost())
-			dstRank := dm.L.RankOfBlock(nb)
 			if dstRank == dm.C.Rank() {
 				dst := dm.Blocks[dm.slot[nb]]
 				dm.locals = append(dm.locals, localLeg{dst: dst, dim: dim, side: dstSide, src: b, f: f})
@@ -278,15 +304,37 @@ func (dm *Domain) postRefreshDim(dim int) {
 			if seg.dim != dim || seg.srcRank == dm.C.Rank() {
 				continue
 			}
+			if dm.winPeer(seg.srcRank) >= 0 {
+				continue // served by a fenced window load, not a message
+			}
 			req := dm.C.IRecv(seg.srcRank, dm.tagFor(phaseRefresh, b.ID, seg.dim, seg.side))
 			dm.pending = append(dm.pending, pendingLeg{req: req, b: b, seg: seg})
 		}
 	}
 }
 
+// winOffFor returns the window offset of an owned leg, or -1 when the
+// leg is not windowed (no window attached, or the destination rank is
+// on another node).
+func (dm *Domain) winOffFor(bi, dim, side int) int {
+	if dm.win == nil {
+		return -1
+	}
+	return dm.winOff[bi][dim][side]
+}
+
 // overwriteSeg writes refreshed coordinates (and velocities) into an
-// existing halo segment.
+// existing halo segment and charges the receive-side scatter.
 func (dm *Domain) overwriteSeg(b *Block, seg haloSeg, f []float64, per int) {
+	dm.writeSeg(b, seg, f, per)
+	dm.C.Compute(float64(seg.count) * dm.packCost())
+}
+
+// writeSeg is the scatter itself, uncharged: the windowed refresh uses
+// it because its cost is the fenced window load (GetView) — one
+// streaming pass through the owner's packed leg at load bandwidth is
+// the whole transfer, with no separate receive-buffer scatter to pay.
+func (dm *Domain) writeSeg(b *Block, seg haloSeg, f []float64, per int) {
 	d := dm.L.D
 	if len(f) != per*seg.count {
 		panic(fmt.Sprintf("decomp: refresh payload %d floats for segment of %d", len(f), seg.count))
@@ -302,7 +350,6 @@ func (dm *Domain) overwriteSeg(b *Block, seg haloSeg, f []float64, per int) {
 			}
 		}
 	}
-	dm.C.Compute(float64(seg.count) * dm.packCost())
 }
 
 // migrate wraps core positions into the global box and moves particles

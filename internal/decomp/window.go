@@ -1,0 +1,179 @@
+package decomp
+
+import (
+	"fmt"
+
+	"hybriddem/internal/geom"
+	"hybriddem/internal/mp"
+)
+
+// Shared-window halo exchange (mpism mode): ranks sharing an SMP node
+// satisfy their halo refresh by fenced loads from the owner's shared
+// window instead of exchanging messages. The owner packs exactly the
+// floats the message path would have sent — same templates, same
+// order — into a per-leg region of its window; after a fence the
+// reader runs the same overwriteSeg unpack on a direct view of that
+// region. Trajectories are therefore bit-identical to the message
+// path by construction. Inter-node legs, halo construction, the
+// window-layout directory and migration stay message-based: they
+// either cross nodes or run at rebuild time, outside the per-step
+// window epochs.
+
+// winLeg is one reader-side windowed halo leg: the segment it
+// refreshes plus where the owner's window holds the packed data.
+type winLeg struct {
+	b    *Block
+	seg  haloSeg
+	peer int // owner's index within the node group
+	off  int // float offset of the leg in the owner's window
+}
+
+// SetWin attaches a shared window spanning this rank's node group.
+// Must be called before the first Rebuild. The domain then serves
+// every same-node halo leg through the window; ranks on single-rank
+// nodes simply never call this and keep the pure message path.
+func (dm *Domain) SetWin(win *mp.Win) {
+	dm.win = win
+	if cap(dm.winIdx) < dm.L.P {
+		dm.winIdx = make([]int, dm.L.P)
+	}
+	dm.winIdx = dm.winIdx[:dm.L.P]
+	for r := range dm.winIdx {
+		dm.winIdx[r] = -1
+	}
+	for i, r := range win.Group().Ranks() {
+		dm.winIdx[r] = i
+	}
+	if dm.dirOut == nil {
+		dm.dirOut = make([][]int32, win.Group().Size())
+	}
+}
+
+// winPeer returns rank's index within the node group, or -1 when the
+// rank is on another node (or no window is attached).
+func (dm *Domain) winPeer(rank int) int {
+	if dm.win == nil {
+		return -1
+	}
+	return dm.winIdx[rank]
+}
+
+// buildWinExchange lays this rank's windowed halo legs out in its
+// window and exchanges the layout with its node peers. Runs at every
+// rebuild, after buildHalos has fixed the send templates and halo
+// segments. Collective over the node group (Reserve fences inside).
+//
+// The reader cannot derive the owner's window layout — it depends on
+// the owner's block set and its iteration order, which dynamic
+// rebalancing changes — so each owner messages every node peer a
+// directory of (dstBlock, dim, side, offset, count) entries for the
+// legs aimed at that peer. (dstBlock, dim, side) identifies a halo
+// segment uniquely: a block face has exactly one neighbour.
+func (dm *Domain) buildWinExchange() {
+	d := dm.L.D
+	per := d
+	if dm.WithVel {
+		per = 2 * d
+	}
+	me := dm.C.Rank()
+
+	// Owner side: walk the legs in the (dim, block, side) order the
+	// refresh packs them, assigning each windowed leg a contiguous
+	// region, and batch the directory entries per destination peer.
+	nb := len(dm.Blocks)
+	if cap(dm.winOff) < nb {
+		dm.winOff = make([][geom.MaxD][2]int, nb)
+	}
+	dm.winOff = dm.winOff[:nb]
+	for gi := range dm.dirOut {
+		dm.dirOut[gi] = dm.dirOut[gi][:0]
+	}
+	total := 0
+	for dim := 0; dim < d; dim++ {
+		for bi, b := range dm.Blocks {
+			for side := 0; side < 2; side++ {
+				dm.winOff[bi][dim][side] = -1
+				dir := 2*side - 1
+				nbID, _, ok := dm.L.Neighbor(b.ID, dim, dir)
+				if !ok {
+					continue
+				}
+				dstRank := dm.L.RankOfBlock(nbID)
+				gi := dm.winPeer(dstRank)
+				if dstRank == me || gi < 0 {
+					continue
+				}
+				n := len(b.sendIdx[dim][side])
+				dm.winOff[bi][dim][side] = total
+				dm.dirOut[gi] = append(dm.dirOut[gi],
+					int32(nbID), int32(dim), int32(1-side), int32(total), int32(n))
+				total += per * n
+			}
+		}
+	}
+	dm.win.Reserve(total)
+
+	// Directory exchange: peers in ascending rank order, empty
+	// payloads included so every receive has a matching send.
+	for gi, q := range dm.win.Group().Ranks() {
+		if q == me {
+			continue
+		}
+		dm.C.Send(q, dm.tagFor(phaseWinDir, 0, 0, 0), nil, dm.dirOut[gi])
+	}
+	for dim := 0; dim < geom.MaxD; dim++ {
+		dm.winLegs[dim] = dm.winLegs[dim][:0]
+	}
+	for gi, q := range dm.win.Group().Ranks() {
+		if q == me {
+			continue
+		}
+		_, ents := dm.C.Recv(q, dm.tagFor(phaseWinDir, 0, 0, 0))
+		for k := 0; k+5 <= len(ents); k += 5 {
+			blk, dim, side := int(ents[k]), int(ents[k+1]), int(ents[k+2])
+			off, count := int(ents[k+3]), int(ents[k+4])
+			s, ok := dm.slot[blk]
+			if !ok {
+				panic(fmt.Sprintf("decomp: rank %d received window directory for foreign block %d", me, blk))
+			}
+			b := dm.Blocks[s]
+			found := false
+			for _, seg := range b.segs {
+				if seg.dim == dim && seg.side == side && seg.srcRank == q {
+					if seg.count != count {
+						panic(fmt.Sprintf("decomp: window leg for block %d dim %d side %d holds %d particles, segment expects %d",
+							blk, dim, side, count, seg.count))
+					}
+					dm.winLegs[dim] = append(dm.winLegs[dim], winLeg{b: b, seg: seg, peer: gi, off: off})
+					found = true
+					break
+				}
+			}
+			if !found {
+				panic(fmt.Sprintf("decomp: no halo segment matches window leg block %d dim %d side %d from rank %d",
+					blk, dim, side, q))
+			}
+		}
+		dm.C.FreeBuffers(nil, ents)
+	}
+}
+
+// packParticles gathers positions (and optionally velocities) of the
+// indexed particles into dst, which must hold exactly per*len(idx)
+// floats — the in-place (window region) form of appendParticles,
+// emitting the identical float sequence.
+func packParticles(dst []float64, b *Block, idx []int32, d int, withVel bool) {
+	at := 0
+	for _, i := range idx {
+		for k := 0; k < d; k++ {
+			dst[at] = b.PS.Pos[k][i]
+			at++
+		}
+		if withVel {
+			for k := 0; k < d; k++ {
+				dst[at] = b.PS.Vel[k][i]
+				at++
+			}
+		}
+	}
+}

@@ -121,6 +121,12 @@ type world struct {
 	poolI       [][]int32
 	freeReq     []*Request
 	freeCollReq []*CollRequest
+
+	// Shared-memory window registry (mpism mode): node groups attach to
+	// their windows by (leader rank, creation ordinal). Fence states
+	// live inside each winShared under collMu.
+	winMu sync.Mutex
+	wins  map[winKey]*winShared
 }
 
 // getReq draws a point-to-point request handle from the pool.

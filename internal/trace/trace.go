@@ -40,6 +40,10 @@ type Counters struct {
 	Collectives  int64 // collective operations joined
 	Barriers     int64 // message-passing barriers joined
 
+	// Shared-memory windows (mpism mode).
+	WinFences    int64 // window fence epochs joined
+	WinLoadBytes int64 // bytes loaded from node peers' shared windows
+
 	// Shared memory.
 	ParallelRegions int64 // fork/join regions entered
 	TeamBarriers    int64 // intra-team barriers
@@ -77,6 +81,8 @@ func (c *Counters) Add(other *Counters) {
 	c.BytesIntra += other.BytesIntra
 	c.Collectives += other.Collectives
 	c.Barriers += other.Barriers
+	c.WinFences += other.WinFences
+	c.WinLoadBytes += other.WinLoadBytes
 	c.ParallelRegions += other.ParallelRegions
 	c.TeamBarriers += other.TeamBarriers
 	c.AtomicsTaken += other.AtomicsTaken

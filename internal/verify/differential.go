@@ -17,9 +17,9 @@ type Variant struct {
 
 // Matrix expands a base configuration into the full conformance
 // matrix: serial, OpenMP under all five force-update strategies, MPI,
-// and hybrid under all five strategies — each with reordering both on
-// and off — plus the fused hybrid loop for the two strategies it
-// supports. The distributed variants run with the split-phase
+// mpism (shared-memory windows) and hybrid under all five strategies —
+// each with reordering both on and off — plus the fused hybrid loop
+// for the two strategies it supports. The distributed variants run with the split-phase
 // (overlapped) halo exchange, the production default; a "/sync" row
 // per distributed shape repeats the run with the synchronous exchange,
 // and "/rebalance" rows run with dynamic block→rank load balancing at
@@ -63,6 +63,15 @@ func Matrix(base core.Config) []Variant {
 			c.BlocksPerProc = 2
 			c.Reorder = reorder
 		})
+		// Correctness runs use ZeroNetwork, which places every rank on
+		// one node — the mpism rows therefore exercise the fully
+		// windowed exchange (every halo leg a fenced load).
+		add("mpism"+suffix, func(c *core.Config) {
+			c.Mode = core.MPIsm
+			c.P = 2
+			c.BlocksPerProc = 2
+			c.Reorder = reorder
+		})
 		for _, m := range shm.Methods {
 			m := m
 			add("hybrid/"+m.String()+suffix, func(c *core.Config) {
@@ -79,6 +88,13 @@ func Matrix(base core.Config) []Variant {
 	// the reorder pass).
 	add("mpi/sync", func(c *core.Config) {
 		c.Mode = core.MPI
+		c.P = 2
+		c.BlocksPerProc = 2
+		c.Reorder = true
+		c.Overlap = false
+	})
+	add("mpism/sync", func(c *core.Config) {
+		c.Mode = core.MPIsm
 		c.P = 2
 		c.BlocksPerProc = 2
 		c.Reorder = true
@@ -119,6 +135,15 @@ func Matrix(base core.Config) []Variant {
 		bpp := bpp
 		add(fmt.Sprintf("mpi/rebalance/bpp%d", bpp), func(c *core.Config) {
 			c.Mode = core.MPI
+			c.P = 2
+			c.BlocksPerProc = bpp
+			c.Reorder = true
+			c.Rebalance = true
+		})
+		// Rebalancing reshuffles block ownership, forcing the window
+		// layout directory to re-derive offsets for a changed block set.
+		add(fmt.Sprintf("mpism/rebalance/bpp%d", bpp), func(c *core.Config) {
+			c.Mode = core.MPIsm
 			c.P = 2
 			c.BlocksPerProc = bpp
 			c.Reorder = true

@@ -1,0 +1,144 @@
+package verify
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hybriddem/internal/core"
+	"hybriddem/internal/fault"
+	"hybriddem/internal/mp"
+)
+
+// TestMpismBitIdenticalToMPI is the acceptance oracle of the
+// shared-window exchange: replacing every same-node halo message with
+// a fenced load from the owner's window must not change a single bit
+// of the trajectory. The owner packs exactly the floats the message
+// path would have sent and the reader runs the same scatter, so the
+// comparison is exact, across every scenario family and for shapes
+// covering the split-phase and synchronous drivers, coarse and fine
+// granularity, an odd rank count and the dynamic rebalancer (which
+// forces the window layout directory to re-derive offsets). Captures
+// run without a platform, i.e. on ZeroNetwork, which puts every rank
+// on one node — the mpism runs are fully windowed.
+func TestMpismBitIdenticalToMPI(t *testing.T) {
+	type shape struct {
+		name   string
+		mutate func(*core.Config)
+	}
+	shapes := []shape{
+		{"p4", func(c *core.Config) { c.P = 4 }},
+		{"p4-bpp2", func(c *core.Config) { c.P, c.BlocksPerProc = 4, 2 }},
+		{"p3-sync", func(c *core.Config) {
+			c.P = 3
+			c.Overlap = false
+		}},
+		{"p2-rebalance", func(c *core.Config) {
+			c.P, c.BlocksPerProc = 2, 4
+			c.Rebalance = true
+		}},
+	}
+	const iters = 20
+	for _, k := range Kinds {
+		k := k
+		for _, s := range shapes {
+			s := s
+			t.Run(k.String()+"/"+s.name, func(t *testing.T) {
+				cfg := testScenario(t, k, 2, 200, 17)
+				s.mutate(&cfg)
+
+				cfg.Mode = core.MPI
+				ref, err := Capture(cfg, iters)
+				if err != nil {
+					t.Fatalf("mpi run: %v", err)
+				}
+				cfg.Mode = core.MPIsm
+				win, err := Capture(cfg, iters)
+				if err != nil {
+					t.Fatalf("mpism run: %v", err)
+				}
+				if div := CompareExact(ref, win); div != nil {
+					t.Fatalf("mpism trajectory differs from mpi: %s", div)
+				}
+				if ref.Res.TC.WinFences != 0 {
+					t.Errorf("mpi run joined %d window fences, want 0", ref.Res.TC.WinFences)
+				}
+				if win.Res.TC.WinFences == 0 {
+					t.Errorf("mpism run joined no window fences; the windowed path never ran")
+				}
+				if win.Res.TC.WinLoadBytes == 0 {
+					t.Errorf("mpism run loaded no window bytes; halo legs still travelled as messages")
+				}
+				if win.Res.TC.BytesSent >= ref.Res.TC.BytesSent {
+					t.Errorf("mpism sent %d message bytes, mpi %d; windows should shrink message traffic",
+						win.Res.TC.BytesSent, ref.Res.TC.BytesSent)
+				}
+			})
+		}
+	}
+}
+
+// TestMpismChaosKillClassified: a rank killed mid-step on a node whose
+// peers are parked in a window fence must surface as a classified
+// Killed fault, not a deadlock — the fence wait carries the same
+// watchdog deadline and abandoned-peer detection as a blocked receive
+// or collective.
+func TestMpismChaosKillClassified(t *testing.T) {
+	cfg := testScenario(t, Uniform, 2, 200, 17)
+	cfg.Mode = core.MPIsm
+	cfg.P = 4
+	cfg.Watchdog = 2 * time.Second
+
+	plan := mp.NewFaultPlan(5)
+	plan.ArmKill(1, 6)
+	cfg.Faults = plan
+
+	_, err := core.Run(cfg, 15)
+	if err == nil {
+		t.Fatalf("run with a killed rank completed cleanly (stats %+v)", plan.Stats())
+	}
+	var fe *fault.Error
+	if !errors.As(err, &fe) {
+		t.Fatalf("error is not a typed fault: %v", err)
+	}
+	if fe.Kind != fault.Killed {
+		t.Fatalf("fault kind = %v, want Killed (%v)", fe.Kind, err)
+	}
+}
+
+// TestMpismChaosRecoveryBitIdentical: the supervisor must recover an
+// mpism run from a silent kill — survivors discover the death at their
+// fence deadlines, the degraded restart rebuilds node groups and
+// windows over P-1 ranks — and deliver the unfaulted trajectory
+// exactly.
+func TestMpismChaosRecoveryBitIdentical(t *testing.T) {
+	cfg := testScenario(t, Uniform, 2, 200, 17)
+	cfg.Mode = core.MPIsm
+	cfg.P = 4
+	const iters = 20
+
+	base, err := Capture(cfg, iters)
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+
+	plan := mp.NewFaultPlan(99)
+	plan.ArmKill(1, 9)
+	faulted := cfg
+	faulted.Faults = plan
+	faulted.Watchdog = 2 * time.Second
+
+	chaos, err := CaptureSupervised(faulted, iters, core.FTConfig{
+		SnapshotEvery: 1,
+		MaxRetries:    8,
+	})
+	if err != nil {
+		t.Fatalf("supervised chaos run: %v", err)
+	}
+	if plan.Stats().Killed != 1 {
+		t.Fatalf("kill did not fire exactly once: %+v", plan.Stats())
+	}
+	if div := CompareExact(base, chaos); div != nil {
+		t.Fatalf("recovered trajectory differs from unfaulted baseline: %s", div)
+	}
+}
