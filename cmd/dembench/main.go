@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"hybriddem/internal/bench"
+	"hybriddem/internal/core"
 	"hybriddem/internal/profiling"
 )
 
@@ -41,11 +42,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		iters   = fs.Int("iters", 0, "measured iterations per run (default 8/4 for D=2/3)")
 		seed    = fs.Int64("seed", 1, "random seed")
 		overlap = fs.Bool("overlap", true, "split-phase halo exchange (false = the paper's synchronous swap)")
-		rebal   = fs.Bool("rebalance", false, "dynamic block-to-rank load balancing in every distributed run")
+		rebal   core.StrategyFlag
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = fs.String("memprofile", "", "write a heap profile to this file at exit")
 		aStats  = fs.Bool("allocstats", false, "print allocation statistics to stderr at exit")
 	)
+	fs.Var(&rebal, "rebalance",
+		"dynamic load balancing in every distributed run: "+
+			strings.Join(core.StrategyNames(), " | ")+" (bare flag = lpt)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -68,7 +72,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	opts := bench.Options{N: *n, Iters: *iters, Seed: *seed, Full: *full, NoOverlap: !*overlap, Rebalance: *rebal}
+	opts := bench.Options{N: *n, Iters: *iters, Seed: *seed, Full: *full, NoOverlap: !*overlap, Rebalance: rebal.S}
 
 	var exps []bench.Experiment
 	if *expList == "" {

@@ -58,7 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rc       = fs.Float64("rc", 1.5, "cutoff factor rc/rmax")
 		method   = fs.String("method", "selected-atomic", "atomic | selected-atomic | critical-reduction | stripe | transpose")
 		fused    = fs.Bool("fused", false, "fuse the hybrid force loop into one region (Section 11)")
-		rebal    = fs.Bool("rebalance", false, "dynamic block-to-rank load balancing at list rebuilds (MPI/hybrid)")
+		rebal    hybriddem.StrategyFlag
 		platform = fs.String("platform", "CPQ", "virtual platform: Sun | T3E | CPQ | none")
 		iters    = fs.Int("iters", 10, "measured iterations (cumulative total when resuming with -load)")
 		warmup   = fs.Int("warmup", 2, "warm-up iterations")
@@ -94,6 +94,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit")
 		aStats   = fs.Bool("allocstats", false, "print allocation statistics to stderr at exit")
 	)
+	fs.Var(&rebal, "rebalance",
+		"dynamic load balancing at list rebuilds (MPI/hybrid): "+
+			strings.Join(hybriddem.StrategyNames(), " | ")+" (bare flag = lpt)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -117,7 +120,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.P, cfg.T = *p, *t
 	cfg.BlocksPerProc = *bpp
 	cfg.Fused = *fused
-	cfg.Rebalance = *rebal
+	cfg.Rebalance = rebal.S
 	cfg.Warmup = *warmup
 	cfg.Gravity = *gravity
 	cfg.FillHeight = *fill
@@ -294,8 +297,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	balance := ""
-	if cfg.Rebalance {
-		balance = ", rebalance"
+	if cfg.Rebalance.Enabled() {
+		balance = ", rebalance=" + cfg.Rebalance.String()
 	}
 	fmt.Fprintf(stdout, "mode            %v (P=%d, T=%d, B/P=%d%s)\n", cfg.Mode, cfg.P, cfg.T, cfg.BlocksPerProc, balance)
 	fmt.Fprintf(stdout, "system          D=%d, N=%d, L=%.4g, rc=%.3g, %v\n", cfg.D, cfg.N, cfg.L, cfg.RC(), cfg.BC)

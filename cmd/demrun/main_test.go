@@ -46,7 +46,7 @@ func TestRunVerifyFlag(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-verify exit %d, stderr: %s\nstdout: %s", code, errb.String(), out.String())
 	}
-	if !strings.Contains(out.String(), "all 43 variants agree") {
+	if !strings.Contains(out.String(), "all 47 variants agree") {
 		t.Errorf("conformance report missing verdict:\n%s", out.String())
 	}
 }
@@ -122,11 +122,47 @@ func TestRunResumeMatchesUnbrokenRun(t *testing.T) {
 	}
 }
 
+// TestRunRebalanceFlagForms pins the strategy flag's surface: bare
+// -rebalance keeps its historical boolean meaning (LPT), explicit
+// strategy names select ORB or switch balancing off, and the run
+// summary echoes the strategy by name.
+func TestRunRebalanceFlagForms(t *testing.T) {
+	base := []string{"-d", "2", "-n", "400", "-mode", "mpi", "-p", "2", "-bpp", "4", "-iters", "2"}
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the mode line; "" = no rebalance suffix
+	}{
+		{"default-off", base, ""},
+		{"bare-flag-is-lpt", append([]string{"-rebalance"}, base...), "rebalance=lpt"},
+		{"explicit-lpt", append([]string{"-rebalance=lpt"}, base...), "rebalance=lpt"},
+		{"explicit-orb", append([]string{"-rebalance=orb"}, base...), "rebalance=orb"},
+		{"explicit-off", append([]string{"-rebalance=off"}, base...), ""},
+		{"bool-false", append([]string{"-rebalance=false"}, base...), ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(tc.args, &out, &errb); code != 0 {
+				t.Fatalf("exit %d, stderr: %s", code, errb.String())
+			}
+			if tc.want == "" {
+				if strings.Contains(out.String(), "rebalance") {
+					t.Errorf("summary mentions rebalance for %v:\n%s", tc.args, out.String())
+				}
+			} else if !strings.Contains(out.String(), tc.want) {
+				t.Errorf("summary lacks %q for %v:\n%s", tc.want, tc.args, out.String())
+			}
+		})
+	}
+}
+
 func TestRunBadFlagsExitTwo(t *testing.T) {
 	for _, args := range [][]string{
 		{"-mode", "cuda"},
 		{"-method", "mutex"},
 		{"-platform", "PDP11"},
+		{"-rebalance=bogus"},
 		{"-definitely-not-a-flag"},
 	} {
 		var out, errb bytes.Buffer

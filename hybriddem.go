@@ -40,6 +40,7 @@ import (
 	"hybriddem/internal/cell"
 	"hybriddem/internal/checkpoint"
 	"hybriddem/internal/core"
+	"hybriddem/internal/decomp"
 	"hybriddem/internal/export"
 	"hybriddem/internal/fault"
 	"hybriddem/internal/force"
@@ -80,6 +81,35 @@ func ModeByName(name string) (Mode, error) { return core.ModeByName(name) }
 // ModeNames returns the command-line names of all execution modes in
 // declaration order.
 func ModeNames() []string { return core.ModeNames() }
+
+// Strategy selects the dynamic load-balancing algorithm of the
+// distributed modes (Config.Rebalance).
+type Strategy = core.Strategy
+
+// Rebalance strategies.
+const (
+	RebalanceOff = core.RebalanceOff // static block-cyclic deal
+	RebalanceLPT = core.RebalanceLPT // longest-processing-time block re-deal
+	RebalanceORB = core.RebalanceORB // orthogonal recursive bisection (contiguous bricks)
+)
+
+// StrategyByName resolves a command-line rebalance-strategy name
+// (case-insensitive); the error lists the valid names.
+func StrategyByName(name string) (Strategy, error) { return core.StrategyByName(name) }
+
+// StrategyNames returns the command-line names of all rebalance
+// strategies in declaration order.
+func StrategyNames() []string { return core.StrategyNames() }
+
+// StrategyFlag adapts a Strategy to the flag.Value interface: a bare
+// -rebalance means lpt (the historical boolean behaviour), =false
+// means off, and =off|lpt|orb names a strategy directly.
+type StrategyFlag = core.StrategyFlag
+
+// ORBTree is the adaptive orthogonal-recursive-bisection decomposition
+// a RebalanceORB run adopts; checkpoints carry it so a resumed run
+// keeps its cut planes (Config.InitTree, Result.Tree).
+type ORBTree = decomp.ORBTree
 
 // Method selects the shared-memory force-update protection strategy.
 type Method = shm.Method

@@ -37,11 +37,11 @@ type Options struct {
 	// by construction.
 	NoOverlap bool
 
-	// Rebalance enables dynamic block→rank load balancing in every
-	// distributed run. X8 ignores it: that experiment sweeps both
-	// settings by construction. Off by default, keeping the suite's
-	// output identical to the static deal.
-	Rebalance bool
+	// Rebalance selects dynamic block→rank load balancing in every
+	// distributed run. X8 and X11 ignore it: those experiments sweep the
+	// strategies by construction. RebalanceOff by default, keeping the
+	// suite's output identical to the static deal.
+	Rebalance core.Strategy
 }
 
 func (o Options) withDefaults() Options {
@@ -205,6 +205,7 @@ var All = []Experiment{
 	{"X8", "extension: dynamic block→rank load balancing on the clustered bed", ExtraRebalance},
 	{"X9", "extension: fault tolerance — replay depth vs snapshot cadence, integrity overhead", ExtraChaos},
 	{"X10", "extension: MPI-3-style shared-memory windows (mpism) vs messages vs threads", ExtraMpism},
+	{"X11", "extension: adaptive ORB decomposition vs LPT on the moving-cluster bed", ExtraORB},
 }
 
 // ByID finds an experiment.

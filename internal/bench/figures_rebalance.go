@@ -49,7 +49,7 @@ func ExtraRebalance(o Options) *Report {
 		Header: []string{"series", "B/P=1", "2", "4", "8", "16", "32", "best"},
 	}
 
-	build := func(bpp int, rebalance bool) core.Config {
+	build := func(bpp int, rebalance core.Strategy) core.Config {
 		cfg := o.config(d, 1.5, pf, true)
 		cfg.BC = geom.Reflecting
 		cfg.FillHeight = 0.25
@@ -65,7 +65,7 @@ func ExtraRebalance(o Options) *Report {
 	type run struct {
 		t, imb float64
 	}
-	measure := func(sweep []int, rebalance bool) map[int]run {
+	measure := func(sweep []int, rebalance core.Strategy) map[int]run {
 		out := make(map[int]run, len(sweep))
 		for _, bpp := range sweep {
 			res := mustRun(build(bpp, rebalance), o.iters(d))
@@ -73,8 +73,8 @@ func ExtraRebalance(o Options) *Report {
 		}
 		return out
 	}
-	static := measure(staticSweep, false)
-	rebal := measure(rebalSweep, true)
+	static := measure(staticSweep, core.RebalanceOff)
+	rebal := measure(rebalSweep, core.RebalanceLPT)
 	tRef := static[1].t
 
 	speedupRow := func(name string, runs map[int]run) {

@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 
 	"hybriddem/internal/core"
+	"hybriddem/internal/decomp"
 	"hybriddem/internal/force"
 	"hybriddem/internal/geom"
 )
@@ -47,6 +48,14 @@ type Snapshot struct {
 	// Progress bookkeeping.
 	Iters int // iterations completed when the snapshot was taken
 
+	// ORBTree is the serialized ORB decomposition the run had adopted
+	// (decomp.ORBTree.Encode), nil/empty for static or LPT runs. It is
+	// advisory performance state, not physics: a resume that cannot use
+	// it (different rank count, strategy off) still reproduces the
+	// trajectory exactly. New field; snapshots written before it decode
+	// with the field empty.
+	ORBTree []byte
+
 	// Physical state indexed by particle ID, stored component-major to
 	// mirror the structure-of-arrays particle store: Pos[k][id] is
 	// component k of particle id. Only the first D component slices are
@@ -62,6 +71,10 @@ func FromResult(cfg *core.Config, res *core.Result, itersDone int) (*Snapshot, e
 	if res.Pos == nil || res.Vel == nil {
 		return nil, fmt.Errorf("checkpoint: run did not collect state (set Config.CollectState)")
 	}
+	var tree []byte
+	if res.Tree != nil {
+		tree = res.Tree.Encode()
+	}
 	return &Snapshot{
 		D: cfg.D, N: cfg.N, L: cfg.L, BC: cfg.BC,
 		Diameter:   cfg.Spring.Diameter,
@@ -73,6 +86,7 @@ func FromResult(cfg *core.Config, res *core.Result, itersDone int) (*Snapshot, e
 		FillHeight: cfg.FillHeight,
 		Bonds:      cfg.Spring.Bonds,
 		Iters:      itersDone,
+		ORBTree:    tree,
 		Pos:        geom.CoordsFromVecs(res.Pos, cfg.D),
 		Vel:        geom.CoordsFromVecs(res.Vel, cfg.D),
 	}, nil
@@ -124,6 +138,13 @@ func (s *Snapshot) Apply(cfg *core.Config) error {
 			return fmt.Errorf("checkpoint: component %d holds %d positions and %d velocities for N=%d",
 				k, len(s.Pos[k]), len(s.Vel[k]), s.N)
 		}
+	}
+	if len(s.ORBTree) > 0 {
+		tree, err := decomp.DecodeTree(s.ORBTree)
+		if err != nil {
+			return fmt.Errorf("checkpoint: ORB tree: %w", err)
+		}
+		cfg.InitTree = tree
 	}
 	cfg.Init = &core.State{Pos: s.Pos.Vecs(s.N, s.D), Vel: s.Vel.Vecs(s.N, s.D)}
 	return nil

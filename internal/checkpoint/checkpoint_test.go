@@ -326,3 +326,85 @@ func TestFromResultRequiresState(t *testing.T) {
 		t.Error("stateless result accepted")
 	}
 }
+
+// TestORBTreeRoundTrip: a distributed ORB run's adopted cut tree rides
+// the snapshot through the framed wire format and comes back as
+// Config.InitTree, Equal to the original; a snapshot without a tree
+// leaves InitTree untouched; a corrupted tree payload is rejected.
+func TestORBTreeRoundTrip(t *testing.T) {
+	cfg := runCfg(300)
+	cfg.Mode = core.MPI
+	cfg.P = 2
+	cfg.BlocksPerProc = 4
+	cfg.Rebalance = core.RebalanceORB
+	res, err := core.Run(cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tree == nil {
+		t.Fatal("ORB run returned no cut tree snapshot")
+	}
+	snap, err := FromResult(&cfg, res, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.ORBTree) == 0 {
+		t.Fatal("snapshot carries no encoded tree")
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := runCfg(300)
+	resumed.Mode = core.MPI
+	resumed.P = 2
+	resumed.BlocksPerProc = 4
+	resumed.Rebalance = core.RebalanceORB
+	if err := got.Apply(&resumed); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.InitTree == nil {
+		t.Fatal("Apply left InitTree nil")
+	}
+	if !resumed.InitTree.Equal(res.Tree) {
+		t.Error("restored tree differs from the captured one")
+	}
+
+	// No tree on the result -> InitTree stays nil.
+	serial := runCfg(100)
+	sres, err := core.Run(serial, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssnap, err := FromResult(&serial, sres, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ssnap.ORBTree) != 0 {
+		t.Fatal("serial snapshot carries a tree")
+	}
+	target := runCfg(100)
+	if err := ssnap.Apply(&target); err != nil {
+		t.Fatal(err)
+	}
+	if target.InitTree != nil {
+		t.Error("Apply invented an InitTree from a treeless snapshot")
+	}
+
+	// A corrupted tree payload must fail Apply, not poison the run.
+	bad := *snap
+	bad.ORBTree = append([]byte(nil), snap.ORBTree...)
+	bad.ORBTree[len(bad.ORBTree)-1] ^= 0x01
+	broken := runCfg(300)
+	broken.Mode = core.MPI
+	broken.P = 2
+	broken.BlocksPerProc = 4
+	broken.Rebalance = core.RebalanceORB
+	if err := bad.Apply(&broken); err == nil {
+		t.Error("Apply accepted a corrupted tree payload")
+	}
+}

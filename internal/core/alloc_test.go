@@ -149,7 +149,7 @@ func TestStepSteadyStateZeroAllocDistributed(t *testing.T) {
 			cfg := allocConfig(MPI)
 			cfg.P = 4
 			cfg.BlocksPerProc = 4
-			cfg.Rebalance = true
+			cfg.Rebalance = RebalanceLPT
 			return cfg
 		}},
 		{"hybrid-rebalance", func() Config {
@@ -157,7 +157,32 @@ func TestStepSteadyStateZeroAllocDistributed(t *testing.T) {
 			cfg.P = 2
 			cfg.T = 3
 			cfg.BlocksPerProc = 4
-			cfg.Rebalance = true
+			cfg.Rebalance = RebalanceLPT
+			return cfg
+		}},
+		// Adaptive ORB variants: the cut-plane tree is built lazily at
+		// the first rebalance epoch (the setup rebuild), so the measured
+		// steady-state window must see no tree bookkeeping at all.
+		{"mpi-orb", func() Config {
+			cfg := allocConfig(MPI)
+			cfg.P = 4
+			cfg.BlocksPerProc = 4
+			cfg.Rebalance = RebalanceORB
+			return cfg
+		}},
+		{"hybrid-orb", func() Config {
+			cfg := allocConfig(Hybrid)
+			cfg.P = 2
+			cfg.T = 3
+			cfg.BlocksPerProc = 4
+			cfg.Rebalance = RebalanceORB
+			return cfg
+		}},
+		{"mpism-orb", func() Config {
+			cfg := allocConfig(MPIsm)
+			cfg.P = 4
+			cfg.BlocksPerProc = 4
+			cfg.Rebalance = RebalanceORB
 			return cfg
 		}},
 		{"hybrid-sync", func() Config {
@@ -186,7 +211,7 @@ func TestStepSteadyStateZeroAllocDistributed(t *testing.T) {
 			cfg := allocConfig(MPIsm)
 			cfg.P = 4
 			cfg.BlocksPerProc = 4
-			cfg.Rebalance = true
+			cfg.Rebalance = RebalanceLPT
 			return cfg
 		}},
 	}

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"hybriddem/internal/decomp"
 	"hybriddem/internal/force"
 	"hybriddem/internal/geom"
 	"hybriddem/internal/machine"
@@ -90,6 +91,39 @@ func (m Mode) String() string {
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
 
+// Strategy selects the dynamic load-balancing algorithm of the
+// distributed modes. It aliases the decomp type so the name table
+// (StrategyByName, StrategyNames — the -rebalance analogue of the
+// ModeByName idiom) lives next to the balancers themselves.
+type Strategy = decomp.Strategy
+
+const (
+	// RebalanceOff keeps the static block-cyclic deal.
+	RebalanceOff = decomp.StrategyOff
+	// RebalanceLPT re-deals whole blocks with the deterministic
+	// longest-processing-time-first heuristic.
+	RebalanceLPT = decomp.StrategyLPT
+	// RebalanceORB recuts the box with the orthogonal recursive
+	// bisection tree, giving each rank one contiguous brick of blocks.
+	RebalanceORB = decomp.StrategyORB
+)
+
+// StrategyByName resolves a command-line rebalance-strategy name
+// (case-insensitive); the error lists the valid names.
+func StrategyByName(name string) (Strategy, error) { return decomp.StrategyByName(name) }
+
+// StrategyNames returns the command-line names of all rebalance
+// strategies, in declaration order.
+func StrategyNames() []string { return decomp.StrategyNames() }
+
+// Strategies lists every declared rebalance strategy.
+func Strategies() []Strategy { return decomp.Strategies() }
+
+// StrategyFlag adapts a Strategy to the flag.Value interface, keeping
+// the historical boolean spellings of -rebalance alive (bare flag =
+// lpt, =false = off) alongside the strategy names.
+type StrategyFlag = decomp.StrategyFlag
+
 // Config describes one simulation run. The zero value is unusable;
 // start from Default and override.
 type Config struct {
@@ -162,16 +196,34 @@ type Config struct {
 	Method        shm.Method // force-update protection (OpenMP/Hybrid)
 	Fused         bool       // single fused region over all blocks (Section 11 further work)
 
-	// Rebalance enables dynamic block→rank load balancing in the
+	// Rebalance selects dynamic block→rank load balancing in the
 	// distributed modes: at every list rebuild the ranks exchange a
 	// per-block cost vector (links + core particles, EWMA-smoothed), a
-	// deterministic LPT repartitioner computes a new ownership map, and
+	// deterministic repartitioner computes a new ownership map, and
 	// whole blocks migrate to their new ranks (hysteresis keeps
-	// near-balanced maps stable). Trajectories are bit-identical to the
-	// static block-cyclic layout — ownership is bookkeeping, only the
+	// near-balanced maps stable). RebalanceLPT re-deals whole blocks by
+	// cost; RebalanceORB recuts the box with an orthogonal recursive
+	// bisection tree so each rank owns one contiguous brick of blocks.
+	// Trajectories are bit-identical to the static block-cyclic layout
+	// under either strategy — ownership is bookkeeping, only the
 	// modelled per-rank load changes. Ignored by the serial and
-	// pure-OpenMP modes. Off by default.
-	Rebalance bool
+	// pure-OpenMP modes. RebalanceOff (the zero value) by default.
+	Rebalance Strategy
+
+	// RebalanceHyst overrides the repartition hysteresis: a candidate
+	// map is adopted only when the current map's predicted peak load
+	// exceeds the candidate's by more than this relative margin.
+	// Tighter values track a moving load more closely at the price of
+	// more migration traffic; 0 keeps decomp.DefaultRebalanceHyst.
+	RebalanceHyst float64
+
+	// InitTree, when non-nil with RebalanceORB, seeds the run's
+	// decomposition with a previously adopted ORB tree (restored from a
+	// checkpoint), so a resumed run starts from the ownership it was
+	// snapshotted with instead of re-adapting from the cyclic deal. It
+	// is ignored when its shape does not match the run's layout (e.g.
+	// after a degrade-and-recover changed the rank count).
+	InitTree *decomp.ORBTree
 
 	// Overlap enables the split-phase halo exchange in the distributed
 	// modes: the step posts the exchange, accumulates core-link forces
@@ -332,6 +384,10 @@ func (c *Config) Validate() error {
 	default:
 		return fmt.Errorf("core: unrecognised mode %v (valid: %s)", c.Mode, strings.Join(ModeNames(), " | "))
 	}
+	if !c.Rebalance.Valid() {
+		return fmt.Errorf("core: unrecognised rebalance strategy %d (valid: %s)",
+			int(c.Rebalance), strings.Join(StrategyNames(), " | "))
+	}
 	return nil
 }
 
@@ -413,6 +469,16 @@ type Result struct {
 	// phases, excluding link generation, exactly as the paper times.
 	PerIter float64
 
+	// TotalTime is the modelled wall time per measured iteration: the
+	// slowest rank's full virtual clock over the measured window,
+	// divided by the iteration count. Unlike PerIter it includes
+	// everything between the timed phases — link rebuilds, particle
+	// migration, and dynamic repartition (the cost allreduce, owner
+	// updates, and block transfers) — so it is the number that exposes
+	// a load balancer's own overhead. Shared-memory runs include
+	// rebuild time only (they have no migration or repartition).
+	TotalTime float64
+
 	// Wall is the real host time for the measured iterations.
 	Wall time.Duration
 
@@ -437,6 +503,11 @@ type Result struct {
 	Imbalance float64
 
 	TC trace.Counters // aggregated counters (all ranks and threads)
+
+	// Tree is the ORB decomposition adopted by the end of the run
+	// (rank 0's private copy); nil unless the run used RebalanceORB.
+	// Checkpoints embed it so a resumed run keeps its decomposition.
+	Tree *decomp.ORBTree
 
 	// Final state indexed by particle ID; nil unless CollectState.
 	Pos, Vel []geom.Vec

@@ -78,8 +78,24 @@ func activePerNode(cfg *Config, pf *machine.Platform) int {
 
 func newRankSim(cfg *Config, c *mp.Comm, l *decomp.Layout) *rankSim {
 	r := &rankSim{cfg: cfg, c: c}
+	// A checkpointed ORB decomposition resumes where it left off: apply
+	// the tree's ownership to a private clone of the layout (the shared
+	// original must stay immutable) and seed the domain's adopted tree
+	// so the first epoch applies hysteresis against it instead of
+	// re-adopting from the cyclic deal. A tree whose shape no longer
+	// matches (e.g. after a degrade-and-recover changed P) is ignored.
+	seedTree := cfg.Rebalance == RebalanceORB && cfg.InitTree != nil && cfg.InitTree.Matches(l)
+	if seedTree {
+		owned := l.Clone()
+		cfg.InitTree.ApplyOwners(owned)
+		l = owned
+	}
 	r.dm = decomp.NewDomain(l, c, cfg.needsHaloVel())
 	r.dm.Rebalance = cfg.Rebalance
+	r.dm.RebalanceHyst = cfg.RebalanceHyst
+	if seedTree {
+		r.dm.SeedORBTree(cfg.InitTree)
+	}
 	if pf := cfg.Platform; pf != nil {
 		// Exchange traffic is surface-proportional: both the pack
 		// work and the modelled wire bytes scale with
@@ -133,7 +149,11 @@ func (r *rankSim) rebuild() {
 	r.dm.Rebuild(cfg.Reorder)
 	r.rebuilds++
 	if t0, t1, moved := r.dm.LastRebalance(); moved {
-		r.span("rebalance", t0, t1)
+		phase := "rebalance"
+		if cfg.Rebalance == RebalanceORB {
+			phase = "orb"
+		}
+		r.span(phase, t0, t1)
 	}
 
 	// Locality metric across this rank's blocks.
@@ -764,10 +784,15 @@ func runDistributed(cfg Config, iters int, seg segment) (*Result, error) {
 			}
 			rb = r.rebuilds
 		}
+		// The full virtual clock since the post-warmup reset covers the
+		// timed phases plus rebuilds, migration, and repartition; read
+		// it before the result collectives below advance it further.
+		elapsedAll := r.clock()
 		perIter := total / float64(measured)
 		// Timing is the slowest rank's (the paper's t is the global
 		// iteration time).
 		perIter = c.AllreduceScalar(perIter, mp.Max)
+		totalIter := c.AllreduceScalar(elapsedAll, mp.Max) / float64(measured)
 
 		nlinks := c.AllreduceScalar(float64(r.dm.NumLinks()), mp.Sum)
 
@@ -786,6 +811,7 @@ func runDistributed(cfg Config, iters int, seg segment) (*Result, error) {
 			Mode:       cfg.Mode,
 			Iters:      measured,
 			PerIter:    perIter,
+			TotalTime:  totalIter,
 			Epot:       r.epot,
 			Ekin:       r.ekin,
 			NLinks:     int64(nlinks),
@@ -802,6 +828,9 @@ func runDistributed(cfg Config, iters int, seg segment) (*Result, error) {
 		if r.team != nil {
 			res.TC.Add(&r.team.TC)
 			res.AtomicFraction = r.team.TC.AtomicFraction()
+		}
+		if cfg.Rebalance == RebalanceORB && c.Rank() == 0 {
+			res.Tree = r.dm.ORBTreeSnapshot()
 		}
 		if cfg.CollectState {
 			res.Pos, res.Vel = gather(&cfg, c, r)

@@ -264,6 +264,7 @@ func RunShared(cfg Config, iters int) (*Result, error) {
 	s.forceTime, s.updateTime = 0, 0
 	rebuilds0 := s.rebuilds
 	total := 0.0
+	clk0 := s.nowClock()
 	start := time.Now()
 	for i := 0; i < iters; i++ {
 		total += s.step()
@@ -275,14 +276,15 @@ func RunShared(cfg Config, iters int) (*Result, error) {
 	wall := time.Since(start)
 
 	res := &Result{
-		Mode:     cfg.Mode,
-		Iters:    iters,
-		PerIter:  total / float64(iters),
-		Wall:     wall,
-		Epot:     s.epot,
-		Ekin:     s.ekin,
-		NLinks:   int64(len(s.list.Links)),
-		Rebuilds: s.rebuilds - rebuilds0,
+		Mode:      cfg.Mode,
+		Iters:     iters,
+		PerIter:   total / float64(iters),
+		TotalTime: (s.nowClock() - clk0) / float64(iters),
+		Wall:      wall,
+		Epot:      s.epot,
+		Ekin:      s.ekin,
+		NLinks:    int64(len(s.list.Links)),
+		Rebuilds:  s.rebuilds - rebuilds0,
 
 		ForceTime:  s.forceTime / float64(iters),
 		UpdateTime: s.updateTime / float64(iters),

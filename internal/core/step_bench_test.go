@@ -99,6 +99,19 @@ func BenchmarkStepMPIsm(b *testing.B) {
 	benchDistributed(b, cfg)
 }
 
+// BenchmarkStepORB times the steady-state step under the adaptive ORB
+// decomposition: the cut tree and its scratch are built at the setup
+// rebuild, so the measured window must show the same zero-allocation
+// step as the static deal (the alloc gate asserts it; ReportAllocs in
+// benchDistributed makes it visible here).
+func BenchmarkStepORB(b *testing.B) {
+	cfg := allocConfig(MPI)
+	cfg.P = 4
+	cfg.BlocksPerProc = 4
+	cfg.Rebalance = RebalanceORB
+	benchDistributed(b, cfg)
+}
+
 // The NoOverlap variants pin the synchronous exchange so the
 // split-phase default can be compared against it (host time and
 // allocations) from the same benchmark run.

@@ -59,12 +59,13 @@ type Domain struct {
 	// TC accumulates structural (non-message) event counts.
 	TC trace.Counters
 
-	// Rebalance enables the dynamic load balancer: at every Rebuild the
-	// ranks exchange a per-block cost vector, a deterministic LPT
-	// repartitioner computes a new block→rank map, and whole blocks
-	// migrate to their new owners. Off by default for bit-compat with
-	// the static block-cyclic deal.
-	Rebalance bool
+	// Rebalance selects the dynamic load balancer: at every Rebuild the
+	// ranks exchange a per-block cost vector, a deterministic
+	// repartitioner (LPT block deal or ORB cut-plane tree) computes a
+	// new block→rank map, and whole blocks migrate to their new owners.
+	// StrategyOff (the zero value) keeps the static block-cyclic deal,
+	// for bit-compat its default.
+	Rebalance Strategy
 
 	// RebalanceHyst is the migration-hysteresis threshold: the current
 	// map is kept unless the new map improves the peak load by more
@@ -113,6 +114,12 @@ type Domain struct {
 	rebalT0      float64
 	rebalT1      float64
 	rebalanced   bool
+
+	// ORB state: the adopted tree (nil until the first ORB epoch, or
+	// seeded from a checkpoint) and the scratch tree the next candidate
+	// is built into; the repartitioner swaps them on adoption.
+	orb     *ORBTree
+	orbNext *ORBTree
 }
 
 // NewDomain builds the rank-local domain over an existing layout. The
@@ -256,7 +263,7 @@ func (dm *Domain) ListsValid(skin float64) bool {
 // grid and link list and snapshot reference positions.
 func (dm *Domain) Rebuild(reorder bool) {
 	dm.migrate()
-	if dm.Rebalance {
+	if dm.Rebalance.Enabled() {
 		dm.rebalance()
 	} else {
 		dm.rebalanced = false

@@ -1,0 +1,589 @@
+package decomp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"hybriddem/internal/geom"
+)
+
+// Orthogonal recursive bisection over the block grid.
+//
+// The ORB strategy replaces the LPT block deal with a binary tree of
+// axis-aligned cut planes: each internal node splits its brick of
+// blocks into two sub-bricks whose predicted per-rank loads are as
+// equal as possible, recursing until every leaf holds exactly one
+// rank's brick. Cut planes are quantised to block faces, so the block
+// geometry — and with it every halo template, migration rule and the
+// canonical orderings that make ownership invisible to the physics —
+// is untouched: ORB only rewrites the block→rank table, exactly like
+// LPT, and trajectories stay bit-identical to the static deal. Unlike
+// LPT, each rank's blocks form one contiguous rectangular brick, so
+// the rank's halo surface stays compact (and its same-rank interior
+// legs ride the free direct-copy fast path) no matter how fine the
+// granularity is refined; the cut planes recomputed from the smoothed
+// cost field at every rebuild are what lets the domain shape follow a
+// drifting cluster.
+
+// orbMagic frames a serialized ORB tree inside checkpoint payloads.
+const orbMagic = "HYORBT01"
+
+// orbMaxRanks bounds P in decoded trees: far above any real layout,
+// tight enough that a corrupt header cannot demand a giant allocation.
+const orbMaxRanks = 1 << 16
+
+// ORBNode is one node of the bisection tree. A node covers the brick
+// of blocks with coordinates in [Lo[i], Hi[i]) and distributes the
+// ranks [Rank0, Rank0+NRank). Internal nodes split at block-coordinate
+// Cut along Dim; leaves (NRank == 1) have Dim, Cut, Left and Right all
+// -1. Fields are int32 so the node serializes with fixed width.
+type ORBNode struct {
+	Lo, Hi [geom.MaxD]int32
+	Rank0  int32
+	NRank  int32
+	Dim    int32
+	Cut    int32
+	Left   int32
+	Right  int32
+}
+
+// ORBTree is the full bisection tree for one layout shape. Nodes is
+// preallocated to exactly 2P-1 entries (a binary tree with P leaves),
+// so rebuilding the cuts each epoch allocates nothing.
+type ORBTree struct {
+	D         int
+	P         int
+	BlockDims [geom.MaxD]int
+	Nodes     []ORBNode
+
+	n    int       // nodes in use; always 2P-1 after a Build
+	line []float64 // per-slice cost scratch for the cut search
+}
+
+// NewORBTree returns an empty tree sized for the layout; Build fills
+// it.
+func NewORBTree(l *Layout) *ORBTree {
+	t := &ORBTree{D: l.D, P: l.P, BlockDims: l.BlockDims}
+	t.Nodes = make([]ORBNode, 2*l.P-1)
+	maxDim := 1
+	for i := 0; i < l.D; i++ {
+		if l.BlockDims[i] > maxDim {
+			maxDim = l.BlockDims[i]
+		}
+	}
+	t.line = make([]float64, maxDim)
+	return t
+}
+
+// Matches reports whether the tree was built for this layout shape;
+// a tree restored from a checkpoint is only usable when it was.
+func (t *ORBTree) Matches(l *Layout) bool {
+	return t.D == l.D && t.P == l.P && t.BlockDims == l.BlockDims
+}
+
+// Clone returns a deep copy with private scratch.
+func (t *ORBTree) Clone() *ORBTree {
+	cp := &ORBTree{D: t.D, P: t.P, BlockDims: t.BlockDims, n: t.n}
+	cp.Nodes = append([]ORBNode(nil), t.Nodes...)
+	cp.line = make([]float64, len(t.line))
+	return cp
+}
+
+// Equal reports whether two trees carry identical cuts.
+func (t *ORBTree) Equal(o *ORBTree) bool {
+	if t.D != o.D || t.P != o.P || t.BlockDims != o.BlockDims || t.n != o.n {
+		return false
+	}
+	for i := 0; i < t.n; i++ {
+		if t.Nodes[i] != o.Nodes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// alloc hands out the next preallocated node. Nodes never grows, so
+// pointers into it stay valid across child allocation.
+func (t *ORBTree) alloc() int {
+	i := t.n
+	t.n++
+	return i
+}
+
+// Build recomputes every cut plane from the per-block cost field
+// (identical on all ranks after the allreduce, so every rank derives
+// the identical tree). Allocation-free after construction.
+func (t *ORBTree) Build(l *Layout, cost []float64) {
+	t.n = 0
+	root := t.alloc()
+	nd := &t.Nodes[root]
+	*nd = ORBNode{Rank0: 0, NRank: int32(t.P)}
+	for i := 0; i < geom.MaxD; i++ {
+		nd.Lo[i] = 0
+		nd.Hi[i] = int32(t.BlockDims[i])
+	}
+	t.split(l, cost, root)
+}
+
+// split chooses the best feasible cut of node idx and recurses. The
+// search is deterministic: dimensions are tried in decreasing brick
+// extent (ties to the lower dimension), candidate planes in ascending
+// coordinate, and only a strictly better predicted peak load replaces
+// the incumbent.
+func (t *ORBTree) split(l *Layout, cost []float64, idx int) {
+	nd := &t.Nodes[idx]
+	if nd.NRank == 1 {
+		nd.Dim, nd.Cut, nd.Left, nd.Right = -1, -1, -1, -1
+		return
+	}
+	nl := (int(nd.NRank) + 1) / 2
+	nr := int(nd.NRank) - nl
+
+	vol := 1
+	for i := 0; i < t.D; i++ {
+		vol *= int(nd.Hi[i] - nd.Lo[i])
+	}
+
+	// Dimension order: decreasing extent, ties to the lower dimension.
+	var order [geom.MaxD]int
+	for i := 0; i < t.D; i++ {
+		order[i] = i
+	}
+	for i := 1; i < t.D; i++ {
+		v := order[i]
+		ext := nd.Hi[v] - nd.Lo[v]
+		j := i - 1
+		for j >= 0 && nd.Hi[order[j]]-nd.Lo[order[j]] < ext {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = v
+	}
+
+	bestDim, bestOff := -1, -1
+	bestObj := math.Inf(1)
+	for oi := 0; oi < t.D; oi++ {
+		dim := order[oi]
+		lo, hi := int(nd.Lo[dim]), int(nd.Hi[dim])
+		ext := hi - lo
+		if ext < 2 {
+			continue
+		}
+		rowSize := vol / ext
+		line := t.line[:ext]
+		for j := range line {
+			line[j] = 0
+		}
+		// Sum the cost of every slice of the brick perpendicular to dim
+		// (odometer over the brick's block coordinates).
+		var c [geom.MaxD]int
+		for i := 0; i < geom.MaxD; i++ {
+			c[i] = int(nd.Lo[i])
+		}
+		for {
+			line[c[dim]-lo] += cost[l.blockID(c)]
+			k := t.D - 1
+			for k >= 0 {
+				c[k]++
+				if c[k] < int(nd.Hi[k]) {
+					break
+				}
+				c[k] = int(nd.Lo[k])
+				k--
+			}
+			if k < 0 {
+				break
+			}
+		}
+		total := 0.0
+		for _, v := range line {
+			total += v
+		}
+		// Candidate planes leave each side enough blocks for its ranks.
+		left := 0.0
+		for j := 1; j < ext; j++ {
+			left += line[j-1]
+			if j*rowSize < nl || (ext-j)*rowSize < nr {
+				continue
+			}
+			obj := left / float64(nl)
+			if r := (total - left) / float64(nr); r > obj {
+				obj = r
+			}
+			if obj < bestObj {
+				bestObj, bestDim, bestOff = obj, dim, j
+			}
+		}
+	}
+	if bestDim < 0 {
+		// Unreachable for any layout NewLayout admits (the brick always
+		// holds at least one block per rank), kept as a loud guard.
+		panic(fmt.Sprintf("decomp: ORB found no feasible cut for brick %v-%v over %d ranks",
+			nd.Lo, nd.Hi, nd.NRank))
+	}
+
+	li, ri := t.alloc(), t.alloc()
+	nd.Dim = int32(bestDim)
+	nd.Cut = nd.Lo[bestDim] + int32(bestOff)
+	nd.Left, nd.Right = int32(li), int32(ri)
+	lc, rc := &t.Nodes[li], &t.Nodes[ri]
+	*lc = ORBNode{Lo: nd.Lo, Hi: nd.Hi, Rank0: nd.Rank0, NRank: int32(nl)}
+	lc.Hi[bestDim] = nd.Cut
+	*rc = ORBNode{Lo: nd.Lo, Hi: nd.Hi, Rank0: nd.Rank0 + int32(nl), NRank: int32(nr)}
+	rc.Lo[bestDim] = nd.Cut
+	t.split(l, cost, li)
+	t.split(l, cost, ri)
+}
+
+// Owners stamps the block→rank map the tree encodes into dst (length
+// l.B). Allocation-free.
+func (t *ORBTree) Owners(l *Layout, dst []int) {
+	for i := 0; i < t.n; i++ {
+		nd := &t.Nodes[i]
+		if nd.Dim >= 0 {
+			continue
+		}
+		var c [geom.MaxD]int
+		for k := 0; k < geom.MaxD; k++ {
+			c[k] = int(nd.Lo[k])
+		}
+		for {
+			dst[l.blockID(c)] = int(nd.Rank0)
+			k := t.D - 1
+			for k >= 0 {
+				c[k]++
+				if c[k] < int(nd.Hi[k]) {
+					break
+				}
+				c[k] = int(nd.Lo[k])
+				k--
+			}
+			if k < 0 {
+				break
+			}
+		}
+	}
+}
+
+// ApplyOwners rewrites the layout's ownership table to the tree's map;
+// used to restore a checkpointed decomposition before the domain is
+// built.
+func (t *ORBTree) ApplyOwners(l *Layout) {
+	dst := make([]int, l.B)
+	t.Owners(l, dst)
+	for id, r := range dst {
+		l.SetOwner(id, r)
+	}
+}
+
+// cutDiff counts the internal nodes whose cut plane differs between
+// two builds of the same shape. The recursion's rank split depends
+// only on NRank, so trees for one (P, grid) shape always have the same
+// topology and a positional comparison is meaningful.
+func cutDiff(a, b *ORBTree) int64 {
+	n := a.n
+	if b.n < n {
+		n = b.n
+	}
+	diff := int64(0)
+	for i := 0; i < n; i++ {
+		if a.Nodes[i].Dim != b.Nodes[i].Dim || a.Nodes[i].Cut != b.Nodes[i].Cut {
+			diff++
+		}
+	}
+	return diff
+}
+
+// Validate checks every structural invariant of the tree: header
+// ranges, exactly 2P-1 nodes each reachable exactly once from the
+// root, brick nesting, rank-interval propagation, and leaf/internal
+// field discipline. DecodeTree runs it on every decoded payload, so a
+// corrupt checkpoint surfaces as an error here rather than as a bad
+// ownership table later.
+func (t *ORBTree) Validate() error {
+	if t.D < 1 || t.D > geom.MaxD {
+		return fmt.Errorf("decomp: ORB tree dimension %d", t.D)
+	}
+	if t.P < 1 || t.P > orbMaxRanks {
+		return fmt.Errorf("decomp: ORB tree for %d ranks", t.P)
+	}
+	for i := 0; i < geom.MaxD; i++ {
+		if t.BlockDims[i] < 1 {
+			return fmt.Errorf("decomp: ORB grid %v", t.BlockDims)
+		}
+		if i >= t.D && t.BlockDims[i] != 1 {
+			return fmt.Errorf("decomp: ORB grid %v has extent beyond dimension %d", t.BlockDims, t.D)
+		}
+	}
+	want := 2*t.P - 1
+	if t.n != want || len(t.Nodes) < want {
+		return fmt.Errorf("decomp: ORB tree has %d of %d nodes", t.n, want)
+	}
+
+	root := &t.Nodes[0]
+	if root.Rank0 != 0 || int(root.NRank) != t.P {
+		return fmt.Errorf("decomp: ORB root covers ranks [%d, %d)", root.Rank0, root.Rank0+root.NRank)
+	}
+	for i := 0; i < geom.MaxD; i++ {
+		if root.Lo[i] != 0 || int(root.Hi[i]) != t.BlockDims[i] {
+			return fmt.Errorf("decomp: ORB root brick %v-%v does not cover grid %v", root.Lo, root.Hi, t.BlockDims)
+		}
+	}
+
+	visited := make([]bool, t.n)
+	stack := make([]int, 1, t.n)
+	stack[0] = 0
+	leaves := 0
+	for len(stack) > 0 {
+		idx := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if idx < 0 || idx >= t.n {
+			return fmt.Errorf("decomp: ORB node index %d out of range", idx)
+		}
+		if visited[idx] {
+			return fmt.Errorf("decomp: ORB node %d reached twice", idx)
+		}
+		visited[idx] = true
+		nd := &t.Nodes[idx]
+		vol := 1
+		for i := 0; i < geom.MaxD; i++ {
+			if nd.Lo[i] < 0 || int(nd.Hi[i]) > t.BlockDims[i] || nd.Lo[i] >= nd.Hi[i] {
+				return fmt.Errorf("decomp: ORB node %d brick %v-%v outside grid %v", idx, nd.Lo, nd.Hi, t.BlockDims)
+			}
+			vol *= int(nd.Hi[i] - nd.Lo[i])
+		}
+		if nd.NRank < 1 || nd.Rank0 < 0 || int(nd.Rank0)+int(nd.NRank) > t.P {
+			return fmt.Errorf("decomp: ORB node %d covers ranks [%d, %d) of %d", idx, nd.Rank0, nd.Rank0+nd.NRank, t.P)
+		}
+		if vol < int(nd.NRank) {
+			return fmt.Errorf("decomp: ORB node %d has %d blocks for %d ranks", idx, vol, nd.NRank)
+		}
+		if nd.NRank == 1 {
+			if nd.Dim != -1 || nd.Cut != -1 || nd.Left != -1 || nd.Right != -1 {
+				return fmt.Errorf("decomp: ORB leaf %d carries split fields", idx)
+			}
+			leaves++
+			continue
+		}
+		if nd.Dim < 0 || int(nd.Dim) >= t.D {
+			return fmt.Errorf("decomp: ORB node %d splits dimension %d", idx, nd.Dim)
+		}
+		if nd.Cut <= nd.Lo[nd.Dim] || nd.Cut >= nd.Hi[nd.Dim] {
+			return fmt.Errorf("decomp: ORB node %d cut %d outside (%d, %d)", idx, nd.Cut, nd.Lo[nd.Dim], nd.Hi[nd.Dim])
+		}
+		li, ri := int(nd.Left), int(nd.Right)
+		if li <= 0 || li >= t.n || ri <= 0 || ri >= t.n || li == ri {
+			return fmt.Errorf("decomp: ORB node %d children %d, %d", idx, li, ri)
+		}
+		nl := (int(nd.NRank) + 1) / 2
+		lc, rc := &t.Nodes[li], &t.Nodes[ri]
+		wantL, wantR := *nd, *nd
+		wantL.Hi[nd.Dim] = nd.Cut
+		wantL.NRank = int32(nl)
+		wantR.Lo[nd.Dim] = nd.Cut
+		wantR.Rank0 = nd.Rank0 + int32(nl)
+		wantR.NRank = nd.NRank - int32(nl)
+		if lc.Lo != wantL.Lo || lc.Hi != wantL.Hi || lc.Rank0 != wantL.Rank0 || lc.NRank != wantL.NRank {
+			return fmt.Errorf("decomp: ORB node %d left child mismatch", idx)
+		}
+		if rc.Lo != wantR.Lo || rc.Hi != wantR.Hi || rc.Rank0 != wantR.Rank0 || rc.NRank != wantR.NRank {
+			return fmt.Errorf("decomp: ORB node %d right child mismatch", idx)
+		}
+		stack = append(stack, li, ri)
+	}
+	if leaves != t.P {
+		return fmt.Errorf("decomp: ORB tree has %d leaves for %d ranks", leaves, t.P)
+	}
+	for i := 0; i < t.n; i++ {
+		if !visited[i] {
+			return fmt.Errorf("decomp: ORB node %d unreachable from the root", i)
+		}
+	}
+	return nil
+}
+
+// orbNodeBytes is the fixed serialized width of one node.
+const orbNodeBytes = 4 * (2*geom.MaxD + 6)
+
+// Encode serializes the tree: the magic, a fixed header, then the
+// nodes, all as big-endian int32. The result is embedded into
+// checkpoint snapshots; DecodeTree inverts it.
+func (t *ORBTree) Encode() []byte {
+	buf := make([]byte, 0, len(orbMagic)+4*(2+geom.MaxD+1)+orbNodeBytes*t.n)
+	buf = append(buf, orbMagic...)
+	put := func(v int32) {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(v))
+	}
+	put(int32(t.D))
+	put(int32(t.P))
+	for i := 0; i < geom.MaxD; i++ {
+		put(int32(t.BlockDims[i]))
+	}
+	put(int32(t.n))
+	for i := 0; i < t.n; i++ {
+		nd := &t.Nodes[i]
+		for k := 0; k < geom.MaxD; k++ {
+			put(nd.Lo[k])
+		}
+		for k := 0; k < geom.MaxD; k++ {
+			put(nd.Hi[k])
+		}
+		put(nd.Rank0)
+		put(nd.NRank)
+		put(nd.Dim)
+		put(nd.Cut)
+		put(nd.Left)
+		put(nd.Right)
+	}
+	return buf
+}
+
+// DecodeTree parses and fully validates a serialized tree. It never
+// panics on hostile input: every length and every structural invariant
+// is checked before use.
+func DecodeTree(b []byte) (*ORBTree, error) {
+	headerLen := len(orbMagic) + 4*(2+geom.MaxD+1)
+	if len(b) < headerLen {
+		return nil, fmt.Errorf("decomp: ORB payload %d bytes, header needs %d", len(b), headerLen)
+	}
+	if string(b[:len(orbMagic)]) != orbMagic {
+		return nil, fmt.Errorf("decomp: ORB payload magic %q", b[:len(orbMagic)])
+	}
+	off := len(orbMagic)
+	get := func() int32 {
+		v := int32(binary.BigEndian.Uint32(b[off:]))
+		off += 4
+		return v
+	}
+	t := &ORBTree{D: int(get()), P: int(get())}
+	for i := 0; i < geom.MaxD; i++ {
+		t.BlockDims[i] = int(get())
+	}
+	n := int(get())
+	if t.P < 1 || t.P > orbMaxRanks || n != 2*t.P-1 {
+		return nil, fmt.Errorf("decomp: ORB payload declares %d nodes for %d ranks", n, t.P)
+	}
+	if want := headerLen + orbNodeBytes*n; len(b) != want {
+		return nil, fmt.Errorf("decomp: ORB payload %d bytes, %d nodes need %d", len(b), n, want)
+	}
+	t.n = n
+	t.Nodes = make([]ORBNode, n)
+	for i := range t.Nodes {
+		nd := &t.Nodes[i]
+		for k := 0; k < geom.MaxD; k++ {
+			nd.Lo[k] = get()
+		}
+		for k := 0; k < geom.MaxD; k++ {
+			nd.Hi[k] = get()
+		}
+		nd.Rank0 = get()
+		nd.NRank = get()
+		nd.Dim = get()
+		nd.Cut = get()
+		nd.Left = get()
+		nd.Right = get()
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	maxDim := 1
+	for i := 0; i < t.D; i++ {
+		if t.BlockDims[i] > maxDim {
+			maxDim = t.BlockDims[i]
+		}
+	}
+	t.line = make([]float64, maxDim)
+	return t, nil
+}
+
+// repartitionORB is the ORB counterpart of repartition: rebuild the
+// cut planes from the smoothed costs, compare the predicted peak load
+// of the new brick map against the current ownership, and adopt the
+// tree when it clears the hysteresis margin. The very first epoch
+// always adopts — even at equal predicted compute, the contiguous
+// bricks beat the scattered cyclic deal on halo surface, which the
+// peak-load comparison cannot see. Returns whether ownership changed.
+func (dm *Domain) repartitionORB() bool {
+	l := dm.L
+	if dm.orbNext == nil {
+		dm.orbNext = NewORBTree(l)
+	}
+	dm.orbNext.Build(l, dm.costEWMA)
+	newOwner := dm.newOwnerVec
+	dm.orbNext.Owners(l, newOwner)
+
+	load := dm.rankLoad
+	for r := range load {
+		load[r] = 0
+	}
+	curMax := 0.0
+	for id := 0; id < l.B; id++ {
+		load[l.RankOfBlock(id)] += dm.costEWMA[id]
+	}
+	for _, ld := range load {
+		if ld > curMax {
+			curMax = ld
+		}
+	}
+	for r := range load {
+		load[r] = 0
+	}
+	newMax := 0.0
+	for id := 0; id < l.B; id++ {
+		load[newOwner[id]] += dm.costEWMA[id]
+	}
+	for _, ld := range load {
+		if ld > newMax {
+			newMax = ld
+		}
+	}
+
+	hyst := dm.RebalanceHyst
+	if hyst <= 0 {
+		hyst = DefaultRebalanceHyst
+	}
+	if dm.orb != nil && curMax <= newMax*(1+hyst) {
+		return false
+	}
+
+	if dm.orb == nil {
+		// First adoption: count every cut plane as placed.
+		dm.TC.CutShifts += int64(l.P - 1)
+		dm.orb = dm.orbNext
+		dm.orbNext = NewORBTree(l)
+	} else {
+		dm.TC.CutShifts += cutDiff(dm.orb, dm.orbNext)
+		dm.orb, dm.orbNext = dm.orbNext, dm.orb
+	}
+
+	changed := false
+	for id := 0; id < l.B; id++ {
+		dm.prevOwner[id] = l.RankOfBlock(id)
+		if dm.prevOwner[id] != newOwner[id] {
+			changed = true
+		}
+		l.SetOwner(id, newOwner[id])
+	}
+	return changed
+}
+
+// SeedORBTree installs a previously adopted tree (restored from a
+// checkpoint) as the current decomposition, so the first rebalance
+// epoch of a resumed run applies hysteresis against it instead of
+// re-adopting from scratch. The caller must already have applied the
+// tree's ownership to the layout the domain was built over. The tree
+// is cloned: the config it arrives through is shared across rank
+// goroutines.
+func (dm *Domain) SeedORBTree(t *ORBTree) {
+	dm.orb = t.Clone()
+}
+
+// ORBTreeSnapshot returns a private copy of the currently adopted
+// tree, or nil when no ORB epoch has adopted one.
+func (dm *Domain) ORBTreeSnapshot() *ORBTree {
+	if dm.orb == nil {
+		return nil
+	}
+	return dm.orb.Clone()
+}

@@ -1,0 +1,279 @@
+package decomp
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hybriddem/internal/geom"
+	"hybriddem/internal/mp"
+)
+
+// costField builds a deterministic, strongly skewed per-block cost
+// vector: pseudo-random weights plus a heavy band at low block ids, so
+// bisections actually have something to chase.
+func costField(b int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	cost := make([]float64, b)
+	for i := range cost {
+		cost[i] = 1 + 10*rng.Float64()
+		if i < b/4 {
+			cost[i] += 40
+		}
+	}
+	return cost
+}
+
+// TestORBTreeTilesBox: for a sweep of rank counts and granularities,
+// the cut tree must partition the block grid exactly — every block
+// owned by exactly one leaf, every rank owning at least one block, and
+// each rank's blocks forming the contiguous brick its leaf claims.
+func TestORBTreeTilesBox(t *testing.T) {
+	box := geom.NewBox(2, 12, geom.Periodic)
+	for _, p := range []int{1, 2, 3, 4, 5, 8} {
+		for _, bpp := range []int{1, 2, 4} {
+			l, err := NewLayout(box, 0.5, p, bpp)
+			if err != nil {
+				t.Fatalf("p=%d bpp=%d: %v", p, bpp, err)
+			}
+			tree := NewORBTree(l)
+			tree.Build(l, costField(l.B, 7))
+			if err := tree.Validate(); err != nil {
+				t.Fatalf("p=%d bpp=%d: invalid tree: %v", p, bpp, err)
+			}
+			owners := make([]int, l.B)
+			for i := range owners {
+				owners[i] = -1
+			}
+			tree.Owners(l, owners)
+			perRank := make([]int, p)
+			for id, r := range owners {
+				if r < 0 || r >= p {
+					t.Fatalf("p=%d bpp=%d: block %d owner %d out of range", p, bpp, id, r)
+				}
+				perRank[r]++
+			}
+			for r, n := range perRank {
+				if n == 0 {
+					t.Errorf("p=%d bpp=%d: rank %d owns no block", p, bpp, r)
+				}
+			}
+			// Contiguity: each leaf brick must be owned wall-to-wall by
+			// its single rank.
+			for i := 0; i < tree.n; i++ {
+				nd := &tree.Nodes[i]
+				if nd.NRank != 1 {
+					continue
+				}
+				var c [geom.MaxD]int
+				for x := int(nd.Lo[0]); x < int(nd.Hi[0]); x++ {
+					for y := int(nd.Lo[1]); y < int(nd.Hi[1]); y++ {
+						c[0], c[1] = x, y
+						if got := owners[l.blockID(c)]; got != int(nd.Rank0) {
+							t.Fatalf("p=%d bpp=%d: block (%d,%d) owned by %d, leaf says %d",
+								p, bpp, x, y, got, nd.Rank0)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestORBTreeDeterministic: for a fixed cost field the bisection is a
+// pure function — rebuilding yields an Equal tree, at every rank
+// count. Determinism is what makes the positional cutDiff between
+// consecutive epochs meaningful.
+func TestORBTreeDeterministic(t *testing.T) {
+	box := geom.NewBox(3, 9, geom.Periodic)
+	for _, p := range []int{2, 3, 4, 6} {
+		l, err := NewLayout(box, 0.6, p, 2)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		cost := costField(l.B, 99)
+		a, b := NewORBTree(l), NewORBTree(l)
+		a.Build(l, cost)
+		b.Build(l, cost)
+		if !a.Equal(b) {
+			t.Errorf("p=%d: identical cost fields produced different trees", p)
+		}
+		if cutDiff(a, b) != 0 {
+			t.Errorf("p=%d: cutDiff between equal trees is nonzero", p)
+		}
+	}
+}
+
+// TestORBTreeEncodeDecode: the wire form round-trips exactly, and a
+// rebuilt tree from a different cost field decodes to a non-Equal one
+// (the encoding is not degenerate).
+func TestORBTreeEncodeDecode(t *testing.T) {
+	box := geom.NewBox(2, 12, geom.Periodic)
+	l, err := NewLayout(box, 0.5, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := NewORBTree(l)
+	tree.Build(l, costField(l.B, 7))
+	enc := tree.Encode()
+	dec, err := DecodeTree(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !dec.Equal(tree) {
+		t.Fatal("decoded tree differs from the encoded one")
+	}
+	if !dec.Matches(l) {
+		t.Fatal("decoded tree does not match its layout")
+	}
+	if got := dec.Encode(); string(got) != string(enc) {
+		t.Fatal("re-encoding the decoded tree changed the bytes")
+	}
+
+	other := NewORBTree(l)
+	flat := make([]float64, l.B)
+	for i := range flat {
+		flat[i] = 1
+	}
+	other.Build(l, flat)
+	if other.Equal(tree) {
+		t.Fatal("flat and skewed cost fields produced the same tree; cost has no effect")
+	}
+
+	// Truncations and corruptions must error, never panic.
+	for cut := 0; cut < len(enc); cut += 7 {
+		if _, err := DecodeTree(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded without error", cut)
+		}
+	}
+	bad := append([]byte(nil), enc...)
+	bad[9] ^= 0x40 // clobber P
+	if _, err := DecodeTree(bad); err == nil {
+		t.Fatal("corrupted header decoded without error")
+	}
+}
+
+// FuzzDecodeTree: DecodeTree must never panic, and any input it
+// accepts must validate and re-encode to the identical bytes.
+func FuzzDecodeTree(f *testing.F) {
+	box := geom.NewBox(2, 12, geom.Periodic)
+	for _, p := range []int{1, 2, 4} {
+		l, err := NewLayout(box, 0.5, p, 2)
+		if err != nil {
+			f.Fatal(err)
+		}
+		tree := NewORBTree(l)
+		tree.Build(l, costField(l.B, int64(p)))
+		f.Add(tree.Encode())
+	}
+	f.Add([]byte("HYORBT01"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		tree, err := DecodeTree(b)
+		if err != nil {
+			return
+		}
+		if verr := tree.Validate(); verr != nil {
+			t.Fatalf("DecodeTree accepted a tree Validate rejects: %v", verr)
+		}
+		if got := tree.Encode(); string(got) != string(b) {
+			t.Fatal("accepted input does not re-encode to itself")
+		}
+	})
+}
+
+// TestORBOwnershipInvariants mirrors the LPT ownership oracle for the
+// adaptive ORB strategy: after a repartitioned Rebuild of a clustered
+// bed, all ranks agree on the ownership table, the table matches a
+// valid cut tree, every particle lives on its owner, and the halos
+// satisfy the replication oracle.
+func TestORBOwnershipInvariants(t *testing.T) {
+	const n = 600
+	const p = 4
+	const bpp = 4
+	box := geom.NewBox(2, 10, geom.Periodic)
+	l := mustLayout(t, box, 0.5, p, bpp)
+
+	owners := make([][]int, p)
+	counts := make([]int, p)
+	trees := make([]*ORBTree, p)
+	global := make([]geom.Vec, n)
+	errs := make([]error, p)
+	var mu sync.Mutex
+	moved := int64(0)
+	shifts := int64(0)
+	mp.Run(p, nil, func(c *mp.Comm) {
+		dm := NewDomain(l, c, false)
+		dm.Rebalance = StrategyORB
+		dm.FillClustered(n, 11, 0.5, 0.25)
+		gatherGlobal(dm, global)
+		dm.Rebuild(true)
+
+		own := make([]int, l.B)
+		for id := 0; id < l.B; id++ {
+			own[id] = dm.L.RankOfBlock(id)
+		}
+		owners[c.Rank()] = own
+		trees[c.Rank()] = dm.ORBTreeSnapshot()
+		for _, b := range dm.Blocks {
+			counts[c.Rank()] += b.NCore
+			for i := 0; i < b.NCore; i++ {
+				if l.BlockOfPos(b.PS.PosAt(i)) != b.ID {
+					t.Errorf("rank %d: particle %d in wrong block", c.Rank(), b.PS.ID[i])
+				}
+			}
+		}
+		mu.Lock()
+		moved += dm.TC.BlocksMoved
+		shifts += dm.TC.CutShifts
+		mu.Unlock()
+		errs[c.Rank()] = dm.VerifyHalos(global, nil, 0)
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Errorf("rank %d: halo oracle: %v", r, err)
+		}
+	}
+	for r := 1; r < p; r++ {
+		for id := range owners[0] {
+			if owners[r][id] != owners[0][id] {
+				t.Fatalf("ranks 0 and %d disagree on owner of block %d", r, id)
+			}
+		}
+	}
+	for r := 0; r < p; r++ {
+		if trees[r] == nil {
+			t.Fatalf("rank %d has no adopted cut tree after a clustered rebuild", r)
+		}
+		if err := trees[r].Validate(); err != nil {
+			t.Errorf("rank %d: adopted tree invalid: %v", r, err)
+		}
+		if !trees[r].Equal(trees[0]) {
+			t.Errorf("ranks 0 and %d hold different cut trees", r)
+		}
+	}
+	// The adopted tree and the live ownership table must agree.
+	want := make([]int, l.B)
+	trees[0].Owners(mustLayout(t, box, 0.5, p, bpp), want)
+	for id, r := range want {
+		if owners[0][id] != r {
+			t.Errorf("block %d: table says rank %d, tree says rank %d", id, owners[0][id], r)
+		}
+	}
+	total := 0
+	for r, c := range counts {
+		if c == 0 {
+			t.Errorf("rank %d owns no particles on a clustered bed", r)
+		}
+		total += c
+	}
+	if total != n {
+		t.Errorf("particles lost in repartition: have %d want %d", total, n)
+	}
+	if moved == 0 {
+		t.Error("clustered bed triggered no block transfers")
+	}
+	if shifts == 0 {
+		t.Error("first ORB adoption recorded no cut shifts")
+	}
+}

@@ -81,8 +81,15 @@ func (dm *Domain) rebalance() {
 	}
 
 	// 2. Repartition (identical deterministic computation everywhere,
-	// no further communication) with hysteresis.
-	if !dm.repartition() {
+	// no further communication) with hysteresis. Both strategies write
+	// the same ownership table, so everything downstream is shared.
+	var changed bool
+	if dm.Rebalance == StrategyORB {
+		changed = dm.repartitionORB()
+	} else {
+		changed = dm.repartition()
+	}
+	if !changed {
 		dm.rebalT0, dm.rebalT1 = t0, dm.C.Clock()
 		return
 	}

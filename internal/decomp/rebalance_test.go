@@ -41,7 +41,7 @@ func TestRebalanceOwnershipInvariants(t *testing.T) {
 	moved := int64(0)
 	mp.Run(p, nil, func(c *mp.Comm) {
 		dm := NewDomain(l, c, false)
-		dm.Rebalance = true
+		dm.Rebalance = StrategyLPT
 		// Bottom quarter of the box: the cyclic deal leaves ranks
 		// owning only top blocks nearly idle.
 		dm.FillClustered(n, 11, 0.5, 0.25)
@@ -115,7 +115,7 @@ func TestRebalanceReducesPeakCoreCount(t *testing.T) {
 	box := geom.NewBox(2, 10, geom.Periodic)
 	l := mustLayout(t, box, 0.5, p, bpp)
 
-	peak := func(rebalance bool) int {
+	peak := func(rebalance Strategy) int {
 		counts := make([]int, p)
 		mp.Run(p, nil, func(c *mp.Comm) {
 			dm := NewDomain(l, c, false)
@@ -133,8 +133,8 @@ func TestRebalanceReducesPeakCoreCount(t *testing.T) {
 		return m
 	}
 
-	static := peak(false)
-	dynamic := peak(true)
+	static := peak(StrategyOff)
+	dynamic := peak(StrategyLPT)
 	if dynamic >= static {
 		t.Fatalf("rebalance did not reduce the peak core count: static %d, dynamic %d", static, dynamic)
 	}
@@ -150,7 +150,7 @@ func TestRebalanceHysteresisHoldsMap(t *testing.T) {
 	l := mustLayout(t, box, 0.5, p, 4)
 	mp.Run(p, nil, func(c *mp.Comm) {
 		dm := NewDomain(l, c, false)
-		dm.Rebalance = true
+		dm.Rebalance = StrategyLPT
 		dm.RebalanceHyst = 1e12
 		dm.FillClustered(n, 5, 0.5, 0.25)
 		dm.Rebuild(true)
@@ -175,7 +175,7 @@ func TestRebalanceLayoutIsolation(t *testing.T) {
 	l := mustLayout(t, box, 0.5, p, 4)
 	mp.Run(p, nil, func(c *mp.Comm) {
 		dm := NewDomain(l, c, false)
-		dm.Rebalance = true
+		dm.Rebalance = StrategyLPT
 		dm.FillClustered(n, 11, 0.5, 0.25)
 		dm.Rebuild(true)
 	})
@@ -200,7 +200,7 @@ func TestRebalanceRepeatedEpochsStress(t *testing.T) {
 	counts := make([]int, p)
 	mp.Run(p, nil, func(c *mp.Comm) {
 		dm := NewDomain(l, c, false)
-		dm.Rebalance = true
+		dm.Rebalance = StrategyLPT
 		dm.RebalanceHyst = 0.01 // eager: maximise churn
 		dm.FillClustered(n, 29, 1, 0.25)
 		for e := 0; e < epochs; e++ {

@@ -1,0 +1,124 @@
+package decomp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Strategy selects the dynamic load-balancing algorithm the domain
+// runs at each list rebuild.
+type Strategy int
+
+const (
+	// StrategyOff keeps the static block-cyclic deal for the whole run.
+	StrategyOff Strategy = iota
+	// StrategyLPT prices blocks (links + core particles, EWMA-smoothed)
+	// and re-deals whole blocks with a deterministic
+	// longest-processing-time-first heuristic; blocks assigned to one
+	// rank may be scattered anywhere in the grid.
+	StrategyLPT
+	// StrategyORB recuts the box with an orthogonal recursive bisection
+	// tree over the same smoothed cost field: each rank owns one
+	// contiguous brick of blocks, so its halo surface stays compact
+	// while the cut planes follow the particles.
+	StrategyORB
+)
+
+// strategyNames is the single source of truth tying Strategy constants
+// to their command-line names: String(), StrategyByName and
+// StrategyNames all derive from it, mirroring the core.ModeByName
+// idiom, so the demrun/dembench flags and the validation error text can
+// never drift apart.
+var strategyNames = [...]struct {
+	strategy Strategy
+	name     string
+}{
+	{StrategyOff, "off"},
+	{StrategyLPT, "lpt"},
+	{StrategyORB, "orb"},
+}
+
+// Strategies lists every declared rebalance strategy in declaration
+// order.
+func Strategies() []Strategy {
+	ss := make([]Strategy, len(strategyNames))
+	for i, e := range strategyNames {
+		ss[i] = e.strategy
+	}
+	return ss
+}
+
+// StrategyNames returns the command-line names of all strategies, in
+// declaration order — the canonical content of a -rebalance flag's help
+// text.
+func StrategyNames() []string {
+	ns := make([]string, len(strategyNames))
+	for i, e := range strategyNames {
+		ns[i] = e.name
+	}
+	return ns
+}
+
+// StrategyByName resolves a command-line strategy name
+// (case-insensitive). The error lists the valid names.
+func StrategyByName(name string) (Strategy, error) {
+	for _, e := range strategyNames {
+		if strings.EqualFold(name, e.name) {
+			return e.strategy, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown rebalance strategy %q (valid: %s)", name, strings.Join(StrategyNames(), " | "))
+}
+
+func (s Strategy) String() string {
+	for _, e := range strategyNames {
+		if e.strategy == s {
+			return e.name
+		}
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Valid reports whether s is a declared strategy.
+func (s Strategy) Valid() bool {
+	for _, e := range strategyNames {
+		if e.strategy == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Enabled reports whether the strategy runs a balancer at all.
+func (s Strategy) Enabled() bool { return s != StrategyOff }
+
+// StrategyFlag adapts a Strategy to the flag.Value interface with the
+// historical boolean forms kept alive: a bare `-rebalance` means lpt,
+// `-rebalance=false` means off, and `-rebalance=off|lpt|orb` names a
+// strategy directly.
+type StrategyFlag struct{ S Strategy }
+
+func (f *StrategyFlag) String() string { return f.S.String() }
+
+// Set parses one flag value. The boolean spellings come first because
+// the flag package passes "true" for a bare boolean flag.
+func (f *StrategyFlag) Set(v string) error {
+	switch strings.ToLower(v) {
+	case "true", "1":
+		f.S = StrategyLPT
+		return nil
+	case "false", "0":
+		f.S = StrategyOff
+		return nil
+	}
+	s, err := StrategyByName(v)
+	if err != nil {
+		return err
+	}
+	f.S = s
+	return nil
+}
+
+// IsBoolFlag lets `-rebalance` appear with no value (meaning lpt, the
+// pre-strategy behaviour of the boolean flag it replaced).
+func (f *StrategyFlag) IsBoolFlag() bool { return true }

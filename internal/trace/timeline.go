@@ -98,6 +98,7 @@ var phaseGlyphs = map[string]byte{
 	"rebuild":   'R',
 	"overlap":   'o',
 	"rebalance": 'B',
+	"orb":       'A',
 }
 
 // Render draws an ASCII Gantt chart of the first maxSpansPerRank
@@ -145,7 +146,7 @@ func (tl *Timeline) Render(width int) string {
 		}
 	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "virtual time %.6fs .. %.6fs  (~ comm, = collective, # force, + update, R rebuild, o overlapped comm, B rebalance)\n", tmin, tmax)
+	fmt.Fprintf(&sb, "virtual time %.6fs .. %.6fs  (~ comm, = collective, # force, + update, R rebuild, o overlapped comm, B rebalance, A orb)\n", tmin, tmax)
 	for r, row := range rows {
 		fmt.Fprintf(&sb, "rank %2d |%s|\n", r, row)
 	}

@@ -30,6 +30,7 @@ type Counters struct {
 	// Dynamic load balancing.
 	Rebalances  int64 // rebalance epochs that moved at least one block
 	BlocksMoved int64 // whole blocks shipped to a new rank
+	CutShifts   int64 // ORB cut planes moved by adopted repartitions
 
 	// Message passing.
 	MsgsSent     int64 // point-to-point messages sent
@@ -74,6 +75,7 @@ func (c *Counters) Add(other *Counters) {
 	c.MigratedParts += other.MigratedParts
 	c.Rebalances += other.Rebalances
 	c.BlocksMoved += other.BlocksMoved
+	c.CutShifts += other.CutShifts
 	c.MsgsSent += other.MsgsSent
 	c.BytesSent += other.BytesSent
 	c.MsgsRejected += other.MsgsRejected

@@ -17,8 +17,10 @@ import (
 // degrading to P-1 ranks and rolling back to the last rebuild-boundary
 // snapshot — and still deliver a trajectory bit-identical to an
 // unfaulted run. The matrix covers both force protocols (synchronous
-// and split-phase overlap), MPI and hybrid modes, and the dynamic
-// rebalancer; one hybrid shape arms the watchdog so the kill is
+// and split-phase overlap), MPI and hybrid modes, and both dynamic
+// repartition strategies (LPT and the adaptive ORB tree, whose cut
+// state must survive the degrade-and-rollback without poisoning the
+// replay); one hybrid shape arms the watchdog so the kill is
 // silent and peers discover it only through their deadlines.
 func TestChaosRecoveryBitIdentical(t *testing.T) {
 	type shape struct {
@@ -41,7 +43,12 @@ func TestChaosRecoveryBitIdentical(t *testing.T) {
 		{"mpi/rebalance-clustered", Clustered, 1, 0, func(c *core.Config) {
 			c.Mode = core.MPI
 			c.P, c.BlocksPerProc = 2, 2
-			c.Rebalance = true
+			c.Rebalance = core.RebalanceLPT
+		}},
+		{"mpi/orb-clustered", Clustered, 1, 0, func(c *core.Config) {
+			c.Mode = core.MPI
+			c.P, c.BlocksPerProc = 2, 2
+			c.Rebalance = core.RebalanceORB
 		}},
 		{"hybrid/stripe-t2-silent-kill", Uniform, 1, 2 * time.Second, func(c *core.Config) {
 			c.Mode = core.Hybrid

@@ -23,7 +23,8 @@ type Variant struct {
 // (overlapped) halo exchange, the production default; a "/sync" row
 // per distributed shape repeats the run with the synchronous exchange,
 // and "/rebalance" rows run with dynamic block→rank load balancing at
-// B/P 1 and 4, so every protocol faces the serial oracle. The base's
+// B/P 1 and 4 ("/orb" rows repeat the adaptive ORB strategy at B/P 4),
+// so every protocol faces the serial oracle. The base's
 // physics (box, springs, bonds, gravity, initial state) is preserved;
 // mode, P, T, B/P, Method, Fused, Reorder, Overlap and Rebalance are
 // overridden per variant.
@@ -36,7 +37,7 @@ func Matrix(base core.Config) []Variant {
 		cfg.BlocksPerProc = 1
 		cfg.Fused = false
 		cfg.Overlap = true
-		cfg.Rebalance = false
+		cfg.Rebalance = core.RebalanceOff
 		mutate(&cfg)
 		out = append(out, Variant{Name: name, Cfg: cfg})
 	}
@@ -138,7 +139,7 @@ func Matrix(base core.Config) []Variant {
 			c.P = 2
 			c.BlocksPerProc = bpp
 			c.Reorder = true
-			c.Rebalance = true
+			c.Rebalance = core.RebalanceLPT
 		})
 		// Rebalancing reshuffles block ownership, forcing the window
 		// layout directory to re-derive offsets for a changed block set.
@@ -147,7 +148,7 @@ func Matrix(base core.Config) []Variant {
 			c.P = 2
 			c.BlocksPerProc = bpp
 			c.Reorder = true
-			c.Rebalance = true
+			c.Rebalance = core.RebalanceLPT
 		})
 	}
 	add("hybrid/selected-atomic/rebalance", func(c *core.Config) {
@@ -156,7 +157,7 @@ func Matrix(base core.Config) []Variant {
 		c.BlocksPerProc = 4
 		c.Method = shm.SelectedAtomic
 		c.Reorder = true
-		c.Rebalance = true
+		c.Rebalance = core.RebalanceLPT
 	})
 	add("hybrid/selected-atomic/fused/rebalance", func(c *core.Config) {
 		c.Mode = core.Hybrid
@@ -165,7 +166,40 @@ func Matrix(base core.Config) []Variant {
 		c.Method = shm.SelectedAtomic
 		c.Fused = true
 		c.Reorder = true
-		c.Rebalance = true
+		c.Rebalance = core.RebalanceLPT
+	})
+	// Adaptive ORB decomposition: the cut-plane tree rewrites the same
+	// ownership table the LPT deal does, across the message, windowed,
+	// overlapped/synchronous and hybrid exchange protocols.
+	add("mpi/orb/bpp4", func(c *core.Config) {
+		c.Mode = core.MPI
+		c.P = 2
+		c.BlocksPerProc = 4
+		c.Reorder = true
+		c.Rebalance = core.RebalanceORB
+	})
+	add("mpi/orb/sync", func(c *core.Config) {
+		c.Mode = core.MPI
+		c.P = 2
+		c.BlocksPerProc = 4
+		c.Reorder = true
+		c.Overlap = false
+		c.Rebalance = core.RebalanceORB
+	})
+	add("mpism/orb/bpp4", func(c *core.Config) {
+		c.Mode = core.MPIsm
+		c.P = 2
+		c.BlocksPerProc = 4
+		c.Reorder = true
+		c.Rebalance = core.RebalanceORB
+	})
+	add("hybrid/selected-atomic/orb", func(c *core.Config) {
+		c.Mode = core.Hybrid
+		c.P, c.T = 2, 2
+		c.BlocksPerProc = 4
+		c.Method = shm.SelectedAtomic
+		c.Reorder = true
+		c.Rebalance = core.RebalanceORB
 	})
 	return out
 }

@@ -35,7 +35,7 @@ func TestMpismBitIdenticalToMPI(t *testing.T) {
 		}},
 		{"p2-rebalance", func(c *core.Config) {
 			c.P, c.BlocksPerProc = 2, 4
-			c.Rebalance = true
+			c.Rebalance = core.RebalanceLPT
 		}},
 	}
 	const iters = 20

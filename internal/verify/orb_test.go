@@ -1,0 +1,123 @@
+package verify
+
+import (
+	"testing"
+
+	"hybriddem/internal/core"
+	"hybriddem/internal/shm"
+)
+
+// TestORBBitIdenticalToStatic is the acceptance oracle of the adaptive
+// ORB decomposition: the recursive bisection rewrites the block→rank
+// ownership table at list rebuilds, but — exactly like the LPT
+// rebalancer it sits beside — ownership is pure bookkeeping. The
+// canonicalised halo and migration orders make every block's store
+// layout a function of physics history alone, so the trajectory must
+// match the static block-cyclic deal bit for bit across every exchange
+// protocol (message, windowed, synchronous, hybrid) and across
+// scenario families whose cost fields range from flat (Uniform) to
+// strongly skewed (Clustered, NearBoundary).
+func TestORBBitIdenticalToStatic(t *testing.T) {
+	type shape struct {
+		name   string
+		kind   Kind
+		mutate func(*core.Config)
+	}
+	shapes := []shape{
+		{"mpi/p4-bpp4-clustered", Clustered, func(c *core.Config) {
+			c.Mode = core.MPI
+			c.P, c.BlocksPerProc = 4, 4
+		}},
+		{"mpi/p4-bpp1-clustered", Clustered, func(c *core.Config) {
+			c.Mode = core.MPI
+			c.P = 4
+		}},
+		{"mpi/p2-bpp4-sync-clustered", Clustered, func(c *core.Config) {
+			c.Mode = core.MPI
+			c.P, c.BlocksPerProc = 2, 4
+			c.Overlap = false
+		}},
+		{"mpism/p2-bpp4-clustered", Clustered, func(c *core.Config) {
+			c.Mode = core.MPIsm
+			c.P, c.BlocksPerProc = 2, 4
+		}},
+		{"hybrid/stripe-t2-clustered", Clustered, func(c *core.Config) {
+			c.Mode = core.Hybrid
+			c.P, c.T, c.BlocksPerProc = 2, 2, 4
+			c.Method = shm.Stripe
+		}},
+		{"hybrid/fused-t1-clustered", Clustered, func(c *core.Config) {
+			c.Mode = core.Hybrid
+			c.P, c.T, c.BlocksPerProc = 2, 1, 4
+			c.Method = shm.SelectedAtomic
+			c.Fused = true
+		}},
+		{"mpi/p4-bpp2-uniform", Uniform, func(c *core.Config) {
+			c.Mode = core.MPI
+			c.P, c.BlocksPerProc = 4, 2
+		}},
+		{"mpi/p4-bpp2-nearboundary", NearBoundary, func(c *core.Config) {
+			c.Mode = core.MPI
+			c.P, c.BlocksPerProc = 4, 2
+		}},
+	}
+	movedAnywhere, shiftedAnywhere := false, false
+	for _, s := range shapes {
+		s := s
+		t.Run(s.name, func(t *testing.T) {
+			cfg := testScenario(t, s.kind, 2, 200, 17)
+			s.mutate(&cfg)
+			cfg.Rebalance = core.RebalanceOff
+			static, err := Capture(cfg, 20)
+			if err != nil {
+				t.Fatalf("static run: %v", err)
+			}
+			cfg.Rebalance = core.RebalanceORB
+			orb, err := Capture(cfg, 20)
+			if err != nil {
+				t.Fatalf("orb run: %v", err)
+			}
+			if div := CompareExact(static, orb); div != nil {
+				t.Fatalf("ORB trajectory differs from static layout: %s", div)
+			}
+			if static.Res.TC.CutShifts != 0 {
+				t.Errorf("static run reports %d cut shifts", static.Res.TC.CutShifts)
+			}
+			if orb.Res.TC.BlocksMoved > 0 {
+				movedAnywhere = true
+			}
+			if orb.Res.TC.CutShifts > 0 {
+				shiftedAnywhere = true
+			}
+		})
+	}
+	if !movedAnywhere {
+		t.Errorf("no shape moved any block; the oracle never exercised a transfer")
+	}
+	if !shiftedAnywhere {
+		t.Errorf("no shape adopted a cut tree; the oracle never exercised the bisection")
+	}
+}
+
+// TestORBRaceStress drives ORB repartitions and the block migrations
+// they trigger under the race detector: a clustered bed at T=3 runs
+// long enough for several rebuilds, catching unsynchronised access to
+// migrated block storage or to the rank-private cut tree. Trajectories
+// are not checked — lock order at T=3 is nondeterministic — only that
+// the runs complete cleanly.
+func TestORBRaceStress(t *testing.T) {
+	cfg := testScenario(t, Clustered, 2, 300, 23)
+	cfg.Mode = core.Hybrid
+	cfg.P, cfg.T, cfg.BlocksPerProc = 2, 3, 4
+	cfg.Method = shm.SelectedAtomic
+	cfg.Rebalance = core.RebalanceORB
+	cfg.InitVel = 2
+	if _, err := core.Run(cfg, 30); err != nil {
+		t.Fatalf("race stress run: %v", err)
+	}
+
+	cfg.Fused = true
+	if _, err := core.Run(cfg, 30); err != nil {
+		t.Fatalf("fused race stress run: %v", err)
+	}
+}

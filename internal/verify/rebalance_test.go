@@ -66,12 +66,12 @@ func TestRebalanceBitIdenticalToStatic(t *testing.T) {
 		t.Run(s.name, func(t *testing.T) {
 			cfg := testScenario(t, s.kind, 2, 200, 17)
 			s.mutate(&cfg)
-			cfg.Rebalance = false
+			cfg.Rebalance = core.RebalanceOff
 			static, err := Capture(cfg, 20)
 			if err != nil {
 				t.Fatalf("static run: %v", err)
 			}
-			cfg.Rebalance = true
+			cfg.Rebalance = core.RebalanceLPT
 			dyn, err := Capture(cfg, 20)
 			if err != nil {
 				t.Fatalf("rebalanced run: %v", err)
@@ -103,7 +103,7 @@ func TestRebalanceRaceStress(t *testing.T) {
 	cfg.Mode = core.Hybrid
 	cfg.P, cfg.T, cfg.BlocksPerProc = 2, 3, 4
 	cfg.Method = shm.SelectedAtomic
-	cfg.Rebalance = true
+	cfg.Rebalance = core.RebalanceLPT
 	cfg.InitVel = 2
 	if _, err := core.Run(cfg, 30); err != nil {
 		t.Fatalf("race stress run: %v", err)

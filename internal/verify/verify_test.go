@@ -95,10 +95,10 @@ func TestConformanceMatrixAgrees(t *testing.T) {
 	if failed := c.Failed(); len(failed) > 0 {
 		t.Fatalf("matrix diverged:\n%s", c)
 	}
-	if len(c.Results) != 43 {
-		t.Fatalf("matrix has %d variants, expected 43", len(c.Results))
+	if len(c.Results) != 47 {
+		t.Fatalf("matrix has %d variants, expected 47", len(c.Results))
 	}
-	if !strings.Contains(c.String(), "all 43 variants agree") {
+	if !strings.Contains(c.String(), "all 47 variants agree") {
 		t.Errorf("report did not announce agreement:\n%s", c)
 	}
 }
