@@ -49,7 +49,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	)
 	fs.Var(&rebal, "rebalance",
 		"dynamic load balancing in every distributed run: "+
-			strings.Join(core.StrategyNames(), " | ")+" (bare flag = lpt)")
+			strings.Join(core.StrategyNames(), " | ")+
+			" (bare flag = lpt; name a strategy with '=', e.g. -rebalance=orb)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}

@@ -96,7 +96,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	)
 	fs.Var(&rebal, "rebalance",
 		"dynamic load balancing at list rebuilds (MPI/hybrid): "+
-			strings.Join(hybriddem.StrategyNames(), " | ")+" (bare flag = lpt)")
+			strings.Join(hybriddem.StrategyNames(), " | ")+
+			" (bare flag = lpt; name a strategy with '=', e.g. -rebalance=orb)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}

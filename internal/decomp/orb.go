@@ -127,18 +127,23 @@ func (t *ORBTree) Build(l *Layout, cost []float64) {
 }
 
 // split chooses the best feasible cut of node idx and recurses. The
+// rank split is chosen jointly with the plane: for each candidate cut
+// the number of ranks sent left tracks the left side's cost share,
+// clamped so both sides keep at least one rank and at least one block
+// per rank. (A split fixed at ceil(N/2) up front has no feasible
+// block-face plane on e.g. a 3x3 grid over 9 ranks; jointly chosen,
+// every plane of a brick with blocks >= ranks admits some split.) The
 // search is deterministic: dimensions are tried in decreasing brick
 // extent (ties to the lower dimension), candidate planes in ascending
-// coordinate, and only a strictly better predicted peak load replaces
-// the incumbent.
+// coordinate, rank splits smallest-first, and only a strictly better
+// predicted peak load replaces the incumbent.
 func (t *ORBTree) split(l *Layout, cost []float64, idx int) {
 	nd := &t.Nodes[idx]
 	if nd.NRank == 1 {
 		nd.Dim, nd.Cut, nd.Left, nd.Right = -1, -1, -1, -1
 		return
 	}
-	nl := (int(nd.NRank) + 1) / 2
-	nr := int(nd.NRank) - nl
+	nRank := int(nd.NRank)
 
 	vol := 1
 	for i := 0; i < t.D; i++ {
@@ -161,7 +166,7 @@ func (t *ORBTree) split(l *Layout, cost []float64, idx int) {
 		order[j+1] = v
 	}
 
-	bestDim, bestOff := -1, -1
+	bestDim, bestOff, bestNL := -1, -1, -1
 	bestObj := math.Inf(1)
 	for oi := 0; oi < t.D; oi++ {
 		dim := order[oi]
@@ -200,25 +205,53 @@ func (t *ORBTree) split(l *Layout, cost []float64, idx int) {
 		for _, v := range line {
 			total += v
 		}
-		// Candidate planes leave each side enough blocks for its ranks.
 		left := 0.0
 		for j := 1; j < ext; j++ {
 			left += line[j-1]
-			if j*rowSize < nl || (ext-j)*rowSize < nr {
-				continue
+			blocksL := j * rowSize
+			blocksR := vol - blocksL
+			// Feasible rank splits for this plane: each side gets at
+			// least one rank and no more ranks than blocks. The brick
+			// carries blocks >= ranks, so the range is never empty.
+			nlMin, nlMax := nRank-blocksR, blocksL
+			if nlMin < 1 {
+				nlMin = 1
 			}
-			obj := left / float64(nl)
-			if r := (total - left) / float64(nr); r > obj {
-				obj = r
+			if nlMax > nRank-1 {
+				nlMax = nRank - 1
+			}
+			// max(left/nl, right/(n-nl)) is unimodal in nl with its
+			// continuous minimum at n*left/total, so the best integer
+			// split is that value's floor or ceiling (clamped). A
+			// zero-cost brick splits by volume instead.
+			var nl int
+			if total > 0 {
+				nl = int(float64(nRank) * left / total)
+			} else {
+				nl = nRank * blocksL / vol
+			}
+			if nl < nlMin {
+				nl = nlMin
+			}
+			if nl > nlMax {
+				nl = nlMax
+			}
+			obj := t.peak(left, total-left, nl, nRank-nl)
+			if nl+1 <= nlMax {
+				if o := t.peak(left, total-left, nl+1, nRank-nl-1); o < obj {
+					nl, obj = nl+1, o
+				}
 			}
 			if obj < bestObj {
-				bestObj, bestDim, bestOff = obj, dim, j
+				bestObj, bestDim, bestOff, bestNL = obj, dim, j, nl
 			}
 		}
 	}
 	if bestDim < 0 {
-		// Unreachable for any layout NewLayout admits (the brick always
-		// holds at least one block per rank), kept as a loud guard.
+		// Unreachable: a brick with blocks >= ranks >= 2 has some
+		// dimension of extent >= 2, and with the rank split chosen per
+		// plane every plane of such a brick is feasible. Kept as a loud
+		// guard.
 		panic(fmt.Sprintf("decomp: ORB found no feasible cut for brick %v-%v over %d ranks",
 			nd.Lo, nd.Hi, nd.NRank))
 	}
@@ -228,12 +261,21 @@ func (t *ORBTree) split(l *Layout, cost []float64, idx int) {
 	nd.Cut = nd.Lo[bestDim] + int32(bestOff)
 	nd.Left, nd.Right = int32(li), int32(ri)
 	lc, rc := &t.Nodes[li], &t.Nodes[ri]
-	*lc = ORBNode{Lo: nd.Lo, Hi: nd.Hi, Rank0: nd.Rank0, NRank: int32(nl)}
+	*lc = ORBNode{Lo: nd.Lo, Hi: nd.Hi, Rank0: nd.Rank0, NRank: int32(bestNL)}
 	lc.Hi[bestDim] = nd.Cut
-	*rc = ORBNode{Lo: nd.Lo, Hi: nd.Hi, Rank0: nd.Rank0 + int32(nl), NRank: int32(nr)}
+	*rc = ORBNode{Lo: nd.Lo, Hi: nd.Hi, Rank0: nd.Rank0 + int32(bestNL), NRank: int32(nRank - bestNL)}
 	rc.Lo[bestDim] = nd.Cut
 	t.split(l, cost, li)
 	t.split(l, cost, ri)
+}
+
+// peak is the predicted per-rank peak load of one candidate split.
+func (t *ORBTree) peak(left, right float64, nl, nr int) float64 {
+	obj := left / float64(nl)
+	if r := right / float64(nr); r > obj {
+		obj = r
+	}
+	return obj
 }
 
 // Owners stamps the block→rank map the tree encodes into dst (length
@@ -277,22 +319,36 @@ func (t *ORBTree) ApplyOwners(l *Layout) {
 	}
 }
 
-// cutDiff counts the internal nodes whose cut plane differs between
-// two builds of the same shape. The recursion's rank split depends
-// only on NRank, so trees for one (P, grid) shape always have the same
-// topology and a positional comparison is meaningful.
+// cutDiff counts the cut planes that differ between two trees of the
+// same shape. The comparison is structural — both trees are walked
+// from their roots in lockstep — so the count does not depend on node
+// allocation order (a checkpoint-restored tree may index its nodes
+// differently than a fresh Build). Where the topologies diverge (the
+// rank split moved, so one side is a leaf where the other still
+// splits), every plane of the deeper side counts as shifted.
 func cutDiff(a, b *ORBTree) int64 {
-	n := a.n
-	if b.n < n {
-		n = b.n
+	if a.n == 0 || b.n == 0 {
+		return 0
 	}
-	diff := int64(0)
-	for i := 0; i < n; i++ {
-		if a.Nodes[i].Dim != b.Nodes[i].Dim || a.Nodes[i].Cut != b.Nodes[i].Cut {
-			diff++
-		}
+	return cutDiffNode(a, b, 0, 0)
+}
+
+func cutDiffNode(a, b *ORBTree, ia, ib int32) int64 {
+	na, nb := &a.Nodes[ia], &b.Nodes[ib]
+	switch {
+	case na.Dim < 0 && nb.Dim < 0:
+		return 0
+	case na.Dim < 0:
+		// A subtree over N ranks has N-1 internal planes.
+		return int64(nb.NRank) - 1
+	case nb.Dim < 0:
+		return int64(na.NRank) - 1
 	}
-	return diff
+	d := int64(0)
+	if na.Dim != nb.Dim || na.Cut != nb.Cut {
+		d = 1
+	}
+	return d + cutDiffNode(a, b, na.Left, nb.Left) + cutDiffNode(a, b, na.Right, nb.Right)
 }
 
 // Validate checks every structural invariant of the tree: header
@@ -376,14 +432,21 @@ func (t *ORBTree) Validate() error {
 		if li <= 0 || li >= t.n || ri <= 0 || ri >= t.n || li == ri {
 			return fmt.Errorf("decomp: ORB node %d children %d, %d", idx, li, ri)
 		}
-		nl := (int(nd.NRank) + 1) / 2
 		lc, rc := &t.Nodes[li], &t.Nodes[ri]
+		// The rank split is whatever Build chose for this plane, so it
+		// is read from the left child and checked for consistency: both
+		// sides keep at least one rank (the per-node blocks >= ranks
+		// check covers the rest).
+		nl := lc.NRank
+		if nl < 1 || nl >= nd.NRank {
+			return fmt.Errorf("decomp: ORB node %d splits %d ranks into %d + %d", idx, nd.NRank, nl, nd.NRank-nl)
+		}
 		wantL, wantR := *nd, *nd
 		wantL.Hi[nd.Dim] = nd.Cut
-		wantL.NRank = int32(nl)
+		wantL.NRank = nl
 		wantR.Lo[nd.Dim] = nd.Cut
-		wantR.Rank0 = nd.Rank0 + int32(nl)
-		wantR.NRank = nd.NRank - int32(nl)
+		wantR.Rank0 = nd.Rank0 + nl
+		wantR.NRank = nd.NRank - nl
 		if lc.Lo != wantL.Lo || lc.Hi != wantL.Hi || lc.Rank0 != wantL.Rank0 || lc.NRank != wantL.NRank {
 			return fmt.Errorf("decomp: ORB node %d left child mismatch", idx)
 		}

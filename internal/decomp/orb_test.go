@@ -30,7 +30,7 @@ func costField(b int, seed int64) []float64 {
 // each rank's blocks forming the contiguous brick its leaf claims.
 func TestORBTreeTilesBox(t *testing.T) {
 	box := geom.NewBox(2, 12, geom.Periodic)
-	for _, p := range []int{1, 2, 3, 4, 5, 8} {
+	for _, p := range []int{1, 2, 3, 4, 5, 8, 9} {
 		for _, bpp := range []int{1, 2, 4} {
 			l, err := NewLayout(box, 0.5, p, bpp)
 			if err != nil {
@@ -82,8 +82,8 @@ func TestORBTreeTilesBox(t *testing.T) {
 
 // TestORBTreeDeterministic: for a fixed cost field the bisection is a
 // pure function — rebuilding yields an Equal tree, at every rank
-// count. Determinism is what makes the positional cutDiff between
-// consecutive epochs meaningful.
+// count. Determinism is what makes the cutDiff between consecutive
+// epochs meaningful.
 func TestORBTreeDeterministic(t *testing.T) {
 	box := geom.NewBox(3, 9, geom.Periodic)
 	for _, p := range []int{2, 3, 4, 6} {
@@ -101,6 +101,99 @@ func TestORBTreeDeterministic(t *testing.T) {
 		if cutDiff(a, b) != 0 {
 			t.Errorf("p=%d: cutDiff between equal trees is nonzero", p)
 		}
+	}
+}
+
+// TestORBTreeOddSquareGrids: odd square grids at one block per rank
+// (P=9 on 3x3, P=25 on 5x5) have no block-face plane that a fixed
+// ceil(P/2) rank split can use, so they crashed the Build that chose
+// the split before the plane. With the split chosen per plane every
+// admissible layout must bisect cleanly, on skewed and flat cost
+// fields alike.
+func TestORBTreeOddSquareGrids(t *testing.T) {
+	box := geom.NewBox(2, 12, geom.Periodic)
+	for _, p := range []int{9, 25} {
+		l, err := NewLayout(box, 0.4, p, 1)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		for name, cost := range map[string][]float64{
+			"skewed": costField(l.B, 7),
+			"flat":   make([]float64, l.B),
+		} {
+			tree := NewORBTree(l)
+			tree.Build(l, cost)
+			if err := tree.Validate(); err != nil {
+				t.Fatalf("p=%d %s: invalid tree: %v", p, name, err)
+			}
+			owners := make([]int, l.B)
+			tree.Owners(l, owners)
+			perRank := make([]int, p)
+			for _, r := range owners {
+				perRank[r]++
+			}
+			for r, n := range perRank {
+				if n == 0 {
+					t.Errorf("p=%d %s: rank %d owns no block", p, name, r)
+				}
+			}
+		}
+	}
+}
+
+// permuteNodes returns a tree with the same structure but a different
+// node allocation order (root pinned at 0, the rest reversed), the
+// kind of index layout a foreign encoder could legally produce.
+func permuteNodes(t *ORBTree) *ORBTree {
+	cp := &ORBTree{D: t.D, P: t.P, BlockDims: t.BlockDims, n: t.n}
+	cp.Nodes = make([]ORBNode, t.n)
+	cp.line = make([]float64, len(t.line))
+	perm := make([]int32, t.n)
+	for i := 1; i < t.n; i++ {
+		perm[i] = int32(t.n - i)
+	}
+	for i := 0; i < t.n; i++ {
+		nd := t.Nodes[i]
+		if nd.Left >= 0 {
+			nd.Left, nd.Right = perm[nd.Left], perm[nd.Right]
+		}
+		cp.Nodes[perm[i]] = nd
+	}
+	return cp
+}
+
+// TestORBCutDiffStructural: cutDiff must compare trees by walking
+// them from the root, not by node index — a permuted-but-valid node
+// layout of the same tree carries zero shifted planes, and a tree
+// built from a different cost field carries at least one.
+func TestORBCutDiffStructural(t *testing.T) {
+	box := geom.NewBox(2, 12, geom.Periodic)
+	l, err := NewLayout(box, 0.5, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := NewORBTree(l)
+	tree.Build(l, costField(l.B, 7))
+	perm := permuteNodes(tree)
+	if err := perm.Validate(); err != nil {
+		t.Fatalf("permuted tree rejected: %v", err)
+	}
+	if d := cutDiff(tree, perm); d != 0 {
+		t.Errorf("cutDiff between index permutations of one tree is %d, want 0", d)
+	}
+	if d := cutDiff(perm, tree); d != 0 {
+		t.Errorf("cutDiff is asymmetric over a permutation: %d", d)
+	}
+	other := NewORBTree(l)
+	flat := make([]float64, l.B)
+	for i := range flat {
+		flat[i] = 1
+	}
+	other.Build(l, flat)
+	if d := cutDiff(tree, other); d == 0 {
+		t.Error("cutDiff between trees of different cost fields is 0")
+	} else if d != cutDiff(perm, other) {
+		t.Error("cutDiff changes when one operand's nodes are permuted")
 	}
 }
 

@@ -120,5 +120,9 @@ func (f *StrategyFlag) Set(v string) error {
 }
 
 // IsBoolFlag lets `-rebalance` appear with no value (meaning lpt, the
-// pre-strategy behaviour of the boolean flag it replaced).
+// pre-strategy behaviour of the boolean flag it replaced). The cost of
+// that back-compat is that the space-separated form `-rebalance orb`
+// does NOT bind the value: the flag package treats a boolean-capable
+// flag's next argument as positional, so a named strategy must be
+// spelled `-rebalance=orb` — the registered help text says so.
 func (f *StrategyFlag) IsBoolFlag() bool { return true }
