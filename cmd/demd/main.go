@@ -1,0 +1,120 @@
+// Command demd is the simulation daemon: a long-running process that
+// accepts DEM jobs over a line-oriented JSON protocol on a unix or TCP
+// socket, runs them through a bounded worker pool, and streams
+// per-step events to subscribers. Jobs are cancellable at step
+// boundaries; a canceled job that was given a checkpoint path writes
+// its partial state crash-safely and can be resubmitted with "load" to
+// resume bit-identically.
+//
+// Start it and talk to it with nc:
+//
+//	demd -socket /tmp/demd.sock &
+//	echo '{"cmd":"submit","job":{"d":2,"n":400,"iters":50,"mode":"openmp","t":4}}' | nc -U /tmp/demd.sock
+//	echo '{"cmd":"status","id":"j1"}' | nc -U /tmp/demd.sock
+//	echo '{"cmd":"subscribe","id":"j1"}' | nc -U /tmp/demd.sock
+//	echo '{"cmd":"cancel","id":"j1"}' | nc -U /tmp/demd.sock
+//	echo '{"cmd":"shutdown"}' | nc -U /tmp/demd.sock
+//
+// The protocol verbs are submit, status, cancel, list, subscribe,
+// stats and shutdown; see internal/server and DESIGN.md §15 for the
+// wire format. SIGINT/SIGTERM drain cleanly — running jobs stop at
+// their next step boundary and write their checkpoints — and a second
+// signal force-quits.
+//
+// Exit codes: 0 clean shutdown (signal or the shutdown command); 1
+// listener or serve error; 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hybriddem/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("demd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		socket  = fs.String("socket", "", "unix socket path to listen on")
+		listen  = fs.String("listen", "", "TCP address to listen on (e.g. 127.0.0.1:7077)")
+		workers = fs.Int("workers", 2, "jobs simulating concurrently")
+		queue   = fs.Int("queue", 16, "jobs waiting for a worker before submissions are rejected")
+		evbuf   = fs.Int("event-buffer", 64, "events a subscriber may fall behind before it is dropped")
+		retry   = fs.Duration("retry-after", time.Second, "backoff hint attached to queue-full rejections")
+		maxN    = fs.Int("max-n", 0, "per-job particle limit (0 = unlimited)")
+		maxIt   = fs.Int("max-iters", 0, "per-job iteration limit (0 = unlimited)")
+		quiet   = fs.Bool("quiet", false, "suppress the job lifecycle log")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if (*socket == "") == (*listen == "") {
+		fmt.Fprintln(stderr, "demd: exactly one of -socket or -listen is required")
+		return 2
+	}
+
+	var ln net.Listener
+	var err error
+	if *socket != "" {
+		// A previous unclean exit leaves the socket file behind; a
+		// fresh daemon owns the path.
+		os.Remove(*socket)
+		ln, err = net.Listen("unix", *socket)
+	} else {
+		ln, err = net.Listen("tcp", *listen)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "demd:", err)
+		return 1
+	}
+
+	opts := server.Options{
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		EventBuffer: *evbuf,
+		RetryAfter:  *retry,
+		MaxN:        *maxN,
+		MaxIters:    *maxIt,
+	}
+	if !*quiet {
+		opts.Logf = func(format string, a ...any) { fmt.Fprintf(stdout, format+"\n", a...) }
+	}
+	srv := server.New(opts)
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		<-sigc
+		fmt.Fprintln(stderr, "demd: signal received; draining (signal again to force quit)")
+		go srv.Shutdown()
+		<-sigc
+		fmt.Fprintln(stderr, "demd: second signal; exiting immediately")
+		os.Exit(130)
+	}()
+
+	fmt.Fprintf(stdout, "demd: listening on %s (%d workers, queue %d)\n", ln.Addr(), opts.Workers, opts.QueueDepth)
+	err = srv.Serve(ln)
+	srv.Shutdown() // no-op if a signal or the wire command already did it
+	<-srv.Done()
+	if *socket != "" {
+		os.Remove(*socket)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "demd:", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "demd: bye")
+	return 0
+}

@@ -21,20 +21,30 @@
 // testing it. -checkpoint-every N writes crash-safe on-disk
 // checkpoints to the -save path every N measured iterations.
 //
+// Interruption: SIGINT/SIGTERM stop the run cooperatively at the next
+// measured step boundary; with -save the partial state is checkpointed
+// (crash-safe, resumable with -load towards the same cumulative
+// -iters). A second signal exits immediately.
+//
 // Exit codes: 0 success; 1 run or configuration error; 2 usage error
 // or nothing to do (the -load checkpoint already holds -iters
 // iterations); 3 unrecoverable fault (a detected kill, corruption or
 // watchdog timeout that supervision could not, or was not asked to,
-// recover from).
+// recover from); 4 interrupted by a signal (the summary and any -save
+// checkpoint reflect the completed iterations).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"hybriddem"
@@ -198,6 +208,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	// Cooperative interruption: the first SIGINT/SIGTERM asks the run to
+	// stop at its next measured step boundary (the partial state stays
+	// checkpointable); a second signal gives up waiting and exits hard.
+	var stopRequested atomic.Bool
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		<-sigc
+		fmt.Fprintln(stderr, "demrun: interrupted; stopping at the next step boundary (signal again to exit now)")
+		stopRequested.Store(true)
+		<-sigc
+		fmt.Fprintln(stderr, "demrun: second signal; exiting immediately")
+		os.Exit(130)
+	}()
+	cfg.Stop = stopRequested.Load
+	if testInterruptArmed != nil {
+		close(testInterruptArmed)
+		testInterruptArmed = nil
+	}
+
 	if *ckEvery < 0 {
 		fmt.Fprintln(stderr, "demrun: -checkpoint-every must be >= 0")
 		return 2
@@ -250,17 +281,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var res *hybriddem.Result
+	interrupted := false
+	restored := done
 	if *ckEvery > 0 {
 		// Periodic on-disk checkpointing: run in chunks of N measured
 		// iterations, checkpointing (atomically) after each, chaining
-		// the state so the pieces reproduce one unbroken run.
+		// the state so the pieces reproduce one unbroken run. An
+		// interrupted chunk still checkpoints its completed iterations.
 		for left := runIters; left > 0; {
 			chunk := *ckEvery
 			if chunk > left {
 				chunk = left
 			}
 			r, err := runSim(cfg, chunk)
-			if err != nil {
+			if err != nil && !errors.Is(err, hybriddem.ErrCanceled) {
 				return fail(err)
 			}
 			done += r.Iters
@@ -272,14 +306,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 			cfg.Init = &hybriddem.State{Pos: r.Pos, Vel: r.Vel}
 			cfg.Warmup = 0
 			res = r
+			if errors.Is(err, hybriddem.ErrCanceled) {
+				interrupted = true
+				break
+			}
 		}
 		done -= res.Iters // reporting: earlier chunks count as restored
 		fmt.Fprintf(stdout, "checkpoint     %s (every %d iterations)\n", *save, *ckEvery)
 	} else {
 		r, err := runSim(cfg, runIters)
-		if err != nil {
+		if err != nil && !errors.Is(err, hybriddem.ErrCanceled) {
 			return fail(err)
 		}
+		interrupted = errors.Is(err, hybriddem.ErrCanceled)
 		res = r
 		if *save != "" {
 			if err := hybriddem.SaveCheckpoint(*save, &cfg, res, done+res.Iters); err != nil {
@@ -288,6 +327,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			fmt.Fprintf(stdout, "checkpoint     %s\n", *save)
 		}
+	}
+	if interrupted {
+		fmt.Fprintf(stdout, "interrupted     stopped after %d of %d measured iterations\n",
+			done+res.Iters-restored, runIters)
 	}
 	if *export != "" {
 		if err := hybriddem.ExportState(*export, &cfg, res); err != nil {
@@ -323,8 +366,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tc := res.TC
 	fmt.Fprintf(stdout, "counters        %d force evals, %d contacts, %d msgs (%d bytes), %d regions\n",
 		tc.ForceEvals, tc.Contacts, tc.MsgsSent, tc.BytesSent, tc.ParallelRegions)
+	if interrupted {
+		return 4
+	}
 	return 0
 }
+
+// testInterruptArmed, when a test sets it, is closed once the signal
+// handler is installed — the synchronisation point after which a
+// test-sent SIGINT is guaranteed to reach the stop hook.
+var testInterruptArmed chan struct{}
 
 // parseKill parses the -chaos-kill argument "rank@step".
 func parseKill(s string) (rank, step int, err error) {

@@ -162,6 +162,12 @@ func Default(d, n int) Config { return core.Default(d, n) }
 // measured iterations and returns its measurements.
 func Run(cfg Config, iters int) (*Result, error) { return core.Run(cfg, iters) }
 
+// ErrCanceled is the error Run and Supervise return when Config.Stop
+// asked the run to stop at a step boundary. It arrives alongside a
+// valid partial Result (Iters holds the completed count), so the
+// interrupted state can be checkpointed and resumed.
+var ErrCanceled = core.ErrCanceled
+
 // State is an explicit initial condition (positions and velocities
 // indexed by particle ID) for Config.Init.
 type State = core.State

@@ -10,10 +10,12 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"syscall"
 
 	"hybriddem/internal/core"
 	"hybriddem/internal/decomp"
@@ -237,9 +239,15 @@ func Load(r io.Reader) (s *Snapshot, err error) {
 
 // SaveFile writes the snapshot to a file crash-safely: the bytes go to
 // a temporary file in the same directory, are fsynced, and only then
-// renamed over the target. A crash mid-save leaves the previous
-// checkpoint (if any) intact — the target path never holds a partial
-// write.
+// renamed over the target; finally the containing directory is fsynced
+// so the rename itself reaches stable storage. A crash at any point
+// leaves either the previous checkpoint (if any) or the complete new
+// one — the target path never holds a partial write. The directory
+// sync is the half of the contract the rename alone does not give:
+// on journalling filesystems with delayed allocation a crash shortly
+// after rename(2) can otherwise surface the new name with truncated
+// (even empty) contents, which is exactly the torn state the atomic
+// dance exists to rule out.
 func SaveFile(path string, s *Snapshot) (err error) {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
@@ -262,7 +270,27 @@ func SaveFile(path string, s *Snapshot) (err error) {
 	if err = f.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err = os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory, making a just-completed rename durable.
+// Filesystems that refuse to sync directories (some network mounts
+// return EINVAL/ENOTSUP) degrade to the pre-sync behaviour rather than
+// failing the checkpoint: the data file itself is already synced, only
+// the rename's durability window remains.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
+	}
+	return nil
 }
 
 // LoadFile reads a snapshot from a file.

@@ -3,6 +3,7 @@ package checkpoint
 import (
 	"bytes"
 	"math"
+	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -63,6 +64,50 @@ func TestRoundTripFile(t *testing.T) {
 	}
 	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.gob")); err == nil {
 		t.Error("missing file loaded")
+	}
+}
+
+// TestSaveFileAtomicOverwrite: overwriting an existing checkpoint must
+// leave no temporary files behind (both the success path and the
+// error-cleanup path), and the target must always hold a complete,
+// loadable frame. The fsync-before-rename + directory-fsync ordering
+// itself cannot be observed without crashing the kernel; this pins the
+// visible half of the contract — the temp file lifecycle.
+func TestSaveFileAtomicOverwrite(t *testing.T) {
+	cfg := runCfg(100)
+	res, err := core.Run(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := FromResult(&cfg, res, 5)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.ck")
+	for i := 0; i < 3; i++ { // create, then overwrite twice
+		if err := SaveFile(path, snap); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadFile(path); err != nil {
+			t.Fatalf("overwrite %d left an unloadable checkpoint: %v", i, err)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "state.ck" {
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = e.Name()
+		}
+		t.Errorf("directory holds %v, want only state.ck (temp files must not survive)", names)
+	}
+	// Error path: an unwritable target directory must fail without
+	// leaving the previous checkpoint damaged.
+	if err := SaveFile(filepath.Join(dir, "no-such-subdir", "x.ck"), snap); err == nil {
+		t.Error("SaveFile into a missing directory succeeded")
+	}
+	if _, err := LoadFile(path); err != nil {
+		t.Errorf("failed save damaged the existing checkpoint: %v", err)
 	}
 }
 

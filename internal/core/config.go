@@ -8,6 +8,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -91,6 +92,50 @@ func (m Mode) String() string {
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
 
+// distributedNames lists the command-line names of the modes
+// RunDistributed and Supervise accept, derived from the same name
+// table as flag parsing so rejection messages and -mode help text
+// always agree.
+func distributedNames() string {
+	var ns []string
+	for _, e := range modeNames {
+		switch e.mode {
+		case MPI, Hybrid, MPIsm:
+			ns = append(ns, e.name)
+		}
+	}
+	return strings.Join(ns, " | ")
+}
+
+// sharedNames is distributedNames for RunShared's modes.
+func sharedNames() string {
+	var ns []string
+	for _, e := range modeNames {
+		switch e.mode {
+		case Serial, OpenMP:
+			ns = append(ns, e.name)
+		}
+	}
+	return strings.Join(ns, " | ")
+}
+
+// ErrCanceled reports that a run stopped early because Config.Stop
+// asked it to. The run is not lost: the Result returned alongside the
+// error is valid up to the step boundary the cancellation landed on —
+// Iters holds the measured iterations actually completed, and with
+// CollectState set Pos/Vel hold the state at that boundary, exactly
+// what checkpoint.FromResult needs to make the cancellation resumable.
+// Test with errors.Is(err, ErrCanceled).
+var ErrCanceled = errors.New("core: run canceled")
+
+// stopGrace bounds the latency of a latched Stop request: a run that
+// has not reached a natural list-rebuild boundary within this many
+// further measured steps stops anyway, giving up the bit-exact-resume
+// property for liveness. Rebuild cadence is displacement-driven, so
+// any system in motion rebuilds far more often than this; the bound
+// exists for settled beds that might otherwise never honour a cancel.
+const stopGrace = 256
+
 // Strategy selects the dynamic load-balancing algorithm of the
 // distributed modes. It aliases the decomp type so the name table
 // (StrategyByName, StrategyNames — the -rebalance analogue of the
@@ -167,6 +212,43 @@ type Config struct {
 	// probed runs are for correctness work (internal/verify), not for
 	// timing.
 	Probe func(iter int, pos, vel []geom.Vec)
+
+	// Stop, when non-nil, is polled after every measured step: when it
+	// returns true the request is latched and the run stops at the next
+	// step that ends in a list rebuild, returning its partial Result
+	// together with ErrCanceled instead of tearing the process down and
+	// losing everything since the last on-disk checkpoint. Rebuild
+	// boundaries are the canonical states — fresh link list, reference
+	// positions just reset, store reordered — which is what lets a
+	// checkpoint taken from the partial Result resume bit-identically
+	// to an uninterrupted run (the same invariant Supervise exploits by
+	// snapshotting only at rebuilds). One caveat: in the shared modes
+	// the cache reordering makes the within-cell storage order depend
+	// on the order before the rebuild, which a fresh setup cannot
+	// reproduce — bit-exact resume in Serial/OpenMP therefore also
+	// needs Reorder off; the distributed modes canonicalise particle
+	// order during migration and are exact regardless. A system too
+	// settled to rebuild
+	// still honours the request after at most stopGrace further steps,
+	// trading that bit-exactness (the resumed trajectory then agrees to
+	// integration tolerance, not bitwise) for bounded latency. In the
+	// distributed modes rank 0 polls the hook and the decision is
+	// agreed through a one-element allreduce, so every rank leaves the
+	// step loop at the same iteration and the final gather/collectives
+	// stay aligned; the hook must therefore be cheap (typically an
+	// atomic-flag load) — it runs once per measured iteration. Warm-up
+	// iterations are not interruptible, because a resume skips the
+	// warm-up and a partial one could not be replayed bit-identically.
+	Stop func() bool
+
+	// OnStep, when non-nil, receives the step index and the globally
+	// reduced energies after every measured iteration — on rank 0 in
+	// the distributed modes, where the values are already allreduced
+	// for the energy accounting, so the hook costs no extra traffic
+	// (unlike Probe's full-state gather). The service daemon streams
+	// these as per-step events to its subscribers. Under Supervise the
+	// hook fires exactly once per iteration even across rollbacks.
+	OnStep func(iter int, epot, ekin float64)
 
 	// NaivePack is the indexed-datatype ablation: halo data pays an
 	// extra user-side pack and unpack per particle per swap, as it

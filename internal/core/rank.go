@@ -685,14 +685,16 @@ type segment struct {
 
 // RunDistributed executes an MPI or Hybrid run and returns the merged
 // result (rank 0's phase attribution, max-over-ranks timing, summed
-// counters).
+// counters). When cfg.Stop reports cancellation every rank leaves the
+// step loop at the same agreed iteration and the partial Result
+// (Iters = completed measured steps) is returned with ErrCanceled.
 func RunDistributed(cfg Config, iters int) (*Result, error) {
 	return runDistributed(cfg, iters, segment{warmup0: cfg.Warmup})
 }
 
 func runDistributed(cfg Config, iters int, seg segment) (*Result, error) {
 	if cfg.Mode != MPI && cfg.Mode != Hybrid && cfg.Mode != MPIsm {
-		return nil, fmt.Errorf("core: RunDistributed with mode %v", cfg.Mode)
+		return nil, fmt.Errorf("core: RunDistributed with mode %s (distributed modes: %s)", cfg.Mode, distributedNames())
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -719,6 +721,7 @@ func runDistributed(cfg Config, iters int, seg segment) (*Result, error) {
 	}
 
 	results := make([]*Result, cfg.P)
+	stopped := false // written by rank 0 only, read after RunOpts returns
 	start := time.Now()
 	comms, err := mp.RunOpts(cfg.P, mp.RunOptions{
 		Net:         net,
@@ -765,34 +768,79 @@ func runDistributed(cfg Config, iters int, seg segment) (*Result, error) {
 		rebuilds0 := r.rebuilds
 
 		total := 0.0
+		completed := 0
 		rb := r.rebuilds
+		stopReq, grace := false, 0
+		var stopBuf [1]float64
 		for i := seg.start; i < iters; i++ {
 			c.FaultPoint(seg.warmup0 + i)
 			total += r.step()
+			completed++
+			rebuilt := r.rebuilds > rb
+			rb = r.rebuilds
+			if cfg.OnStep != nil && c.Rank() == 0 {
+				cfg.OnStep(i, r.epot, r.ekin)
+			}
 			if cfg.Probe != nil {
 				pos, vel := gather(&cfg, c, r)
 				if c.Rank() == 0 {
 					cfg.Probe(i, pos, vel)
 				}
 			}
-			if seg.sink != nil && r.rebuilds > rb && i+1 < iters {
+			if seg.sink != nil && rebuilt && i+1 < iters {
 				// The step ended in a rebuild, so the store is in its
 				// canonical arrangement — the only state a bit-exact
 				// rollback can restart from. Offer it as the state at
 				// the start of iteration i+1.
 				seg.sink.offer(i+1, r.dm)
 			}
-			rb = r.rebuilds
+			if cfg.Stop != nil {
+				// Cooperative cancellation: rank 0 polls the hook,
+				// latches the request, and honours it at the next
+				// rebuild boundary (the same canonical state the
+				// snapshot sink above waits for — what makes the
+				// cancellation checkpoint resume bit-exactly) or after
+				// stopGrace steps. The verdict is agreed through an
+				// allreduce, so every rank breaks at the same iteration
+				// and the result collectives and state gather below
+				// stay aligned; rebuild votes are collective, so the
+				// rebuild counter advances in lockstep across ranks.
+				// The extra collective exists only when a Stop hook is
+				// installed.
+				stopBuf[0] = 0
+				if c.Rank() == 0 {
+					if !stopReq && cfg.Stop() {
+						stopReq, grace = true, stopGrace
+					}
+					if stopReq {
+						if rebuilt || grace <= 0 {
+							stopBuf[0] = 1
+						}
+						grace--
+					}
+				}
+				c.AllreduceInPlace(stopBuf[:], mp.Max)
+				if stopBuf[0] != 0 {
+					if c.Rank() == 0 {
+						stopped = true
+					}
+					break
+				}
+			}
 		}
 		// The full virtual clock since the post-warmup reset covers the
 		// timed phases plus rebuilds, migration, and repartition; read
 		// it before the result collectives below advance it further.
 		elapsedAll := r.clock()
-		perIter := total / float64(measured)
+		meas := float64(completed)
+		if completed == 0 {
+			meas = 1
+		}
+		perIter := total / meas
 		// Timing is the slowest rank's (the paper's t is the global
 		// iteration time).
 		perIter = c.AllreduceScalar(perIter, mp.Max)
-		totalIter := c.AllreduceScalar(elapsedAll, mp.Max) / float64(measured)
+		totalIter := c.AllreduceScalar(elapsedAll, mp.Max) / meas
 
 		nlinks := c.AllreduceScalar(float64(r.dm.NumLinks()), mp.Sum)
 
@@ -808,18 +856,21 @@ func runDistributed(cfg Config, iters int, seg segment) (*Result, error) {
 		}
 
 		res := &Result{
-			Mode:       cfg.Mode,
-			Iters:      measured,
+			Mode: cfg.Mode,
+			// Iters counts the measured iterations completed since the
+			// run's start (segment offset included), so a canceled run
+			// reports exactly the boundary a resume must continue from.
+			Iters:      seg.start + completed,
 			PerIter:    perIter,
 			TotalTime:  totalIter,
 			Epot:       r.epot,
 			Ekin:       r.ekin,
 			NLinks:     int64(nlinks),
 			Rebuilds:   r.rebuilds - rebuilds0,
-			ForceTime:  r.forceTime / float64(measured),
-			UpdateTime: r.updateTime / float64(measured),
-			CommTime:   r.commTime / float64(measured),
-			CollTime:   r.collTime / float64(measured),
+			ForceTime:  r.forceTime / meas,
+			UpdateTime: r.updateTime / meas,
+			CommTime:   r.commTime / meas,
+			CollTime:   r.collTime / meas,
 
 			MeanLinkDist: r.meanDist,
 			Imbalance:    imb,
@@ -855,6 +906,9 @@ func runDistributed(cfg Config, iters int, seg segment) (*Result, error) {
 	out.TC = tc
 	if taken+avoided > 0 {
 		out.AtomicFraction = float64(taken) / float64(taken+avoided)
+	}
+	if stopped {
+		return out, ErrCanceled
 	}
 	return out, nil
 }

@@ -247,10 +247,12 @@ func (s *sharedSim) collect() (pos, vel []geom.Vec) {
 }
 
 // RunShared executes a Serial or OpenMP run for the configured warmup
-// plus iters measured iterations.
+// plus iters measured iterations. When cfg.Stop reports cancellation
+// the partial Result (Iters = completed steps) is returned together
+// with ErrCanceled.
 func RunShared(cfg Config, iters int) (*Result, error) {
 	if cfg.Mode != Serial && cfg.Mode != OpenMP {
-		return nil, fmt.Errorf("core: RunShared with mode %v", cfg.Mode)
+		return nil, fmt.Errorf("core: RunShared with mode %s (shared modes: %s)", cfg.Mode, sharedNames())
 	}
 	s, err := newSharedSim(cfg)
 	if err != nil {
@@ -264,30 +266,57 @@ func RunShared(cfg Config, iters int) (*Result, error) {
 	s.forceTime, s.updateTime = 0, 0
 	rebuilds0 := s.rebuilds
 	total := 0.0
+	completed := 0
+	stopped := false
 	clk0 := s.nowClock()
 	start := time.Now()
+	stopReq, grace := false, 0
 	for i := 0; i < iters; i++ {
+		rb := s.rebuilds
 		total += s.step()
+		completed++
 		if cfg.Probe != nil {
 			p, v := s.collect()
 			cfg.Probe(i, p, v)
 		}
+		if cfg.OnStep != nil {
+			cfg.OnStep(i, s.epot, s.ekin)
+		}
+		if cfg.Stop != nil {
+			if !stopReq && cfg.Stop() {
+				stopReq, grace = true, stopGrace
+			}
+			// A latched request is honoured at the next rebuild
+			// boundary — the canonical state a resumed run reproduces
+			// bit-exactly — or after stopGrace steps if none comes.
+			if stopReq {
+				if s.rebuilds > rb || grace <= 0 {
+					stopped = true
+					break
+				}
+				grace--
+			}
+		}
 	}
 	wall := time.Since(start)
+	meas := float64(completed)
+	if completed == 0 {
+		meas = 1
+	}
 
 	res := &Result{
 		Mode:      cfg.Mode,
-		Iters:     iters,
-		PerIter:   total / float64(iters),
-		TotalTime: (s.nowClock() - clk0) / float64(iters),
+		Iters:     completed,
+		PerIter:   total / meas,
+		TotalTime: (s.nowClock() - clk0) / meas,
 		Wall:      wall,
 		Epot:      s.epot,
 		Ekin:      s.ekin,
 		NLinks:    int64(len(s.list.Links)),
 		Rebuilds:  s.rebuilds - rebuilds0,
 
-		ForceTime:  s.forceTime / float64(iters),
-		UpdateTime: s.updateTime / float64(iters),
+		ForceTime:  s.forceTime / meas,
+		UpdateTime: s.updateTime / meas,
 
 		MeanLinkDist: s.meanDist,
 	}
@@ -298,6 +327,9 @@ func RunShared(cfg Config, iters int) (*Result, error) {
 	}
 	if cfg.CollectState {
 		res.Pos, res.Vel = s.collect()
+	}
+	if stopped {
+		return res, ErrCanceled
 	}
 	return res, nil
 }

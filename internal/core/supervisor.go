@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -170,7 +171,7 @@ type FTConfig struct {
 // unrecoverable error; demrun maps that to exit code 3.
 func Supervise(cfg Config, iters int, ft FTConfig) (*Result, error) {
 	if cfg.Mode != MPI && cfg.Mode != Hybrid && cfg.Mode != MPIsm {
-		return nil, fmt.Errorf("core: Supervise with mode %v", cfg.Mode)
+		return nil, fmt.Errorf("core: Supervise with mode %s (distributed modes: %s)", cfg.Mode, distributedNames())
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -202,6 +203,18 @@ func Supervise(cfg Config, iters int, ft FTConfig) (*Result, error) {
 			}
 		}
 	}
+	// OnStep gets the same exactly-once guarantee: a rollback replays
+	// iterations whose step events subscribers have already seen.
+	onStep := cfg.OnStep
+	stepsSeen := 0
+	if onStep != nil {
+		cfg.OnStep = func(iter int, epot, ekin float64) {
+			if iter == stepsSeen {
+				onStep(iter, epot, ekin)
+				stepsSeen++
+			}
+		}
+	}
 
 	backoff := ft.Backoff
 	warmup0 := cfg.Warmup
@@ -221,6 +234,12 @@ func Supervise(cfg Config, iters int, ft FTConfig) (*Result, error) {
 		if err == nil {
 			res.Iters = iters
 			return res, nil
+		}
+		if errors.Is(err, ErrCanceled) {
+			// Cooperative cancellation is not a fault: hand the partial
+			// result (Iters already holds the completed count) straight
+			// back so the caller can checkpoint and later resume it.
+			return res, err
 		}
 		fe := fault.From(err)
 		if fe == nil {

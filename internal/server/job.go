@@ -1,0 +1,209 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybriddem/internal/checkpoint"
+	"hybriddem/internal/core"
+)
+
+// State is a job's position in its lifecycle. Transitions:
+//
+//	queued ──────▶ running ─▶ done
+//	   │              ├─────▶ canceled   (Stop hook honoured at a step boundary)
+//	   │              └─────▶ failed
+//	   └─────────▶ canceled              (canceled before a worker picked it up)
+//
+// done, canceled and failed are terminal. A canceled job that was
+// given a Checkpoint path is resumable: submit a new job with Load set
+// to that path and the same cumulative Iters.
+type State int32
+
+const (
+	StateQueued State = iota
+	StateRunning
+	StateDone
+	StateCanceled
+	StateFailed
+)
+
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateCanceled:
+		return "canceled"
+	case StateFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("State(%d)", int32(s))
+}
+
+// Job is one submitted simulation: its spec, lifecycle state, stop
+// flag, event hub and counters. All mutable fields are either atomics
+// or guarded by mu; the worker goroutine, connection handlers and the
+// scheduler touch jobs concurrently.
+type Job struct {
+	ID   string
+	Spec JobSpec
+
+	mu      sync.Mutex
+	state   State
+	errMsg  string
+	started time.Time // when the worker picked it up
+
+	itersDone  atomic.Int64 // cumulative measured iterations completed
+	itersStart int64        // iterations restored from the Load checkpoint
+
+	stop atomic.Bool // the core.Config.Stop hook reads this
+
+	hub *hub
+
+	bytesOut  atomic.Int64 // bytes actually written to subscriber conns
+	ckWritten atomic.Bool  // a checkpoint exists at Spec.Checkpoint
+}
+
+func newJob(id string, spec JobSpec) *Job {
+	return &Job{ID: id, Spec: spec, hub: newHub()}
+}
+
+// setState transitions the job, recording the error message for
+// failed, and returns the previous state.
+func (j *Job) setState(s State, errMsg string) State {
+	j.mu.Lock()
+	prev := j.state
+	j.state = s
+	if errMsg != "" {
+		j.errMsg = errMsg
+	}
+	if s == StateRunning {
+		j.started = time.Now()
+	}
+	j.mu.Unlock()
+	return prev
+}
+
+// snapshot returns the current state and error under the lock.
+func (j *Job) snapshot() (State, string, time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.errMsg, j.started
+}
+
+// cancel requests cancellation. A queued job the scheduler has not
+// started flips straight to canceled when the worker dequeues it; a
+// running one stops at the next step boundary.
+func (j *Job) cancel() {
+	j.stop.Store(true)
+}
+
+// status assembles the wire-visible JobStatus including counters.
+func (j *Job) status() *JobStatus {
+	state, errMsg, started := j.snapshot()
+	st := &JobStatus{
+		ID:            j.ID,
+		State:         state.String(),
+		Error:         errMsg,
+		ItersDone:     int(j.itersDone.Load()),
+		ItersTotal:    j.Spec.Iters,
+		Subscribers:   j.hub.count(),
+		EventsSent:    j.hub.sent.Load(),
+		EventsDropped: j.hub.dropped.Load(),
+		BytesStreamed: j.bytesOut.Load(),
+	}
+	if j.ckWritten.Load() {
+		st.Checkpoint = j.Spec.Checkpoint
+	}
+	if state == StateRunning && !started.IsZero() {
+		if el := time.Since(started).Seconds(); el > 0 {
+			st.StepsPerS = float64(j.itersDone.Load()-j.itersStart) / el
+		}
+	}
+	return st
+}
+
+// publishEvent marshals and fans out one event. The newline framing
+// is appended here, once, so every subscriber shares one immutable
+// byte slice.
+func (j *Job) publishEvent(ev Event) {
+	ev.ID = j.ID
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return // the event types marshal by construction
+	}
+	j.hub.publish(append(b, '\n'))
+}
+
+// config translates the wire spec into a validated core.Config plus
+// the iterations already held by the Load checkpoint (0 without Load).
+// The run executes spec.Iters minus that count.
+func (spec *JobSpec) config() (core.Config, int, error) {
+	d := spec.D
+	if d == 0 {
+		d = 3
+	}
+	if spec.N < 1 {
+		return core.Config{}, 0, fmt.Errorf("job needs n >= 1 (got %d)", spec.N)
+	}
+	if spec.Iters < 1 {
+		return core.Config{}, 0, fmt.Errorf("job needs iters >= 1 (got %d)", spec.Iters)
+	}
+	cfg := core.Default(d, spec.N)
+	if spec.Mode != "" {
+		m, err := core.ModeByName(spec.Mode)
+		if err != nil {
+			return core.Config{}, 0, err
+		}
+		cfg.Mode = m
+	}
+	if spec.P > 0 {
+		cfg.P = spec.P
+	}
+	if spec.T > 0 {
+		cfg.T = spec.T
+	}
+	if spec.BPP > 0 {
+		cfg.BlocksPerProc = spec.BPP
+	}
+	if spec.Seed != 0 {
+		cfg.Seed = spec.Seed
+	}
+	if spec.RC > 0 {
+		cfg.RCFactor = spec.RC
+	}
+	if spec.NoReorder {
+		cfg.Reorder = false
+	}
+	cfg.Warmup = spec.Warm
+	cfg.Gravity = spec.Grav
+	cfg.FillHeight = spec.Fill
+	cfg.InitVel = spec.Vel
+	cfg.Spring.Damp = spec.Damp
+
+	restored := 0
+	if spec.Load != "" {
+		snap, err := checkpoint.LoadFile(spec.Load)
+		if err != nil {
+			return core.Config{}, 0, fmt.Errorf("load %s: %w", spec.Load, err)
+		}
+		if err := snap.Apply(&cfg); err != nil {
+			return core.Config{}, 0, fmt.Errorf("load %s: %w", spec.Load, err)
+		}
+		restored = snap.Iters
+		// The checkpointed state already includes the original warm-up;
+		// running it again would silently advance the physics.
+		cfg.Warmup = 0
+	}
+	if err := cfg.Validate(); err != nil {
+		return core.Config{}, 0, err
+	}
+	return cfg, restored, nil
+}

@@ -1,0 +1,499 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybriddem/internal/checkpoint"
+	"hybriddem/internal/core"
+)
+
+// Options tunes a Server. The zero value gets sensible defaults.
+type Options struct {
+	// Workers is the size of the worker pool — the number of jobs
+	// simulating concurrently. Default 2.
+	Workers int
+	// QueueDepth bounds the jobs waiting for a worker. A submit that
+	// finds the queue full is rejected with a retry-after hint instead
+	// of queued without bound: under heavy traffic the daemon degrades
+	// by shedding load at the door, never by growing until it dies.
+	// Default 16.
+	QueueDepth int
+	// EventBuffer is the per-subscriber event buffer. A subscriber
+	// that falls this many events behind is dropped rather than
+	// allowed to stall anything. Default 64.
+	EventBuffer int
+	// RetryAfter is the backoff hint attached to queue-full
+	// rejections. Default 1s.
+	RetryAfter time.Duration
+	// WriteTimeout bounds a single event write to a subscriber
+	// connection; a blocked socket past it drops the subscriber.
+	// Default 10s.
+	WriteTimeout time.Duration
+	// MaxN and MaxIters, when positive, are per-job resource limits:
+	// submissions exceeding them are rejected outright.
+	MaxN, MaxIters int
+	// Logf, when non-nil, receives server lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) setDefaults() {
+	if o.Workers < 1 {
+		o.Workers = 2
+	}
+	if o.QueueDepth < 1 {
+		o.QueueDepth = 16
+	}
+	if o.EventBuffer < 1 {
+		o.EventBuffer = 64
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+}
+
+// Server owns the job table, the bounded scheduler and the client
+// connections. Create with New, serve with Serve, stop with Shutdown
+// (idempotent; also reachable over the wire as the "shutdown"
+// command).
+type Server struct {
+	opts Options
+
+	mu       sync.Mutex // guards jobs/order/nextID and queue-close vs submit
+	jobs     map[string]*Job
+	order    []string
+	nextID   int
+	draining bool
+	queue    chan *Job
+
+	workerWG sync.WaitGroup
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	connWG sync.WaitGroup
+
+	ln       net.Listener
+	lnMu     sync.Mutex
+	shutOnce sync.Once
+	done     chan struct{}
+
+	running   atomic.Int64
+	submitted atomic.Int64
+	rejected  atomic.Int64
+	completed atomic.Int64
+	canceled  atomic.Int64
+	failed    atomic.Int64
+}
+
+// New builds a Server and starts its worker pool. The pool idles until
+// jobs arrive; Shutdown stops it.
+func New(opts Options) *Server {
+	opts.setDefaults()
+	s := &Server{
+		opts:  opts,
+		jobs:  make(map[string]*Job),
+		conns: make(map[net.Conn]struct{}),
+		queue: make(chan *Job, opts.QueueDepth),
+		done:  make(chan struct{}),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections on ln until the listener closes. A close
+// triggered by Shutdown returns nil; any other accept failure returns
+// the error.
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return nil
+			default:
+			}
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		s.connMu.Lock()
+		s.conns[c] = struct{}{}
+		s.connMu.Unlock()
+		s.connWG.Add(1)
+		go s.handleConn(c)
+	}
+}
+
+// Shutdown stops the server cleanly: new submissions are rejected, the
+// listener closes, every queued and running job is canceled — running
+// jobs stop at their next step boundary and write their checkpoint if
+// they were given a path, so no work is silently lost — the workers
+// drain, and client connections close. Safe to call more than once and
+// from a connection handler (the wire "shutdown" command).
+func (s *Server) Shutdown() {
+	s.shutOnce.Do(func() {
+		s.logf("demd: shutting down")
+		s.mu.Lock()
+		s.draining = true
+		for _, id := range s.order {
+			s.cancelLocked(s.jobs[id])
+		}
+		close(s.queue)
+		s.mu.Unlock()
+
+		s.lnMu.Lock()
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		s.lnMu.Unlock()
+
+		s.workerWG.Wait()
+
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.connMu.Unlock()
+		s.connWG.Wait()
+		close(s.done)
+	})
+}
+
+// Done is closed once Shutdown has fully drained.
+func (s *Server) Done() <-chan struct{} { return s.done }
+
+// Submit validates and enqueues a job, returning the wire response
+// (also used directly by tests and embedders).
+func (s *Server) Submit(spec *JobSpec) *Response {
+	if spec == nil {
+		return &Response{OK: false, Error: "submit needs a job spec"}
+	}
+	if s.opts.MaxN > 0 && spec.N > s.opts.MaxN {
+		s.rejected.Add(1)
+		return &Response{OK: false, Error: fmt.Sprintf("n=%d exceeds the per-job limit %d", spec.N, s.opts.MaxN)}
+	}
+	if s.opts.MaxIters > 0 && spec.Iters > s.opts.MaxIters {
+		s.rejected.Add(1)
+		return &Response{OK: false, Error: fmt.Sprintf("iters=%d exceeds the per-job limit %d", spec.Iters, s.opts.MaxIters)}
+	}
+	// Validate everything except the checkpoint load (the worker does
+	// the real load; rejecting bad geometry/mode here keeps garbage out
+	// of the queue).
+	probe := *spec
+	probe.Load = ""
+	if _, _, err := probe.config(); err != nil {
+		s.rejected.Add(1)
+		return &Response{OK: false, Error: err.Error()}
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return &Response{OK: false, Error: "server is shutting down"}
+	}
+	s.nextID++
+	job := newJob(fmt.Sprintf("j%d", s.nextID), *spec)
+	select {
+	case s.queue <- job:
+		s.jobs[job.ID] = job
+		s.order = append(s.order, job.ID)
+		s.mu.Unlock()
+		s.submitted.Add(1)
+		return &Response{OK: true, ID: job.ID}
+	default:
+		s.nextID-- // the id was never exposed
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return &Response{
+			OK:           false,
+			Error:        fmt.Sprintf("queue full (%d jobs waiting); retry later", s.opts.QueueDepth),
+			RetryAfterMs: s.opts.RetryAfter.Milliseconds(),
+		}
+	}
+}
+
+// Cancel requests cancellation of a job by id.
+func (s *Server) Cancel(id string) *Response {
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return &Response{OK: false, Error: fmt.Sprintf("no job %q", id)}
+	}
+	s.cancelLocked(job)
+	s.mu.Unlock()
+	return &Response{OK: true, ID: id}
+}
+
+// cancelLocked flips the stop flag and, for a job no worker has
+// claimed yet, retires it immediately. Held under s.mu.
+func (s *Server) cancelLocked(job *Job) {
+	job.cancel()
+	job.mu.Lock()
+	queued := job.state == StateQueued
+	if queued {
+		job.state = StateCanceled
+	}
+	job.mu.Unlock()
+	if queued {
+		s.canceled.Add(1)
+		job.publishEvent(Event{Event: "state", State: StateCanceled.String()})
+		job.hub.closeAll()
+	}
+}
+
+// Status reports one job.
+func (s *Server) Status(id string) *Response {
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return &Response{OK: false, Error: fmt.Sprintf("no job %q", id)}
+	}
+	return &Response{OK: true, ID: id, Job: job.status()}
+}
+
+// List reports every job in submission order.
+func (s *Server) List() *Response {
+	s.mu.Lock()
+	out := make([]*JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].status())
+	}
+	s.mu.Unlock()
+	return &Response{OK: true, Jobs: out}
+}
+
+// ServerStats snapshots the server-wide counters.
+func (s *Server) ServerStats() *Response {
+	return &Response{OK: true, Stats: &Stats{
+		Workers:    s.opts.Workers,
+		QueueDepth: len(s.queue),
+		QueueCap:   s.opts.QueueDepth,
+		Running:    int(s.running.Load()),
+		Submitted:  s.submitted.Load(),
+		Rejected:   s.rejected.Load(),
+		Completed:  s.completed.Load(),
+		Canceled:   s.canceled.Load(),
+		Failed:     s.failed.Load(),
+	}}
+}
+
+// worker pulls jobs off the bounded queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+// claim transitions queued→running; false if the job was already
+// retired (canceled while queued).
+func (j *Job) claim() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	return true
+}
+
+// runJob executes one job end to end: build the config (loading the
+// resume checkpoint if any), install the stop hook and the per-step
+// event hook, run, and retire the job — writing the checkpoint on
+// completion and on cancellation.
+func (s *Server) runJob(j *Job) {
+	if !j.claim() {
+		return // canceled while queued; already retired
+	}
+	s.running.Add(1)
+	defer s.running.Add(-1)
+
+	finish := func(st State, errMsg string) {
+		j.setState(st, errMsg)
+		switch st {
+		case StateDone:
+			s.completed.Add(1)
+		case StateCanceled:
+			s.canceled.Add(1)
+		case StateFailed:
+			s.failed.Add(1)
+		}
+		j.publishEvent(Event{Event: "state", State: st.String(), Error: errMsg})
+		j.hub.closeAll()
+		s.logf("demd: job %s %s (%d/%d iterations)", j.ID, st, j.itersDone.Load(), j.Spec.Iters)
+	}
+
+	cfg, restored, err := j.Spec.config()
+	if err != nil {
+		finish(StateFailed, err.Error())
+		return
+	}
+	remaining := j.Spec.Iters - restored
+	if remaining <= 0 {
+		finish(StateFailed, fmt.Sprintf("checkpoint %s already holds %d iterations; iters=%d leaves nothing to run",
+			j.Spec.Load, restored, j.Spec.Iters))
+		return
+	}
+	j.itersStart = int64(restored)
+	j.itersDone.Store(int64(restored))
+	cfg.CollectState = j.Spec.Checkpoint != ""
+	cfg.Stop = j.stop.Load
+	cfg.OnStep = func(iter int, epot, ekin float64) {
+		j.itersDone.Store(int64(restored + iter + 1))
+		j.publishEvent(Event{Event: "step", Iter: restored + iter, Epot: epot, Ekin: ekin})
+	}
+
+	j.publishEvent(Event{Event: "state", State: StateRunning.String()})
+	s.logf("demd: job %s running (%s, n=%d, %d iterations)", j.ID, cfg.Mode, cfg.N, remaining)
+
+	res, err := core.Run(cfg, remaining)
+	wasCanceled := errors.Is(err, core.ErrCanceled)
+	if err != nil && !wasCanceled {
+		finish(StateFailed, err.Error())
+		return
+	}
+	done := restored + res.Iters
+	j.itersDone.Store(int64(done))
+	if j.Spec.Checkpoint != "" {
+		snap, serr := checkpoint.FromResult(&cfg, res, done)
+		if serr == nil {
+			serr = checkpoint.SaveFile(j.Spec.Checkpoint, snap)
+		}
+		if serr != nil {
+			finish(StateFailed, fmt.Sprintf("checkpoint: %v", serr))
+			return
+		}
+		j.ckWritten.Store(true)
+	}
+	if wasCanceled {
+		finish(StateCanceled, "")
+		return
+	}
+	finish(StateDone, "")
+}
+
+// handleConn serves one client: a loop of JSON requests answered by
+// JSON responses. "subscribe" turns the connection into an event
+// stream until the job's stream ends (or the client is dropped for
+// falling behind); afterwards the command loop resumes.
+func (s *Server) handleConn(c net.Conn) {
+	defer s.connWG.Done()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, c)
+		s.connMu.Unlock()
+		c.Close()
+	}()
+	dec := json.NewDecoder(c)
+	enc := json.NewEncoder(c)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or garbage; either way the conversation is over
+		}
+		var resp *Response
+		switch req.Cmd {
+		case "submit":
+			resp = s.Submit(req.Job)
+		case "status":
+			resp = s.Status(req.ID)
+		case "cancel":
+			resp = s.Cancel(req.ID)
+		case "list":
+			resp = s.List()
+		case "stats":
+			resp = s.ServerStats()
+		case "shutdown":
+			enc.Encode(&Response{OK: true})
+			go s.Shutdown() // async: Shutdown waits for this very handler
+			return
+		case "subscribe":
+			s.mu.Lock()
+			job, ok := s.jobs[req.ID]
+			s.mu.Unlock()
+			if !ok {
+				resp = &Response{OK: false, Error: fmt.Sprintf("no job %q", req.ID)}
+				break
+			}
+			if err := enc.Encode(&Response{OK: true, ID: req.ID}); err != nil {
+				return
+			}
+			if !s.streamEvents(c, job) {
+				return
+			}
+			continue
+		default:
+			resp = &Response{OK: false, Error: fmt.Sprintf("unknown command %q (submit|status|cancel|list|subscribe|stats|shutdown)", req.Cmd)}
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// streamEvents forwards a job's events to the connection until the
+// stream ends. Returns false when the connection is dead and the
+// handler should bail out.
+func (s *Server) streamEvents(c net.Conn, job *Job) bool {
+	sub := job.hub.subscribe(s.opts.EventBuffer)
+	for b := range sub.ch {
+		c.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+		n, err := c.Write(b)
+		job.bytesOut.Add(int64(n))
+		if err != nil {
+			job.hub.unsubscribe(sub)
+			// Drain whatever was buffered so the publisher side's
+			// close finds an empty channel promptly.
+			for range sub.ch {
+			}
+			return false
+		}
+	}
+	// Terminate the stream deterministically: "dropped" when the
+	// subscriber fell behind and lost events (reconnect and resync via
+	// status), "eof" on a clean end — including a subscribe to a job
+	// whose stream already ended, which would otherwise give the client
+	// zero lines and no way to tell the stream is over.
+	final := Event{Event: "eof", ID: job.ID}
+	if sub.evicted.Load() {
+		final.Event = "dropped"
+	}
+	if b, err := json.Marshal(final); err == nil {
+		c.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+		n, werr := c.Write(append(b, '\n'))
+		job.bytesOut.Add(int64(n))
+		c.SetWriteDeadline(time.Time{})
+		if werr != nil {
+			return false
+		}
+	}
+	return true
+}
