@@ -21,8 +21,18 @@
 // their next step boundary and write their checkpoints — and a second
 // signal force-quits.
 //
+// With -data-dir the job lifecycle is durable: every submit and state
+// transition is fsynced to a write-ahead journal before it is
+// acknowledged, running jobs checkpoint their state every
+// -checkpoint-every iterations, and a daemon restarted on the same
+// -data-dir (even after kill -9) re-adopts every job — re-enqueueing
+// and resuming interrupted ones bit-exactly from their last durable
+// checkpoint. Jobs that hit a retryable fault are re-queued with
+// exponential backoff up to -max-restarts attempts. See DESIGN.md §16
+// and the README's "Restarting demd" section.
+//
 // Exit codes: 0 clean shutdown (signal or the shutdown command); 1
-// listener or serve error; 2 usage error.
+// listener, recovery or serve error; 2 usage error.
 package main
 
 import (
@@ -54,6 +64,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		retry   = fs.Duration("retry-after", time.Second, "backoff hint attached to queue-full rejections")
 		maxN    = fs.Int("max-n", 0, "per-job particle limit (0 = unlimited)")
 		maxIt   = fs.Int("max-iters", 0, "per-job iteration limit (0 = unlimited)")
+		dataDir = fs.String("data-dir", "", "directory for the job journal and durable checkpoints (empty = nothing survives a crash)")
+		ckEvery = fs.Int("checkpoint-every", 256, "durable checkpoint cadence in measured iterations (with -data-dir)")
+		maxRst  = fs.Int("max-restarts", 2, "default per-job retry budget after retryable faults (negative = no retries)")
+		backoff = fs.Duration("retry-backoff", time.Second, "delay before a faulted job's first retry, doubling per restart")
+		wdog    = fs.Duration("watchdog", 0, "kill a job whose communication goes silent this long (0 = off)")
 		quiet   = fs.Bool("quiet", false, "suppress the job lifecycle log")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -80,17 +95,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	opts := server.Options{
-		Workers:     *workers,
-		QueueDepth:  *queue,
-		EventBuffer: *evbuf,
-		RetryAfter:  *retry,
-		MaxN:        *maxN,
-		MaxIters:    *maxIt,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		EventBuffer:     *evbuf,
+		RetryAfter:      *retry,
+		MaxN:            *maxN,
+		MaxIters:        *maxIt,
+		DataDir:         *dataDir,
+		CheckpointEvery: *ckEvery,
+		MaxRestarts:     *maxRst,
+		RetryBackoff:    *backoff,
+		Watchdog:        *wdog,
 	}
 	if !*quiet {
 		opts.Logf = func(format string, a ...any) { fmt.Fprintf(stdout, format+"\n", a...) }
 	}
-	srv := server.New(opts)
+	srv, err := server.New(opts)
+	if err != nil {
+		ln.Close()
+		fmt.Fprintln(stderr, "demd:", err)
+		return 1
+	}
 
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -273,15 +273,17 @@ func SaveFile(path string, s *Snapshot) (err error) {
 	if err = os.Rename(tmp, path); err != nil {
 		return err
 	}
-	return syncDir(dir)
+	return SyncDir(dir)
 }
 
-// syncDir fsyncs a directory, making a just-completed rename durable.
+// SyncDir fsyncs a directory, making a just-completed rename durable.
 // Filesystems that refuse to sync directories (some network mounts
 // return EINVAL/ENOTSUP) degrade to the pre-sync behaviour rather than
-// failing the checkpoint: the data file itself is already synced, only
-// the rename's durability window remains.
-func syncDir(dir string) error {
+// failing the caller: the data file itself is already synced, only
+// the rename's durability window remains. Exported because the same
+// temp-write/fsync/rename/dir-sync dance backs the server's job
+// journal, not just checkpoint files.
+func SyncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
 		return err

@@ -260,7 +260,21 @@ func Supervise(cfg Config, iters int, ft FTConfig) (*Result, error) {
 			layout = degraded
 		}
 		if backoff > 0 {
-			time.Sleep(backoff)
+			// The backoff sleep honours cooperative cancellation: a
+			// caller that decides to stop the job mid-recovery (demd
+			// canceling or shutting down) must not wait out a
+			// potentially long exponential backoff. There is no partial
+			// Result at this point — the failed attempt rolled back —
+			// so the return is the pending fault wrapped as a plain
+			// error, not ErrCanceled (whose contract promises a usable
+			// partial Result).
+			deadline := time.Now().Add(backoff)
+			for time.Now().Before(deadline) {
+				if cfg.Stop != nil && cfg.Stop() {
+					return nil, fmt.Errorf("core: run canceled during recovery backoff: %w", fe)
+				}
+				time.Sleep(min(10*time.Millisecond, time.Until(deadline)))
+			}
 			backoff *= 2
 		}
 	}

@@ -2,7 +2,9 @@ package core
 
 import (
 	"errors"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"hybriddem/internal/fault"
 	"hybriddem/internal/mp"
@@ -103,6 +105,44 @@ func TestSuperviseCannotDegradeLastRank(t *testing.T) {
 	var fe *fault.Error
 	if !errors.As(err, &fe) || fe.Kind != fault.Killed {
 		t.Fatalf("error %v does not wrap the kill fault", err)
+	}
+}
+
+// TestSuperviseBackoffInterruptible: a caller that cancels (via
+// Config.Stop) while Supervise sits out a recovery backoff must get
+// control back promptly — demd cancels and drains jobs that may be
+// mid-backoff — and the return must be the pending fault as a plain
+// wrapped error, not ErrCanceled, because there is no partial Result
+// to hand back.
+func TestSuperviseBackoffInterruptible(t *testing.T) {
+	cfg := chaosCfg(2)
+	plan := mp.NewFaultPlan(8)
+	plan.ArmKill(1, 5)
+	cfg.Faults = plan
+
+	var stop atomic.Bool
+	cfg.Stop = stop.Load
+	start := time.Now()
+	res, err := Supervise(cfg, 10, FTConfig{
+		Backoff: time.Hour,
+		OnFault: func(attempt int, fe *fault.Error) { stop.Store(true) },
+	})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("canceled backoff returned no error")
+	}
+	if errors.Is(err, ErrCanceled) {
+		t.Fatalf("backoff cancellation returned ErrCanceled (%v); its contract promises a partial Result this path cannot provide", err)
+	}
+	var fe *fault.Error
+	if !errors.As(err, &fe) || fe.Kind != fault.Killed {
+		t.Fatalf("error %v does not wrap the pending kill fault", err)
+	}
+	if res != nil {
+		t.Fatalf("canceled backoff returned a result (%d iters); the failed attempt was rolled back", res.Iters)
+	}
+	if elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %s to interrupt a 1h backoff", elapsed)
 	}
 }
 

@@ -38,23 +38,25 @@ func newHub() *hub {
 }
 
 // subscribe attaches a consumer with the given buffer depth. On a hub
-// whose stream already ended it returns a subscriber with an
-// immediately closed channel, so late subscribers see a clean EOF
-// instead of hanging.
-func (h *hub) subscribe(buf int) *subscriber {
+// whose stream already ended it returns ended=true and a subscriber
+// with an immediately closed channel: the caller synthesizes the
+// terminal replay (final status plus terminator) deterministically
+// instead of racing the hub for events that were published before it
+// arrived.
+func (h *hub) subscribe(buf int) (s *subscriber, ended bool) {
 	if buf < 1 {
 		buf = 1
 	}
-	s := &subscriber{ch: make(chan []byte, buf)}
+	s = &subscriber{ch: make(chan []byte, buf)}
 	h.mu.Lock()
 	if h.closed {
 		h.mu.Unlock()
 		s.close()
-		return s
+		return s, true
 	}
 	h.subs[s] = struct{}{}
 	h.mu.Unlock()
-	return s
+	return s, false
 }
 
 // unsubscribe detaches a consumer (client disconnect).
@@ -80,6 +82,30 @@ func (h *hub) publish(b []byte) {
 			h.dropped.Add(1)
 		}
 	}
+	h.mu.Unlock()
+}
+
+// publishFinal atomically delivers one last event to every subscriber
+// and ends the stream. Because the delivery and the close happen under
+// one lock acquisition, no subscriber can attach between them: every
+// attached consumer sees exactly one terminal event before its channel
+// closes (or is marked evicted if its buffer is full — it lost events
+// and must resync), and anyone arriving later hits the closed hub and
+// gets the synthesized terminal replay from subscribe's caller.
+func (h *hub) publishFinal(b []byte) {
+	h.mu.Lock()
+	h.closed = true
+	for s := range h.subs {
+		select {
+		case s.ch <- b:
+			h.sent.Add(1)
+		default:
+			s.evicted.Store(true)
+			h.dropped.Add(1)
+		}
+		s.close()
+	}
+	h.subs = make(map[*subscriber]struct{})
 	h.mu.Unlock()
 }
 

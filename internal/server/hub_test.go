@@ -12,8 +12,8 @@ import (
 // and publishing never blocks — healthy subscribers keep receiving.
 func TestSlowSubscriberDropped(t *testing.T) {
 	h := newHub()
-	slow := h.subscribe(1)    // never drained
-	healthy := h.subscribe(8) // drained below
+	slow, _ := h.subscribe(1)    // never drained
+	healthy, _ := h.subscribe(8) // drained below
 
 	h.publish([]byte("e1")) // fills slow's single slot
 	h.publish([]byte("e2")) // finds slow full: evict
@@ -55,7 +55,10 @@ func TestSlowSubscriberDropped(t *testing.T) {
 	if _, ok := <-healthy.ch; ok {
 		t.Fatal("healthy channel not closed by closeAll")
 	}
-	late := h.subscribe(1)
+	late, ended := h.subscribe(1)
+	if !ended {
+		t.Fatal("late subscriber not told the stream already ended")
+	}
 	if _, ok := <-late.ch; ok {
 		t.Fatal("late subscriber's channel not immediately closed")
 	}

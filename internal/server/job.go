@@ -3,20 +3,29 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hybriddem/internal/checkpoint"
 	"hybriddem/internal/core"
+	"hybriddem/internal/mp"
 )
 
 // State is a job's position in its lifecycle. Transitions:
 //
 //	queued ──────▶ running ─▶ done
-//	   │              ├─────▶ canceled   (Stop hook honoured at a step boundary)
-//	   │              └─────▶ failed
+//	   ▲              ├─────▶ canceled   (Stop hook honoured at a step boundary)
+//	   │              ├─────▶ failed
+//	   │              └─────▶ queued     (retryable fault, restart budget left:
+//	   │                                  re-queued after exponential backoff)
 //	   └─────────▶ canceled              (canceled before a worker picked it up)
+//
+// A daemon restart demotes a journaled running job back to queued (its
+// durable checkpoint carries the progress) and re-enqueues it, marked
+// recovered.
 //
 // done, canceled and failed are terminal. A canceled job that was
 // given a Checkpoint path is resumable: submit a new job with Load set
@@ -47,6 +56,17 @@ func (s State) String() string {
 	return fmt.Sprintf("State(%d)", int32(s))
 }
 
+// Why a job's step loop was asked to stop. Cancellation, a wall-clock
+// deadline and a progress stall all pull the same core.Config.Stop
+// lever; the reason, recorded first-wins, tells the worker which
+// terminal (or retry) path the stopped run takes.
+const (
+	stopNone int32 = iota
+	stopCancel
+	stopDeadline
+	stopStalled
+)
+
 // Job is one submitted simulation: its spec, lifecycle state, stop
 // flag, event hub and counters. All mutable fields are either atomics
 // or guarded by mu; the worker goroutine, connection handlers and the
@@ -55,15 +75,30 @@ type Job struct {
 	ID   string
 	Spec JobSpec
 
+	// seq is the numeric part of ID, journaled so job ids stay
+	// monotonic across daemon restarts.
+	seq int
+
 	mu      sync.Mutex
 	state   State
 	errMsg  string
 	started time.Time // when the worker picked it up
 
 	itersDone  atomic.Int64 // cumulative measured iterations completed
-	itersStart int64        // iterations restored from the Load checkpoint
+	itersStart int64        // iterations restored at the start of this attempt
 
-	stop atomic.Bool // the core.Config.Stop hook reads this
+	stop       atomic.Bool  // the core.Config.Stop hook reads this
+	stopReason atomic.Int32 // first stop* reason to fire wins
+
+	restarts  atomic.Int32 // execution attempts consumed beyond the first
+	recovered bool         // re-adopted from the journal (set before workers start)
+	cancelReq bool         // journal replay only: a cancel record was seen
+
+	// chaos is the job's armed fault plan, built once so the injected
+	// kill fires exactly once across retries (mp.FaultPlan's own
+	// semantics) unless the spec asks for a fresh plan per attempt.
+	chaosOnce sync.Once
+	chaos     *mp.FaultPlan
 
 	hub *hub
 
@@ -71,19 +106,18 @@ type Job struct {
 	ckWritten atomic.Bool  // a checkpoint exists at Spec.Checkpoint
 }
 
-func newJob(id string, spec JobSpec) *Job {
-	return &Job{ID: id, Spec: spec, hub: newHub()}
+func newJob(id string, seq int, spec JobSpec) *Job {
+	return &Job{ID: id, seq: seq, Spec: spec, hub: newHub()}
 }
 
-// setState transitions the job, recording the error message for
-// failed, and returns the previous state.
+// setState transitions the job, recording the error message (done
+// clears a previous attempt's fault message), and returns the previous
+// state.
 func (j *Job) setState(s State, errMsg string) State {
 	j.mu.Lock()
 	prev := j.state
 	j.state = s
-	if errMsg != "" {
-		j.errMsg = errMsg
-	}
+	j.errMsg = errMsg
 	if s == StateRunning {
 		j.started = time.Now()
 	}
@@ -98,11 +132,67 @@ func (j *Job) snapshot() (State, string, time.Time) {
 	return j.state, j.errMsg, j.started
 }
 
+// trip asks the step loop to stop for the given reason. The first
+// reason to fire wins; later trips (a cancel racing a deadline) keep
+// the original classification.
+func (j *Job) trip(reason int32) {
+	j.stopReason.CompareAndSwap(stopNone, reason)
+	j.stop.Store(true)
+}
+
 // cancel requests cancellation. A queued job the scheduler has not
 // started flips straight to canceled when the worker dequeues it; a
 // running one stops at the next step boundary.
 func (j *Job) cancel() {
-	j.stop.Store(true)
+	j.trip(stopCancel)
+}
+
+// resetStop re-arms the stop surface for a fresh execution attempt
+// (retry after a fault).
+func (j *Job) resetStop() {
+	j.stop.Store(false)
+	j.stopReason.Store(stopNone)
+}
+
+// faultPlan returns the job's armed fault plan, or nil when the spec
+// injects no faults. The default plan is shared across attempts, so
+// the kill fires once and the retry runs clean (a transient fault);
+// ChaosEveryAttempt builds a fresh armed plan per call, modeling a
+// persistent fault that drains the restart budget.
+func (j *Job) faultPlan() *mp.FaultPlan {
+	if j.Spec.ChaosKill == "" {
+		return nil
+	}
+	rank, step, err := parseKill(j.Spec.ChaosKill)
+	if err != nil {
+		return nil // Submit validated this; unreachable for accepted jobs
+	}
+	if j.Spec.ChaosEveryAttempt {
+		p := mp.NewFaultPlan(1)
+		p.ArmKill(rank, step)
+		return p
+	}
+	j.chaosOnce.Do(func() {
+		j.chaos = mp.NewFaultPlan(1)
+		j.chaos.ArmKill(rank, step)
+	})
+	return j.chaos
+}
+
+// parseKill parses a "rank@step" fault-injection spec.
+func parseKill(s string) (rank, step int, err error) {
+	at := strings.IndexByte(s, '@')
+	if at < 0 {
+		return 0, 0, fmt.Errorf("chaos kill %q: want rank@step", s)
+	}
+	rank, err = strconv.Atoi(s[:at])
+	if err == nil {
+		step, err = strconv.Atoi(s[at+1:])
+	}
+	if err != nil || rank < 0 || step < 0 {
+		return 0, 0, fmt.Errorf("chaos kill %q: want rank@step with non-negative integers", s)
+	}
+	return rank, step, nil
 }
 
 // status assembles the wire-visible JobStatus including counters.
@@ -118,6 +208,8 @@ func (j *Job) status() *JobStatus {
 		EventsSent:    j.hub.sent.Load(),
 		EventsDropped: j.hub.dropped.Load(),
 		BytesStreamed: j.bytesOut.Load(),
+		Restarts:      int(j.restarts.Load()),
+		Recovered:     j.recovered,
 	}
 	if j.ckWritten.Load() {
 		st.Checkpoint = j.Spec.Checkpoint
@@ -140,6 +232,18 @@ func (j *Job) publishEvent(ev Event) {
 		return // the event types marshal by construction
 	}
 	j.hub.publish(append(b, '\n'))
+}
+
+// publishFinalEvent marshals the terminal event and delivers it
+// atomically with the stream close (see hub.publishFinal), so every
+// attached subscriber sees exactly one terminal state line before EOF.
+func (j *Job) publishFinalEvent(ev Event) {
+	ev.ID = j.ID
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	j.hub.publishFinal(append(b, '\n'))
 }
 
 // config translates the wire spec into a validated core.Config plus

@@ -1,0 +1,224 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"hybriddem/internal/checkpoint"
+)
+
+// The write-ahead job journal is what makes the demd lifecycle durable:
+// every submit, state transition and cancel request is appended — and
+// fsynced — before it is acknowledged, so a daemon that dies at any
+// instant can replay the log and find every job it had accepted. The
+// on-disk format reuses the checkpoint framing idiom (magic, length,
+// FNV-1a) at record granularity:
+//
+//	[8] file magic "HYDEMJL1"
+//	then, per record:
+//	[8] payload length, big-endian
+//	[8] FNV-1a over the payload, big-endian
+//	[n] JSON-encoded record
+//
+// A torn tail — the header or payload of the last record cut short by
+// the crash, or a record whose checksum fails — ends the replay at the
+// last intact record; it is dropped, never fatal. On startup the
+// surviving records are compacted into a fresh journal (one submit plus
+// at most one state record per job), written with the same atomic
+// temp/fsync/rename/dir-sync dance as checkpoint.SaveFile, so the log
+// stays bounded by the job table instead of growing with every
+// transition across restarts.
+var journalMagic = [8]byte{'H', 'Y', 'D', 'E', 'M', 'J', 'L', '1'}
+
+const (
+	recHeaderLen = 16
+	// maxRecLen bounds a record's length field so a corrupted header
+	// cannot make replay attempt an absurd allocation. A record is one
+	// JSON job spec plus bookkeeping; a megabyte is already generous.
+	maxRecLen = 1 << 20
+)
+
+// record is one journal entry. Kind selects the verb; the other fields
+// are per-verb payload.
+//
+//	"seq"    — Seq: high-water mark of issued job ids (compaction
+//	           writes one so id monotonicity survives even if the
+//	           highest job's submit record is ever lost)
+//	"submit" — Seq, ID, Spec: a job was accepted
+//	"state"  — ID, State, Error, Restarts, Iters, Recovered: a
+//	           lifecycle transition was committed
+//	"cancel" — ID: cancellation was requested (the intent is durable
+//	           even if the boundary transition never lands)
+type record struct {
+	Kind      string   `json:"k"`
+	Seq       int      `json:"seq,omitempty"`
+	ID        string   `json:"id,omitempty"`
+	Spec      *JobSpec `json:"spec,omitempty"`
+	State     string   `json:"state,omitempty"`
+	Error     string   `json:"error,omitempty"`
+	Restarts  int      `json:"restarts,omitempty"`
+	Iters     int      `json:"iters,omitempty"`
+	Recovered bool     `json:"recovered,omitempty"`
+}
+
+func fnv1aSum(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return h
+}
+
+// appendRecord marshals and frames one record onto dst.
+func appendRecord(dst []byte, rec *record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return dst, fmt.Errorf("journal: %w", err)
+	}
+	var hdr [recHeaderLen]byte
+	binary.BigEndian.PutUint64(hdr[0:8], uint64(len(payload)))
+	binary.BigEndian.PutUint64(hdr[8:16], fnv1aSum(payload))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, payload...)
+	return dst, nil
+}
+
+// decodeRecords parses journal bytes into the longest valid prefix of
+// records. It never fails and never panics: a missing or wrong file
+// magic yields no records, and the first short, corrupt or
+// implausible frame ends the parse — the torn tail a crash leaves
+// behind is dropped, not fatal.
+func decodeRecords(data []byte) []record {
+	if len(data) < len(journalMagic) || !bytes.Equal(data[:len(journalMagic)], journalMagic[:]) {
+		return nil
+	}
+	data = data[len(journalMagic):]
+	var recs []record
+	for len(data) >= recHeaderLen {
+		n := binary.BigEndian.Uint64(data[0:8])
+		if n > maxRecLen || uint64(len(data)-recHeaderLen) < n {
+			break
+		}
+		payload := data[recHeaderLen : recHeaderLen+int(n)]
+		if fnv1aSum(payload) != binary.BigEndian.Uint64(data[8:16]) {
+			break
+		}
+		var rec record
+		if json.Unmarshal(payload, &rec) != nil {
+			break
+		}
+		recs = append(recs, rec)
+		data = data[recHeaderLen+int(n):]
+	}
+	return recs
+}
+
+// replayJournal reads and decodes the journal at path. A missing file
+// is an empty journal (first boot); any readable prefix of records is
+// returned, however the file was torn.
+func replayJournal(path string) []record {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	return decodeRecords(data)
+}
+
+// journal is the open write-ahead log. Appends are serialized and
+// fsynced before they return, so a record the server has acted on is
+// on stable storage first.
+type journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	frozen bool
+}
+
+// createJournal atomically rewrites path to hold exactly recs (the
+// startup compaction) and opens the result for durable appends. The
+// rewrite goes through a temp file, fsync, rename and directory sync,
+// so a crash mid-compaction leaves either the old journal or the
+// complete new one.
+func createJournal(path string, recs []*record) (*journal, error) {
+	buf := append([]byte(nil), journalMagic[:]...)
+	var err error
+	for _, r := range recs {
+		if buf, err = appendRecord(buf, r); err != nil {
+			return nil, err
+		}
+	}
+	dir := filepath.Dir(path)
+	tmpf, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return nil, err
+	}
+	tmp := tmpf.Name()
+	fail := func(e error) (*journal, error) {
+		tmpf.Close()
+		os.Remove(tmp)
+		return nil, e
+	}
+	if _, err = tmpf.Write(buf); err != nil {
+		return fail(err)
+	}
+	if err = tmpf.Sync(); err != nil {
+		return fail(err)
+	}
+	if err = tmpf.Close(); err != nil {
+		return fail(err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fail(err)
+	}
+	if err = checkpoint.SyncDir(dir); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &journal{f: f, path: path}, nil
+}
+
+// append frames, writes and fsyncs one record. The caller must not
+// act on the record (acknowledge a submit, publish a transition) until
+// append returns nil.
+func (j *journal) append(rec *record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.frozen {
+		return nil
+	}
+	buf, err := appendRecord(nil, rec)
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+// freeze stops all further appends. It exists for crash-recovery
+// tests: freezing the journal and then shutting the server down
+// models a process killed at this instant — whatever the drain does
+// afterwards never reaches the log, exactly as if the power had gone.
+func (j *journal) freeze() {
+	j.mu.Lock()
+	j.frozen = true
+	j.mu.Unlock()
+}
+
+func (j *journal) close() {
+	j.mu.Lock()
+	j.f.Close()
+	j.mu.Unlock()
+}

@@ -59,6 +59,51 @@ type JobSpec struct {
 	// completed count.
 	Checkpoint string `json:"checkpoint,omitempty"`
 	Load       string `json:"load,omitempty"`
+
+	// MaxRestarts is the job's retry budget: how many times the daemon
+	// re-queues it (with exponential backoff) after a retryable fault
+	// before declaring it failed. 0 takes the server default
+	// (Options.MaxRestarts); negative means no retries. The count of
+	// restarts consumed is journaled, so the budget survives daemon
+	// restarts.
+	MaxRestarts int `json:"maxRestarts,omitempty"`
+
+	// CheckpointEvery overrides the server's durable checkpoint cadence
+	// for this job: every that many measured iterations the job's state
+	// is saved under the daemon's data dir, bounding how much work a
+	// daemon crash can lose. 0 takes the server default; it only
+	// matters when the daemon runs with a data dir.
+	CheckpointEvery int `json:"checkpointEvery,omitempty"`
+
+	// DeadlineMs is a wall-clock budget for one execution attempt,
+	// measured from when a worker picks the job up. A job over its
+	// deadline checkpoints, frees the worker and lands in failed —
+	// deadline overruns are not retried (the next attempt would just
+	// time out again).
+	DeadlineMs int64 `json:"deadlineMs,omitempty"`
+
+	// MinStepsPerS is a progress floor: if, over a sliding window of
+	// StallWindowMs (default 2000), the job averages fewer measured
+	// steps per second than this, it is declared stalled, checkpointed,
+	// and treated as a retryable fault — a stall is often environmental
+	// (noisy neighbour, cold cache) and worth another attempt.
+	MinStepsPerS  float64 `json:"minStepsPerSec,omitempty"`
+	StallWindowMs int64   `json:"stallWindowMs,omitempty"`
+
+	// WatchdogMs arms core.Config.Watchdog for this job: an attempt
+	// whose step loop goes silent that long is killed from inside the
+	// run with a timeout fault (which is retryable). 0 takes the server
+	// default (Options.Watchdog).
+	WatchdogMs int64 `json:"watchdogMs,omitempty"`
+
+	// ChaosKill ("rank@step") arms a fault-injection kill for the job,
+	// exercising the supervise/retry path end to end. The kill fires
+	// once per job — the retry then runs clean — unless
+	// ChaosEveryAttempt re-arms it on every attempt, which models a
+	// persistent fault and drains the restart budget. Distributed modes
+	// only.
+	ChaosKill         string `json:"chaosKill,omitempty"`
+	ChaosEveryAttempt bool   `json:"chaosEveryAttempt,omitempty"`
 }
 
 // Response answers one Request. OK false carries Error; a rejected
@@ -91,6 +136,12 @@ type JobStatus struct {
 	BytesStreamed int64 `json:"bytesStreamed"`
 
 	Checkpoint string `json:"checkpoint,omitempty"` // path of the last checkpoint written
+
+	// Restarts counts execution attempts consumed beyond the first;
+	// Recovered marks a job the daemon re-adopted from its journal
+	// after a restart. Both survive daemon restarts.
+	Restarts  int  `json:"restarts,omitempty"`
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 // Stats is the server-wide counter snapshot.
@@ -104,6 +155,8 @@ type Stats struct {
 	Completed  int64 `json:"completed"`
 	Canceled   int64 `json:"canceled"`
 	Failed     int64 `json:"failed"`
+	Retried    int64 `json:"retried"`   // re-queues after retryable faults
+	Recovered  int64 `json:"recovered"` // jobs re-adopted from the journal at startup
 }
 
 // Event is one line of a subscription stream. Type "step" carries the

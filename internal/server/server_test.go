@@ -20,7 +20,10 @@ func startServer(t *testing.T, opts Options) (*Server, string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	go s.Serve(ln)
 	t.Cleanup(s.Shutdown)
 	return s, sock
@@ -52,7 +55,9 @@ func request(t *testing.T, enc *json.Encoder, dec *json.Decoder, req Request) Re
 // terminal state.
 func waitState(t *testing.T, s *Server, id, want string) *JobStatus {
 	t.Helper()
-	deadline := time.Now().Add(30 * time.Second)
+	// Generous: the bit-identity specs run tens of thousands of steps,
+	// and -race on a single-CPU runner slows them well over 10x.
+	deadline := time.Now().Add(120 * time.Second)
 	for {
 		resp := s.Status(id)
 		if !resp.OK {
@@ -142,16 +147,23 @@ func TestSubmitStreamsToCompletion(t *testing.T) {
 		t.Fatalf("server stats %+v after one completed and one canceled job", r.Stats)
 	}
 
-	// A subscription to a finished job is just the terminator.
+	// A subscription to a finished job replays the terminal state
+	// deterministically: one final status event, then the terminator.
 	if r := request(t, senc, sdec, Request{Cmd: "subscribe", ID: id}); !r.OK {
 		t.Fatalf("re-subscribe: %s", r.Error)
 	}
 	var ev Event
 	if err := sdec.Decode(&ev); err != nil {
+		t.Fatalf("terminal replay: %v", err)
+	}
+	if ev.Event != "state" || ev.State != "done" || ev.Iter != iters {
+		t.Fatalf("subscribe to a finished job streamed %+v, want the done state event", ev)
+	}
+	if err := sdec.Decode(&ev); err != nil {
 		t.Fatalf("terminator: %v", err)
 	}
 	if ev.Event != "eof" {
-		t.Fatalf("subscribe to a finished job streamed %q, want immediate eof", ev.Event)
+		t.Fatalf("terminal replay followed by %q, want eof", ev.Event)
 	}
 }
 
@@ -233,7 +245,11 @@ func TestCancelResumeBitIdenticalOverSocket(t *testing.T) {
 	// every handful of steps, so the latched cancel lands on a rebuild
 	// boundary quickly; noreorder because bit-exact resume in the
 	// shared modes needs the cache reordering off (see core.Config.Stop).
-	const total = 600
+	// The total is generous because the cancel round-trips over the
+	// socket: on a starved single-CPU machine the first streamed step
+	// can reach the client tens of milliseconds late, and the job must
+	// still be comfortably mid-run when the cancel lands.
+	const total = 20000
 	spec := JobSpec{D: 2, N: 300, Iters: total, Mode: "openmp", T: 2,
 		Warm: 1, Vel: 4, RC: 1.2, NoReorder: true}
 
